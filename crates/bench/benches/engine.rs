@@ -1,0 +1,104 @@
+//! Assertion-engine performance: the paper's §7 discusses runtime
+//! overhead; these benches quantify it for this implementation —
+//! per-sample monitoring cost and consistency-engine scaling.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use omg_core::consistency::{ConsistencyEngine, ConsistencyWindow};
+use omg_core::Monitor;
+use omg_domains::helpers::{track_window, TrackedBox, VideoTrackSpec};
+use omg_domains::{video_assertion_set, VideoFrame, VideoWindow};
+use omg_geom::BBox2D;
+use omg_sim::detector::{DetectorConfig, SimDetector};
+use omg_sim::traffic::{TrafficConfig, TrafficWorld};
+
+fn make_windows(n: usize) -> Vec<VideoWindow> {
+    let mut world = TrafficWorld::new(TrafficConfig::night_street(), 3);
+    let frames = world.steps(n);
+    let det = SimDetector::pretrained(DetectorConfig::default(), 1);
+    let dets: Vec<Vec<_>> = frames
+        .iter()
+        .map(|f| det.detect_frame(f.index, &f.signals))
+        .collect();
+    (0..n)
+        .map(|c| {
+            let lo = c.saturating_sub(2);
+            let hi = (c + 3).min(n);
+            VideoWindow::new(
+                (lo..hi)
+                    .map(|i| VideoFrame {
+                        index: frames[i].index,
+                        time: frames[i].time,
+                        dets: dets[i].iter().map(|d| d.scored).collect(),
+                    })
+                    .collect(),
+                c - lo,
+            )
+        })
+        .collect()
+}
+
+/// Per-window cost of running the full video assertion set through the
+/// monitor — the runtime-monitoring overhead a deployment would pay.
+fn monitor_throughput(c: &mut Criterion) {
+    let windows = make_windows(200);
+    c.bench_function("monitor/video_window", |b| {
+        b.iter_batched(
+            || Monitor::with_assertions(video_assertion_set(0.45)),
+            |mut monitor| {
+                for w in &windows {
+                    criterion::black_box(monitor.process(w));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+/// Consistency-engine cost vs. window length (checking + corrections).
+fn consistency_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("consistency/check");
+    for len in [10usize, 50, 200] {
+        let mut window = ConsistencyWindow::new();
+        for t in 0..len {
+            let boxes: Vec<TrackedBox> = (0..8)
+                .map(|k| TrackedBox {
+                    track: k,
+                    class: (k % 3) as usize,
+                    bbox: BBox2D::new(
+                        k as f64 * 100.0 + t as f64,
+                        100.0,
+                        k as f64 * 100.0 + t as f64 + 80.0,
+                        160.0,
+                    )
+                    .unwrap(),
+                })
+                .collect();
+            window.push(t as f64 * 0.1, boxes);
+        }
+        let engine = ConsistencyEngine::new(VideoTrackSpec).with_temporal_threshold(0.45);
+        group.bench_with_input(BenchmarkId::from_parameter(len), &window, |b, w| {
+            b.iter(|| criterion::black_box(engine.check(w)));
+        });
+    }
+    group.finish();
+}
+
+/// Tracker-assignment cost per frame (the identification function behind
+/// the video consistency assertions).
+fn tracker_cost(c: &mut Criterion) {
+    let windows = make_windows(100);
+    c.bench_function("tracker/window5", |b| {
+        b.iter(|| {
+            for w in &windows {
+                criterion::black_box(track_window(w));
+            }
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = monitor_throughput, consistency_scaling, tracker_cost
+}
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Data-selection performance: BAL and the baselines vs. pool size, and
+//! the CC-MAB reference. Demonstrates the paper's implicit claim that
+//! BAL's selection step is cheap (no retraining per arm, unlike CC-MAB's
+//! idealized setting).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use omg_active::{
+    BalStrategy, CandidatePool, CcMab, FallbackPolicy, RandomStrategy, SelectionStrategy,
+    UncertaintyStrategy, UniformAssertionStrategy,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn make_pool(n: usize, d: usize, seed: u64) -> CandidatePool {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let severities: Vec<Vec<f64>> = (0..n)
+        .map(|_| {
+            (0..d)
+                .map(|_| {
+                    if rng.gen_bool(0.3) {
+                        rng.gen_range(0.5..5.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let uncertainties: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1.0)).collect();
+    CandidatePool::new(severities, uncertainties).unwrap()
+}
+
+fn strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("selection/100_of_n");
+    for n in [1_000usize, 10_000] {
+        let pool = make_pool(n, 3, 42);
+        let cases: Vec<(&str, Box<dyn SelectionStrategy>)> = vec![
+            ("random", Box::new(RandomStrategy)),
+            ("uncertainty", Box::new(UncertaintyStrategy)),
+            ("uniform-ma", Box::new(UniformAssertionStrategy)),
+            ("bal", Box::new(BalStrategy::new(FallbackPolicy::Random))),
+        ];
+        for (name, mut strategy) in cases {
+            group.bench_with_input(
+                BenchmarkId::new(name, n),
+                &pool,
+                |b, pool| {
+                    let mut rng = StdRng::seed_from_u64(7);
+                    b.iter(|| {
+                        strategy.reset();
+                        criterion::black_box(strategy.select(pool, 100, &mut rng))
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn ccmab(c: &mut Criterion) {
+    c.bench_function("selection/ccmab_round", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        let contexts: Vec<Vec<f64>> = (0..1_000)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let mut mab = CcMab::new(2, 5);
+        b.iter(|| {
+            mab.begin_round();
+            let sel = mab.select(&contexts, 100);
+            for &i in &sel {
+                mab.update(&contexts[i], contexts[i][0]);
+            }
+            criterion::black_box(sel)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = strategies, ccmab
+}
+criterion_main!(benches);

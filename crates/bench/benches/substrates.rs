@@ -1,0 +1,87 @@
+//! Substrate performance: world generation, detector inference and
+//! training, and detection evaluation (mAP).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omg_eval::DetectionEvaluator;
+use omg_sim::detector::{DetectorConfig, SimDetector, TrainingBatch};
+use omg_sim::ecg::{EcgConfig, EcgWorld};
+use omg_sim::traffic::{TrafficConfig, TrafficWorld};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Traffic-world stepping (ground truth + signals per frame).
+fn world_step(c: &mut Criterion) {
+    c.bench_function("sim/traffic_100_frames", |b| {
+        b.iter(|| {
+            let mut world = TrafficWorld::new(TrafficConfig::night_street(), 3);
+            criterion::black_box(world.steps(100))
+        });
+    });
+    c.bench_function("sim/ecg_1000_windows", |b| {
+        b.iter(|| {
+            let mut world = EcgWorld::new(EcgConfig::default(), 3);
+            criterion::black_box(world.windows(1000))
+        });
+    });
+}
+
+/// Detector inference over one frame and one SGD training pass.
+fn detector(c: &mut Criterion) {
+    let mut world = TrafficWorld::new(TrafficConfig::night_street(), 3);
+    let frames = world.steps(100);
+    let det = SimDetector::pretrained(DetectorConfig::default(), 1);
+    c.bench_function("detector/inference_100_frames", |b| {
+        b.iter(|| {
+            for f in &frames {
+                criterion::black_box(det.detect_frame(f.index, &f.signals));
+            }
+        });
+    });
+
+    let mut batch = TrainingBatch::new();
+    for f in &frames {
+        for s in &f.signals {
+            if s.is_clutter() {
+                batch.add_labeled_background(s);
+            } else {
+                batch.add_labeled_object(s);
+            }
+        }
+    }
+    c.bench_function("detector/train_epoch", |b| {
+        b.iter(|| {
+            let mut d = det.clone();
+            let mut rng = StdRng::seed_from_u64(1);
+            d.train(&batch, 1, &mut rng);
+            criterion::black_box(d)
+        });
+    });
+}
+
+/// mAP evaluation over 100 frames.
+fn map_eval(c: &mut Criterion) {
+    let mut world = TrafficWorld::new(TrafficConfig::night_street(), 3);
+    let frames = world.steps(100);
+    let det = SimDetector::pretrained(DetectorConfig::default(), 1);
+    let dets: Vec<Vec<_>> = frames
+        .iter()
+        .map(|f| det.detect_frame(f.index, &f.signals))
+        .collect();
+    c.bench_function("eval/map_100_frames", |b| {
+        b.iter(|| {
+            let mut ev = DetectionEvaluator::new(0.5);
+            for (f, d) in frames.iter().zip(&dets) {
+                let scored: Vec<_> = d.iter().map(|x| x.scored).collect();
+                ev.add_frame(&scored, &f.gt_boxes());
+            }
+            criterion::black_box(ev.map())
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = world_step, detector, map_eval
+}
+criterion_main!(benches);

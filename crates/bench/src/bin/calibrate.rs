@@ -1,0 +1,108 @@
+//! Calibration scratchpad: quick, small-scale versions of the headline
+//! experiments, used to tune simulator constants. Not part of the
+//! regeneration suite (`exp_*` binaries are).
+
+use omg_active::{
+    run_rounds, BalStrategy, FallbackPolicy, RandomStrategy, SelectionStrategy,
+    UncertaintyStrategy, UniformAssertionStrategy,
+};
+use omg_bench::{avx, ecgx, video};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+
+    // --- Video: pretrained quality + weak supervision ---
+    let scenario = video::VideoScenario::night_street(11, 600, 400);
+    let detector = video::pretrained_detector(1);
+    let pre_map = video::evaluate_map(&detector, &scenario.test_frames);
+    println!("[video] pretrained mAP% = {pre_map:.1}");
+
+    let dets = video::detect_all(&detector, &scenario.pool_frames);
+    let set = omg_domains::video_assertion_set(video::FLICKER_T);
+    let (sev, _unc) = video::score_frames(&set, &scenario.pool_frames, &dets);
+    for (m, name) in set.names().iter().enumerate() {
+        let fires = sev.iter().filter(|r| r[m] > 0.0).count();
+        println!("[video] {name} fires on {fires}/{} frames", sev.len());
+    }
+
+    let mut rng = StdRng::seed_from_u64(5);
+    let (before, after) = video::video_weak_supervision(&scenario, &detector, 6, &mut rng);
+    println!(
+        "[video] weak supervision: {before:.1} -> {after:.1} mAP% (relative {:+.1}%)",
+        100.0 * (after - before) / before.max(1e-9)
+    );
+
+    // --- Video: one AL trial per strategy ---
+    for (name, strategy) in strategies() {
+        let mut s = strategy;
+        let scenario = video::VideoScenario::night_street(11, 600, 400);
+        let mut learner = video::VideoLearner::new(scenario, video::pretrained_detector(1));
+        let mut rng = StdRng::seed_from_u64(17);
+        let records = run_rounds(&mut learner, s.as_mut(), 5, 60, &mut rng);
+        let series: Vec<String> = records.iter().map(|r| format!("{:.1}", r.metric)).collect();
+        println!("[video-al] {name:<12} {}", series.join(" "));
+    }
+    println!("[t] {:.1}s", t0.elapsed().as_secs_f64());
+
+    // --- ECG ---
+    let ecg = ecgx::EcgScenario::standard(7);
+    let clf = ecgx::pretrained_classifier(&ecg, 1);
+    println!("[ecg] pretrained accuracy% = {:.1}", ecgx::evaluate_accuracy(&clf, &ecg.test));
+    let (sev, _) = ecgx::score_pool(&clf, &ecg.pool);
+    let fires = sev.iter().filter(|r| r[0] > 0.0).count();
+    println!("[ecg] assertion fires on {fires}/{} windows", sev.len());
+    let mut rng = StdRng::seed_from_u64(5);
+    let (b, a) = ecgx::ecg_weak_supervision(&ecg, &clf, 600, &mut rng);
+    println!("[ecg] weak supervision: {b:.1} -> {a:.1} acc%");
+    for (name, strategy) in strategies() {
+        let mut s = strategy;
+        let ecg = ecgx::EcgScenario::standard(7);
+        let clf = ecgx::pretrained_classifier(&ecg, 1);
+        let mut learner = ecgx::EcgLearner::new(ecg, clf);
+        let mut rng = StdRng::seed_from_u64(23);
+        let records = run_rounds(&mut learner, s.as_mut(), 5, 100, &mut rng);
+        let series: Vec<String> = records.iter().map(|r| format!("{:.1}", r.metric)).collect();
+        println!("[ecg-al] {name:<12} {}", series.join(" "));
+    }
+    println!("[t] {:.1}s", t0.elapsed().as_secs_f64());
+
+    // --- AV ---
+    let av = avx::AvScenario::standard(3);
+    let cam = avx::pretrained_camera(1);
+    println!("[av] pretrained mAP% = {:.1}", avx::evaluate_map(&cam, &av.test));
+    let dets = avx::detect_all(&cam, &av.pool);
+    let set = omg_domains::av_assertion_set();
+    let (sev, _) = avx::score_samples(&set, &av.pool, &dets);
+    for (m, name) in set.names().iter().enumerate() {
+        let fires = sev.iter().filter(|r| r[m] > 0.0).count();
+        println!("[av] {name} fires on {fires}/{} samples", sev.len());
+    }
+    let mut rng = StdRng::seed_from_u64(5);
+    let (b, a) = avx::av_weak_supervision(&av, &cam, 2, &mut rng);
+    println!("[av] weak supervision: {b:.1} -> {a:.1} mAP%");
+    for (name, strategy) in strategies() {
+        let mut s = strategy;
+        let av = avx::AvScenario::standard(3);
+        let cam = avx::pretrained_camera(1);
+        let mut learner = avx::AvLearner::new(av, cam);
+        let mut rng = StdRng::seed_from_u64(29);
+        let records = run_rounds(&mut learner, s.as_mut(), 5, 50, &mut rng);
+        let series: Vec<String> = records.iter().map(|r| format!("{:.1}", r.metric)).collect();
+        println!("[av-al] {name:<12} {}", series.join(" "));
+    }
+    println!("[t] total {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+fn strategies() -> Vec<(&'static str, Box<dyn SelectionStrategy>)> {
+    vec![
+        ("random", Box::new(RandomStrategy)),
+        ("uncertainty", Box::new(UncertaintyStrategy)),
+        ("uniform-ma", Box::new(UniformAssertionStrategy)),
+        (
+            "bal",
+            Box::new(BalStrategy::new(FallbackPolicy::Uncertainty)),
+        ),
+    ]
+}

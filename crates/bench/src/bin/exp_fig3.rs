@@ -1,0 +1,4 @@
+//! Regenerates Figure 3 (confidence percentiles of caught errors).
+fn main() {
+    print!("{}", omg_bench::experiments::fig3::run(77));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Figure 4b (AV active learning, rounds 2-5).
+fn main() {
+    print!("{}", omg_bench::experiments::fig4::run_av(4, 5, 60, false));
+}

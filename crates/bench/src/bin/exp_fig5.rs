@@ -1,0 +1,4 @@
+//! Regenerates Figure 5 (ECG active learning with a single assertion).
+fn main() {
+    print!("{}", omg_bench::experiments::fig5::run(4, 5, 100));
+}

@@ -1,0 +1,4 @@
+//! Renders the qualitative error gallery (Figures 1, 6, 7).
+fn main() {
+    print!("{}", omg_bench::experiments::gallery::run(5));
+}

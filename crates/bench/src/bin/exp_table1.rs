@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (task/model/assertion inventory).
+fn main() {
+    print!("{}", omg_bench::experiments::table1::run());
+}

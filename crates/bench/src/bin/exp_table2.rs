@@ -1,0 +1,4 @@
+//! Regenerates Table 2 (lines of code per assertion).
+fn main() {
+    print!("{}", omg_bench::experiments::table2::run());
+}

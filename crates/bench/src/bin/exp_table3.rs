@@ -1,0 +1,4 @@
+//! Regenerates Table 3 (precision of deployed assertions).
+fn main() {
+    print!("{}", omg_bench::experiments::table3::run(2024));
+}

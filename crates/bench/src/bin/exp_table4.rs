@@ -1,0 +1,4 @@
+//! Regenerates Table 4 (weak supervision, pretrained vs weakly supervised).
+fn main() {
+    print!("{}", omg_bench::experiments::table4::run(3));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 5 (assertion taxonomy, Appendix B).
+fn main() {
+    print!("{}", omg_bench::experiments::table5::run());
+}

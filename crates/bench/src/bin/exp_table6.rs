@@ -1,0 +1,4 @@
+//! Regenerates Table 6 (human-label validation, Appendix E).
+fn main() {
+    print!("{}", omg_bench::experiments::table6::run(33));
+}

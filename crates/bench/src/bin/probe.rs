@@ -1,0 +1,58 @@
+//! Diagnostic probe for calibration (not part of the regeneration suite).
+use omg_bench::{ecgx, video};
+use omg_sim::detector::Provenance;
+
+fn main() {
+    let scenario = video::VideoScenario::night_street(11, 400, 200);
+    let det = video::pretrained_detector(1);
+    let mut dark_p = vec![];
+    let mut easy_p = vec![];
+    let mut clutter_p = vec![];
+    let mut fp_count = 0usize;
+    let mut dup_count = 0usize;
+    let mut miss_dark = 0usize;
+    let mut dark_total = 0usize;
+    let mut wrong_class = 0usize;
+    let mut obj_dets = 0usize;
+    for f in &scenario.pool_frames {
+        let dets = det.detect_frame(f.index, &f.signals);
+        for s in &f.signals {
+            let p = det.detect_probability(s);
+            if s.is_clutter() { clutter_p.push(p); }
+            else if s.quality < 0.55 { dark_p.push(p); dark_total += 1;
+                if !dets.iter().any(|d| matches!(d.provenance, Provenance::Object{track_id,..} if track_id==s.track_id)) { miss_dark += 1; }
+            }
+            else { easy_p.push(p); }
+        }
+        for d in &dets {
+            match d.provenance {
+                Provenance::Clutter{..} => fp_count += 1,
+                Provenance::Duplicate{..} => dup_count += 1,
+                Provenance::Object{true_class,..} => { obj_dets += 1; if d.scored.class != true_class { wrong_class += 1; } }
+            }
+        }
+    }
+    let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!("[probe] dark p_det mean {:.2} (n={})", mean(&dark_p), dark_p.len());
+    println!("[probe] easy p_det mean {:.2} (n={})", mean(&easy_p), easy_p.len());
+    println!("[probe] clutter p_det mean {:.2} (n={})", mean(&clutter_p), clutter_p.len());
+    println!("[probe] FPs/frame {:.2}, dups/frame {:.2}", fp_count as f64 / 400.0, dup_count as f64 / 400.0);
+    println!("[probe] dark miss rate {:.2}", miss_dark as f64 / dark_total.max(1) as f64);
+    println!("[probe] class error rate {:.2}", wrong_class as f64 / obj_dets.max(1) as f64);
+
+    // ECG weak label quality
+    let ecg = ecgx::EcgScenario::standard(7);
+    let clf = ecgx::pretrained_classifier(&ecg, 1);
+    let preds: Vec<usize> = ecg.pool.iter().map(|p| clf.predict(&p.features)).collect();
+    let times: Vec<f64> = ecg.pool.iter().map(|p| p.time).collect();
+    let weak = omg_domains::weak::ecg_weak_labels(&times, &preds, 30.0);
+    let n = weak.len();
+    let weak_correct = weak.iter().filter(|&&(i, c)| c == ecg.pool[i].true_class).count();
+    let model_correct_on_those = weak.iter().filter(|&&(i, _)| preds[i] == ecg.pool[i].true_class).count();
+    println!("[probe] ecg weak labels: {n}, weak-correct {:.2}, model-correct-there {:.2}",
+        weak_correct as f64 / n.max(1) as f64, model_correct_on_those as f64 / n.max(1) as f64);
+    // class distribution of weak labels
+    let mut dist = [0usize; 4];
+    for &(_, c) in &weak { dist[c] += 1; }
+    println!("[probe] ecg weak label class dist {:?}", dist);
+}

@@ -1,0 +1,33 @@
+//! One module per regenerated table/figure. Each experiment returns its
+//! rendered output as a `String` so the `exp_*` binaries stay thin and
+//! `exp_all` can assemble `EXPERIMENTS.md`-ready output.
+
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod gallery;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+
+/// Standard trial seeds (experiments report mean ± s.e. across these).
+pub fn trial_seeds(n: usize) -> Vec<u64> {
+    (0..n as u64).map(|i| 1000 + 37 * i).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_seeds_are_distinct() {
+        let seeds = trial_seeds(8);
+        let mut s = seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 8);
+    }
+}

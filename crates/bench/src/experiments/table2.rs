@@ -1,0 +1,35 @@
+//! Table 2: lines of code per assertion.
+
+use omg_eval::table::{Align, Table};
+
+use crate::loc::table2_entries;
+
+/// Renders Table 2.
+pub fn run() -> String {
+    let mut t = Table::new(vec!["Assertion", "LOC (no helpers)", "LOC (inc. helpers)"])
+        .with_title(
+            "Table 2: lines of code per assertion (paper: body <= 25, with helpers <= 60; \
+             Rust is more explicit than Python, so bounds scale accordingly). \
+             Consistency-API assertions above the rule, custom below.",
+        )
+        .with_aligns(vec![Align::Left, Align::Right, Align::Right]);
+    for e in table2_entries() {
+        t.row(vec![
+            e.assertion.to_string(),
+            e.body.to_string(),
+            e.with_helpers.to_string(),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_assertions() {
+        let s = super::run();
+        for a in ["news", "ecg", "flicker", "appear", "multibox", "agree"] {
+            assert!(s.contains(a), "missing {a}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Table 5 (Appendix B): the assertion-class taxonomy.
+
+use omg_core::taxonomy::taxonomy;
+use omg_eval::table::Table;
+
+/// Renders Table 5.
+pub fn run() -> String {
+    let mut t = Table::new(vec!["Assertion class", "Sub-class", "Description", "Examples"])
+        .with_title("Table 5: classes of model assertions (Appendix B)");
+    for e in taxonomy() {
+        t.row(vec![
+            e.class.name().to_string(),
+            e.subclass.name().to_string(),
+            e.description.to_string(),
+            e.examples.join("; "),
+        ]);
+    }
+    t.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_nine_rows() {
+        let s = super::run();
+        assert!(s.contains("Multi-modal"));
+        assert!(s.contains("Schema validation"));
+        assert_eq!(s.matches('\n').count(), 2 + 9 + 1); // title + header + sep + 9 rows
+    }
+}

@@ -1,0 +1,85 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (see `DESIGN.md` §5 for the experiment index).
+//!
+//! Each scenario module wires a simulated world (`omg-sim`), the deployed
+//! assertions (`omg-domains`), the assertion engine (`omg-core`), the
+//! selection strategies (`omg-active`), and the metrics (`omg-eval`)
+//! into:
+//!
+//! * an [`omg_active::ActiveLearner`] implementation for the
+//!   active-learning experiments (Figures 4, 5, 9);
+//! * precision/error analyses (Table 3, Figure 3, Table 6);
+//! * weak-supervision runs (Table 4).
+//!
+//! The binaries under `src/bin/` print the paper-matching rows; run
+//! `cargo run --release -p omg-bench --bin exp_all` to regenerate
+//! everything.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod avx;
+pub mod ecgx;
+pub mod experiments;
+pub mod loc;
+pub mod newsx;
+pub mod video;
+
+use omg_eval::stats;
+
+/// Mean and standard error of one experiment series across trials.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesSummary {
+    /// Label of the series (strategy name etc.).
+    pub label: String,
+    /// Per-round means.
+    pub mean: Vec<f64>,
+    /// Per-round standard errors.
+    pub stderr: Vec<f64>,
+}
+
+/// Summarizes per-trial series (each `trials[k][r]` = trial `k`, round `r`)
+/// into per-round mean ± s.e.
+///
+/// # Panics
+///
+/// Panics if trials have inconsistent lengths or there are none.
+pub fn summarize_series(label: &str, trials: &[Vec<f64>]) -> SeriesSummary {
+    assert!(!trials.is_empty(), "need at least one trial");
+    let rounds = trials[0].len();
+    assert!(
+        trials.iter().all(|t| t.len() == rounds),
+        "ragged trial series"
+    );
+    let mut mean = Vec::with_capacity(rounds);
+    let mut stderr = Vec::with_capacity(rounds);
+    for r in 0..rounds {
+        let col: Vec<f64> = trials.iter().map(|t| t[r]).collect();
+        mean.push(stats::mean(&col));
+        stderr.push(stats::std_err(&col));
+    }
+    SeriesSummary {
+        label: label.to_string(),
+        mean,
+        stderr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarize_series_means_and_stderr() {
+        let s = summarize_series("x", &[vec![1.0, 3.0], vec![3.0, 5.0]]);
+        assert_eq!(s.mean, vec![2.0, 4.0]);
+        assert!(s.stderr[0] > 0.0);
+        assert_eq!(s.label, "x");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_series_rejected() {
+        summarize_series("x", &[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

@@ -1,0 +1,125 @@
+//! The TV-news scenario (Tables 1-3).
+//!
+//! The paper had no training access for this domain ("We were unable to
+//! access the training code for this domain", §5.1), so news contributes
+//! monitoring statistics only: assertion fire counts and precision.
+
+use omg_core::Assertion;
+use omg_domains::news::{news_assertion, scene_window, NewsSpec};
+use omg_core::consistency::{ConsistencyEngine, Violation};
+use omg_sim::news::{NewsConfig, NewsScene, NewsWorld};
+
+/// The fixed configuration of a news experiment.
+#[derive(Debug, Clone)]
+pub struct NewsScenario {
+    /// The world (roster + scene generator).
+    pub world: NewsWorld,
+    /// The monitored scenes.
+    pub scenes: Vec<NewsScene>,
+}
+
+impl NewsScenario {
+    /// Builds a scenario over `n_scenes` scenes.
+    pub fn new(seed: u64, n_scenes: u64) -> Self {
+        let world = NewsWorld::new(NewsConfig::default(), seed);
+        let scenes = world.scenes(0..n_scenes);
+        Self { world, scenes }
+    }
+
+    /// Experiment-standard size (the paper's lab gave 50 hour-long
+    /// segments; 400 scenes keeps the statistics stable at laptop scale).
+    pub fn standard(seed: u64) -> Self {
+        Self::new(seed, 400)
+    }
+}
+
+/// One flagged (scene, slot) group with whether a real model error exists
+/// in it — the unit of the Table 3 precision check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlaggedGroup {
+    /// Scene index.
+    pub scene: u64,
+    /// Host slot within the scene.
+    pub slot: usize,
+    /// Whether some face output in the group is genuinely wrong.
+    pub is_real_error: bool,
+}
+
+/// Runs the news assertion over all scenes and returns the flagged
+/// groups (deduplicated per scene/slot).
+pub fn flagged_groups(scenario: &NewsScenario) -> Vec<FlaggedGroup> {
+    let engine = ConsistencyEngine::new(NewsSpec);
+    let roster = scenario.world.roster();
+    let mut out = Vec::new();
+    for scene in &scenario.scenes {
+        let window = scene_window(scene);
+        let mut seen: Vec<(u64, usize)> = Vec::new();
+        for violation in engine.check(&window) {
+            let Violation::AttributeMismatch { id, .. } = violation else {
+                continue;
+            };
+            if seen.contains(&id) {
+                continue;
+            }
+            seen.push(id);
+            let is_real_error = scene
+                .faces
+                .iter()
+                .filter(|f| (f.scene, f.slot) == id)
+                .any(|f| f.is_error(roster));
+            out.push(FlaggedGroup {
+                scene: id.0,
+                slot: id.1,
+                is_real_error,
+            });
+        }
+    }
+    out
+}
+
+/// Number of scenes on which the combined news assertion fires.
+pub fn scenes_fired(scenario: &NewsScenario) -> usize {
+    let assertion = news_assertion();
+    scenario
+        .scenes
+        .iter()
+        .filter(|s| assertion.check(s).fired())
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assertion_fires_on_some_scenes() {
+        let s = NewsScenario::new(3, 200);
+        let fired = scenes_fired(&s);
+        assert!(fired > 5, "expected transient errors to fire: {fired}");
+        assert!(fired < 200, "not every scene should fire: {fired}");
+    }
+
+    #[test]
+    fn flagged_groups_are_mostly_real_errors() {
+        let s = NewsScenario::new(3, 300);
+        let flagged = flagged_groups(&s);
+        assert!(!flagged.is_empty());
+        let real = flagged.iter().filter(|g| g.is_real_error).count();
+        let precision = real as f64 / flagged.len() as f64;
+        assert!(
+            precision > 0.95,
+            "news consistency should be near-perfectly precise: {precision}"
+        );
+    }
+
+    #[test]
+    fn flagged_groups_deduplicate() {
+        let s = NewsScenario::new(3, 100);
+        let flagged = flagged_groups(&s);
+        let mut keys: Vec<(u64, usize)> = flagged.iter().map(|g| (g.scene, g.slot)).collect();
+        let before = keys.len();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+}

@@ -1,0 +1,415 @@
+//! The `night-street` video-analytics scenario (Figures 3, 4a, 9a;
+//! Tables 3, 4, 6).
+
+use omg_active::{ActiveLearner, CandidatePool};
+use omg_core::AssertionSet;
+use omg_domains::{video_assertion_set, VideoFrame, VideoWindow};
+use omg_eval::DetectionEvaluator;
+use omg_sim::detector::{Detection, DetectorConfig, Provenance, SimDetector, TrainingBatch};
+use omg_sim::traffic::{GtFrame, TrafficConfig, TrafficWorld};
+use rand::rngs::StdRng;
+
+/// The temporal threshold `T` for the video consistency assertions,
+/// seconds.
+pub const FLICKER_T: f64 = 0.45;
+
+/// Frames of context on each side of a window's center frame.
+pub const WINDOW_HALF: usize = 2;
+
+/// The fixed configuration of a night-street experiment.
+#[derive(Debug, Clone)]
+pub struct VideoScenario {
+    /// The unlabeled pool: one "day" of video.
+    pub pool_frames: Vec<GtFrame>,
+    /// The held-out test set: "a separate day of video" (§5.1).
+    pub test_frames: Vec<GtFrame>,
+}
+
+impl VideoScenario {
+    /// Builds the scenario: `pool_len` frames of pool video and
+    /// `test_len` frames of test video from two different seeds.
+    pub fn night_street(seed: u64, pool_len: usize, test_len: usize) -> Self {
+        let mut pool_world = TrafficWorld::new(TrafficConfig::night_street(), seed);
+        let mut test_world = TrafficWorld::new(TrafficConfig::night_street(), seed ^ 0x5EED);
+        Self {
+            pool_frames: pool_world.steps(pool_len),
+            test_frames: test_world.steps(test_len),
+        }
+    }
+
+    /// The experiment-standard sizes (1,200-frame pool, 500-frame test).
+    pub fn standard(seed: u64) -> Self {
+        Self::night_street(seed, 1200, 500)
+    }
+}
+
+/// Runs the detector over a frame sequence.
+pub fn detect_all(detector: &SimDetector, frames: &[GtFrame]) -> Vec<Vec<Detection>> {
+    frames
+        .iter()
+        .map(|f| detector.detect_frame(f.index, &f.signals))
+        .collect()
+}
+
+/// Builds the sliding assertion window centered on `center` (clamped at
+/// sequence edges).
+pub fn window_at(frames: &[GtFrame], dets: &[Vec<Detection>], center: usize) -> VideoWindow {
+    let lo = center.saturating_sub(WINDOW_HALF);
+    let hi = (center + WINDOW_HALF + 1).min(frames.len());
+    let vf: Vec<VideoFrame> = (lo..hi)
+        .map(|i| VideoFrame {
+            index: frames[i].index,
+            time: frames[i].time,
+            dets: dets[i].iter().map(|d| d.scored).collect(),
+        })
+        .collect();
+    VideoWindow::new(vf, center - lo)
+}
+
+/// Per-frame severity vectors and uncertainty scores over a sequence.
+pub fn score_frames(
+    set: &AssertionSet<VideoWindow>,
+    frames: &[GtFrame],
+    dets: &[Vec<Detection>],
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let mut severities = Vec::with_capacity(frames.len());
+    let mut uncertainties = Vec::with_capacity(frames.len());
+    for i in 0..frames.len() {
+        let window = window_at(frames, dets, i);
+        let outcomes = set.check_all(&window);
+        severities.push(outcomes.iter().map(|(_, s)| s.value()).collect());
+        // Least-confidence over the frame's detections: the most
+        // uncertain output. Frames with no detections carry no
+        // uncertainty signal — exactly the blind spot of
+        // uncertainty sampling the paper exploits.
+        let unc = dets[i]
+            .iter()
+            .map(|d| 1.0 - d.scored.score)
+            .fold(0.0f64, f64::max);
+        uncertainties.push(unc);
+    }
+    (severities, uncertainties)
+}
+
+/// mAP (percent) of the detector on a frame sequence.
+pub fn evaluate_map(detector: &SimDetector, frames: &[GtFrame]) -> f64 {
+    let mut ev = DetectionEvaluator::new(0.5);
+    for frame in frames {
+        let dets = detector.detect_frame(frame.index, &frame.signals);
+        let scored: Vec<_> = dets.iter().map(|d| d.scored).collect();
+        ev.add_frame(&scored, &frame.gt_boxes());
+    }
+    ev.map_percent()
+}
+
+/// Adds full human labels for one frame to a training batch (every object
+/// box + background patches — what a labeling service returns for the
+/// frame).
+pub fn label_frame_into(batch: &mut TrainingBatch, frame: &GtFrame) {
+    for signal in &frame.signals {
+        if signal.is_clutter() {
+            batch.add_labeled_background(signal);
+        } else {
+            batch.add_labeled_object(signal);
+        }
+    }
+}
+
+/// The night-street active learner of Figure 4a.
+pub struct VideoLearner {
+    scenario: VideoScenario,
+    detector: SimDetector,
+    assertions: AssertionSet<VideoWindow>,
+    /// Pool positions (into `scenario.pool_frames`) still unlabeled.
+    unlabeled: Vec<usize>,
+    labeled_batch: TrainingBatch,
+    epochs_per_round: usize,
+}
+
+impl VideoLearner {
+    /// Creates a learner around a pretrained detector.
+    pub fn new(scenario: VideoScenario, detector: SimDetector) -> Self {
+        let n = scenario.pool_frames.len();
+        Self {
+            scenario,
+            detector,
+            assertions: video_assertion_set(FLICKER_T),
+            unlabeled: (0..n).collect(),
+            labeled_batch: TrainingBatch::new(),
+            epochs_per_round: 4,
+        }
+    }
+
+    /// The current detector.
+    pub fn detector(&self) -> &SimDetector {
+        &self.detector
+    }
+
+    /// Number of frames still unlabeled.
+    pub fn unlabeled_len(&self) -> usize {
+        self.unlabeled.len()
+    }
+}
+
+impl ActiveLearner for VideoLearner {
+    fn pool(&mut self) -> CandidatePool {
+        // Score the whole stream once (windows need neighbours), then
+        // project onto the unlabeled positions.
+        let dets = detect_all(&self.detector, &self.scenario.pool_frames);
+        let (sev, unc) = score_frames(&self.assertions, &self.scenario.pool_frames, &dets);
+        let severities = self.unlabeled.iter().map(|&i| sev[i].clone()).collect();
+        let uncertainties = self.unlabeled.iter().map(|&i| unc[i]).collect();
+        CandidatePool::new(severities, uncertainties).expect("consistent pool")
+    }
+
+    fn label_and_train(&mut self, selection: &[usize], rng: &mut StdRng) {
+        let mut chosen: Vec<usize> = selection.iter().map(|&p| self.unlabeled[p]).collect();
+        chosen.sort_unstable();
+        for &frame_idx in &chosen {
+            label_frame_into(&mut self.labeled_batch, &self.scenario.pool_frames[frame_idx]);
+        }
+        self.unlabeled.retain(|i| !chosen.contains(i));
+        if !self.labeled_batch.is_empty() {
+            self.detector
+                .train(&self.labeled_batch, self.epochs_per_round, rng);
+        }
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        evaluate_map(&self.detector, &self.scenario.test_frames)
+    }
+}
+
+/// The weak-supervision experiment for video (Table 4, row 1): corrections
+/// from the consistency assertions fine-tune the pretrained detector with
+/// no human labels.
+pub fn video_weak_supervision(
+    scenario: &VideoScenario,
+    detector: &SimDetector,
+    epochs: usize,
+    rng: &mut StdRng,
+) -> (f64, f64) {
+    let before = evaluate_map(detector, &scenario.test_frames);
+    let dets = detect_all(detector, &scenario.pool_frames);
+    let batch = omg_domains::weak::video_weak_batch(
+        &scenario.pool_frames,
+        &dets,
+        &omg_domains::weak::VideoWeakConfig::default(),
+    );
+    let mut tuned = detector.clone();
+    if !batch.is_empty() {
+        tuned.train(&batch, epochs, rng);
+    }
+    let after = evaluate_map(&tuned, &scenario.test_frames);
+    (before, after)
+}
+
+/// A detection-level error with its confidence, for the Figure 3
+/// analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FoundError {
+    /// Confidence attributed to the error.
+    pub confidence: f64,
+    /// Pool frame index where it was found.
+    pub frame: usize,
+}
+
+/// Collects, per assertion name, the *true* errors found in flagged
+/// windows, with the confidence the paper's analysis assigns them
+/// (duplicates/FPs use their own confidence; flicker misses use "the
+/// average of the surrounding boxes", §5.3).
+pub fn errors_by_assertion(
+    frames: &[GtFrame],
+    dets: &[Vec<Detection>],
+    set: &AssertionSet<VideoWindow>,
+) -> Vec<(String, Vec<FoundError>)> {
+    let mut out: Vec<(String, Vec<FoundError>)> = set
+        .names()
+        .iter()
+        .map(|n| (n.to_string(), Vec::new()))
+        .collect();
+    for center in 0..frames.len() {
+        let window = window_at(frames, dets, center);
+        let outcomes = set.check_all(&window);
+        for (aid, severity) in outcomes {
+            if !severity.fired() {
+                continue;
+            }
+            let name = set.name(aid);
+            let errors = match name {
+                "multibox" => duplicate_errors(&dets[center], center),
+                "appear" => clutter_errors(&dets[center], center),
+                "flicker" => flicker_miss_errors(frames, dets, center),
+                _ => Vec::new(),
+            };
+            out[aid.0].1.extend(errors);
+        }
+    }
+    // Deduplicate per assertion (windows overlap).
+    for (_, errs) in &mut out {
+        errs.sort_by(|a, b| {
+            a.frame
+                .cmp(&b.frame)
+                .then(a.confidence.partial_cmp(&b.confidence).unwrap())
+        });
+        errs.dedup_by(|a, b| a.frame == b.frame && (a.confidence - b.confidence).abs() < 1e-12);
+    }
+    out
+}
+
+fn duplicate_errors(dets: &[Detection], frame: usize) -> Vec<FoundError> {
+    // Table 5 scores a multibox cluster by "the maximum confidence of 3
+    // vehicles that highly overlap": attribute the cluster's max
+    // confidence to the error.
+    dets.iter()
+        .filter(|d| matches!(d.provenance, Provenance::Duplicate { .. }))
+        .map(|d| {
+            let cluster_max = dets
+                .iter()
+                .filter(|o| o.track_id() == d.track_id())
+                .map(|o| o.scored.score)
+                .fold(0.0f64, f64::max);
+            FoundError {
+                confidence: cluster_max,
+                frame,
+            }
+        })
+        .collect()
+}
+
+fn clutter_errors(dets: &[Detection], frame: usize) -> Vec<FoundError> {
+    dets.iter()
+        .filter(|d| matches!(d.provenance, Provenance::Clutter { .. }))
+        .map(|d| FoundError {
+            confidence: d.scored.score,
+            frame,
+        })
+        .collect()
+}
+
+/// Missed objects at `center` that were detected on both adjacent frames
+/// (a flicker miss); confidence = mean of the neighbours' confidences.
+fn flicker_miss_errors(
+    frames: &[GtFrame],
+    dets: &[Vec<Detection>],
+    center: usize,
+) -> Vec<FoundError> {
+    if center == 0 || center + 1 >= frames.len() {
+        return Vec::new();
+    }
+    let detected_conf = |frame_idx: usize, track: u64| -> Option<f64> {
+        dets[frame_idx].iter().find_map(|d| match d.provenance {
+            Provenance::Object { track_id, .. } if track_id == track => Some(d.scored.score),
+            _ => None,
+        })
+    };
+    let mut errors = Vec::new();
+    for signal in frames[center].signals.iter().filter(|s| !s.is_clutter()) {
+        if detected_conf(center, signal.track_id).is_some() {
+            continue;
+        }
+        if let (Some(before), Some(after)) = (
+            detected_conf(center - 1, signal.track_id),
+            detected_conf(center + 1, signal.track_id),
+        ) {
+            errors.push(FoundError {
+                confidence: (before + after) / 2.0,
+                frame: center,
+            });
+        }
+    }
+    errors
+}
+
+/// All detection confidences in the sequence (the Figure 3 population).
+pub fn all_confidences(dets: &[Vec<Detection>]) -> Vec<f64> {
+    dets.iter()
+        .flat_map(|d| d.iter().map(|x| x.scored.score))
+        .collect()
+}
+
+/// Builds the standard pretrained detector for the video experiments.
+pub fn pretrained_detector(seed: u64) -> SimDetector {
+    SimDetector::pretrained(DetectorConfig::default(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn tiny_scenario() -> VideoScenario {
+        VideoScenario::night_street(5, 120, 80)
+    }
+
+    #[test]
+    fn scenario_has_disjoint_pool_and_test() {
+        let s = tiny_scenario();
+        assert_eq!(s.pool_frames.len(), 120);
+        assert_eq!(s.test_frames.len(), 80);
+        assert_ne!(s.pool_frames[0], s.test_frames[0]);
+    }
+
+    #[test]
+    fn windows_clamp_at_edges() {
+        let s = tiny_scenario();
+        let det = pretrained_detector(1);
+        let dets = detect_all(&det, &s.pool_frames);
+        let w0 = window_at(&s.pool_frames, &dets, 0);
+        assert_eq!(w0.center, 0);
+        assert_eq!(w0.len(), WINDOW_HALF + 1);
+        let wmid = window_at(&s.pool_frames, &dets, 60);
+        assert_eq!(wmid.len(), 2 * WINDOW_HALF + 1);
+        assert_eq!(wmid.center, WINDOW_HALF);
+        let wend = window_at(&s.pool_frames, &dets, 119);
+        assert_eq!(wend.center, WINDOW_HALF);
+        assert_eq!(wend.len(), WINDOW_HALF + 1);
+    }
+
+    #[test]
+    fn assertions_fire_on_night_street() {
+        let s = tiny_scenario();
+        let det = pretrained_detector(1);
+        let dets = detect_all(&det, &s.pool_frames);
+        let set = video_assertion_set(FLICKER_T);
+        let (sev, unc) = score_frames(&set, &s.pool_frames, &dets);
+        assert_eq!(sev.len(), 120);
+        assert_eq!(unc.len(), 120);
+        let total_fires: f64 = sev.iter().flat_map(|r| r.iter()).sum();
+        assert!(
+            total_fires > 0.0,
+            "the pretrained night detector must trip assertions"
+        );
+    }
+
+    #[test]
+    fn learner_trains_and_pool_shrinks() {
+        let s = tiny_scenario();
+        let mut learner = VideoLearner::new(s, pretrained_detector(1));
+        let mut rng = StdRng::seed_from_u64(2);
+        let pool = learner.pool();
+        assert_eq!(pool.len(), 120);
+        learner.label_and_train(&[0, 5, 10], &mut rng);
+        assert_eq!(learner.unlabeled_len(), 117);
+        let metric = learner.evaluate();
+        assert!(metric > 0.0 && metric < 100.0, "mAP% {metric}");
+    }
+
+    #[test]
+    fn error_collection_is_well_formed() {
+        let s = tiny_scenario();
+        let det = pretrained_detector(1);
+        let dets = detect_all(&det, &s.pool_frames);
+        let set = video_assertion_set(FLICKER_T);
+        let by_assertion = errors_by_assertion(&s.pool_frames, &dets, &set);
+        assert_eq!(by_assertion.len(), 3);
+        for (_, errs) in &by_assertion {
+            for e in errs {
+                assert!((0.0..=1.0).contains(&e.confidence));
+                assert!(e.frame < 120);
+            }
+        }
+        let confs = all_confidences(&dets);
+        assert!(!confs.is_empty());
+    }
+}

@@ -1,0 +1,69 @@
+//! The consistency-assertion API (§4 of the paper).
+//!
+//! Many assertions fit one high-level pattern: *attributes of a model's
+//! outputs that share an identifier should match, and identifiers should
+//! not appear or disappear too quickly*. The paper's API is
+//! `AddConsistencyAssertion(Id, Attrs, T)`:
+//!
+//! * **`Id`** — a function returning an identifier for each output (a TV
+//!   host's identity, a tracked vehicle's track id, an ECG rhythm class);
+//! * **`Attrs`** — a function returning named attributes expected to be
+//!   consistent per identifier (gender, hair color, vehicle class);
+//! * **`T`** — a temporal threshold in seconds: "each identifier should
+//!   not appear or disappear for intervals less than T seconds", enforced
+//!   as *at most one presence transition per `T`-second window*.
+//!
+//! From a [`ConsistencySpec`] the [`ConsistencyEngine`] generates:
+//!
+//! 1. **Boolean assertions** — one per attribute key plus one temporal
+//!    assertion ([`ConsistencyEngine::generate_assertions`]), registered
+//!    like any hand-written assertion;
+//! 2. **Correction rules** ([`ConsistencyEngine::corrections`]) that
+//!    propose weak labels for failing outputs: replace an inconsistent
+//!    attribute with the identifier's most common value, remove spurious
+//!    blips, or add synthesized outputs for flickered-out intervals (the
+//!    user supplies the synthesis function, e.g. box interpolation).
+//!
+//! # Example
+//!
+//! ```
+//! use omg_core::consistency::{
+//!     AttrValue, ConsistencyEngine, ConsistencySpec, ConsistencyWindow, Violation,
+//! };
+//!
+//! // TV-news face detections: (scene-person identifier, gender).
+//! #[derive(Clone)]
+//! struct Face { person: u32, gender: &'static str }
+//!
+//! struct NewsSpec;
+//! impl ConsistencySpec for NewsSpec {
+//!     type Output = Face;
+//!     type Id = u32;
+//!     fn id(&self, f: &Face) -> u32 { f.person }
+//!     fn attrs(&self, f: &Face) -> Vec<(String, AttrValue)> {
+//!         vec![("gender".into(), AttrValue::text(f.gender))]
+//!     }
+//!     fn attr_keys(&self) -> Vec<String> { vec!["gender".into()] }
+//! }
+//!
+//! let engine = ConsistencyEngine::new(NewsSpec);
+//! let mut w = ConsistencyWindow::new();
+//! w.push(0.0, vec![Face { person: 7, gender: "F" }]);
+//! w.push(1.0, vec![Face { person: 7, gender: "F" }]);
+//! w.push(2.0, vec![Face { person: 7, gender: "M" }]); // inconsistent!
+//! let violations = engine.check(&w);
+//! assert_eq!(violations.len(), 1);
+//! assert!(matches!(&violations[0], Violation::AttributeMismatch { key, .. } if key == "gender"));
+//! ```
+
+mod attr;
+mod correction;
+mod engine;
+mod spec;
+mod window;
+
+pub use attr::AttrValue;
+pub use correction::Correction;
+pub use engine::{ConsistencyEngine, Violation};
+pub use spec::ConsistencySpec;
+pub use window::ConsistencyWindow;

@@ -1,0 +1,76 @@
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use super::AttrValue;
+
+/// The user-provided half of `AddConsistencyAssertion(Id, Attrs, T)`.
+///
+/// Implementors describe *what should be consistent* about one domain's
+/// model outputs; the [`ConsistencyEngine`](super::ConsistencyEngine)
+/// supplies the generic checking and correction machinery.
+///
+/// The paper's three worked examples map directly onto this trait
+/// (§4.1):
+///
+/// * **TV news** — `Output` is a face detection; `id` returns the detected
+///   identity; `attrs` returns gender and hair color.
+/// * **Traffic video** — `Output` is a tracked box; `id` returns the track
+///   identifier assigned by an `omg-track` tracker; `attrs` returns the
+///   predicted class; `T` catches flicker.
+/// * **ECG** — `Output` is a window classification; `id` returns the
+///   predicted rhythm class; `T = 30 s` enforces the European Society of
+///   Cardiology persistence guideline.
+pub trait ConsistencySpec: Send + Sync {
+    /// One model output (a detection, a classification, ...).
+    type Output;
+
+    /// The identifier outputs are grouped by. "Simply an opaque value"
+    /// (§4.1) — the engine only compares, hashes, and reports it.
+    type Id: Eq + Ord + Hash + Clone + Debug + Send + Sync;
+
+    /// The identifier of an output.
+    fn id(&self, output: &Self::Output) -> Self::Id;
+
+    /// Named attributes of an output that must be consistent within its
+    /// identifier. May be empty for purely temporal specs (like ECG).
+    fn attrs(&self, output: &Self::Output) -> Vec<(String, AttrValue)>;
+
+    /// The full set of attribute keys this spec can emit. The engine
+    /// generates one Boolean assertion per key, so the set must be known
+    /// up front (it is part of the assertion database schema).
+    fn attr_keys(&self) -> Vec<String>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct UnitSpec;
+
+    impl ConsistencySpec for UnitSpec {
+        type Output = (u32, usize);
+        type Id = u32;
+
+        fn id(&self, output: &(u32, usize)) -> u32 {
+            output.0
+        }
+
+        fn attrs(&self, output: &(u32, usize)) -> Vec<(String, AttrValue)> {
+            vec![("class".to_string(), AttrValue::class(output.1))]
+        }
+
+        fn attr_keys(&self) -> Vec<String> {
+            vec!["class".to_string()]
+        }
+    }
+
+    #[test]
+    fn spec_is_usable_as_trait_object_bound() {
+        fn takes_spec<P: ConsistencySpec>(spec: &P, o: &P::Output) -> P::Id {
+            spec.id(o)
+        }
+        assert_eq!(takes_spec(&UnitSpec, &(7, 1)), 7);
+        assert_eq!(UnitSpec.attrs(&(7, 2))[0].1, AttrValue::class(2));
+        assert_eq!(UnitSpec.attr_keys(), vec!["class"]);
+    }
+}

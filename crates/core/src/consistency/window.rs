@@ -1,0 +1,156 @@
+/// A time-ordered window of model outputs — the sample type consistency
+/// assertions are checked over.
+///
+/// Each entry is one model invocation: a timestamp in seconds and the
+/// outputs produced at that time (zero or more, e.g. all boxes in a video
+/// frame). Timestamps must be strictly increasing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConsistencyWindow<O> {
+    times: Vec<f64>,
+    outputs: Vec<Vec<O>>,
+}
+
+impl<O> ConsistencyWindow<O> {
+    /// Creates an empty window.
+    pub fn new() -> Self {
+        Self {
+            times: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Appends one invocation's outputs at `time` (seconds).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is non-finite or not strictly greater than the
+    /// previous timestamp.
+    pub fn push(&mut self, time: f64, outputs: Vec<O>) {
+        assert!(time.is_finite(), "timestamps must be finite");
+        if let Some(&last) = self.times.last() {
+            assert!(
+                time > last,
+                "timestamps must be strictly increasing ({time} after {last})"
+            );
+        }
+        self.times.push(time);
+        self.outputs.push(outputs);
+    }
+
+    /// Number of invocations in the window.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the window is empty.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The timestamp of invocation `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn time(&self, i: usize) -> f64 {
+        self.times[i]
+    }
+
+    /// All timestamps in order.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// The outputs of invocation `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn outputs_at(&self, i: usize) -> &[O] {
+        &self.outputs[i]
+    }
+
+    /// Iterates over `(time, outputs)` pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, &[O])> {
+        self.times
+            .iter()
+            .zip(&self.outputs)
+            .map(|(&t, o)| (t, o.as_slice()))
+    }
+
+    /// Total number of outputs across all invocations.
+    pub fn total_outputs(&self) -> usize {
+        self.outputs.iter().map(Vec::len).sum()
+    }
+
+    /// Builds a window from `(time, outputs)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timestamps are not strictly increasing.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (f64, Vec<O>)>,
+    {
+        let mut w = Self::new();
+        for (t, o) in pairs {
+            w.push(t, o);
+        }
+        w
+    }
+}
+
+impl<O> Default for ConsistencyWindow<O> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut w = ConsistencyWindow::new();
+        w.push(0.0, vec!["a"]);
+        w.push(0.5, vec![]);
+        w.push(1.0, vec!["b", "c"]);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+        assert_eq!(w.time(1), 0.5);
+        assert_eq!(w.outputs_at(2), &["b", "c"]);
+        assert_eq!(w.total_outputs(), 3);
+        assert_eq!(w.times(), &[0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn iter_pairs() {
+        let w = ConsistencyWindow::from_pairs(vec![(0.0, vec![1]), (1.0, vec![2, 3])]);
+        let collected: Vec<(f64, Vec<i32>)> =
+            w.iter().map(|(t, o)| (t, o.to_vec())).collect();
+        assert_eq!(collected, vec![(0.0, vec![1]), (1.0, vec![2, 3])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn non_monotone_times_rejected() {
+        let mut w = ConsistencyWindow::new();
+        w.push(1.0, vec![1]);
+        w.push(1.0, vec![2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_time_rejected() {
+        let mut w: ConsistencyWindow<i32> = ConsistencyWindow::new();
+        w.push(f64::NAN, vec![]);
+    }
+
+    #[test]
+    fn empty_window() {
+        let w: ConsistencyWindow<i32> = ConsistencyWindow::default();
+        assert!(w.is_empty());
+        assert_eq!(w.total_outputs(), 0);
+    }
+}

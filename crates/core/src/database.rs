@@ -1,0 +1,218 @@
+use crate::{AssertionId, Severity};
+
+/// One row of the assertion database: an assertion's outcome on a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Record {
+    /// Monotonic index of the sample within the monitor's stream.
+    pub sample: usize,
+    /// The assertion that produced this outcome.
+    pub assertion: AssertionId,
+    /// The outcome.
+    pub severity: Severity,
+}
+
+/// The append-only assertion database of the paper's Figure 2.
+///
+/// Stores every `(sample, assertion, severity)` outcome — including
+/// abstentions, so severity *vectors* (one entry per assertion) can be
+/// reconstructed per sample for BAL — and answers the queries the rest of
+/// the system needs: fire counts (BAL's marginal-reduction signal),
+/// flagged-sample lists (active-learning pools), and top-by-severity
+/// rankings (dashboards, Figure 3's high-confidence-error analysis).
+#[derive(Debug, Clone, Default)]
+pub struct AssertionDb {
+    records: Vec<Record>,
+    num_assertions: usize,
+    num_samples: usize,
+}
+
+impl AssertionDb {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the outcomes of one sample (a dense `(id, severity)` vector
+    /// as produced by `AssertionSet::check_all`).
+    pub fn record_sample(&mut self, sample: usize, outcomes: &[(AssertionId, Severity)]) {
+        for &(assertion, severity) in outcomes {
+            self.num_assertions = self.num_assertions.max(assertion.0 + 1);
+            self.records.push(Record {
+                sample,
+                assertion,
+                severity,
+            });
+        }
+        self.num_samples = self.num_samples.max(sample + 1);
+    }
+
+    /// Total number of rows (including abstentions).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the database has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Number of distinct samples recorded (by maximum sample index).
+    pub fn num_samples(&self) -> usize {
+        self.num_samples
+    }
+
+    /// Number of assertion dimensions seen.
+    pub fn num_assertions(&self) -> usize {
+        self.num_assertions
+    }
+
+    /// Iterates over all rows in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.records.iter()
+    }
+
+    /// How many samples fired the given assertion.
+    pub fn fire_count(&self, assertion: AssertionId) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.assertion == assertion && r.severity.fired())
+            .count()
+    }
+
+    /// Fire counts for every assertion dimension, in id order.
+    pub fn fire_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.num_assertions];
+        for r in &self.records {
+            if r.severity.fired() {
+                counts[r.assertion.0] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Sample indices that fired the given assertion, in sample order,
+    /// with their severities.
+    pub fn fired_samples(&self, assertion: AssertionId) -> Vec<(usize, Severity)> {
+        self.records
+            .iter()
+            .filter(|r| r.assertion == assertion && r.severity.fired())
+            .map(|r| (r.sample, r.severity))
+            .collect()
+    }
+
+    /// Sample indices that fired *any* assertion (deduplicated, in order).
+    pub fn any_fired_samples(&self) -> Vec<usize> {
+        let mut fired: Vec<usize> = self
+            .records
+            .iter()
+            .filter(|r| r.severity.fired())
+            .map(|r| r.sample)
+            .collect();
+        fired.sort_unstable();
+        fired.dedup();
+        fired
+    }
+
+    /// The top `k` firing samples of an assertion by descending severity
+    /// (ties broken by earlier sample).
+    pub fn top_by_severity(&self, assertion: AssertionId, k: usize) -> Vec<(usize, Severity)> {
+        let mut fired = self.fired_samples(assertion);
+        fired.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        fired.truncate(k);
+        fired
+    }
+
+    /// The dense severity matrix: one row per sample index in
+    /// `0..num_samples()`, one column per assertion id. Missing entries
+    /// (samples never checked against some assertion) are abstentions.
+    ///
+    /// This matrix is exactly BAL's context input: "Each entry in a
+    /// feature vector is the severity score from a model assertion" (§3).
+    pub fn severity_matrix(&self) -> Vec<Vec<f64>> {
+        let mut m = vec![vec![0.0; self.num_assertions]; self.num_samples];
+        for r in &self.records {
+            m[r.sample][r.assertion.0] = r.severity.value();
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db_with(rows: &[(usize, usize, f64)]) -> AssertionDb {
+        let mut db = AssertionDb::new();
+        // Group rows by sample so record_sample sees sample vectors.
+        for &(s, a, v) in rows {
+            db.record_sample(s, &[(AssertionId(a), Severity::new(v))]);
+        }
+        db
+    }
+
+    #[test]
+    fn record_and_count() {
+        let db = db_with(&[(0, 0, 1.0), (1, 0, 0.0), (2, 0, 2.0), (2, 1, 1.0)]);
+        assert_eq!(db.len(), 4);
+        assert!(!db.is_empty());
+        assert_eq!(db.num_samples(), 3);
+        assert_eq!(db.num_assertions(), 2);
+        assert_eq!(db.fire_count(AssertionId(0)), 2);
+        assert_eq!(db.fire_count(AssertionId(1)), 1);
+        assert_eq!(db.fire_counts(), vec![2, 1]);
+    }
+
+    #[test]
+    fn fired_samples_in_order() {
+        let db = db_with(&[(0, 0, 1.0), (1, 0, 0.0), (2, 0, 3.0)]);
+        assert_eq!(
+            db.fired_samples(AssertionId(0)),
+            vec![(0, Severity::new(1.0)), (2, Severity::new(3.0))]
+        );
+    }
+
+    #[test]
+    fn any_fired_deduplicates() {
+        let db = db_with(&[(0, 0, 1.0), (0, 1, 1.0), (1, 0, 0.0), (2, 1, 1.0)]);
+        assert_eq!(db.any_fired_samples(), vec![0, 2]);
+    }
+
+    #[test]
+    fn top_by_severity_ranks() {
+        let db = db_with(&[(0, 0, 1.0), (1, 0, 5.0), (2, 0, 3.0), (3, 0, 5.0)]);
+        let top = db.top_by_severity(AssertionId(0), 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].0, 1); // severity 5, earlier sample wins the tie
+        assert_eq!(top[1].0, 3);
+    }
+
+    #[test]
+    fn severity_matrix_is_dense() {
+        let db = db_with(&[(0, 0, 1.0), (2, 1, 4.0)]);
+        let m = db.severity_matrix();
+        assert_eq!(m.len(), 3);
+        assert_eq!(m[0], vec![1.0, 0.0]);
+        assert_eq!(m[1], vec![0.0, 0.0]);
+        assert_eq!(m[2], vec![0.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_db_queries() {
+        let db = AssertionDb::new();
+        assert!(db.is_empty());
+        assert_eq!(db.fire_counts(), Vec::<usize>::new());
+        assert!(db.any_fired_samples().is_empty());
+        assert!(db.severity_matrix().is_empty());
+    }
+
+    #[test]
+    fn iter_preserves_insertion_order() {
+        let db = db_with(&[(0, 0, 1.0), (1, 0, 2.0)]);
+        let samples: Vec<usize> = db.iter().map(|r| r.sample).collect();
+        assert_eq!(samples, vec![0, 1]);
+    }
+}

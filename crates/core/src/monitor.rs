@@ -1,0 +1,248 @@
+use crate::{AssertionDb, AssertionId, AssertionSet, Severity};
+
+/// The outcomes of running the assertion set on one sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleReport {
+    /// The sample's monotonic index in the monitor's stream.
+    pub sample: usize,
+    /// Dense `(assertion, severity)` vector in assertion-id order.
+    pub outcomes: Vec<(AssertionId, Severity)>,
+}
+
+impl SampleReport {
+    /// Whether the given assertion fired on this sample.
+    pub fn fired(&self, id: AssertionId) -> bool {
+        self.outcomes
+            .iter()
+            .any(|&(a, s)| a == id && s.fired())
+    }
+
+    /// Whether any assertion fired.
+    pub fn any_fired(&self) -> bool {
+        self.outcomes.iter().any(|&(_, s)| s.fired())
+    }
+
+    /// The highest severity across assertions on this sample.
+    pub fn max_severity(&self) -> Severity {
+        self.outcomes
+            .iter()
+            .map(|&(_, s)| s)
+            .fold(Severity::ABSTAIN, Severity::max)
+    }
+
+    /// The severity vector as plain floats (BAL's context for this
+    /// sample).
+    pub fn severity_vector(&self) -> Vec<f64> {
+        self.outcomes.iter().map(|&(_, s)| s.value()).collect()
+    }
+}
+
+/// A corrective action hook: invoked when an assertion's severity reaches
+/// its threshold.
+type ActionHook<S> = Box<dyn FnMut(&S, &SampleReport) + Send>;
+
+/// Runtime monitor: runs registered assertions after every model
+/// invocation, appends outcomes to the [`AssertionDb`], and fires
+/// corrective-action hooks.
+///
+/// This is the deployment-time face of OMG (§2.3): "model assertions can
+/// be used for monitoring and validating all parts of the ML
+/// development/deployment pipeline … to log unexpected behavior or
+/// automatically trigger corrective actions".
+///
+/// See the [crate-level example](crate) for typical usage.
+pub struct Monitor<S> {
+    assertions: AssertionSet<S>,
+    db: AssertionDb,
+    next_sample: usize,
+    actions: Vec<(Severity, ActionHook<S>)>,
+}
+
+impl<S: 'static> Monitor<S> {
+    /// Creates a monitor with an empty assertion set.
+    pub fn new() -> Self {
+        Self {
+            assertions: AssertionSet::new(),
+            db: AssertionDb::new(),
+            next_sample: 0,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Creates a monitor around an existing assertion set.
+    pub fn with_assertions(assertions: AssertionSet<S>) -> Self {
+        Self {
+            assertions,
+            db: AssertionDb::new(),
+            next_sample: 0,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The registered assertions.
+    pub fn assertions(&self) -> &AssertionSet<S> {
+        &self.assertions
+    }
+
+    /// Mutable access for registering assertions.
+    pub fn assertions_mut(&mut self) -> &mut AssertionSet<S> {
+        &mut self.assertions
+    }
+
+    /// The assertion database accumulated so far.
+    pub fn db(&self) -> &AssertionDb {
+        &self.db
+    }
+
+    /// Registers a corrective action invoked whenever a sample's maximum
+    /// severity is at least `threshold` (e.g. log, alert, disengage an
+    /// autopilot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` does not fire (`threshold == ABSTAIN` would
+    /// trigger on every sample; require an explicit positive threshold).
+    pub fn on_severity<F>(&mut self, threshold: Severity, action: F)
+    where
+        F: FnMut(&S, &SampleReport) + Send + 'static,
+    {
+        assert!(
+            threshold.fired(),
+            "corrective-action threshold must be positive"
+        );
+        self.actions.push((threshold, Box::new(action)));
+    }
+
+    /// Runs all assertions on one sample: records outcomes in the
+    /// database, fires any corrective actions, and returns the report.
+    pub fn process(&mut self, sample: &S) -> SampleReport {
+        let outcomes = self.assertions.check_all(sample);
+        let report = SampleReport {
+            sample: self.next_sample,
+            outcomes,
+        };
+        self.db.record_sample(report.sample, &report.outcomes);
+        self.next_sample += 1;
+        let max = report.max_severity();
+        for (threshold, action) in &mut self.actions {
+            if max >= *threshold {
+                action(sample, &report);
+            }
+        }
+        report
+    }
+
+    /// Processes a batch of samples, returning one report per sample.
+    pub fn process_all<'a, I>(&mut self, samples: I) -> Vec<SampleReport>
+    where
+        I: IntoIterator<Item = &'a S>,
+        S: 'a,
+    {
+        samples.into_iter().map(|s| self.process(s)).collect()
+    }
+
+    /// Number of samples processed.
+    pub fn samples_processed(&self) -> usize {
+        self.next_sample
+    }
+}
+
+impl<S: 'static> Default for Monitor<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: 'static> std::fmt::Debug for Monitor<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Monitor")
+            .field("assertions", &self.assertions.names())
+            .field("samples_processed", &self.next_sample)
+            .field("actions", &self.actions.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn monitor() -> Monitor<i32> {
+        let mut m = Monitor::new();
+        m.assertions_mut()
+            .add_fn("negative", |&x: &i32| Severity::from_bool(x < 0));
+        m.assertions_mut()
+            .add_fn("magnitude", |&x: &i32| Severity::new(x.unsigned_abs() as f64 / 100.0));
+        m
+    }
+
+    #[test]
+    fn process_records_and_reports() {
+        let mut m = monitor();
+        let r = m.process(&-5);
+        assert_eq!(r.sample, 0);
+        assert!(r.fired(AssertionId(0)));
+        assert!(r.any_fired());
+        let r2 = m.process(&3);
+        assert_eq!(r2.sample, 1);
+        assert!(!r2.fired(AssertionId(0)));
+        assert_eq!(m.samples_processed(), 2);
+        assert_eq!(m.db().fire_count(AssertionId(0)), 1);
+    }
+
+    #[test]
+    fn max_severity_and_vector() {
+        let mut m = monitor();
+        let r = m.process(&-200);
+        assert_eq!(r.max_severity().value(), 2.0);
+        assert_eq!(r.severity_vector(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn corrective_action_fires_above_threshold() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let hits2 = hits.clone();
+        let mut m = monitor();
+        m.on_severity(Severity::new(1.5), move |_, _| {
+            hits2.fetch_add(1, Ordering::SeqCst);
+        });
+        m.process(&-10); // max severity 1.0 < 1.5
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        m.process(&-500); // magnitude severity 5.0
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn abstain_threshold_rejected() {
+        monitor().on_severity(Severity::ABSTAIN, |_, _| {});
+    }
+
+    #[test]
+    fn process_all_batches() {
+        let mut m = monitor();
+        let samples = vec![-1, 2, -3];
+        let reports = m.process_all(&samples);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(m.db().fire_count(AssertionId(0)), 2);
+        assert_eq!(m.db().any_fired_samples(), vec![0, 1, 2]); // magnitude fires on all
+    }
+
+    #[test]
+    fn severity_matrix_round_trip() {
+        let mut m = monitor();
+        m.process(&-100);
+        m.process(&0);
+        let matrix = m.db().severity_matrix();
+        assert_eq!(matrix, vec![vec![1.0, 1.0], vec![0.0, 0.0]]);
+    }
+
+    #[test]
+    fn debug_output() {
+        let m = monitor();
+        let s = format!("{m:?}");
+        assert!(s.contains("negative"));
+    }
+}

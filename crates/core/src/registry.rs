@@ -1,0 +1,214 @@
+use crate::{Assertion, FnAssertion, Severity};
+
+/// Stable index of an assertion within an [`AssertionSet`].
+///
+/// BAL treats each data point's per-assertion severity vector as its
+/// bandit context; `AssertionId` is the dimension index of that vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AssertionId(pub usize);
+
+impl std::fmt::Display for AssertionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "assertion#{}", self.0)
+    }
+}
+
+/// An ordered registry of assertions over sample type `S` — the paper's
+/// collaboratively maintained "assertion database" interface (Figure 2).
+///
+/// # Example
+///
+/// ```
+/// use omg_core::{AssertionSet, FnAssertion, Severity};
+///
+/// let mut set: AssertionSet<Vec<i32>> = AssertionSet::new();
+/// let id = set.add_fn("non-empty", |xs: &Vec<i32>| Severity::from_bool(xs.is_empty()));
+/// let outcomes = set.check_all(&vec![]);
+/// assert_eq!(outcomes.len(), 1);
+/// assert!(outcomes[0].1.fired());
+/// assert_eq!(set.name(id), "non-empty");
+/// ```
+pub struct AssertionSet<S> {
+    assertions: Vec<Box<dyn Assertion<S>>>,
+}
+
+impl<S: 'static> AssertionSet<S> {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self {
+            assertions: Vec::new(),
+        }
+    }
+
+    /// Registers an assertion and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another assertion with the same name is already
+    /// registered (names key experiment tables and must be unique).
+    pub fn add<A>(&mut self, assertion: A) -> AssertionId
+    where
+        A: Assertion<S> + 'static,
+    {
+        assert!(
+            self.assertions.iter().all(|a| a.name() != assertion.name()),
+            "duplicate assertion name: {}",
+            assertion.name()
+        );
+        self.assertions.push(Box::new(assertion));
+        AssertionId(self.assertions.len() - 1)
+    }
+
+    /// Registers a closure assertion — OMG's `AddAssertion(func)`.
+    pub fn add_fn<N, F>(&mut self, name: N, func: F) -> AssertionId
+    where
+        N: Into<String>,
+        F: Fn(&S) -> Severity + Send + Sync + 'static,
+    {
+        self.add(FnAssertion::new(name, func))
+    }
+
+    /// Registers a boxed assertion (used by the consistency engine, which
+    /// generates assertions dynamically).
+    pub fn add_boxed(&mut self, assertion: Box<dyn Assertion<S>>) -> AssertionId {
+        assert!(
+            self.assertions.iter().all(|a| a.name() != assertion.name()),
+            "duplicate assertion name: {}",
+            assertion.name()
+        );
+        self.assertions.push(assertion);
+        AssertionId(self.assertions.len() - 1)
+    }
+
+    /// Number of registered assertions (the bandit context dimension `d`).
+    pub fn len(&self) -> usize {
+        self.assertions.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.assertions.is_empty()
+    }
+
+    /// The name of an assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this set.
+    pub fn name(&self, id: AssertionId) -> &str {
+        self.assertions[id.0].name()
+    }
+
+    /// All assertion names in id order.
+    pub fn names(&self) -> Vec<&str> {
+        self.assertions.iter().map(|a| a.name()).collect()
+    }
+
+    /// All assertion ids in order.
+    pub fn ids(&self) -> Vec<AssertionId> {
+        (0..self.assertions.len()).map(AssertionId).collect()
+    }
+
+    /// The id of the assertion with the given name, if registered.
+    pub fn id_of(&self, name: &str) -> Option<AssertionId> {
+        self.assertions
+            .iter()
+            .position(|a| a.name() == name)
+            .map(AssertionId)
+    }
+
+    /// Runs every assertion on the sample, returning `(id, severity)` for
+    /// all of them (including abstentions, so the result is a dense
+    /// severity vector).
+    pub fn check_all(&self, sample: &S) -> Vec<(AssertionId, Severity)> {
+        self.assertions
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (AssertionId(i), a.check(sample)))
+            .collect()
+    }
+
+    /// Runs one assertion on the sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this set.
+    pub fn check_one(&self, id: AssertionId, sample: &S) -> Severity {
+        self.assertions[id.0].check(sample)
+    }
+}
+
+impl<S: 'static> Default for AssertionSet<S> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: 'static> std::fmt::Debug for AssertionSet<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AssertionSet")
+            .field("assertions", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_set() -> AssertionSet<i32> {
+        let mut set = AssertionSet::new();
+        set.add_fn("negative", |&x: &i32| Severity::from_bool(x < 0));
+        set.add_fn("huge", |&x: &i32| Severity::from_bool(x > 1000));
+        set
+    }
+
+    #[test]
+    fn add_and_check_all() {
+        let set = sample_set();
+        assert_eq!(set.len(), 2);
+        assert!(!set.is_empty());
+        let out = set.check_all(&-5);
+        assert!(out[0].1.fired());
+        assert!(!out[1].1.fired());
+        let out = set.check_all(&5000);
+        assert!(!out[0].1.fired());
+        assert!(out[1].1.fired());
+    }
+
+    #[test]
+    fn names_and_lookup() {
+        let set = sample_set();
+        assert_eq!(set.names(), vec!["negative", "huge"]);
+        assert_eq!(set.id_of("huge"), Some(AssertionId(1)));
+        assert_eq!(set.id_of("missing"), None);
+        assert_eq!(set.name(AssertionId(0)), "negative");
+        assert_eq!(set.ids(), vec![AssertionId(0), AssertionId(1)]);
+    }
+
+    #[test]
+    fn check_one() {
+        let set = sample_set();
+        assert!(set.check_one(AssertionId(0), &-1).fired());
+        assert!(!set.check_one(AssertionId(0), &1).fired());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate assertion name")]
+    fn duplicate_names_rejected() {
+        let mut set = sample_set();
+        set.add_fn("negative", |_: &i32| Severity::ABSTAIN);
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let set = sample_set();
+        let s = format!("{set:?}");
+        assert!(s.contains("negative") && s.contains("huge"));
+    }
+
+    #[test]
+    fn display_of_id() {
+        assert_eq!(AssertionId(3).to_string(), "assertion#3");
+    }
+}

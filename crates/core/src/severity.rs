@@ -1,0 +1,143 @@
+use std::fmt;
+
+/// The score returned by a model assertion.
+///
+/// Per §2.1 of the paper, an assertion returns a continuous value
+/// indicating the severity of a specific error type; **`0` represents an
+/// abstention** and Boolean assertions return only `0` or `1`. Scores need
+/// not be calibrated — downstream algorithms (BAL's severity-rank sampling)
+/// use only their relative ordering.
+///
+/// Severities are finite and non-negative by construction.
+///
+/// # Example
+///
+/// ```
+/// use omg_core::Severity;
+///
+/// assert!(!Severity::ABSTAIN.fired());
+/// assert!(Severity::from_bool(true).fired());
+/// assert_eq!(Severity::from_count(3).value(), 3.0);
+/// assert!(Severity::new(2.5) > Severity::new(1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Severity(f64);
+
+impl Severity {
+    /// The abstention value: the assertion makes no claim on this sample.
+    pub const ABSTAIN: Severity = Severity(0.0);
+
+    /// A fired Boolean assertion (`1.0`).
+    pub const FIRED: Severity = Severity(1.0);
+
+    /// Creates a severity from a raw score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative, NaN, or infinite — assertion authors
+    /// should map their signal into `[0, ∞)` explicitly.
+    pub fn new(value: f64) -> Self {
+        assert!(
+            value.is_finite() && value >= 0.0,
+            "severity must be finite and non-negative, got {value}"
+        );
+        Severity(value)
+    }
+
+    /// `FIRED` for `true`, `ABSTAIN` for `false` — the Boolean assertion
+    /// convention.
+    pub fn from_bool(fired: bool) -> Self {
+        if fired {
+            Self::FIRED
+        } else {
+            Self::ABSTAIN
+        }
+    }
+
+    /// A count-valued severity (e.g. "number of boxes that flicker").
+    pub fn from_count(count: usize) -> Self {
+        Severity(count as f64)
+    }
+
+    /// The raw score.
+    pub fn value(&self) -> f64 {
+        self.0
+    }
+
+    /// Whether the assertion fired (any non-zero severity).
+    pub fn fired(&self) -> bool {
+        self.0 > 0.0
+    }
+
+    /// The larger of two severities.
+    pub fn max(self, other: Severity) -> Severity {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.fired() {
+            write!(f, "severity {}", self.0)
+        } else {
+            write!(f, "abstain")
+        }
+    }
+}
+
+impl From<bool> for Severity {
+    fn from(fired: bool) -> Self {
+        Severity::from_bool(fired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abstain_and_fired() {
+        assert!(!Severity::ABSTAIN.fired());
+        assert!(Severity::FIRED.fired());
+        assert_eq!(Severity::default(), Severity::ABSTAIN);
+    }
+
+    #[test]
+    fn from_bool_and_count() {
+        assert_eq!(Severity::from_bool(true), Severity::FIRED);
+        assert_eq!(Severity::from_bool(false), Severity::ABSTAIN);
+        assert_eq!(Severity::from_count(0), Severity::ABSTAIN);
+        assert_eq!(Severity::from_count(5).value(), 5.0);
+        assert_eq!(Severity::from(true), Severity::FIRED);
+    }
+
+    #[test]
+    fn ordering_is_by_value() {
+        assert!(Severity::new(2.0) > Severity::new(1.0));
+        assert!(Severity::ABSTAIN < Severity::FIRED);
+        assert_eq!(Severity::new(1.0).max(Severity::new(3.0)).value(), 3.0);
+        assert_eq!(Severity::new(4.0).max(Severity::new(3.0)).value(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rejected() {
+        Severity::new(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        Severity::new(f64::NAN);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Severity::ABSTAIN.to_string(), "abstain");
+        assert_eq!(Severity::new(2.0).to_string(), "severity 2");
+    }
+}

@@ -1,0 +1,229 @@
+//! The assertion taxonomy of the paper's Table 5 (Appendix B), as a typed
+//! registry.
+//!
+//! The paper taxonomizes common classes of model assertions to help
+//! developers "look for assertions in other domains". Encoding the
+//! taxonomy as data lets the experiment harness regenerate Table 5 and
+//! lets tooling tag registered assertions with their class.
+
+/// Top-level assertion class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AssertionClass {
+    /// Outputs from multiple models, modes, or views should agree.
+    Consistency,
+    /// Domain experts can express physical constraints or unlikely
+    /// scenarios.
+    DomainKnowledge,
+    /// Certain input perturbations should not change outputs.
+    Perturbation,
+    /// Inputs should conform to a schema.
+    InputValidation,
+}
+
+impl AssertionClass {
+    /// Human-readable name as used in the paper's table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AssertionClass::Consistency => "Consistency",
+            AssertionClass::DomainKnowledge => "Domain knowledge",
+            AssertionClass::Perturbation => "Perturbation",
+            AssertionClass::InputValidation => "Input validation",
+        }
+    }
+}
+
+/// Sub-class within an [`AssertionClass`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AssertionSubclass {
+    /// Model outputs from multiple sources should agree.
+    MultiSource,
+    /// Model outputs from multiple modes of data should agree.
+    MultiModal,
+    /// Model outputs from multiple views of the same data should agree.
+    MultiView,
+    /// Physical constraints on model outputs.
+    Physical,
+    /// Scenarios that are unlikely to occur.
+    UnlikelyScenario,
+    /// Inserting certain data should not modify model outputs.
+    Insertion,
+    /// Replacing parts of the input with similar data should not modify
+    /// model outputs.
+    Similar,
+    /// Adding noise should not modify model outputs.
+    Noise,
+    /// Inputs should conform to a schema.
+    SchemaValidation,
+}
+
+impl AssertionSubclass {
+    /// Human-readable name as used in the paper's table.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AssertionSubclass::MultiSource => "Multi-source",
+            AssertionSubclass::MultiModal => "Multi-modal",
+            AssertionSubclass::MultiView => "Multi-view",
+            AssertionSubclass::Physical => "Physical",
+            AssertionSubclass::UnlikelyScenario => "Unlikely scenario",
+            AssertionSubclass::Insertion => "Insertion",
+            AssertionSubclass::Similar => "Similar",
+            AssertionSubclass::Noise => "Noise",
+            AssertionSubclass::SchemaValidation => "Schema validation",
+        }
+    }
+}
+
+/// One row of Table 5: a sub-class with its description and examples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxonomyEntry {
+    /// The top-level class.
+    pub class: AssertionClass,
+    /// The sub-class.
+    pub subclass: AssertionSubclass,
+    /// What the sub-class checks.
+    pub description: &'static str,
+    /// Concrete instantiations (with potential severity scores).
+    pub examples: &'static [&'static str],
+}
+
+/// The full taxonomy, in the paper's row order.
+pub fn taxonomy() -> Vec<TaxonomyEntry> {
+    use AssertionClass as C;
+    use AssertionSubclass as S;
+    vec![
+        TaxonomyEntry {
+            class: C::Consistency,
+            subclass: S::MultiSource,
+            description: "Model outputs from multiple sources should agree",
+            examples: &[
+                "Verifying human labels (number of labelers that disagree)",
+                "Multiple models (number of models that disagree)",
+            ],
+        },
+        TaxonomyEntry {
+            class: C::Consistency,
+            subclass: S::MultiModal,
+            description: "Model outputs from multiple modes of data should agree",
+            examples: &[
+                "Multiple sensors (disagreements between LIDAR and camera models)",
+                "Multiple data sources (text and images)",
+            ],
+        },
+        TaxonomyEntry {
+            class: C::Consistency,
+            subclass: S::MultiView,
+            description: "Model outputs from multiple views of the same data should agree",
+            examples: &[
+                "Video analytics (overlapping views of different cameras should agree)",
+                "Medical imaging (different angles should agree)",
+            ],
+        },
+        TaxonomyEntry {
+            class: C::DomainKnowledge,
+            subclass: S::Physical,
+            description: "Physical constraints on model outputs",
+            examples: &[
+                "Video analytics (cars should not flicker)",
+                "Earthquake detection (earthquakes should appear across sensors consistently)",
+                "Protein-protein interaction (number of overlapping atoms)",
+            ],
+        },
+        TaxonomyEntry {
+            class: C::DomainKnowledge,
+            subclass: S::UnlikelyScenario,
+            description: "Scenarios that are unlikely to occur",
+            examples: &[
+                "Video analytics (maximum confidence of 3 vehicles that highly overlap)",
+                "Text generation (two of the same word should not appear sequentially)",
+            ],
+        },
+        TaxonomyEntry {
+            class: C::Perturbation,
+            subclass: S::Insertion,
+            description: "Inserting certain types of data should not modify model outputs",
+            examples: &[
+                "Visual analytics (a synthetically added car should be detected)",
+                "LIDAR detection (similar to visual analytics)",
+            ],
+        },
+        TaxonomyEntry {
+            class: C::Perturbation,
+            subclass: S::Similar,
+            description: "Replacing parts of the input with similar data should not modify model outputs",
+            examples: &[
+                "Sentiment analysis (classification should not change with synonyms)",
+                "Object detection (painting objects different colors should not change the detection)",
+            ],
+        },
+        TaxonomyEntry {
+            class: C::Perturbation,
+            subclass: S::Noise,
+            description: "Adding noise should not modify model outputs",
+            examples: &[
+                "Image classification (small Gaussian noise should not affect classification)",
+                "Time series (small Gaussian noise should not affect classification)",
+            ],
+        },
+        TaxonomyEntry {
+            class: C::InputValidation,
+            subclass: S::SchemaValidation,
+            description: "Inputs should conform to a schema",
+            examples: &[
+                "Boolean features should not have inputs that are not 0 or 1",
+                "All features should be present",
+            ],
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_nine_subclasses_like_the_paper() {
+        assert_eq!(taxonomy().len(), 9);
+    }
+
+    #[test]
+    fn classes_cover_all_four() {
+        let t = taxonomy();
+        for c in [
+            AssertionClass::Consistency,
+            AssertionClass::DomainKnowledge,
+            AssertionClass::Perturbation,
+            AssertionClass::InputValidation,
+        ] {
+            assert!(t.iter().any(|e| e.class == c), "missing class {c:?}");
+        }
+    }
+
+    #[test]
+    fn consistency_has_three_subclasses() {
+        let n = taxonomy()
+            .iter()
+            .filter(|e| e.class == AssertionClass::Consistency)
+            .count();
+        assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn every_entry_has_description_and_examples() {
+        for e in taxonomy() {
+            assert!(!e.description.is_empty());
+            assert!(!e.examples.is_empty());
+            assert!(!e.class.name().is_empty());
+            assert!(!e.subclass.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn names_match_paper_vocabulary() {
+        assert_eq!(AssertionClass::DomainKnowledge.name(), "Domain knowledge");
+        assert_eq!(AssertionSubclass::MultiModal.name(), "Multi-modal");
+        assert_eq!(
+            AssertionSubclass::SchemaValidation.name(),
+            "Schema validation"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! The `agree` assertion (AVs, Table 1).
+//!
+//! "Our contacts at an AV company noticed that models from video and
+//! point clouds can disagree. We implemented a model assertion that
+//! projects the 3D boxes onto the 2D camera plane to check for
+//! consistency. If the assertion triggers, then at least one of the
+//! sensors returned an incorrect answer." (§2.2)
+//!
+//! The severity follows the paper's `sensor_agreement` example (§2.1):
+//! the number of LIDAR boxes whose projection overlaps no camera box.
+
+use omg_core::{FnAssertion, Severity};
+
+use crate::helpers::no_overlap;
+use crate::AvFrame;
+
+/// IoU below which a projected LIDAR box counts as unmatched.
+pub const AGREE_IOU: f64 = 0.10;
+
+// BEGIN ASSERTION
+/// Builds the `agree` assertion.
+pub fn agree_assertion() -> FnAssertion<AvFrame> {
+    FnAssertion::new("agree", |frame: &AvFrame| {
+        let camera_boxes: Vec<_> = frame.camera_dets.iter().map(|d| d.bbox).collect();
+        let mut failures = 0usize;
+        for lidar_box in &frame.lidar_boxes {
+            let Some(projected) = frame.camera.project_box(lidar_box) else {
+                continue; // outside the camera frustum: not comparable
+            };
+            if no_overlap(&projected, camera_boxes.iter(), AGREE_IOU) {
+                failures += 1;
+            }
+        }
+        Severity::from_count(failures)
+    })
+}
+// END ASSERTION
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_core::Assertion;
+    use omg_eval::ScoredBox;
+    use omg_geom::{BBox3D, CameraIntrinsics, CameraModel, Vec3};
+
+    fn camera() -> CameraModel {
+        CameraModel::new(
+            CameraIntrinsics::centered(1000.0, 1600.0, 900.0).unwrap(),
+            Vec3::new(0.0, 0.0, 1.6),
+            0.0,
+        )
+    }
+
+    fn vehicle_at(x: f64, y: f64) -> BBox3D {
+        BBox3D::new(Vec3::new(x, y, 0.8), Vec3::new(4.5, 1.9, 1.6), 0.0).unwrap()
+    }
+
+    fn frame(camera_dets: Vec<ScoredBox>, lidar_boxes: Vec<BBox3D>) -> AvFrame {
+        AvFrame {
+            time: 0.0,
+            camera_dets,
+            lidar_boxes,
+            camera: camera(),
+        }
+    }
+
+    #[test]
+    fn agreement_does_not_fire() {
+        let cam = camera();
+        let v = vehicle_at(20.0, 0.0);
+        let projected = cam.project_box(&v).unwrap();
+        let det = ScoredBox {
+            bbox: projected,
+            class: 0,
+            score: 0.9,
+        };
+        let a = agree_assertion();
+        assert!(!a.check(&frame(vec![det], vec![v])).fired());
+    }
+
+    #[test]
+    fn camera_miss_fires() {
+        // LIDAR sees a vehicle, the camera has nothing there.
+        let a = agree_assertion();
+        let sev = a.check(&frame(vec![], vec![vehicle_at(20.0, 0.0)]));
+        assert!(sev.fired());
+        assert_eq!(sev.value(), 1.0);
+    }
+
+    #[test]
+    fn out_of_frustum_lidar_boxes_are_skipped() {
+        // A vehicle behind the ego cannot be checked against the camera.
+        let a = agree_assertion();
+        assert!(!a.check(&frame(vec![], vec![vehicle_at(-20.0, 0.0)])).fired());
+    }
+
+    #[test]
+    fn multiple_misses_accumulate() {
+        let a = agree_assertion();
+        let sev = a.check(&frame(
+            vec![],
+            vec![vehicle_at(15.0, -3.0), vehicle_at(25.0, 3.0)],
+        ));
+        assert_eq!(sev.value(), 2.0);
+    }
+
+    #[test]
+    fn unrelated_camera_detection_does_not_satisfy_lidar() {
+        let cam = camera();
+        let far_left = cam.project_box(&vehicle_at(12.0, 6.0)).unwrap();
+        let det = ScoredBox {
+            bbox: far_left,
+            class: 0,
+            score: 0.9,
+        };
+        let a = agree_assertion();
+        // LIDAR box on the right; camera detection far left.
+        let sev = a.check(&frame(vec![det], vec![vehicle_at(12.0, -6.0)]));
+        assert!(sev.fired());
+    }
+}

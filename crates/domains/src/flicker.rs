@@ -1,0 +1,111 @@
+//! The `flicker` assertion (video analytics, Table 1).
+//!
+//! "Objects flicker in and out of the video" (Figure 1): a tracked object
+//! that disappears and reappears within `T` seconds indicates missed
+//! detections on the gap frames. Implemented with the consistency API
+//! (§4): identifier = tracker-assigned track id, temporal threshold `T`;
+//! this assertion counts the *gap-type* temporal violations.
+
+use omg_core::consistency::{ConsistencyEngine, Violation};
+use omg_core::{FnAssertion, Severity};
+
+use crate::helpers::{track_window, VideoTrackSpec};
+use crate::VideoWindow;
+
+// BEGIN ASSERTION
+/// Builds the `flicker` assertion with temporal threshold `t` seconds.
+pub fn flicker_assertion(t: f64) -> FnAssertion<VideoWindow> {
+    let engine = ConsistencyEngine::new(VideoTrackSpec).with_temporal_threshold(t);
+    FnAssertion::new("flicker", move |window: &VideoWindow| {
+        let tracked = track_window(window);
+        let gaps = engine
+            .check(&tracked)
+            .into_iter()
+            .filter(|v| matches!(v, Violation::TemporalTransition { gap: true, .. }))
+            .count();
+        Severity::from_count(gaps)
+    })
+}
+// END ASSERTION
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VideoFrame;
+    use omg_core::Assertion;
+    use omg_eval::ScoredBox;
+    use omg_geom::BBox2D;
+
+    fn frame(i: u64, present: bool) -> VideoFrame {
+        let dets = if present {
+            vec![ScoredBox {
+                bbox: BBox2D::new(0.0, 0.0, 50.0, 50.0).unwrap(),
+                class: 0,
+                score: 0.9,
+            }]
+        } else {
+            vec![]
+        };
+        VideoFrame {
+            index: i,
+            time: i as f64 * 0.1,
+            dets,
+        }
+    }
+
+    fn window(pattern: &[bool]) -> VideoWindow {
+        let frames = pattern
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| frame(i as u64, p))
+            .collect();
+        VideoWindow::new(frames, pattern.len() / 2)
+    }
+
+    #[test]
+    fn stable_object_does_not_fire() {
+        let a = flicker_assertion(0.45);
+        assert!(!a.check(&window(&[true, true, true, true, true])).fired());
+    }
+
+    #[test]
+    fn single_frame_gap_fires() {
+        let a = flicker_assertion(0.45);
+        let sev = a.check(&window(&[true, true, false, true, true]));
+        assert!(sev.fired(), "1-frame gap at 10 fps is a 0.2 s flicker");
+        assert_eq!(sev.value(), 1.0);
+    }
+
+    #[test]
+    fn blip_does_not_fire_flicker() {
+        // appear-type violations belong to the `appear` assertion.
+        let a = flicker_assertion(0.45);
+        assert!(!a.check(&window(&[false, false, true, false, false])).fired());
+    }
+
+    #[test]
+    fn long_gap_does_not_fire() {
+        // A gap longer than T is a legitimate departure (t = 0.25 s, the
+        // 3-frame gap spans 0.4 s).
+        let a = flicker_assertion(0.25);
+        assert!(!a
+            .check(&window(&[true, false, false, false, true]))
+            .fired());
+    }
+
+    #[test]
+    fn two_flickering_objects_count_twice() {
+        let mk = |x: f64| ScoredBox {
+            bbox: BBox2D::new(x, 0.0, x + 50.0, 50.0).unwrap(),
+            class: 0,
+            score: 0.9,
+        };
+        let frames = vec![
+            VideoFrame { index: 0, time: 0.0, dets: vec![mk(0.0), mk(500.0)] },
+            VideoFrame { index: 1, time: 0.1, dets: vec![] },
+            VideoFrame { index: 2, time: 0.2, dets: vec![mk(0.0), mk(500.0)] },
+        ];
+        let a = flicker_assertion(0.45);
+        assert_eq!(a.check(&VideoWindow::new(frames, 1)).value(), 2.0);
+    }
+}

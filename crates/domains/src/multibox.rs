@@ -1,0 +1,101 @@
+//! The `multibox` assertion (video analytics and AVs, Table 1).
+//!
+//! "The multibox assertion fires when three boxes highly overlap"
+//! (Figure 7): the visible parts of three same-class vehicles essentially
+//! never coincide, so a tight triple is almost surely a duplicate-
+//! detection error. A domain-knowledge assertion of the *unlikely
+//! scenario* sub-class (Table 5).
+
+use omg_core::{FnAssertion, Severity};
+
+use crate::helpers::overlap_triples;
+use crate::{AvFrame, VideoWindow};
+
+/// IoU above which boxes count as "highly overlapping".
+pub const MULTIBOX_IOU: f64 = 0.30;
+
+// BEGIN ASSERTION
+/// Builds the `multibox` assertion for video windows (checks the center
+/// frame).
+pub fn multibox_assertion() -> FnAssertion<VideoWindow> {
+    FnAssertion::new("multibox", |window: &VideoWindow| {
+        let dets = &window.center_frame().dets;
+        Severity::from_count(overlap_triples(dets, MULTIBOX_IOU))
+    })
+}
+
+/// Builds the `multibox` assertion for AV samples (checks the camera
+/// detections).
+pub fn multibox_av_assertion() -> FnAssertion<AvFrame> {
+    FnAssertion::new("multibox", |frame: &AvFrame| {
+        Severity::from_count(overlap_triples(&frame.camera_dets, MULTIBOX_IOU))
+    })
+}
+// END ASSERTION
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::VideoFrame;
+    use omg_core::Assertion;
+    use omg_eval::ScoredBox;
+    use omg_geom::{BBox2D, CameraIntrinsics, CameraModel, Vec3};
+
+    fn sb(x: f64, class: usize) -> ScoredBox {
+        ScoredBox {
+            bbox: BBox2D::new(x, 0.0, x + 20.0, 20.0).unwrap(),
+            class,
+            score: 0.9,
+        }
+    }
+
+    fn vw(dets: Vec<ScoredBox>) -> VideoWindow {
+        VideoWindow::new(
+            vec![VideoFrame {
+                index: 0,
+                time: 0.0,
+                dets,
+            }],
+            0,
+        )
+    }
+
+    #[test]
+    fn triple_cluster_fires() {
+        let a = multibox_assertion();
+        let sev = a.check(&vw(vec![sb(0.0, 0), sb(2.0, 0), sb(4.0, 0)]));
+        assert!(sev.fired());
+        assert_eq!(sev.value(), 1.0);
+    }
+
+    #[test]
+    fn pair_does_not_fire() {
+        let a = multibox_assertion();
+        assert!(!a.check(&vw(vec![sb(0.0, 0), sb(2.0, 0)])).fired());
+    }
+
+    #[test]
+    fn spread_boxes_do_not_fire() {
+        let a = multibox_assertion();
+        assert!(!a
+            .check(&vw(vec![sb(0.0, 0), sb(100.0, 0), sb(200.0, 0)]))
+            .fired());
+    }
+
+    #[test]
+    fn av_variant_checks_camera_dets() {
+        let a = multibox_av_assertion();
+        let camera = CameraModel::new(
+            CameraIntrinsics::centered(1000.0, 1600.0, 900.0).unwrap(),
+            Vec3::new(0.0, 0.0, 1.6),
+            0.0,
+        );
+        let frame = AvFrame {
+            time: 0.0,
+            camera_dets: vec![sb(0.0, 1), sb(2.0, 1), sb(4.0, 1)],
+            lidar_boxes: vec![],
+            camera,
+        };
+        assert!(a.check(&frame).fired());
+    }
+}

@@ -1,0 +1,171 @@
+use omg_eval::ScoredBox;
+use omg_geom::{BBox3D, CameraModel};
+
+/// One time-aligned sample of AV model outputs — the sample type of the
+/// `agree` and AV `multibox` assertions. Contains only what the deployed
+/// models produced (no ground truth): camera detections, LIDAR boxes, and
+/// the calibration needed to project between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvFrame {
+    /// Timestamp in seconds.
+    pub time: f64,
+    /// The camera model's detections.
+    pub camera_dets: Vec<ScoredBox>,
+    /// The LIDAR model's 3D boxes.
+    pub lidar_boxes: Vec<BBox3D>,
+    /// The camera calibration (for projecting LIDAR boxes).
+    pub camera: CameraModel,
+}
+
+/// One frame of detector output, as seen by the video assertions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoFrame {
+    /// Frame index in the stream.
+    pub index: u64,
+    /// Timestamp in seconds.
+    pub time: f64,
+    /// The detector's boxes for this frame.
+    pub dets: Vec<ScoredBox>,
+}
+
+/// A short window of consecutive frames — the sample type of the video
+/// assertions, mirroring the paper's assertion signature
+/// `flickering(recent_frames, recent_outputs)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoWindow {
+    /// Consecutive frames in time order.
+    pub frames: Vec<VideoFrame>,
+    /// Index (within `frames`) of the frame this window is *about*; the
+    /// surrounding frames are temporal context.
+    pub center: usize,
+}
+
+impl VideoWindow {
+    /// Builds a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty, `center` is out of range, or the
+    /// timestamps are not strictly increasing.
+    pub fn new(frames: Vec<VideoFrame>, center: usize) -> Self {
+        assert!(!frames.is_empty(), "window needs at least one frame");
+        assert!(center < frames.len(), "center out of range");
+        for w in frames.windows(2) {
+            assert!(
+                w[1].time > w[0].time,
+                "frame timestamps must be strictly increasing"
+            );
+        }
+        Self { frames, center }
+    }
+
+    /// The frame the window is centered on.
+    pub fn center_frame(&self) -> &VideoFrame {
+        &self.frames[self.center]
+    }
+
+    /// Number of frames in the window.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Whether the window is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+}
+
+/// A window of consecutive per-window ECG predictions — the sample type of
+/// the ECG assertion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcgWindow {
+    /// Prediction timestamps, seconds, strictly increasing.
+    pub times: Vec<f64>,
+    /// Predicted rhythm class per timestamp.
+    pub preds: Vec<usize>,
+    /// Index of the prediction this window is about.
+    pub center: usize,
+}
+
+impl EcgWindow {
+    /// Builds an ECG window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length, are empty, have
+    /// non-increasing times, or `center` is out of range.
+    pub fn new(times: Vec<f64>, preds: Vec<usize>, center: usize) -> Self {
+        assert_eq!(times.len(), preds.len(), "times/preds length mismatch");
+        assert!(!times.is_empty(), "window needs at least one prediction");
+        assert!(center < times.len(), "center out of range");
+        for w in times.windows(2) {
+            assert!(w[1] > w[0], "timestamps must be strictly increasing");
+        }
+        Self {
+            times,
+            preds,
+            center,
+        }
+    }
+
+    /// Number of predictions in the window.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the window is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_geom::BBox2D;
+
+    fn frame(i: u64, t: f64) -> VideoFrame {
+        VideoFrame {
+            index: i,
+            time: t,
+            dets: vec![ScoredBox {
+                bbox: BBox2D::new(0.0, 0.0, 10.0, 10.0).unwrap(),
+                class: 0,
+                score: 0.9,
+            }],
+        }
+    }
+
+    #[test]
+    fn video_window_construction() {
+        let w = VideoWindow::new(vec![frame(0, 0.0), frame(1, 0.1)], 1);
+        assert_eq!(w.len(), 2);
+        assert!(!w.is_empty());
+        assert_eq!(w.center_frame().index, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "center out of range")]
+    fn bad_center_rejected() {
+        VideoWindow::new(vec![frame(0, 0.0)], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn bad_times_rejected() {
+        VideoWindow::new(vec![frame(0, 0.5), frame(1, 0.5)], 0);
+    }
+
+    #[test]
+    fn ecg_window_construction() {
+        let w = EcgWindow::new(vec![0.0, 10.0, 20.0], vec![0, 1, 0], 1);
+        assert_eq!(w.len(), 3);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn ecg_mismatch_rejected() {
+        EcgWindow::new(vec![0.0], vec![0, 1], 0);
+    }
+}

@@ -1,0 +1,217 @@
+/// Fraction of positions where `predicted[i] == actual[i]`.
+///
+/// Returns `0.0` for empty input.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
+    assert_eq!(
+        predicted.len(),
+        actual.len(),
+        "predicted and actual must be the same length"
+    );
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(p, a)| p == a)
+        .count();
+    hits as f64 / predicted.len() as f64
+}
+
+/// A dense confusion matrix over `n` classes.
+///
+/// Rows are actual classes, columns are predicted classes.
+///
+/// # Example
+///
+/// ```
+/// use omg_eval::ConfusionMatrix;
+///
+/// let mut cm = ConfusionMatrix::new(3);
+/// cm.record(0, 0);
+/// cm.record(0, 1);
+/// cm.record(1, 1);
+/// assert_eq!(cm.count(0, 1), 1);
+/// assert!((cm.accuracy() - 2.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Creates an `n × n` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "confusion matrix needs at least one class");
+        Self {
+            n,
+            counts: vec![0; n * n],
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.n
+    }
+
+    /// Records one `(actual, predicted)` observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn record(&mut self, actual: usize, predicted: usize) {
+        assert!(actual < self.n && predicted < self.n, "class out of range");
+        self.counts[actual * self.n + predicted] += 1;
+    }
+
+    /// Records a batch of observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or contain out-of-range
+    /// classes.
+    pub fn record_all(&mut self, actual: &[usize], predicted: &[usize]) {
+        assert_eq!(actual.len(), predicted.len());
+        for (&a, &p) in actual.iter().zip(predicted) {
+            self.record(a, p);
+        }
+    }
+
+    /// Count of observations with the given actual and predicted classes.
+    pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        self.counts[actual * self.n + predicted]
+    }
+
+    /// Total number of recorded observations.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy (diagonal mass over total); `0.0` when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.n).map(|i| self.count(i, i)).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Precision for one class: `TP / (TP + FP)`; `0.0` if never predicted.
+    pub fn precision(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let predicted: u64 = (0..self.n).map(|a| self.count(a, class)).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            tp as f64 / predicted as f64
+        }
+    }
+
+    /// Recall for one class: `TP / (TP + FN)`; `0.0` if the class never
+    /// occurs.
+    pub fn recall(&self, class: usize) -> f64 {
+        let tp = self.count(class, class);
+        let actual: u64 = (0..self.n).map(|p| self.count(class, p)).sum();
+        if actual == 0 {
+            0.0
+        } else {
+            tp as f64 / actual as f64
+        }
+    }
+
+    /// F1 score for one class (harmonic mean of precision and recall).
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Unweighted mean of per-class F1 scores (macro-F1), the headline
+    /// metric of the CINC17 challenge that the paper's ECG task is built on.
+    pub fn macro_f1(&self) -> f64 {
+        (0..self.n).map(|c| self.f1(c)).sum::<f64>() / self.n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 2]), 1.0);
+        assert_eq!(accuracy(&[0, 0, 0], &[1, 1, 1]), 0.0);
+        assert!((accuracy(&[0, 1, 1, 0], &[0, 1, 0, 1]) - 0.5).abs() < 1e-12);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn accuracy_length_mismatch() {
+        accuracy(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record_all(&[0, 0, 1, 1, 1], &[0, 1, 1, 1, 0]);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.count(1, 0), 1);
+        assert_eq!(cm.total(), 5);
+        assert!((cm.accuracy() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1() {
+        let mut cm = ConfusionMatrix::new(2);
+        // Class 1: TP=2, FP=1 (actual 0 predicted 1), FN=1.
+        cm.record_all(&[1, 1, 1, 0], &[1, 1, 0, 1]);
+        assert!((cm.precision(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.recall(1) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((cm.f1(1) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_class_metrics_are_zero() {
+        let mut cm = ConfusionMatrix::new(3);
+        cm.record(0, 0);
+        assert_eq!(cm.precision(2), 0.0);
+        assert_eq!(cm.recall(2), 0.0);
+        assert_eq!(cm.f1(2), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_averages_classes() {
+        let mut cm = ConfusionMatrix::new(2);
+        cm.record_all(&[0, 1], &[0, 1]);
+        assert!((cm.macro_f1() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn record_out_of_range_panics() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_panics() {
+        ConfusionMatrix::new(0);
+    }
+}

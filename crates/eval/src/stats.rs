@@ -1,0 +1,225 @@
+//! Order statistics and small-sample summaries used by the experiment
+//! harness: percentile ranks (Figure 3), means ± standard errors
+//! (Figures 4/5/9 report multi-trial averages), proportions (Table 3),
+//! and bootstrap confidence intervals.
+
+/// Arithmetic mean; `0.0` for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Unbiased sample variance (`n - 1` denominator); `0.0` for fewer than two
+/// samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Standard error of the mean (`s / sqrt(n)`); `0.0` for fewer than two
+/// samples.
+pub fn std_err(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        0.0
+    } else {
+        std_dev(xs) / (xs.len() as f64).sqrt()
+    }
+}
+
+/// The `q`-th quantile (`q` in `[0, 1]`) with linear interpolation between
+/// order statistics.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// The percentile rank of `x` within `population`: the percentage of
+/// population values that are `<= x`, in `[0, 100]`.
+///
+/// This is the statistic of the paper's Figure 3 ("the percentile of
+/// confidence among all the boxes"). Returns `0.0` for an empty
+/// population.
+pub fn percentile_rank(population: &[f64], x: f64) -> f64 {
+    if population.is_empty() {
+        return 0.0;
+    }
+    let below = population.iter().filter(|&&v| v <= x).count();
+    100.0 * below as f64 / population.len() as f64
+}
+
+/// A proportion with its numerator and denominator retained, used for
+/// precision reporting (Table 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Proportion {
+    /// Number of successes.
+    pub hits: usize,
+    /// Number of trials.
+    pub total: usize,
+}
+
+impl Proportion {
+    /// The proportion as a fraction in `[0, 1]`; `0.0` when `total == 0`.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+
+    /// The proportion as a percentage.
+    pub fn percent(&self) -> f64 {
+        self.fraction() * 100.0
+    }
+}
+
+/// Counts how many items satisfy `pred` and returns the proportion.
+pub fn proportion<T>(items: &[T], pred: impl Fn(&T) -> bool) -> Proportion {
+    Proportion {
+        hits: items.iter().filter(|x| pred(x)).count(),
+        total: items.len(),
+    }
+}
+
+/// Percentile bootstrap confidence interval for the mean.
+///
+/// Resamples `xs` with replacement `resamples` times using a deterministic
+/// xorshift generator seeded by `seed`, and returns the
+/// `(lo_quantile, hi_quantile)` of the resampled means.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty or the quantile bounds are invalid.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    resamples: usize,
+    lo_q: f64,
+    hi_q: f64,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(!xs.is_empty(), "bootstrap of empty slice");
+    assert!(lo_q < hi_q, "lower quantile must be below upper quantile");
+    // A tiny xorshift64* generator keeps this module dependency-free.
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    };
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..xs.len() {
+            let idx = (next() % xs.len() as u64) as usize;
+            sum += xs[idx];
+        }
+        means.push(sum / xs.len() as f64);
+    }
+    (quantile(&means, lo_q), quantile(&means, hi_q))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_stderr() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert!((std_err(&xs) - (32.0f64 / 7.0).sqrt() / 8.0f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+        assert_eq!(std_err(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        // Order independence.
+        let shuffled = [3.0, 1.0, 4.0, 2.0];
+        assert_eq!(quantile(&shuffled, 0.5), quantile(&xs, 0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_empty_panics() {
+        quantile(&[], 0.5);
+    }
+
+    #[test]
+    fn percentile_rank_basic() {
+        let pop: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert!((percentile_rank(&pop, 94.0) - 94.0).abs() < 1e-12);
+        assert_eq!(percentile_rank(&pop, 0.0), 0.0);
+        assert_eq!(percentile_rank(&pop, 1000.0), 100.0);
+        assert_eq!(percentile_rank(&[], 5.0), 0.0);
+    }
+
+    #[test]
+    fn proportion_counts() {
+        let xs = [1, 2, 3, 4, 5, 6];
+        let p = proportion(&xs, |&x| x % 2 == 0);
+        assert_eq!(p.hits, 3);
+        assert_eq!(p.total, 6);
+        assert!((p.fraction() - 0.5).abs() < 1e-12);
+        assert!((p.percent() - 50.0).abs() < 1e-12);
+        let empty: [i32; 0] = [];
+        assert_eq!(proportion(&empty, |_| true).fraction(), 0.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_contains_true_mean_for_tight_data() {
+        let xs = vec![10.0; 50];
+        let (lo, hi) = bootstrap_mean_ci(&xs, 200, 0.025, 0.975, 42);
+        assert_eq!(lo, 10.0);
+        assert_eq!(hi, 10.0);
+    }
+
+    #[test]
+    fn bootstrap_ci_is_ordered_and_reasonable() {
+        let xs: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let (lo, hi) = bootstrap_mean_ci(&xs, 500, 0.025, 0.975, 7);
+        assert!(lo <= hi);
+        let m = mean(&xs);
+        assert!(lo <= m && m <= hi, "CI [{lo}, {hi}] should contain {m}");
+    }
+
+    #[test]
+    fn bootstrap_is_deterministic_per_seed() {
+        let xs: Vec<f64> = (0..30).map(|i| i as f64).collect();
+        let a = bootstrap_mean_ci(&xs, 100, 0.1, 0.9, 5);
+        let b = bootstrap_mean_ci(&xs, 100, 0.1, 0.9, 5);
+        assert_eq!(a, b);
+    }
+}

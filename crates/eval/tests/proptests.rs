@@ -1,0 +1,115 @@
+//! Property-based tests for the evaluation substrate.
+
+use omg_eval::stats::{mean, percentile_rank, quantile};
+use omg_eval::{average_precision, match_frame, DetectionEvaluator, GtBox, ScoredBox};
+use omg_geom::BBox2D;
+use proptest::prelude::*;
+
+fn arb_records() -> impl Strategy<Value = Vec<(f64, bool)>> {
+    proptest::collection::vec((0.0f64..1.0, any::<bool>()), 1..50)
+}
+
+proptest! {
+    #[test]
+    fn ap_is_bounded(records in arb_records(), extra_gt in 0usize..10) {
+        let tp = records.iter().filter(|r| r.1).count();
+        let n_gt = tp + extra_gt;
+        if n_gt > 0 {
+            let ap = average_precision(&records, n_gt);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+        }
+    }
+
+    #[test]
+    fn ap_perfect_prefix_dominates(records in arb_records()) {
+        // Moving all TPs to the top scores can only raise AP.
+        let tp = records.iter().filter(|r| r.1).count();
+        if tp == 0 { return Ok(()); }
+        let n = records.len();
+        let sorted_best: Vec<(f64, bool)> = (0..n)
+            .map(|i| (1.0 - i as f64 / n as f64, i < tp))
+            .collect();
+        let base = average_precision(&records, tp);
+        let best = average_precision(&sorted_best, tp);
+        prop_assert!(best + 1e-9 >= base);
+    }
+
+    #[test]
+    fn matching_never_double_books_gt(
+        seeds in proptest::collection::vec(
+            (0.0f64..100.0, 0.0f64..100.0, 5.0f64..20.0, 0.0f64..1.0, 0usize..3), 0..20),
+        gt_seeds in proptest::collection::vec(
+            (0.0f64..100.0, 0.0f64..100.0, 5.0f64..20.0, 0usize..3), 0..10),
+    ) {
+        let dets: Vec<ScoredBox> = seeds.iter().map(|&(x, y, s, c, k)| ScoredBox {
+            bbox: BBox2D::new(x, y, x + s, y + s).unwrap(),
+            class: k,
+            score: c,
+        }).collect();
+        let gts: Vec<GtBox> = gt_seeds.iter().map(|&(x, y, s, k)| GtBox {
+            bbox: BBox2D::new(x, y, x + s, y + s).unwrap(),
+            class: k,
+        }).collect();
+        let m = match_frame(&dets, &gts, 0.5);
+        prop_assert_eq!(m.outcomes.len(), dets.len());
+        // No GT matched twice.
+        let mut used = std::collections::HashSet::new();
+        for o in &m.outcomes {
+            if let omg_eval::MatchOutcome::TruePositive { gt_index } = o {
+                prop_assert!(used.insert(*gt_index), "gt matched twice");
+                // Matched pairs share the class and clear the threshold.
+                prop_assert!(gts[*gt_index].class == dets[m.outcomes.iter().position(|x| x == o).unwrap()].class);
+            }
+        }
+        // TP count + missed count == GT count.
+        prop_assert_eq!(used.len() + m.missed_gt.len(), gts.len());
+    }
+
+    #[test]
+    fn map_of_perfect_detector_is_one(
+        frames in proptest::collection::vec(
+            proptest::collection::vec((0.0f64..500.0, 0.0f64..500.0, 5.0f64..20.0, 0usize..3), 1..5),
+            1..10)
+    ) {
+        let mut ev = DetectionEvaluator::new(0.5);
+        for frame in &frames {
+            let gts: Vec<GtBox> = frame.iter().map(|&(x, y, s, k)| GtBox {
+                bbox: BBox2D::new(x, y, x + s, y + s).unwrap(),
+                class: k,
+            }).collect();
+            let dets: Vec<ScoredBox> = gts.iter().map(|g| ScoredBox {
+                bbox: g.bbox,
+                class: g.class,
+                score: 0.9,
+            }).collect();
+            ev.add_frame(&dets, &gts);
+        }
+        // Echoing GT exactly yields mAP 1 regardless of box layout: every
+        // detection overlaps its own GT at IoU 1 and greedy matching pairs
+        // them all (identical boxes may swap partners, which is harmless).
+        prop_assert!((ev.map() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_within_range(xs in proptest::collection::vec(-1e3f64..1e3, 1..100), q in 0.0f64..1.0) {
+        let v = quantile(&xs, q);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+    }
+
+    #[test]
+    fn percentile_rank_monotone(xs in proptest::collection::vec(-100f64..100.0, 1..100),
+                                a in -100f64..100.0, b in -100f64..100.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(percentile_rank(&xs, lo) <= percentile_rank(&xs, hi));
+    }
+
+    #[test]
+    fn mean_is_within_extremes(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let m = mean(&xs);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= lo - 1e-9 && m <= hi + 1e-9);
+    }
+}

@@ -1,0 +1,224 @@
+use crate::{GeomError, Vec3};
+
+/// An oriented 3D bounding box: center, size, and yaw about the up (Z) axis.
+///
+/// This is the box parameterization used by LIDAR object detectors such as
+/// Second/PointPillars (the paper's AV models): the box is axis-aligned in
+/// its own frame, rotated by `yaw` about Z, and translated to `center`.
+///
+/// # Example
+///
+/// ```
+/// use omg_geom::{BBox3D, Vec3};
+///
+/// let b = BBox3D::new(Vec3::new(10.0, 0.0, 1.0), Vec3::new(4.0, 2.0, 1.6), 0.0)?;
+/// assert_eq!(b.volume(), 4.0 * 2.0 * 1.6);
+/// assert_eq!(b.corners().len(), 8);
+/// # Ok::<(), omg_geom::GeomError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BBox3D {
+    center: Vec3,
+    /// Full extents along the box's local (length, width, height) axes.
+    size: Vec3,
+    yaw: f64,
+}
+
+impl BBox3D {
+    /// Creates an oriented 3D box.
+    ///
+    /// `size` holds full extents `(length, width, height)`; all must be
+    /// non-negative and finite. `yaw` is the rotation about the up axis in
+    /// radians.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidBox`] on negative or non-finite extents
+    /// or a non-finite yaw/center.
+    pub fn new(center: Vec3, size: Vec3, yaw: f64) -> Result<Self, GeomError> {
+        let finite = [center.x, center.y, center.z, size.x, size.y, size.z, yaw]
+            .iter()
+            .all(|v| v.is_finite());
+        if !finite {
+            return Err(GeomError::InvalidBox {
+                detail: "non-finite 3d box parameters".to_string(),
+            });
+        }
+        if size.x < 0.0 || size.y < 0.0 || size.z < 0.0 {
+            return Err(GeomError::InvalidBox {
+                detail: format!("negative extents ({}, {}, {})", size.x, size.y, size.z),
+            });
+        }
+        Ok(Self { center, size, yaw })
+    }
+
+    /// Box center in world coordinates.
+    pub fn center(&self) -> Vec3 {
+        self.center
+    }
+
+    /// Full extents `(length, width, height)` in the box's local frame.
+    pub fn size(&self) -> Vec3 {
+        self.size
+    }
+
+    /// Yaw about the up axis, radians.
+    pub fn yaw(&self) -> f64 {
+        self.yaw
+    }
+
+    /// Box volume.
+    pub fn volume(&self) -> f64 {
+        self.size.x * self.size.y * self.size.z
+    }
+
+    /// The eight corners in world coordinates.
+    ///
+    /// Order: the four bottom corners counter-clockwise, then the four top
+    /// corners in the same XY order.
+    pub fn corners(&self) -> [Vec3; 8] {
+        let hx = self.size.x / 2.0;
+        let hy = self.size.y / 2.0;
+        let hz = self.size.z / 2.0;
+        let locals = [
+            Vec3::new(hx, hy, -hz),
+            Vec3::new(-hx, hy, -hz),
+            Vec3::new(-hx, -hy, -hz),
+            Vec3::new(hx, -hy, -hz),
+            Vec3::new(hx, hy, hz),
+            Vec3::new(-hx, hy, hz),
+            Vec3::new(-hx, -hy, hz),
+            Vec3::new(hx, -hy, hz),
+        ];
+        locals.map(|p| p.rotated_z(self.yaw) + self.center)
+    }
+
+    /// Translates the box by `delta`.
+    pub fn translated(&self, delta: Vec3) -> BBox3D {
+        BBox3D {
+            center: self.center + delta,
+            ..*self
+        }
+    }
+
+    /// Returns a copy with the given yaw.
+    pub fn with_yaw(&self, yaw: f64) -> BBox3D {
+        BBox3D { yaw, ..*self }
+    }
+
+    /// Bird's-eye-view IoU using the axis-aligned footprints of the two
+    /// boxes (an approximation that ignores yaw, adequate for the mostly
+    /// axis-aligned traffic the AV simulator generates).
+    pub fn iou_bev_aabb(&self, other: &BBox3D) -> f64 {
+        let fp = |b: &BBox3D| {
+            let cs = b.corners();
+            let xs = cs.iter().map(|c| c.x);
+            let ys = cs.iter().map(|c| c.y);
+            (
+                xs.clone().fold(f64::INFINITY, f64::min),
+                ys.clone().fold(f64::INFINITY, f64::min),
+                xs.fold(f64::NEG_INFINITY, f64::max),
+                ys.fold(f64::NEG_INFINITY, f64::max),
+            )
+        };
+        let (ax1, ay1, ax2, ay2) = fp(self);
+        let (bx1, by1, bx2, by2) = fp(other);
+        let iw = (ax2.min(bx2) - ax1.max(bx1)).max(0.0);
+        let ih = (ay2.min(by2) - ay1.max(by1)).max(0.0);
+        let inter = iw * ih;
+        let a = (ax2 - ax1) * (ay2 - ay1);
+        let b = (bx2 - bx1) * (by2 - by1);
+        let union = a + b - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Distance between box centers.
+    pub fn center_distance(&self, other: &BBox3D) -> f64 {
+        self.center.distance(&other.center)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(cx: f64, cy: f64, l: f64, w: f64) -> BBox3D {
+        BBox3D::new(Vec3::new(cx, cy, 1.0), Vec3::new(l, w, 2.0), 0.0).unwrap()
+    }
+
+    #[test]
+    fn new_rejects_bad_parameters() {
+        assert!(BBox3D::new(Vec3::ZERO, Vec3::new(-1.0, 1.0, 1.0), 0.0).is_err());
+        assert!(BBox3D::new(Vec3::new(f64::NAN, 0.0, 0.0), Vec3::ZERO, 0.0).is_err());
+        assert!(BBox3D::new(Vec3::ZERO, Vec3::ZERO, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn volume_and_accessors() {
+        let b = boxed(0.0, 0.0, 4.0, 2.0);
+        assert_eq!(b.volume(), 16.0);
+        assert_eq!(b.size().x, 4.0);
+        assert_eq!(b.yaw(), 0.0);
+    }
+
+    #[test]
+    fn corners_axis_aligned() {
+        let b = boxed(10.0, 20.0, 4.0, 2.0);
+        let cs = b.corners();
+        let min_x = cs.iter().map(|c| c.x).fold(f64::INFINITY, f64::min);
+        let max_x = cs.iter().map(|c| c.x).fold(f64::NEG_INFINITY, f64::max);
+        assert!((min_x - 8.0).abs() < 1e-12);
+        assert!((max_x - 12.0).abs() < 1e-12);
+        let min_z = cs.iter().map(|c| c.z).fold(f64::INFINITY, f64::min);
+        assert!((min_z - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corners_rotate_with_yaw() {
+        let b = BBox3D::new(
+            Vec3::ZERO,
+            Vec3::new(4.0, 2.0, 2.0),
+            std::f64::consts::FRAC_PI_2,
+        )
+        .unwrap();
+        let cs = b.corners();
+        // After a 90° yaw the long axis lies along Y.
+        let max_y = cs.iter().map(|c| c.y).fold(f64::NEG_INFINITY, f64::max);
+        assert!((max_y - 2.0).abs() < 1e-9);
+        let max_x = cs.iter().map(|c| c.x).fold(f64::NEG_INFINITY, f64::max);
+        assert!((max_x - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bev_iou_identity_and_disjoint() {
+        let a = boxed(0.0, 0.0, 4.0, 2.0);
+        assert!((a.iou_bev_aabb(&a) - 1.0).abs() < 1e-12);
+        let far = boxed(100.0, 100.0, 4.0, 2.0);
+        assert_eq!(a.iou_bev_aabb(&far), 0.0);
+    }
+
+    #[test]
+    fn bev_iou_known_overlap() {
+        // Two 4x2 footprints offset by 2 along X: inter 2*2=4, union 8+8-4=12.
+        let a = boxed(0.0, 0.0, 4.0, 2.0);
+        let b = boxed(2.0, 0.0, 4.0, 2.0);
+        assert!((a.iou_bev_aabb(&b) - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn translated_moves_center() {
+        let b = boxed(0.0, 0.0, 4.0, 2.0).translated(Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.center(), Vec3::new(1.0, 2.0, 4.0));
+    }
+
+    #[test]
+    fn center_distance_known() {
+        let a = boxed(0.0, 0.0, 1.0, 1.0);
+        let b = boxed(3.0, 4.0, 1.0, 1.0);
+        assert_eq!(a.center_distance(&b), 5.0);
+    }
+}

@@ -1,0 +1,55 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error type for geometric constructions.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A bounding box was constructed with `min > max` on some axis or with
+    /// non-finite coordinates.
+    InvalidBox {
+        /// Human-readable description of the offending coordinates.
+        detail: String,
+    },
+    /// A camera was constructed with a non-positive focal length or image
+    /// size.
+    InvalidCamera {
+        /// Human-readable description of the offending parameter.
+        detail: String,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::InvalidBox { detail } => write!(f, "invalid bounding box: {detail}"),
+            GeomError::InvalidCamera { detail } => write!(f, "invalid camera: {detail}"),
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let e = GeomError::InvalidBox {
+            detail: "x1 > x2".to_string(),
+        };
+        let s = e.to_string();
+        assert!(s.starts_with("invalid bounding box"));
+        let e = GeomError::InvalidCamera {
+            detail: "fx <= 0".to_string(),
+        };
+        assert!(e.to_string().contains("camera"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

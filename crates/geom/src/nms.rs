@@ -1,0 +1,144 @@
+//! Non-maximum suppression over scored boxes.
+//!
+//! Object detectors emit many overlapping candidate boxes; NMS keeps the
+//! highest-scoring box in each overlapping cluster. The simulated detector
+//! in `omg-sim` uses this, and the paper's `multibox` assertion is precisely
+//! a check for clusters that *survive* NMS when they should not ("three
+//! boxes highly overlap", §5.1).
+
+use crate::BBox2D;
+
+/// Indices of the boxes kept by greedy non-maximum suppression.
+///
+/// Boxes are processed in descending `scores` order; a box is suppressed if
+/// its IoU with an already-kept box exceeds `iou_threshold`. Returned
+/// indices refer to the input slice and are sorted by descending score.
+///
+/// # Panics
+///
+/// Panics if `boxes` and `scores` have different lengths.
+pub fn nms_indices(boxes: &[BBox2D], scores: &[f64], iou_threshold: f64) -> Vec<usize> {
+    assert_eq!(
+        boxes.len(),
+        scores.len(),
+        "boxes and scores must be the same length"
+    );
+    let mut order: Vec<usize> = (0..boxes.len()).collect();
+    // Descending by score; ties broken by index for determinism.
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut kept: Vec<usize> = Vec::new();
+    for &i in &order {
+        let suppressed = kept
+            .iter()
+            .any(|&k| boxes[k].iou(&boxes[i]) > iou_threshold);
+        if !suppressed {
+            kept.push(i);
+        }
+    }
+    kept
+}
+
+/// Class-aware NMS: suppression only happens within the same class label.
+///
+/// # Panics
+///
+/// Panics if the three slices have different lengths.
+pub fn nms_indices_per_class(
+    boxes: &[BBox2D],
+    scores: &[f64],
+    classes: &[usize],
+    iou_threshold: f64,
+) -> Vec<usize> {
+    assert_eq!(boxes.len(), scores.len());
+    assert_eq!(boxes.len(), classes.len());
+    let mut order: Vec<usize> = (0..boxes.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    let mut kept: Vec<usize> = Vec::new();
+    for &i in &order {
+        let suppressed = kept
+            .iter()
+            .any(|&k| classes[k] == classes[i] && boxes[k].iou(&boxes[i]) > iou_threshold);
+        if !suppressed {
+            kept.push(i);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bb(x: f64, y: f64, s: f64) -> BBox2D {
+        BBox2D::new(x, y, x + s, y + s).unwrap()
+    }
+
+    #[test]
+    fn keeps_single_box() {
+        let boxes = vec![bb(0.0, 0.0, 10.0)];
+        assert_eq!(nms_indices(&boxes, &[0.9], 0.5), vec![0]);
+    }
+
+    #[test]
+    fn suppresses_duplicate_cluster() {
+        // Three near-identical boxes; only the highest score survives.
+        let boxes = vec![bb(0.0, 0.0, 10.0), bb(0.5, 0.5, 10.0), bb(1.0, 0.0, 10.0)];
+        let scores = [0.7, 0.9, 0.8];
+        let kept = nms_indices(&boxes, &scores, 0.5);
+        assert_eq!(kept, vec![1]);
+    }
+
+    #[test]
+    fn keeps_disjoint_boxes() {
+        let boxes = vec![bb(0.0, 0.0, 10.0), bb(100.0, 100.0, 10.0)];
+        let kept = nms_indices(&boxes, &[0.5, 0.6], 0.5);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0], 1); // higher score first
+    }
+
+    #[test]
+    fn threshold_controls_suppression() {
+        // IoU between these two is 25/175 ≈ 0.143.
+        let boxes = vec![bb(0.0, 0.0, 10.0), bb(5.0, 5.0, 10.0)];
+        assert_eq!(nms_indices(&boxes, &[0.9, 0.8], 0.1).len(), 1);
+        assert_eq!(nms_indices(&boxes, &[0.9, 0.8], 0.2).len(), 2);
+    }
+
+    #[test]
+    fn class_aware_keeps_cross_class_overlaps() {
+        let boxes = vec![bb(0.0, 0.0, 10.0), bb(0.5, 0.5, 10.0)];
+        let scores = [0.9, 0.8];
+        let same = nms_indices_per_class(&boxes, &scores, &[0, 0], 0.5);
+        assert_eq!(same.len(), 1);
+        let cross = nms_indices_per_class(&boxes, &scores, &[0, 1], 0.5);
+        assert_eq!(cross.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_on_score_ties() {
+        let boxes = vec![bb(0.0, 0.0, 10.0), bb(0.0, 0.0, 10.0)];
+        let kept = nms_indices(&boxes, &[0.5, 0.5], 0.5);
+        assert_eq!(kept, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn mismatched_lengths_panic() {
+        nms_indices(&[bb(0.0, 0.0, 1.0)], &[0.5, 0.6], 0.5);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(nms_indices(&[], &[], 0.5).is_empty());
+    }
+}

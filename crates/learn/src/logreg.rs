@@ -1,0 +1,279 @@
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::linalg::dot;
+use crate::loss::{cross_entropy, softmax};
+use crate::optim::Sgd;
+
+/// Multinomial (softmax) logistic regression trained with mini-batch SGD.
+///
+/// This is the trainable head used throughout the simulated detector: the
+/// model is small enough to retrain in milliseconds, which is what lets the
+/// active-learning experiments run hundreds of retraining rounds, yet it is
+/// a real gradient-trained model — data selection genuinely changes what it
+/// learns, which is the property the paper's experiments depend on.
+///
+/// # Example
+///
+/// ```
+/// use omg_learn::{Dataset, SoftmaxRegression};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut d = Dataset::new(1);
+/// for i in 0..20 {
+///     let x = i as f64 / 10.0 - 1.0;
+///     d.push(vec![x], usize::from(x > 0.0));
+/// }
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut model = SoftmaxRegression::new(1, 2, 0.5);
+/// for _ in 0..200 { model.train_epoch(&d, 8, &mut rng); }
+/// assert_eq!(model.predict(&[0.9]), 1);
+/// assert_eq!(model.predict(&[-0.9]), 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoftmaxRegression {
+    dim: usize,
+    classes: usize,
+    /// Row-major `classes × dim` weight matrix.
+    weights: Vec<f64>,
+    bias: Vec<f64>,
+    w_opt: Sgd,
+    b_opt: Sgd,
+}
+
+impl SoftmaxRegression {
+    /// Creates a zero-initialized model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, `classes < 2`, or `lr <= 0`.
+    pub fn new(dim: usize, classes: usize, lr: f64) -> Self {
+        assert!(dim > 0, "need at least one feature");
+        assert!(classes >= 2, "need at least two classes");
+        Self {
+            dim,
+            classes,
+            weights: vec![0.0; classes * dim],
+            bias: vec![0.0; classes],
+            w_opt: Sgd::new(classes * dim, lr, 0.0),
+            b_opt: Sgd::new(classes, lr, 0.0),
+        }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Replaces the learning rate of both parameter groups (e.g. high for
+    /// pretraining, low for fine-tuning).
+    pub fn set_lr(&mut self, lr: f64) {
+        self.w_opt.set_lr(lr);
+        self.b_opt.set_lr(lr);
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Raw logits for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn logits(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim, "feature dimension mismatch");
+        (0..self.classes)
+            .map(|c| dot(&self.weights[c * self.dim..(c + 1) * self.dim], x) + self.bias[c])
+            .collect()
+    }
+
+    /// Class probabilities for one feature vector.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        softmax(&self.logits(x))
+    }
+
+    /// Most probable class.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let p = self.predict_proba(x);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Runs one epoch of weighted mini-batch SGD over `data` in a random
+    /// order; returns the mean cross-entropy over the epoch.
+    ///
+    /// Example weights scale each example's gradient — weak labels are fed
+    /// in with weights below 1 to reflect their noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`, if `data` is empty, if feature
+    /// dimensions mismatch, or if a label is out of range.
+    pub fn train_epoch<R: Rng>(&mut self, data: &Dataset, batch_size: usize, rng: &mut R) -> f64 {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(data.dim(), self.dim, "feature dimension mismatch");
+        let order = data.shuffled_indices(rng);
+        let mut total_loss = 0.0;
+        for chunk in order.chunks(batch_size) {
+            total_loss += self.train_batch(data, chunk);
+        }
+        total_loss / data.len() as f64
+    }
+
+    /// Runs one gradient step on the given example indices; returns the
+    /// summed cross-entropy of the batch (pre-update).
+    pub fn train_batch(&mut self, data: &Dataset, indices: &[usize]) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        let mut gw = vec![0.0; self.classes * self.dim];
+        let mut gb = vec![0.0; self.classes];
+        let mut loss = 0.0;
+        let scale = 1.0 / indices.len() as f64;
+        for &i in indices {
+            let x = data.features(i);
+            let y = data.label(i);
+            assert!(y < self.classes, "label {y} out of range");
+            let w = data.weight(i);
+            let p = self.predict_proba(x);
+            loss += w * cross_entropy(&p, y);
+            for c in 0..self.classes {
+                let err = w * (p[c] - if c == y { 1.0 } else { 0.0 }) * scale;
+                gb[c] += err;
+                for (gwv, xv) in gw[c * self.dim..(c + 1) * self.dim].iter_mut().zip(x) {
+                    *gwv += err * xv;
+                }
+            }
+        }
+        self.w_opt.step(&mut self.weights, &gw);
+        self.b_opt.step(&mut self.bias, &gb);
+        loss
+    }
+
+    /// Mean cross-entropy of the model on `data` (no updates).
+    pub fn eval_loss(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = (0..data.len())
+            .map(|i| cross_entropy(&self.predict_proba(data.features(i)), data.label(i)))
+            .sum();
+        total / data.len() as f64
+    }
+
+    /// Classification accuracy on `data`.
+    pub fn eval_accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let hits = (0..data.len())
+            .filter(|&i| self.predict(data.features(i)) == data.label(i))
+            .count();
+        hits as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn separable(n: usize) -> Dataset {
+        // Two Gaussian-ish blobs on a line, trivially separable.
+        let mut d = Dataset::new(2);
+        for i in 0..n {
+            let t = (i % 10) as f64 / 10.0;
+            d.push(vec![2.0 + t, 1.0], 1);
+            d.push(vec![-2.0 - t, 1.0], 0);
+        }
+        d
+    }
+
+    #[test]
+    fn untrained_model_is_uniform() {
+        let m = SoftmaxRegression::new(3, 4, 0.1);
+        let p = m.predict_proba(&[1.0, -1.0, 0.5]);
+        for v in &p {
+            assert!((v - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_and_fits_separable_data() {
+        let data = separable(50);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = SoftmaxRegression::new(2, 2, 0.5);
+        let before = m.eval_loss(&data);
+        for _ in 0..50 {
+            m.train_epoch(&data, 16, &mut rng);
+        }
+        let after = m.eval_loss(&data);
+        assert!(after < before, "loss should fall: {before} -> {after}");
+        assert!((m.eval_accuracy(&data) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn three_class_problem() {
+        let mut d = Dataset::new(2);
+        for i in 0..30 {
+            let jitter = (i % 5) as f64 * 0.05;
+            d.push(vec![1.0 + jitter, 0.0], 0);
+            d.push(vec![0.0, 1.0 + jitter], 1);
+            d.push(vec![-1.0 - jitter, -1.0], 2);
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut m = SoftmaxRegression::new(2, 3, 0.5);
+        for _ in 0..100 {
+            m.train_epoch(&d, 10, &mut rng);
+        }
+        assert_eq!(m.predict(&[1.2, 0.0]), 0);
+        assert_eq!(m.predict(&[0.0, 1.2]), 1);
+        assert_eq!(m.predict(&[-1.2, -1.2]), 2);
+    }
+
+    #[test]
+    fn zero_weight_examples_do_not_learn() {
+        let mut d = Dataset::new(1);
+        for _ in 0..20 {
+            d.push_weighted(vec![1.0], 1, 0.0);
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut m = SoftmaxRegression::new(1, 2, 0.5);
+        for _ in 0..20 {
+            m.train_epoch(&d, 4, &mut rng);
+        }
+        // Still uniform: the weighted gradient was always zero.
+        let p = m.predict_proba(&[1.0]);
+        assert!((p[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eval_on_empty_dataset_is_zero() {
+        let m = SoftmaxRegression::new(1, 2, 0.1);
+        let d = Dataset::new(1);
+        assert_eq!(m.eval_loss(&d), 0.0);
+        assert_eq!(m.eval_accuracy(&d), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_label_panics() {
+        let mut d = Dataset::new(1);
+        d.push(vec![1.0], 5);
+        let mut m = SoftmaxRegression::new(1, 2, 0.1);
+        m.train_batch(&d, &[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn single_class_rejected() {
+        SoftmaxRegression::new(1, 1, 0.1);
+    }
+}

@@ -1,0 +1,407 @@
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::linalg::dot;
+use crate::loss::{cross_entropy, softmax};
+use crate::optim::Sgd;
+
+/// Configuration for a multi-layer perceptron.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpConfig {
+    /// Input feature dimensionality.
+    pub input_dim: usize,
+    /// Hidden layer widths (may be empty for a linear model).
+    pub hidden: Vec<usize>,
+    /// Number of output classes.
+    pub classes: usize,
+    /// SGD learning rate.
+    pub lr: f64,
+}
+
+/// One dense layer: `out = W x + b` with a ReLU applied on hidden layers.
+#[derive(Debug, Clone)]
+struct Layer {
+    in_dim: usize,
+    out_dim: usize,
+    /// Row-major `out_dim × in_dim`.
+    w: Vec<f64>,
+    b: Vec<f64>,
+    w_opt: Sgd,
+    b_opt: Sgd,
+}
+
+impl Layer {
+    fn new<R: Rng>(in_dim: usize, out_dim: usize, lr: f64, rng: &mut R) -> Self {
+        // Xavier/Glorot uniform initialization.
+        let limit = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let w = (0..in_dim * out_dim)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Self {
+            in_dim,
+            out_dim,
+            w,
+            b: vec![0.0; out_dim],
+            w_opt: Sgd::new(in_dim * out_dim, lr, 0.9),
+            b_opt: Sgd::new(out_dim, lr, 0.9),
+        }
+    }
+
+    fn forward(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.out_dim)
+            .map(|o| dot(&self.w[o * self.in_dim..(o + 1) * self.in_dim], x) + self.b[o])
+            .collect()
+    }
+}
+
+/// A feed-forward network with ReLU hidden layers and a softmax output,
+/// trained with momentum SGD and cross-entropy loss.
+///
+/// Plays the role of the paper's ECG classifier (Rajpurkar et al. 2019):
+/// a model that genuinely improves with more labeled or weakly labeled
+/// windows, so active learning and weak supervision have a real objective.
+///
+/// See the [crate-level example](crate) for end-to-end usage.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    config: MlpConfig,
+    layers: Vec<Layer>,
+}
+
+impl Mlp {
+    /// Creates a randomly initialized network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input_dim == 0`, `classes < 2`, any hidden width is zero,
+    /// or `lr <= 0`.
+    pub fn new<R: Rng>(config: MlpConfig, rng: &mut R) -> Self {
+        assert!(config.input_dim > 0, "need at least one input feature");
+        assert!(config.classes >= 2, "need at least two classes");
+        assert!(
+            config.hidden.iter().all(|&h| h > 0),
+            "hidden widths must be positive"
+        );
+        let mut layers = Vec::new();
+        let mut prev = config.input_dim;
+        for &h in &config.hidden {
+            layers.push(Layer::new(prev, h, config.lr, rng));
+            prev = h;
+        }
+        layers.push(Layer::new(prev, config.classes, config.lr, rng));
+        Self { config, layers }
+    }
+
+    /// The configuration the network was built with.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Replaces the learning rate of every layer (e.g. to fine-tune at a
+    /// lower rate than pretraining).
+    pub fn set_lr(&mut self, lr: f64) {
+        for layer in &mut self.layers {
+            layer.w_opt.set_lr(lr);
+            layer.b_opt.set_lr(lr);
+        }
+    }
+
+    /// Forward pass returning every layer's pre-activation and activation;
+    /// the final activation is the softmax probability vector.
+    fn forward_full(&self, x: &[f64]) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let mut activations: Vec<Vec<f64>> = vec![x.to_vec()];
+        let mut cur = x.to_vec();
+        let n = self.layers.len();
+        for (li, layer) in self.layers.iter().enumerate() {
+            let mut z = layer.forward(&cur);
+            if li + 1 < n {
+                for v in z.iter_mut() {
+                    *v = v.max(0.0); // ReLU
+                }
+            }
+            activations.push(z.clone());
+            cur = z;
+        }
+        let probs = softmax(&cur);
+        (activations, probs)
+    }
+
+    /// Class probabilities for one feature vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != config.input_dim`.
+    pub fn predict_proba(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.config.input_dim, "feature dimension mismatch");
+        self.forward_full(x).1
+    }
+
+    /// Most probable class.
+    pub fn predict(&self, x: &[f64]) -> usize {
+        let p = self.predict_proba(x);
+        p.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// One epoch of weighted mini-batch SGD; returns mean cross-entropy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch_size == 0`, `data` is empty, dimensions mismatch,
+    /// or a label is out of range.
+    pub fn train_epoch<R: Rng>(&mut self, data: &Dataset, batch_size: usize, rng: &mut R) -> f64 {
+        assert!(batch_size > 0, "batch size must be positive");
+        assert!(!data.is_empty(), "cannot train on an empty dataset");
+        assert_eq!(data.dim(), self.config.input_dim, "feature dimension mismatch");
+        let order = data.shuffled_indices(rng);
+        let mut total = 0.0;
+        for chunk in order.chunks(batch_size) {
+            total += self.train_batch(data, chunk);
+        }
+        total / data.len() as f64
+    }
+
+    /// One gradient step on the given indices; returns summed loss
+    /// (pre-update).
+    pub fn train_batch(&mut self, data: &Dataset, indices: &[usize]) -> f64 {
+        if indices.is_empty() {
+            return 0.0;
+        }
+        let n_layers = self.layers.len();
+        let mut gw: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.w.len()])
+            .collect();
+        let mut gb: Vec<Vec<f64>> = self
+            .layers
+            .iter()
+            .map(|l| vec![0.0; l.b.len()])
+            .collect();
+        let mut loss = 0.0;
+        let scale = 1.0 / indices.len() as f64;
+        for &i in indices {
+            let x = data.features(i);
+            let y = data.label(i);
+            assert!(y < self.config.classes, "label {y} out of range");
+            let weight = data.weight(i);
+            let (acts, probs) = self.forward_full(x);
+            loss += weight * cross_entropy(&probs, y);
+            // Output delta: softmax + cross-entropy.
+            let mut delta: Vec<f64> = probs
+                .iter()
+                .enumerate()
+                .map(|(c, &p)| weight * scale * (p - if c == y { 1.0 } else { 0.0 }))
+                .collect();
+            // Backpropagate through layers in reverse.
+            for li in (0..n_layers).rev() {
+                let input = &acts[li];
+                let layer = &self.layers[li];
+                for o in 0..layer.out_dim {
+                    gb[li][o] += delta[o];
+                    let row = &mut gw[li][o * layer.in_dim..(o + 1) * layer.in_dim];
+                    for (g, xv) in row.iter_mut().zip(input) {
+                        *g += delta[o] * xv;
+                    }
+                }
+                if li > 0 {
+                    // delta for previous layer, gated by its ReLU.
+                    let mut prev = vec![0.0; layer.in_dim];
+                    for o in 0..layer.out_dim {
+                        let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
+                        for (p, wv) in prev.iter_mut().zip(row) {
+                            *p += delta[o] * wv;
+                        }
+                    }
+                    for (p, a) in prev.iter_mut().zip(&acts[li]) {
+                        if *a <= 0.0 {
+                            *p = 0.0;
+                        }
+                    }
+                    delta = prev;
+                }
+            }
+        }
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            layer.w_opt.step(&mut layer.w, &gw[li]);
+            layer.b_opt.step(&mut layer.b, &gb[li]);
+        }
+        loss
+    }
+
+    /// Mean cross-entropy on `data` (no updates).
+    pub fn eval_loss(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        (0..data.len())
+            .map(|i| cross_entropy(&self.predict_proba(data.features(i)), data.label(i)))
+            .sum::<f64>()
+            / data.len() as f64
+    }
+
+    /// Classification accuracy on `data`.
+    pub fn eval_accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let hits = (0..data.len())
+            .filter(|&i| self.predict(data.features(i)) == data.label(i))
+            .count();
+        hits as f64 / data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_data() -> Dataset {
+        let mut d = Dataset::new(2);
+        for _ in 0..10 {
+            d.push(vec![0.0, 0.0], 0);
+            d.push(vec![0.0, 1.0], 1);
+            d.push(vec![1.0, 0.0], 1);
+            d.push(vec![1.0, 1.0], 0);
+        }
+        d
+    }
+
+    #[test]
+    fn probabilities_form_a_simplex() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 3,
+                hidden: vec![5],
+                classes: 4,
+                lr: 0.1,
+            },
+            &mut rng,
+        );
+        let p = mlp.predict_proba(&[0.5, -1.0, 2.0]);
+        assert_eq!(p.len(), 4);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn learns_xor() {
+        let data = xor_data();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 2,
+                hidden: vec![8],
+                classes: 2,
+                lr: 0.1,
+            },
+            &mut rng,
+        );
+        for _ in 0..500 {
+            mlp.train_epoch(&data, 8, &mut rng);
+        }
+        assert!((mlp.eval_accuracy(&data) - 1.0).abs() < 1e-9, "xor not learned");
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let data = xor_data();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 2,
+                hidden: vec![8],
+                classes: 2,
+                lr: 0.1,
+            },
+            &mut rng,
+        );
+        let before = mlp.eval_loss(&data);
+        for _ in 0..100 {
+            mlp.train_epoch(&data, 8, &mut rng);
+        }
+        assert!(mlp.eval_loss(&data) < before);
+    }
+
+    #[test]
+    fn linear_mlp_without_hidden_layers_works() {
+        let mut d = Dataset::new(1);
+        for i in 0..40 {
+            let x = i as f64 / 20.0 - 1.0;
+            d.push(vec![x], usize::from(x > 0.0));
+        }
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 1,
+                hidden: vec![],
+                classes: 2,
+                lr: 0.5,
+            },
+            &mut rng,
+        );
+        for _ in 0..200 {
+            mlp.train_epoch(&d, 8, &mut rng);
+        }
+        assert!(mlp.eval_accuracy(&d) > 0.95);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = xor_data();
+        let build = || {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut mlp = Mlp::new(
+                MlpConfig {
+                    input_dim: 2,
+                    hidden: vec![4],
+                    classes: 2,
+                    lr: 0.1,
+                },
+                &mut rng,
+            );
+            for _ in 0..20 {
+                mlp.train_epoch(&data, 8, &mut rng);
+            }
+            mlp.predict_proba(&[1.0, 0.0])
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    #[should_panic(expected = "feature dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new(
+            MlpConfig {
+                input_dim: 2,
+                hidden: vec![],
+                classes: 2,
+                lr: 0.1,
+            },
+            &mut rng,
+        );
+        mlp.predict_proba(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two classes")]
+    fn one_class_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        Mlp::new(
+            MlpConfig {
+                input_dim: 2,
+                hidden: vec![],
+                classes: 1,
+                lr: 0.1,
+            },
+            &mut rng,
+        );
+    }
+}

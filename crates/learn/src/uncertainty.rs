@@ -1,0 +1,109 @@
+//! Uncertainty scores over predicted class distributions.
+//!
+//! These are the classical active-learning acquisition signals (Settles
+//! 2009) that the paper uses as baselines; BAL competes against
+//! least-confidence sampling in §5.4. All functions score *uncertainty*:
+//! higher means the model is less sure, so batch selection takes the
+//! highest-scoring points.
+
+/// Least-confidence uncertainty: `1 - max_c p(c)`.
+///
+/// The paper's "uncertainty sampling with 'least confident'" baseline
+/// ranks by exactly this quantity.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty.
+pub fn least_confidence(probs: &[f64]) -> f64 {
+    assert!(!probs.is_empty(), "empty probability vector");
+    1.0 - probs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+}
+
+/// Margin uncertainty: `1 - (p(best) - p(second best))`.
+///
+/// # Panics
+///
+/// Panics if `probs` has fewer than two entries.
+pub fn margin(probs: &[f64]) -> f64 {
+    assert!(probs.len() >= 2, "margin needs at least two classes");
+    let mut best = f64::NEG_INFINITY;
+    let mut second = f64::NEG_INFINITY;
+    for &p in probs {
+        if p > best {
+            second = best;
+            best = p;
+        } else if p > second {
+            second = p;
+        }
+    }
+    1.0 - (best - second)
+}
+
+/// Shannon entropy in nats.
+///
+/// # Panics
+///
+/// Panics if `probs` is empty.
+pub fn entropy(probs: &[f64]) -> f64 {
+    assert!(!probs.is_empty(), "empty probability vector");
+    -probs
+        .iter()
+        .filter(|&&p| p > 0.0)
+        .map(|&p| p * p.ln())
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn least_confidence_ordering() {
+        assert!(least_confidence(&[0.5, 0.5]) > least_confidence(&[0.9, 0.1]));
+        assert!((least_confidence(&[1.0, 0.0]) - 0.0).abs() < 1e-12);
+        assert!((least_confidence(&[0.25; 4]) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_ordering() {
+        assert!(margin(&[0.5, 0.5]) > margin(&[0.9, 0.1]));
+        assert!((margin(&[0.5, 0.5]) - 1.0).abs() < 1e-12);
+        assert!((margin(&[1.0, 0.0]) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn margin_uses_top_two_of_many() {
+        // Best 0.5, second 0.3 -> margin score 0.8.
+        assert!((margin(&[0.5, 0.3, 0.2]) - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_extremes() {
+        assert!((entropy(&[1.0, 0.0]) - 0.0).abs() < 1e-12);
+        let uniform = entropy(&[0.25; 4]);
+        assert!((uniform - (4.0f64).ln()).abs() < 1e-12);
+        // Uniform maximizes entropy.
+        assert!(entropy(&[0.7, 0.1, 0.1, 0.1]) < uniform);
+    }
+
+    #[test]
+    fn all_scores_agree_on_certain_vs_uncertain() {
+        let certain = [0.99, 0.005, 0.005];
+        let uncertain = [0.34, 0.33, 0.33];
+        assert!(least_confidence(&certain) < least_confidence(&uncertain));
+        assert!(margin(&certain) < margin(&uncertain));
+        assert!(entropy(&certain) < entropy(&uncertain));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn least_confidence_empty_panics() {
+        least_confidence(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn margin_single_class_panics() {
+        margin(&[1.0]);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for the ML substrate.
+
+use omg_learn::uncertainty::{entropy, least_confidence, margin};
+use omg_learn::{softmax, Dataset, SoftmaxRegression};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_logits() -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-20.0f64..20.0, 2..8)
+}
+
+proptest! {
+    #[test]
+    fn softmax_is_a_distribution(logits in arb_logits()) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_preserves_argmax(logits in arb_logits()) {
+        let p = softmax(&logits);
+        let arg = |xs: &[f64]| {
+            xs.iter().enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i).unwrap()
+        };
+        prop_assert_eq!(arg(&logits), arg(&p));
+    }
+
+    #[test]
+    fn uncertainty_scores_are_bounded(logits in arb_logits()) {
+        let p = softmax(&logits);
+        let lc = least_confidence(&p);
+        prop_assert!((0.0..=1.0).contains(&lc));
+        let m = margin(&p);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&m));
+        let h = entropy(&p);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (p.len() as f64).ln() + 1e-9);
+    }
+
+    #[test]
+    fn logreg_probabilities_always_valid(
+        features in proptest::collection::vec(-10.0f64..10.0, 4),
+        steps in 0usize..30,
+    ) {
+        let mut d = Dataset::new(4);
+        d.push(vec![1.0, 0.0, 0.0, 0.0], 0);
+        d.push(vec![0.0, 1.0, 0.0, 0.0], 1);
+        d.push(vec![0.0, 0.0, 1.0, 0.0], 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut m = SoftmaxRegression::new(4, 3, 0.5);
+        for _ in 0..steps {
+            m.train_epoch(&d, 2, &mut rng);
+        }
+        let p = m.predict_proba(&features);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn training_on_separable_data_never_diverges(seed in 0u64..50) {
+        let mut d = Dataset::new(2);
+        for i in 0..20 {
+            let t = i as f64 * 0.1;
+            d.push(vec![1.0 + t, 0.5], 1);
+            d.push(vec![-1.0 - t, 0.5], 0);
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = SoftmaxRegression::new(2, 2, 0.3);
+        let mut last = f64::INFINITY;
+        for _ in 0..30 {
+            last = m.train_epoch(&d, 8, &mut rng);
+        }
+        prop_assert!(last.is_finite());
+        prop_assert!(m.eval_accuracy(&d) >= 0.9);
+    }
+}

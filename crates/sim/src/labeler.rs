@@ -1,0 +1,220 @@
+//! A simulated human labeling service, for the label-validation
+//! experiment (Appendix E).
+//!
+//! The paper obtained labels for 1,000 random `night-street` frames from
+//! Scale AI and found "no localization errors, but ... 32 classification
+//! errors" out of 469 boxes, of which a tracking-based consistency
+//! assertion caught 12.5%. That asymmetry — only a fraction of errors are
+//! caught — exists because an assertion can only see *inconsistency*: a
+//! labeler who mislabels the same vehicle the same way in every frame is
+//! invisible to it.
+//!
+//! [`HumanLabeler`] therefore models two error processes:
+//!
+//! * **per-track confusion** — a vehicle that genuinely looks like another
+//!   class to this labeler gets the same wrong label in every frame
+//!   (consistent, *uncatchable*);
+//! * **per-frame slips** — attention lapses produce a wrong label in a
+//!   single frame (inconsistent, *catchable*).
+
+use omg_geom::BBox2D;
+use rand::Rng;
+
+use crate::derive_rng;
+use crate::signal::CLUTTER_CLASS;
+use crate::traffic::GtFrame;
+use crate::NUM_CLASSES;
+
+/// One human-labeled box.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabeledBox {
+    /// The labeled box (humans localize well: the GT box verbatim).
+    pub bbox: BBox2D,
+    /// The class the labeler assigned.
+    pub class: usize,
+    /// The true class (simulator-side, for error accounting).
+    pub true_class: usize,
+    /// The underlying object's track id.
+    pub track_id: u64,
+}
+
+impl LabeledBox {
+    /// Whether the label is wrong.
+    pub fn is_error(&self) -> bool {
+        self.class != self.true_class
+    }
+}
+
+/// A simulated labeling service.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HumanLabeler {
+    /// Probability that a given track is consistently mislabeled.
+    pub track_confusion_rate: f64,
+    /// Per-frame probability of a transient wrong label.
+    pub slip_rate: f64,
+    /// Seed of the labeler's error process.
+    pub seed: u64,
+}
+
+impl HumanLabeler {
+    /// Creates a labeler calibrated to the paper's Appendix E: roughly 7%
+    /// of boxes mislabeled overall, with roughly one in eight errors being
+    /// a transient (catchable) slip.
+    pub fn scale_like(seed: u64) -> Self {
+        Self {
+            track_confusion_rate: 0.062,
+            slip_rate: 0.009,
+            seed,
+        }
+    }
+
+    /// Labels one frame's real objects (clutter is never given a box —
+    /// the paper found no spurious boxes either).
+    pub fn label_frame(&self, frame: &GtFrame) -> Vec<LabeledBox> {
+        let mut out = Vec::new();
+        for signal in frame.signals.iter().filter(|s| !s.is_clutter()) {
+            debug_assert!(signal.true_class != CLUTTER_CLASS);
+            // Track-level confusion: one draw per track, stable across
+            // frames.
+            let mut track_rng = derive_rng(self.seed ^ 0x7AC4, signal.track_id);
+            let confused = track_rng.gen::<f64>() < self.track_confusion_rate;
+            let confused_class = (signal.true_class
+                + track_rng.gen_range(1..NUM_CLASSES))
+                % NUM_CLASSES;
+            // Frame-level slip: one draw per (track, frame).
+            let mut slip_rng = derive_rng(
+                self.seed ^ 0x511D,
+                signal
+                    .track_id
+                    .wrapping_mul(1_000_003)
+                    .wrapping_add(frame.index),
+            );
+            let slipped = slip_rng.gen::<f64>() < self.slip_rate;
+            let slip_class = (signal.true_class + slip_rng.gen_range(1..NUM_CLASSES))
+                % NUM_CLASSES;
+
+            let class = if slipped {
+                slip_class
+            } else if confused {
+                confused_class
+            } else {
+                signal.true_class
+            };
+            out.push(LabeledBox {
+                bbox: signal.bbox,
+                class,
+                true_class: signal.true_class,
+                track_id: signal.track_id,
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::{TrafficConfig, TrafficWorld};
+
+    fn frames(n: usize) -> Vec<GtFrame> {
+        TrafficWorld::new(TrafficConfig::night_street(), 77).steps(n)
+    }
+
+    #[test]
+    fn labels_cover_all_objects_with_exact_boxes() {
+        let fs = frames(50);
+        let labeler = HumanLabeler::scale_like(1);
+        for f in &fs {
+            let labels = labeler.label_frame(f);
+            let objects: Vec<_> = f.signals.iter().filter(|s| !s.is_clutter()).collect();
+            assert_eq!(labels.len(), objects.len());
+            for (l, o) in labels.iter().zip(&objects) {
+                assert_eq!(l.bbox, o.bbox, "no localization errors");
+                assert_eq!(l.track_id, o.track_id);
+            }
+        }
+    }
+
+    #[test]
+    fn labeling_is_deterministic() {
+        let fs = frames(20);
+        let labeler = HumanLabeler::scale_like(1);
+        for f in &fs {
+            assert_eq!(labeler.label_frame(f), labeler.label_frame(f));
+        }
+    }
+
+    #[test]
+    fn error_rate_is_calibrated() {
+        let fs = frames(1500);
+        let labeler = HumanLabeler::scale_like(3);
+        let mut total = 0usize;
+        let mut errors = 0usize;
+        for f in &fs {
+            for l in labeler.label_frame(f) {
+                total += 1;
+                errors += usize::from(l.is_error());
+            }
+        }
+        let rate = errors as f64 / total as f64;
+        assert!(
+            (0.03..0.12).contains(&rate),
+            "label error rate {rate} outside the Appendix E band (~7%)"
+        );
+    }
+
+    #[test]
+    fn confused_tracks_are_consistent() {
+        // Every erroneous label of a confused (non-slipped) track must be
+        // the same wrong class in all frames.
+        let fs = frames(400);
+        let labeler = HumanLabeler {
+            track_confusion_rate: 0.5, // exaggerate for the test
+            slip_rate: 0.0,
+            seed: 9,
+        };
+        let mut per_track: std::collections::HashMap<u64, Vec<usize>> = Default::default();
+        for f in &fs {
+            for l in labeler.label_frame(f) {
+                per_track.entry(l.track_id).or_default().push(l.class);
+            }
+        }
+        for (track, classes) in per_track {
+            let first = classes[0];
+            assert!(
+                classes.iter().all(|&c| c == first),
+                "track {track} labels flip without slips"
+            );
+        }
+    }
+
+    #[test]
+    fn slips_are_transient() {
+        let fs = frames(600);
+        let labeler = HumanLabeler {
+            track_confusion_rate: 0.0,
+            slip_rate: 0.05, // exaggerate
+            seed: 4,
+        };
+        let mut per_track: std::collections::HashMap<u64, Vec<usize>> = Default::default();
+        for f in &fs {
+            for l in labeler.label_frame(f) {
+                per_track.entry(l.track_id).or_default().push(l.class);
+            }
+        }
+        // At least one long track must show a transient flip (error
+        // surrounded by correct labels).
+        let mut found_transient = false;
+        for classes in per_track.values() {
+            if classes.len() < 5 {
+                continue;
+            }
+            for w in classes.windows(3) {
+                if w[0] == w[2] && w[0] != w[1] {
+                    found_transient = true;
+                }
+            }
+        }
+        assert!(found_transient, "no transient slips generated");
+    }
+}

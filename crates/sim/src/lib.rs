@@ -1,0 +1,51 @@
+//! Simulated worlds and sensors for reproducing the paper's evaluation.
+//!
+//! The paper evaluates OMG on four real-world workloads — TV news, video
+//! analytics (`night-street`), autonomous vehicles (NuScenes), and ECG
+//! classification (CINC17) — using proprietary footage, large public
+//! datasets, and GPU-trained models. None of those artifacts are available
+//! here, so this crate provides the *closest synthetic equivalents that
+//! exercise the same code paths* (see `DESIGN.md` §2 for the substitution
+//! table):
+//!
+//! * [`traffic`] — a kinematic night-street traffic scene generator with
+//!   ground-truth tracks, occlusion, and night-time contrast.
+//! * [`detector`] — [`detector::SimDetector`], a *genuinely trainable*
+//!   object detector whose detection, classification, and
+//!   duplicate-suppression behaviour are logistic models over object
+//!   appearance features. Pretrained on a "still-image daytime" domain and
+//!   deployed on night video, it exhibits exactly the systematic error
+//!   classes the paper reports: flicker, multibox duplicates, systematic
+//!   misclassification, and **high-confidence errors**.
+//! * [`av`] — a 3D autonomous-vehicle world sampled at 2 Hz with a
+//!   LIDAR-like 3D detector and a camera pipeline (projection via
+//!   `omg-geom`), for the `agree` assertion.
+//! * [`ecg`] — a hidden-Markov rhythm process emitting class-conditional
+//!   feature windows, classified by an `omg-learn` MLP, for the 30-second
+//!   ECG consistency assertion.
+//! * [`news`] — scene-cut TV news with hosts carrying identity, gender,
+//!   and hair-colour attributes, and classifiers with transient
+//!   within-scene identity swaps.
+//! * [`labeler`] — a simulated human labeling service with per-track and
+//!   per-frame classification errors (no localization errors), calibrated
+//!   to the paper's Appendix E.
+//!
+//! All randomness flows through seeded [`rand::rngs::StdRng`] instances;
+//! every world is deterministic given its config and seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod av;
+pub mod detector;
+pub mod ecg;
+pub mod labeler;
+pub mod news;
+mod rng;
+mod signal;
+pub mod traffic;
+
+pub use rng::derive_rng;
+pub use signal::{
+    AppearanceModel, DomainConditions, ObjectSignal, APP_DIM, CLUTTER_CLASS, NUM_CLASSES,
+};

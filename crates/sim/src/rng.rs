@@ -1,0 +1,49 @@
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Derives an independent, reproducible RNG from a base seed and a stream
+/// identifier.
+///
+/// Worlds use one stream per concern (spawning, detection noise, labeling
+/// errors, ...) so that, e.g., re-running detection with a retrained model
+/// consumes the same underlying random draws — a retrained model's
+/// improvement is then monotone in its probabilities rather than an
+/// artifact of RNG realignment.
+pub fn derive_rng(seed: u64, stream: u64) -> StdRng {
+    // SplitMix64 over (seed, stream) gives well-separated seeds.
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream)
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    StdRng::seed_from_u64(z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed_and_stream() {
+        let a: f64 = derive_rng(7, 1).gen();
+        let b: f64 = derive_rng(7, 1).gen();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let a: f64 = derive_rng(7, 1).gen();
+        let b: f64 = derive_rng(7, 2).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn seeds_are_independent() {
+        let a: f64 = derive_rng(7, 1).gen();
+        let b: f64 = derive_rng(8, 1).gen();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,92 @@
+use omg_geom::BBox2D;
+
+use crate::track::Track;
+
+/// Fills a track's gap frames by linear interpolation between the nearest
+/// observed boxes on either side.
+///
+/// Returns `(frame, interpolated_box)` pairs for every gap frame, in frame
+/// order. This is the default `WeakLabel` synthesis for temporal
+/// consistency violations: the paper proposes new boxes for flickered-out
+/// frames by "averaging the locations of the object on nearby video
+/// frames" (§4.2, Figure 1 bottom row).
+pub fn interpolate_gaps(track: &Track) -> Vec<(usize, BBox2D)> {
+    let observed: Vec<(usize, BBox2D)> = track.iter().map(|(f, o)| (f, o.bbox)).collect();
+    let mut out = Vec::new();
+    for w in observed.windows(2) {
+        let (f0, b0) = w[0];
+        let (f1, b1) = w[1];
+        if f1 - f0 <= 1 {
+            continue;
+        }
+        for f in (f0 + 1)..f1 {
+            let t = (f - f0) as f64 / (f1 - f0) as f64;
+            out.push((f, b0.lerp(&b1, t)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::track::{Observation, TrackId};
+
+    fn obs(x: f64) -> Observation {
+        Observation {
+            bbox: BBox2D::new(x, 0.0, x + 10.0, 10.0).unwrap(),
+            class: 0,
+            score: 0.9,
+        }
+    }
+
+    #[test]
+    fn no_gaps_no_output() {
+        let mut t = Track::new(TrackId(0), 0, obs(0.0));
+        t.record(1, obs(1.0));
+        assert!(interpolate_gaps(&t).is_empty());
+    }
+
+    #[test]
+    fn single_gap_is_midpoint() {
+        let mut t = Track::new(TrackId(0), 0, obs(0.0));
+        t.record(2, obs(10.0));
+        let filled = interpolate_gaps(&t);
+        assert_eq!(filled.len(), 1);
+        let (f, b) = filled[0];
+        assert_eq!(f, 1);
+        assert!((b.x1() - 5.0).abs() < 1e-12);
+        assert!((b.x2() - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_frame_gap_is_evenly_spaced() {
+        let mut t = Track::new(TrackId(0), 0, obs(0.0));
+        t.record(4, obs(8.0));
+        let filled = interpolate_gaps(&t);
+        assert_eq!(filled.len(), 3);
+        for (i, (f, b)) in filled.iter().enumerate() {
+            assert_eq!(*f, i + 1);
+            assert!((b.x1() - 2.0 * (i + 1) as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn multiple_gaps_all_filled() {
+        let mut t = Track::new(TrackId(0), 0, obs(0.0));
+        t.record(2, obs(2.0));
+        t.record(5, obs(5.0));
+        let filled = interpolate_gaps(&t);
+        let frames: Vec<usize> = filled.iter().map(|&(f, _)| f).collect();
+        assert_eq!(frames, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn stationary_object_interpolates_in_place() {
+        let mut t = Track::new(TrackId(0), 0, obs(7.0));
+        t.record(3, obs(7.0));
+        for (_, b) in interpolate_gaps(&t) {
+            assert!((b.x1() - 7.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+use std::collections::BTreeMap;
+
+use crate::track::{Observation, Track, TrackId};
+
+/// Greedy IoU-based multi-object tracker.
+///
+/// On every [`update`](IouTracker::update), detections are associated to
+/// live tracks by descending IoU against each track's most recent box; a
+/// detection that matches no live track above `iou_threshold` starts a new
+/// track. Tracks unseen for more than `max_age` frames are retired (but
+/// retained for querying).
+///
+/// Association is class-agnostic on purpose: the paper's assertions are
+/// precisely about objects whose *class labels* are inconsistent over
+/// time, so the tracker must not use the class to decide identity.
+#[derive(Debug, Clone)]
+pub struct IouTracker {
+    iou_threshold: f64,
+    max_age: usize,
+    next_id: u64,
+    tracks: BTreeMap<TrackId, Track>,
+    /// Tracks still eligible for association.
+    live: Vec<TrackId>,
+}
+
+impl IouTracker {
+    /// Creates a tracker.
+    ///
+    /// * `iou_threshold` — minimum IoU between a detection and a track's
+    ///   last box for association (typical: `0.3`–`0.5`).
+    /// * `max_age` — number of consecutive unseen frames after which a
+    ///   track is retired; an age of `k` lets a track survive `k` missed
+    ///   frames (this is what lets flickering objects keep one identity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `iou_threshold` is not in `(0, 1]`.
+    pub fn new(iou_threshold: f64, max_age: usize) -> Self {
+        assert!(
+            iou_threshold > 0.0 && iou_threshold <= 1.0,
+            "iou threshold must be in (0, 1], got {iou_threshold}"
+        );
+        Self {
+            iou_threshold,
+            max_age,
+            next_id: 0,
+            tracks: BTreeMap::new(),
+            live: Vec::new(),
+        }
+    }
+
+    /// Processes one frame of detections and returns the track id assigned
+    /// to each detection, aligned with the input order.
+    ///
+    /// Frames must be fed in non-decreasing order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame` precedes an already-processed frame.
+    pub fn update(&mut self, frame: usize, detections: &[Observation]) -> Vec<TrackId> {
+        if let Some(last) = self.tracks.values().map(|t| t.last_frame()).max() {
+            assert!(
+                frame >= last || self.live.is_empty(),
+                "frames must be processed in order (got {frame} after {last})"
+            );
+        }
+        // Retire stale tracks first.
+        self.live.retain(|id| {
+            let t = &self.tracks[id];
+            frame.saturating_sub(t.last_frame()) <= self.max_age
+        });
+
+        // Build all candidate (iou, track_pos, det_idx) pairs and match
+        // greedily by descending IoU.
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+        for (ti, id) in self.live.iter().enumerate() {
+            let last_box = self.tracks[id].latest().bbox;
+            for (di, det) in detections.iter().enumerate() {
+                let iou = last_box.iou(&det.bbox);
+                if iou >= self.iou_threshold {
+                    pairs.push((iou, ti, di));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| {
+            b.0.partial_cmp(&a.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+                .then(a.2.cmp(&b.2))
+        });
+
+        let mut track_taken = vec![false; self.live.len()];
+        let mut det_assignment: Vec<Option<TrackId>> = vec![None; detections.len()];
+        for (_, ti, di) in pairs {
+            if track_taken[ti] || det_assignment[di].is_some() {
+                continue;
+            }
+            track_taken[ti] = true;
+            det_assignment[di] = Some(self.live[ti]);
+        }
+
+        let mut out = Vec::with_capacity(detections.len());
+        for (di, det) in detections.iter().enumerate() {
+            let id = match det_assignment[di] {
+                Some(id) => {
+                    self.tracks
+                        .get_mut(&id)
+                        .expect("live track exists")
+                        .record(frame, *det);
+                    id
+                }
+                None => {
+                    let id = TrackId(self.next_id);
+                    self.next_id += 1;
+                    self.tracks.insert(id, Track::new(id, frame, *det));
+                    self.live.push(id);
+                    id
+                }
+            };
+            out.push(id);
+        }
+        out
+    }
+
+    /// All tracks ever created, in id order.
+    pub fn tracks(&self) -> impl Iterator<Item = &Track> {
+        self.tracks.values()
+    }
+
+    /// The track with the given id, if it exists.
+    pub fn track(&self, id: TrackId) -> Option<&Track> {
+        self.tracks.get(&id)
+    }
+
+    /// Number of tracks ever created.
+    pub fn num_tracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Consumes the tracker and returns all tracks in id order.
+    pub fn into_tracks(self) -> Vec<Track> {
+        self.tracks.into_values().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omg_geom::BBox2D;
+
+    fn obs(x: f64, y: f64) -> Observation {
+        Observation {
+            bbox: BBox2D::new(x, y, x + 10.0, y + 10.0).unwrap(),
+            class: 0,
+            score: 0.9,
+        }
+    }
+
+    #[test]
+    fn single_object_keeps_one_id() {
+        let mut tr = IouTracker::new(0.3, 2);
+        let mut ids = Vec::new();
+        for f in 0..10 {
+            ids.push(tr.update(f, &[obs(f as f64, 0.0)])[0]);
+        }
+        assert!(ids.iter().all(|&i| i == ids[0]));
+        assert_eq!(tr.num_tracks(), 1);
+    }
+
+    #[test]
+    fn two_separated_objects_get_distinct_ids() {
+        let mut tr = IouTracker::new(0.3, 2);
+        let ids = tr.update(0, &[obs(0.0, 0.0), obs(100.0, 100.0)]);
+        assert_ne!(ids[0], ids[1]);
+        let ids2 = tr.update(1, &[obs(1.0, 0.0), obs(101.0, 100.0)]);
+        assert_eq!(ids[0], ids2[0]);
+        assert_eq!(ids[1], ids2[1]);
+    }
+
+    #[test]
+    fn flickering_object_survives_within_max_age() {
+        let mut tr = IouTracker::new(0.3, 2);
+        let a = tr.update(0, &[obs(0.0, 0.0)])[0];
+        tr.update(1, &[]); // missed frame
+        let b = tr.update(2, &[obs(1.0, 0.0)])[0];
+        assert_eq!(a, b, "track should survive a 1-frame flicker");
+        let track = tr.track(a).unwrap();
+        assert_eq!(track.gap_frames(), vec![1]);
+    }
+
+    #[test]
+    fn object_re_id_after_max_age() {
+        let mut tr = IouTracker::new(0.3, 1);
+        let a = tr.update(0, &[obs(0.0, 0.0)])[0];
+        tr.update(1, &[]);
+        tr.update(2, &[]);
+        let b = tr.update(3, &[obs(0.0, 0.0)])[0];
+        assert_ne!(a, b, "a long disappearance must start a new track");
+        assert_eq!(tr.num_tracks(), 2);
+    }
+
+    #[test]
+    fn greedy_matching_prefers_higher_iou() {
+        let mut tr = IouTracker::new(0.1, 2);
+        let ids = tr.update(0, &[obs(0.0, 0.0), obs(8.0, 0.0)]);
+        // Next frame: one box exactly on the first, one shifted.
+        let ids2 = tr.update(1, &[obs(0.0, 0.0), obs(8.5, 0.0)]);
+        assert_eq!(ids[0], ids2[0]);
+        assert_eq!(ids[1], ids2[1]);
+    }
+
+    #[test]
+    fn class_changes_do_not_break_identity() {
+        let mut tr = IouTracker::new(0.3, 2);
+        let a = tr.update(
+            0,
+            &[Observation {
+                bbox: BBox2D::new(0.0, 0.0, 10.0, 10.0).unwrap(),
+                class: 0,
+                score: 0.9,
+            }],
+        )[0];
+        let b = tr.update(
+            1,
+            &[Observation {
+                bbox: BBox2D::new(0.5, 0.0, 10.5, 10.0).unwrap(),
+                class: 1, // class flipped: the assertion target
+                score: 0.9,
+            }],
+        )[0];
+        assert_eq!(a, b);
+        assert_eq!(tr.track(a).unwrap().distinct_classes(), 2);
+    }
+
+    #[test]
+    fn simultaneous_objects_never_merge() {
+        let mut tr = IouTracker::new(0.3, 2);
+        for f in 0..5 {
+            let ids = tr.update(f, &[obs(0.0, 0.0), obs(50.0, 0.0)]);
+            assert_ne!(ids[0], ids[1]);
+        }
+        assert_eq!(tr.num_tracks(), 2);
+    }
+
+    #[test]
+    fn into_tracks_returns_everything() {
+        let mut tr = IouTracker::new(0.3, 2);
+        tr.update(0, &[obs(0.0, 0.0), obs(100.0, 0.0)]);
+        let tracks = tr.into_tracks();
+        assert_eq!(tracks.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "iou threshold")]
+    fn zero_threshold_rejected() {
+        IouTracker::new(0.0, 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Active learning with BAL: compare random sampling against the paper's
+//! bandit algorithm on a small night-street pool.
+//!
+//! ```text
+//! cargo run --release -p omg-examples --bin active_learning
+//! ```
+
+use omg_active::{
+    run_rounds, ActiveLearner, BalStrategy, CandidatePool, FallbackPolicy, RandomStrategy,
+    SelectionStrategy,
+};
+use omg_core::AssertionSet;
+use omg_domains::{video_assertion_set, VideoFrame, VideoWindow};
+use omg_eval::DetectionEvaluator;
+use omg_sim::detector::{Detection, DetectorConfig, SimDetector, TrainingBatch};
+use omg_sim::traffic::{GtFrame, TrafficConfig, TrafficWorld};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A minimal end-to-end learner: detect, score with assertions, label
+/// selected frames, retrain, evaluate mAP on a held-out day.
+struct Learner {
+    pool: Vec<GtFrame>,
+    test: Vec<GtFrame>,
+    detector: SimDetector,
+    assertions: AssertionSet<VideoWindow>,
+    unlabeled: Vec<usize>,
+    batch: TrainingBatch,
+}
+
+impl Learner {
+    fn new(seed: u64) -> Self {
+        let pool = TrafficWorld::new(TrafficConfig::night_street(), seed).steps(600);
+        let test = TrafficWorld::new(TrafficConfig::night_street(), seed ^ 0xFF).steps(300);
+        let n = pool.len();
+        Self {
+            pool,
+            test,
+            detector: SimDetector::pretrained(DetectorConfig::default(), 1),
+            assertions: video_assertion_set(0.45),
+            unlabeled: (0..n).collect(),
+            batch: TrainingBatch::new(),
+        }
+    }
+
+    fn detect(&self, frames: &[GtFrame]) -> Vec<Vec<Detection>> {
+        frames
+            .iter()
+            .map(|f| self.detector.detect_frame(f.index, &f.signals))
+            .collect()
+    }
+
+    fn window(&self, dets: &[Vec<Detection>], center: usize) -> VideoWindow {
+        let lo = center.saturating_sub(2);
+        let hi = (center + 3).min(self.pool.len());
+        VideoWindow::new(
+            (lo..hi)
+                .map(|i| VideoFrame {
+                    index: self.pool[i].index,
+                    time: self.pool[i].time,
+                    dets: dets[i].iter().map(|d| d.scored).collect(),
+                })
+                .collect(),
+            center - lo,
+        )
+    }
+}
+
+impl ActiveLearner for Learner {
+    fn pool(&mut self) -> CandidatePool {
+        let dets = self.detect(&self.pool);
+        let mut severities = Vec::new();
+        let mut uncertainties = Vec::new();
+        for &i in &self.unlabeled {
+            let outcomes = self.assertions.check_all(&self.window(&dets, i));
+            severities.push(outcomes.iter().map(|(_, s)| s.value()).collect());
+            let unc = dets[i]
+                .iter()
+                .map(|d| 1.0 - d.scored.score)
+                .fold(0.0f64, f64::max);
+            uncertainties.push(unc);
+        }
+        CandidatePool::new(severities, uncertainties).expect("consistent pool")
+    }
+
+    fn label_and_train(&mut self, selection: &[usize], rng: &mut StdRng) {
+        let chosen: Vec<usize> = selection.iter().map(|&p| self.unlabeled[p]).collect();
+        for &i in &chosen {
+            for s in &self.pool[i].signals {
+                if s.is_clutter() {
+                    self.batch.add_labeled_background(s);
+                } else {
+                    self.batch.add_labeled_object(s);
+                }
+            }
+        }
+        self.unlabeled.retain(|i| !chosen.contains(i));
+        self.detector.train(&self.batch, 4, rng);
+    }
+
+    fn evaluate(&mut self) -> f64 {
+        let mut ev = DetectionEvaluator::new(0.5);
+        for f in &self.test {
+            let dets = self.detector.detect_frame(f.index, &f.signals);
+            let scored: Vec<_> = dets.iter().map(|d| d.scored).collect();
+            ev.add_frame(&scored, &f.gt_boxes());
+        }
+        ev.map_percent()
+    }
+}
+
+fn main() {
+    for (name, mut strategy) in [
+        ("random", Box::new(RandomStrategy) as Box<dyn SelectionStrategy>),
+        ("BAL", Box::new(BalStrategy::new(FallbackPolicy::Uncertainty))),
+    ] {
+        let mut learner = Learner::new(21);
+        let mut rng = StdRng::seed_from_u64(9);
+        let records = run_rounds(&mut learner, strategy.as_mut(), 5, 60, &mut rng);
+        let curve: Vec<String> = records
+            .iter()
+            .map(|r| format!("{:.1}", r.metric))
+            .collect();
+        println!("{name:<7} mAP% per round: {}", curve.join(" -> "));
+    }
+    println!("(BAL spends its budget on assertion-flagged frames, which concentrate the");
+    println!(" detector's systematic night-time errors — see Figure 4a in EXPERIMENTS.md)");
+}

@@ -1,0 +1,62 @@
+//! AV sensor fusion: the `agree` assertion checks LIDAR and camera models
+//! against each other by projecting 3D boxes onto the image plane (§2.2).
+//!
+//! ```text
+//! cargo run --release -p omg-examples --bin av_sensor_fusion
+//! ```
+
+use omg_core::Monitor;
+use omg_domains::{av_assertion_set, AvFrame};
+use omg_sim::av::{AvConfig, AvWorld};
+use omg_sim::detector::{DetectorConfig, SimDetector};
+
+fn main() {
+    let world = AvWorld::new(AvConfig::default(), 3);
+    let camera_model = SimDetector::pretrained(
+        DetectorConfig {
+            detect_temperature: 2.6,
+            ..DetectorConfig::default()
+        },
+        1,
+    );
+
+    let mut monitor = Monitor::with_assertions(av_assertion_set());
+    let mut disagreements = 0usize;
+    let mut samples = 0usize;
+    for scene in 0..10u64 {
+        for sample in world.scene(scene) {
+            let dets =
+                camera_model.detect_frame(scene * 10_000 + sample.index as u64, &sample.signals);
+            let frame = AvFrame {
+                time: sample.time,
+                camera_dets: dets.iter().map(|d| d.scored).collect(),
+                lidar_boxes: sample
+                    .lidar
+                    .iter()
+                    .filter(|l| l.score >= 0.3)
+                    .map(|l| l.bbox)
+                    .collect(),
+                camera: sample.camera,
+            };
+            let report = monitor.process(&frame);
+            samples += 1;
+            if report.any_fired() {
+                disagreements += 1;
+            }
+        }
+    }
+
+    println!("AV sensor-fusion monitoring over {samples} samples (2 Hz):");
+    for id in monitor.assertions().ids() {
+        println!(
+            "  {:<9} fired on {:>4} samples",
+            monitor.assertions().name(id),
+            monitor.db().fire_count(id)
+        );
+    }
+    println!(
+        "  {} samples had some sensor disagreement — \"at least one of the sensors \
+         returned an incorrect answer\"",
+        disagreements
+    );
+}

@@ -1,0 +1,70 @@
+//! Quickstart: register model assertions on a runtime monitor and watch a
+//! stream of model outputs.
+//!
+//! ```text
+//! cargo run -p omg-examples --bin quickstart
+//! ```
+
+use omg_core::{Monitor, Severity};
+
+/// The domain sample: a sliding window of a classifier's recent outputs.
+struct Sample {
+    time: f64,
+    recent: Vec<usize>,
+}
+
+fn main() {
+    let mut monitor: Monitor<Sample> = Monitor::new();
+
+    // OMG's `AddAssertion(func)`: any closure over the model's inputs and
+    // outputs. This one flags rapid A -> B -> A oscillations.
+    let flip_flop = monitor.assertions_mut().add_fn("flip-flop", |s: &Sample| {
+        let oscillations = s
+            .recent
+            .windows(3)
+            .filter(|w| w[0] == w[2] && w[0] != w[1])
+            .count();
+        Severity::from_count(oscillations)
+    });
+
+    // A Boolean assertion: the model should never output class 9.
+    monitor
+        .assertions_mut()
+        .add_fn("no-class-9", |s: &Sample| {
+            Severity::from_bool(s.recent.last() == Some(&9))
+        });
+
+    // A corrective action, like "shut down the autopilot" in the paper:
+    // fire on any severity >= 2.
+    monitor.on_severity(Severity::new(2.0), |s: &Sample, report| {
+        println!(
+            "  !! corrective action at t={:.1}: max severity {}",
+            s.time,
+            report.max_severity()
+        );
+    });
+
+    // Simulate a model that oscillates mid-stream.
+    let outputs = [0, 0, 0, 1, 0, 1, 0, 0, 9, 0];
+    for t in 2..outputs.len() {
+        let sample = Sample {
+            time: t as f64,
+            recent: outputs[..=t].to_vec(),
+        };
+        let report = monitor.process(&sample);
+        println!(
+            "t={:>2}  outputs={:?}  fired={}",
+            t,
+            &outputs[t.saturating_sub(2)..=t],
+            report.any_fired()
+        );
+    }
+
+    // The assertion database answers monitoring queries after the fact.
+    println!(
+        "\nflip-flop fired on {} of {} samples; worst sample: {:?}",
+        monitor.db().fire_count(flip_flop),
+        monitor.samples_processed(),
+        monitor.db().top_by_severity(flip_flop, 1)
+    );
+}
