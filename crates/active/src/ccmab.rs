@@ -199,8 +199,7 @@ mod tests {
         let mut late_total = 0usize;
         for round in 0..200 {
             mab.begin_round();
-            let contexts: Vec<Vec<f64>> =
-                (0..20).map(|_| vec![rng.gen_range(0.0..1.0)]).collect();
+            let contexts: Vec<Vec<f64>> = (0..20).map(|_| vec![rng.gen_range(0.0..1.0)]).collect();
             let sel = mab.select(&contexts, 4);
             for &i in &sel {
                 let reward = contexts[i][0];

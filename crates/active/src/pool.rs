@@ -39,10 +39,7 @@ impl CandidatePool {
     ///
     /// Returns [`PoolShapeError`] if the two inputs disagree in length or
     /// the severity rows are ragged.
-    pub fn new(
-        severities: Vec<Vec<f64>>,
-        uncertainties: Vec<f64>,
-    ) -> Result<Self, PoolShapeError> {
+    pub fn new(severities: Vec<Vec<f64>>, uncertainties: Vec<f64>) -> Result<Self, PoolShapeError> {
         if severities.len() != uncertainties.len() {
             return Err(PoolShapeError {
                 detail: format!(

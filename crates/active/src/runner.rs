@@ -108,7 +108,9 @@ mod tests {
         }
 
         fn evaluate(&mut self) -> f64 {
-            let fixed = (0..100).filter(|&i| self.hard[i] && self.labeled[i]).count();
+            let fixed = (0..100)
+                .filter(|&i| self.hard[i] && self.labeled[i])
+                .count();
             fixed as f64 / 20.0
         }
     }
@@ -145,7 +147,10 @@ mod tests {
             "BAL should label hard points faster: bal {bal} vs random {random}"
         );
         // BAL's first round labels only flagged points: 10 of 20 hard.
-        assert!((bal - 1.0).abs() < 1e-9, "two BAL rounds fix all hard points: {bal}");
+        assert!(
+            (bal - 1.0).abs() < 1e-9,
+            "two BAL rounds fix all hard points: {bal}"
+        );
     }
 
     #[test]

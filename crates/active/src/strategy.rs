@@ -26,7 +26,7 @@ pub trait SelectionStrategy {
 fn sample_uniform(
     candidates: &[usize],
     k: usize,
-    taken: &mut Vec<bool>,
+    taken: &mut [bool],
     rng: &mut StdRng,
 ) -> Vec<usize> {
     let mut avail: Vec<usize> = candidates.iter().copied().filter(|&i| !taken[i]).collect();
@@ -82,7 +82,7 @@ impl SelectionStrategy for UncertaintyStrategy {
 /// when no assertion has anything left.
 fn pick_uniform_from_assertions(
     pool: &CandidatePool,
-    taken: &mut Vec<bool>,
+    taken: &mut [bool],
     rng: &mut StdRng,
 ) -> Option<usize> {
     let live: Vec<usize> = (0..pool.num_assertions())
@@ -200,7 +200,7 @@ impl BalStrategy {
     fn pick_by_severity_rank(
         pool: &CandidatePool,
         m: usize,
-        taken: &mut Vec<bool>,
+        taken: &mut [bool],
         rng: &mut StdRng,
     ) -> Option<usize> {
         let mut avail: Vec<usize> = pool
@@ -237,7 +237,7 @@ impl BalStrategy {
         &self,
         pool: &CandidatePool,
         k: usize,
-        taken: &mut Vec<bool>,
+        taken: &mut [bool],
         rng: &mut StdRng,
     ) -> Vec<usize> {
         match self.fallback {
@@ -246,8 +246,7 @@ impl BalStrategy {
                 sample_uniform(&all, k, taken, rng)
             }
             FallbackPolicy::Uncertainty => {
-                let mut order: Vec<usize> =
-                    (0..pool.len()).filter(|&i| !taken[i]).collect();
+                let mut order: Vec<usize> = (0..pool.len()).filter(|&i| !taken[i]).collect();
                 order.sort_by(|&a, &b| {
                     pool.uncertainty(b)
                         .partial_cmp(&pool.uncertainty(a))
@@ -313,8 +312,7 @@ impl SelectionStrategy for BalStrategy {
                         }
                         // If the chosen assertion is exhausted, try the
                         // others before giving up on this slot.
-                        let mut picked =
-                            Self::pick_by_severity_rank(pool, chosen, &mut taken, rng);
+                        let mut picked = Self::pick_by_severity_rank(pool, chosen, &mut taken, rng);
                         if picked.is_none() {
                             for m in 0..d {
                                 picked = Self::pick_by_severity_rank(pool, m, &mut taken, rng);
@@ -414,7 +412,10 @@ mod tests {
         assert_eq!(sel.len(), 10);
         assert_distinct(&sel);
         // All 10 must be flagged (15 flagged points exist).
-        assert!(sel.iter().all(|&i| i < 15), "unflagged point selected: {sel:?}");
+        assert!(
+            sel.iter().all(|&i| i < 15),
+            "unflagged point selected: {sel:?}"
+        );
     }
 
     #[test]
@@ -450,7 +451,10 @@ mod tests {
         let sel = bal.select(&p, 8, &mut rng());
         assert_eq!(sel.len(), 8);
         assert_distinct(&sel);
-        assert!(sel.iter().all(|&i| i < 15), "round 0 must sample flagged data");
+        assert!(
+            sel.iter().all(|&i| i < 15),
+            "round 0 must sample flagged data"
+        );
     }
 
     #[test]

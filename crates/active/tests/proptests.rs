@@ -37,7 +37,11 @@ fn arb_pool() -> impl Strategy<Value = CandidatePool> {
     })
 }
 
-fn check_selection(pool: &CandidatePool, budget: usize, sel: &[usize]) -> Result<(), TestCaseError> {
+fn check_selection(
+    pool: &CandidatePool,
+    budget: usize,
+    sel: &[usize],
+) -> Result<(), TestCaseError> {
     prop_assert!(sel.len() <= budget);
     prop_assert!(sel.iter().all(|&i| i < pool.len()), "out of range: {sel:?}");
     let mut sorted = sel.to_vec();

@@ -41,17 +41,13 @@ fn strategies(c: &mut Criterion) {
             ("bal", Box::new(BalStrategy::new(FallbackPolicy::Random))),
         ];
         for (name, mut strategy) in cases {
-            group.bench_with_input(
-                BenchmarkId::new(name, n),
-                &pool,
-                |b, pool| {
-                    let mut rng = StdRng::seed_from_u64(7);
-                    b.iter(|| {
-                        strategy.reset();
-                        criterion::black_box(strategy.select(pool, 100, &mut rng))
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name, n), &pool, |b, pool| {
+                let mut rng = StdRng::seed_from_u64(7);
+                b.iter(|| {
+                    strategy.reset();
+                    criterion::black_box(strategy.select(pool, 100, &mut rng))
+                });
+            });
         }
     }
     group.finish();

@@ -49,7 +49,10 @@ fn main() {
     // --- ECG ---
     let ecg = ecgx::EcgScenario::standard(7);
     let clf = ecgx::pretrained_classifier(&ecg, 1);
-    println!("[ecg] pretrained accuracy% = {:.1}", ecgx::evaluate_accuracy(&clf, &ecg.test));
+    println!(
+        "[ecg] pretrained accuracy% = {:.1}",
+        ecgx::evaluate_accuracy(&clf, &ecg.test)
+    );
     let (sev, _) = ecgx::score_pool(&clf, &ecg.pool);
     let fires = sev.iter().filter(|r| r[0] > 0.0).count();
     println!("[ecg] assertion fires on {fires}/{} windows", sev.len());
@@ -71,7 +74,10 @@ fn main() {
     // --- AV ---
     let av = avx::AvScenario::standard(3);
     let cam = avx::pretrained_camera(1);
-    println!("[av] pretrained mAP% = {:.1}", avx::evaluate_map(&cam, &av.test));
+    println!(
+        "[av] pretrained mAP% = {:.1}",
+        avx::evaluate_map(&cam, &av.test)
+    );
     let dets = avx::detect_all(&cam, &av.pool);
     let set = omg_domains::av_assertion_set();
     let (sev, _) = avx::score_samples(&set, &av.pool, &dets);

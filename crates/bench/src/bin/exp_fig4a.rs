@@ -1,5 +1,11 @@
 //! Regenerates Figure 4a (night-street active learning, rounds 2-5).
 fn main() {
-    print!("{}", omg_bench::experiments::fig4::run_video(2, 5, 100, false));
-    print!("{}", omg_bench::experiments::fig4::label_savings(2, 5, 100, 85.0));
+    print!(
+        "{}",
+        omg_bench::experiments::fig4::run_video(2, 5, 100, false)
+    );
+    print!(
+        "{}",
+        omg_bench::experiments::fig4::label_savings(2, 5, 100, 85.0)
+    );
 }

@@ -1,5 +1,8 @@
 //! Regenerates Figure 9 (full active-learning curves, all rounds).
 fn main() {
-    print!("{}", omg_bench::experiments::fig4::run_video(2, 5, 100, true));
+    print!(
+        "{}",
+        omg_bench::experiments::fig4::run_video(2, 5, 100, true)
+    );
     print!("{}", omg_bench::experiments::fig4::run_av(4, 5, 60, true));
 }

@@ -5,6 +5,7 @@ use omg_sim::detector::Provenance;
 fn main() {
     let scenario = video::VideoScenario::night_street(11, 400, 200);
     let det = video::pretrained_detector(1);
+    let all_dets = video::detect_all(&det, &scenario.pool_frames);
     let mut dark_p = vec![];
     let mut easy_p = vec![];
     let mut clutter_p = vec![];
@@ -14,31 +15,105 @@ fn main() {
     let mut dark_total = 0usize;
     let mut wrong_class = 0usize;
     let mut obj_dets = 0usize;
-    for f in &scenario.pool_frames {
-        let dets = det.detect_frame(f.index, &f.signals);
+    for (f, dets) in scenario.pool_frames.iter().zip(&all_dets) {
         for s in &f.signals {
             let p = det.detect_probability(s);
-            if s.is_clutter() { clutter_p.push(p); }
-            else if s.quality < 0.55 { dark_p.push(p); dark_total += 1;
+            if s.is_clutter() {
+                clutter_p.push(p);
+            } else if s.quality < 0.55 {
+                dark_p.push(p);
+                dark_total += 1;
                 if !dets.iter().any(|d| matches!(d.provenance, Provenance::Object{track_id,..} if track_id==s.track_id)) { miss_dark += 1; }
+            } else {
+                easy_p.push(p);
             }
-            else { easy_p.push(p); }
         }
-        for d in &dets {
+        for d in dets {
             match d.provenance {
-                Provenance::Clutter{..} => fp_count += 1,
-                Provenance::Duplicate{..} => dup_count += 1,
-                Provenance::Object{true_class,..} => { obj_dets += 1; if d.scored.class != true_class { wrong_class += 1; } }
+                Provenance::Clutter { .. } => fp_count += 1,
+                Provenance::Duplicate { .. } => dup_count += 1,
+                Provenance::Object { true_class, .. } => {
+                    obj_dets += 1;
+                    if d.scored.class != true_class {
+                        wrong_class += 1;
+                    }
+                }
             }
         }
     }
     let mean = |v: &Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
-    println!("[probe] dark p_det mean {:.2} (n={})", mean(&dark_p), dark_p.len());
-    println!("[probe] easy p_det mean {:.2} (n={})", mean(&easy_p), easy_p.len());
-    println!("[probe] clutter p_det mean {:.2} (n={})", mean(&clutter_p), clutter_p.len());
-    println!("[probe] FPs/frame {:.2}, dups/frame {:.2}", fp_count as f64 / 400.0, dup_count as f64 / 400.0);
-    println!("[probe] dark miss rate {:.2}", miss_dark as f64 / dark_total.max(1) as f64);
-    println!("[probe] class error rate {:.2}", wrong_class as f64 / obj_dets.max(1) as f64);
+    println!(
+        "[probe] dark p_det mean {:.2} (n={})",
+        mean(&dark_p),
+        dark_p.len()
+    );
+    println!(
+        "[probe] easy p_det mean {:.2} (n={})",
+        mean(&easy_p),
+        easy_p.len()
+    );
+    println!(
+        "[probe] clutter p_det mean {:.2} (n={})",
+        mean(&clutter_p),
+        clutter_p.len()
+    );
+    println!(
+        "[probe] FPs/frame {:.2}, dups/frame {:.2}",
+        fp_count as f64 / 400.0,
+        dup_count as f64 / 400.0
+    );
+    println!(
+        "[probe] dark miss rate {:.2}",
+        miss_dark as f64 / dark_total.max(1) as f64
+    );
+    println!(
+        "[probe] class error rate {:.2}",
+        wrong_class as f64 / obj_dets.max(1) as f64
+    );
+
+    // Shape diagnostics mirroring tests/tests/paper_shapes.rs: the
+    // confidence percentile reached by errors (§5.3) and the size of the
+    // assertion-clean frame population (§3).
+    {
+        let frames = &scenario.pool_frames;
+        let all_conf: Vec<f64> = all_dets
+            .iter()
+            .flat_map(|d| d.iter().map(|x| x.scored.score))
+            .collect();
+        let mut err_conf: Vec<f64> = all_dets
+            .iter()
+            .flat_map(|d| d.iter().filter(|x| x.is_error()).map(|x| x.scored.score))
+            .collect();
+        err_conf.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let p90 = if err_conf.len() >= 10 {
+            err_conf.get(err_conf.len() / 10)
+        } else {
+            None // too few errors for a meaningful spread readout
+        };
+        for (label, v) in [("top", err_conf.first()), ("p90", p90)] {
+            if let Some(&c) = v {
+                let pct = omg_eval::stats::percentile_rank(&all_conf, c);
+                println!("[probe] {label} error conf {c:.3} = {pct:.0}th pct of all dets");
+            }
+        }
+        let set = omg_domains::video_assertion_set(video::FLICKER_T);
+        let mut flagged = [0usize; 2]; // [clean, fired]
+        let mut err_rates = [0.0f64; 2];
+        for c in 0..frames.len() {
+            let window = video::window_at(frames, &all_dets, c);
+            let fired = set.check_all(&window).iter().any(|(_, s)| s.fired());
+            let errors = all_dets[c].iter().filter(|d| d.is_error()).count();
+            flagged[usize::from(fired)] += 1;
+            err_rates[usize::from(fired)] += errors as f64;
+        }
+        println!(
+            "[probe] windows: {} flagged ({:.2} err/frame), {} clean ({:.2} err/frame)",
+            flagged[1],
+            err_rates[1] / flagged[1].max(1) as f64,
+            flagged[0],
+            err_rates[0] / flagged[0].max(1) as f64,
+        );
+    }
 
     // ECG weak label quality
     let ecg = ecgx::EcgScenario::standard(7);
@@ -47,12 +122,23 @@ fn main() {
     let times: Vec<f64> = ecg.pool.iter().map(|p| p.time).collect();
     let weak = omg_domains::weak::ecg_weak_labels(&times, &preds, 30.0);
     let n = weak.len();
-    let weak_correct = weak.iter().filter(|&&(i, c)| c == ecg.pool[i].true_class).count();
-    let model_correct_on_those = weak.iter().filter(|&&(i, _)| preds[i] == ecg.pool[i].true_class).count();
-    println!("[probe] ecg weak labels: {n}, weak-correct {:.2}, model-correct-there {:.2}",
-        weak_correct as f64 / n.max(1) as f64, model_correct_on_those as f64 / n.max(1) as f64);
+    let weak_correct = weak
+        .iter()
+        .filter(|&&(i, c)| c == ecg.pool[i].true_class)
+        .count();
+    let model_correct_on_those = weak
+        .iter()
+        .filter(|&&(i, _)| preds[i] == ecg.pool[i].true_class)
+        .count();
+    println!(
+        "[probe] ecg weak labels: {n}, weak-correct {:.2}, model-correct-there {:.2}",
+        weak_correct as f64 / n.max(1) as f64,
+        model_correct_on_those as f64 / n.max(1) as f64
+    );
     // class distribution of weak labels
     let mut dist = [0usize; 4];
-    for &(_, c) in &weak { dist[c] += 1; }
+    for &(_, c) in &weak {
+        dist[c] += 1;
+    }
     println!("[probe] ecg weak label class dist {:?}", dist);
 }

@@ -247,7 +247,10 @@ mod tests {
         assert!(sev.iter().all(|r| r.len() == 1));
         assert!(unc.iter().all(|&u| (0.0..=1.0).contains(&u)));
         let fires: f64 = sev.iter().map(|r| r[0]).sum();
-        assert!(fires > 0.0, "an imperfect classifier must oscillate somewhere");
+        assert!(
+            fires > 0.0,
+            "an imperfect classifier must oscillate somewhere"
+        );
     }
 
     #[test]

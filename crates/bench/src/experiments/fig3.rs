@@ -10,8 +10,7 @@ use omg_eval::stats::percentile_rank;
 use omg_eval::table::{Align, Table};
 
 use crate::video::{
-    all_confidences, detect_all, errors_by_assertion, pretrained_detector, VideoScenario,
-    FLICKER_T,
+    all_confidences, detect_all, errors_by_assertion, pretrained_detector, VideoScenario, FLICKER_T,
 };
 
 /// Renders Figure 3 as a rank → percentile table (one column per
@@ -44,12 +43,7 @@ pub fn run(seed: u64) -> String {
             "Figure 3: percentile of confidence (among all detections) of the top-10 \
              errors by confidence caught per assertion (paper: up to the 94th percentile)",
         )
-        .with_aligns(vec![
-            Align::Right,
-            Align::Right,
-            Align::Right,
-            Align::Right,
-        ]);
+        .with_aligns(vec![Align::Right, Align::Right, Align::Right, Align::Right]);
     let col = |name: &str, rank: usize| -> String {
         columns
             .iter()

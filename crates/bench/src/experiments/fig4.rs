@@ -25,7 +25,13 @@ pub fn strategies() -> Vec<(&'static str, Box<dyn SelectionStrategy>)> {
     ]
 }
 
-fn render(title: &str, unit: &str, rounds: usize, series: &[SeriesSummary], all_rounds: bool) -> String {
+fn render(
+    title: &str,
+    unit: &str,
+    rounds: usize,
+    series: &[SeriesSummary],
+    all_rounds: bool,
+) -> String {
     let first_shown = if all_rounds { 1 } else { 2 };
     let mut headers = vec!["Strategy".to_string()];
     for r in first_shown..=rounds {
@@ -117,9 +123,7 @@ pub fn label_savings(trials: usize, rounds: usize, budget: usize, target: f64) -
         out
     };
     let random = omg_eval::stats::mean(&needed(&mut RandomStrategy));
-    let bal = omg_eval::stats::mean(&needed(&mut BalStrategy::new(
-        FallbackPolicy::Uncertainty,
-    )));
+    let bal = omg_eval::stats::mean(&needed(&mut BalStrategy::new(FallbackPolicy::Uncertainty)));
     let saving = 100.0 * (random - bal) / random.max(1.0);
     format!(
         "Label efficiency at the {target:.0} mAP% crossover: random needs ~{random:.0} labels, BAL ~{bal:.0} \

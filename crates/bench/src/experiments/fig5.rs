@@ -1,7 +1,7 @@
 //! Figure 5: active learning for ECG with a single assertion.
 
-use omg_active::{run_rounds, BalStrategy, FallbackPolicy, RandomStrategy, UncertaintyStrategy};
 use omg_active::SelectionStrategy;
+use omg_active::{run_rounds, BalStrategy, FallbackPolicy, RandomStrategy, UncertaintyStrategy};
 use omg_eval::table::Table;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -27,7 +27,11 @@ pub fn run(seed: u64) -> String {
                 matches!(d.provenance, Provenance::Object { track_id, .. } if track_id == track)
             })
         };
-        for s in scenario.pool_frames[center].signals.iter().filter(|s| !s.is_clutter()) {
+        for s in scenario.pool_frames[center]
+            .signals
+            .iter()
+            .filter(|s| !s.is_clutter())
+        {
             if !detected(center, s.track_id)
                 && detected(center - 1, s.track_id)
                 && detected(center + 1, s.track_id)

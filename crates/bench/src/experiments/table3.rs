@@ -24,9 +24,7 @@ fn sample_up_to<T: Copy>(xs: &[T], k: usize) -> Vec<T> {
     if xs.len() <= k {
         return xs.to_vec();
     }
-    (0..k)
-        .map(|i| xs[i * xs.len() / k])
-        .collect()
+    (0..k).map(|i| xs[i * xs.len() / k]).collect()
 }
 
 /// Whether any *model output* in the window is wrong: an erroneous
@@ -46,7 +44,9 @@ fn window_has_output_error(frames: &[GtFrame], dets: &[Vec<Detection>], center: 
                 })
             };
             for s in frames[f].signals.iter().filter(|s| !s.is_clutter()) {
-                if !detected(f, s.track_id) && detected(f - 1, s.track_id) && detected(f + 1, s.track_id)
+                if !detected(f, s.track_id)
+                    && detected(f - 1, s.track_id)
+                    && detected(f + 1, s.track_id)
                 {
                     return true;
                 }
@@ -59,11 +59,7 @@ fn window_has_output_error(frames: &[GtFrame], dets: &[Vec<Detection>], center: 
 /// Whether the tracker's identification made a mistake in the window: a
 /// tracker track whose observations come from more than one underlying
 /// provenance source.
-fn window_has_identifier_error(
-    frames: &[GtFrame],
-    dets: &[Vec<Detection>],
-    center: usize,
-) -> bool {
+fn window_has_identifier_error(frames: &[GtFrame], dets: &[Vec<Detection>], center: usize) -> bool {
     let window = window_at(frames, dets, center);
     let tracked = track_window(&window);
     let lo = center.saturating_sub(crate::video::WINDOW_HALF);

@@ -24,7 +24,11 @@ pub fn run(trials: usize) -> String {
         before_v.push(b);
         after_v.push(a);
     }
-    rows.push(("Video analytics (mAP)".into(), mean(&before_v), mean(&after_v)));
+    rows.push((
+        "Video analytics (mAP)".into(),
+        mean(&before_v),
+        mean(&after_v),
+    ));
 
     let mut before_av = Vec::new();
     let mut after_av = Vec::new();

@@ -5,8 +5,13 @@ use omg_eval::table::Table;
 
 /// Renders Table 5.
 pub fn run() -> String {
-    let mut t = Table::new(vec!["Assertion class", "Sub-class", "Description", "Examples"])
-        .with_title("Table 5: classes of model assertions (Appendix B)");
+    let mut t = Table::new(vec![
+        "Assertion class",
+        "Sub-class",
+        "Description",
+        "Examples",
+    ])
+    .with_title("Table 5: classes of model assertions (Appendix B)");
     for e in taxonomy() {
         t.row(vec![
             e.class.name().to_string(),

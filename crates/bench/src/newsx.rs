@@ -4,9 +4,9 @@
 //! access the training code for this domain", §5.1), so news contributes
 //! monitoring statistics only: assertion fire counts and precision.
 
+use omg_core::consistency::{ConsistencyEngine, Violation};
 use omg_core::Assertion;
 use omg_domains::news::{news_assertion, scene_window, NewsSpec};
-use omg_core::consistency::{ConsistencyEngine, Violation};
 use omg_sim::news::{NewsConfig, NewsScene, NewsWorld};
 
 /// The fixed configuration of a news experiment.

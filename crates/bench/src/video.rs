@@ -166,7 +166,10 @@ impl ActiveLearner for VideoLearner {
         let mut chosen: Vec<usize> = selection.iter().map(|&p| self.unlabeled[p]).collect();
         chosen.sort_unstable();
         for &frame_idx in &chosen {
-            label_frame_into(&mut self.labeled_batch, &self.scenario.pool_frames[frame_idx]);
+            label_frame_into(
+                &mut self.labeled_batch,
+                &self.scenario.pool_frames[frame_idx],
+            );
         }
         self.unlabeled.retain(|i| !chosen.contains(i));
         if !self.labeled_batch.is_empty() {

@@ -103,9 +103,8 @@ mod tests {
 
     #[test]
     fn predicate_assertion_is_boolean() {
-        let a = FnAssertion::from_predicate("has-negative", |xs: &Vec<i32>| {
-            xs.iter().any(|&x| x < 0)
-        });
+        let a =
+            FnAssertion::from_predicate("has-negative", |xs: &Vec<i32>| xs.iter().any(|&x| x < 0));
         assert_eq!(a.check(&vec![1, -1]), Severity::FIRED);
         assert_eq!(a.check(&vec![1, 1]), Severity::ABSTAIN);
     }

@@ -184,13 +184,13 @@ mod tests {
 
     #[test]
     fn interior_runs_basic() {
-        assert_eq!(
-            interior_runs(&[true, false, true]),
-            vec![(1, 1)]
-        );
+        assert_eq!(interior_runs(&[true, false, true]), vec![(1, 1)]);
         assert_eq!(
             interior_runs(&[true, false, false, true, true]),
-            vec![(1, 2), (3, 4)].into_iter().filter(|&(_, e)| e < 4).collect::<Vec<_>>()
+            vec![(1, 2), (3, 4)]
+                .into_iter()
+                .filter(|&(_, e)| e < 4)
+                .collect::<Vec<_>>()
         );
         assert!(interior_runs(&[true, true]).is_empty());
         assert!(interior_runs(&[]).is_empty());
@@ -268,11 +268,8 @@ mod tests {
     #[test]
     fn blip_produces_remove() {
         let engine = ConsistencyEngine::new(Spec).with_temporal_threshold(5.0);
-        let w = ConsistencyWindow::from_pairs(vec![
-            (0.0, vec![]),
-            (1.0, vec![o(9, 3)]),
-            (2.0, vec![]),
-        ]);
+        let w =
+            ConsistencyWindow::from_pairs(vec![(0.0, vec![]), (1.0, vec![o(9, 3)]), (2.0, vec![])]);
         let c = engine.corrections(&w, no_weak_label);
         assert_eq!(c.len(), 1);
         match &c[0] {
@@ -306,11 +303,8 @@ mod tests {
         // The object disappears at the end of the window: no second
         // transition, so no correction.
         let engine = ConsistencyEngine::new(Spec).with_temporal_threshold(5.0);
-        let w = ConsistencyWindow::from_pairs(vec![
-            (0.0, vec![o(1, 0)]),
-            (1.0, vec![]),
-            (2.0, vec![]),
-        ]);
+        let w =
+            ConsistencyWindow::from_pairs(vec![(0.0, vec![o(1, 0)]), (1.0, vec![]), (2.0, vec![])]);
         let c = engine.corrections(&w, |_w, id, _ti| Some(o(*id, 0)));
         assert!(c.is_empty());
     }
@@ -320,7 +314,7 @@ mod tests {
         let engine = ConsistencyEngine::new(Spec).with_temporal_threshold(5.0);
         let w = ConsistencyWindow::from_pairs(vec![
             (0.0, vec![o(1, 0)]),
-            (1.0, vec![o(1, 4)]), // class dissent
+            (1.0, vec![o(1, 4)]),          // class dissent
             (2.0, vec![o(1, 0), o(9, 1)]), // 9 blips in
             (3.0, vec![o(1, 0)]),
         ]);

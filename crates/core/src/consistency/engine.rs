@@ -82,7 +82,10 @@ impl<P: ConsistencySpec> ConsistencyEngine<P> {
     ///
     /// Panics if `t` is not positive and finite.
     pub fn with_temporal_threshold(mut self, t: f64) -> Self {
-        assert!(t.is_finite() && t > 0.0, "temporal threshold must be positive");
+        assert!(
+            t.is_finite() && t > 0.0,
+            "temporal threshold must be positive"
+        );
         self.temporal_threshold = Some(t);
         self
     }
@@ -135,9 +138,10 @@ impl<P: ConsistencySpec> ConsistencyEngine<P> {
         occurrences: &BTreeMap<P::Id, Vec<(usize, usize)>>,
         violations: &mut Vec<Violation<P::Id>>,
     ) {
+        // key -> [(position, value)] in time order.
+        type PerKey = BTreeMap<String, Vec<((usize, usize), AttrValue)>>;
         for (id, positions) in occurrences {
-            // key -> [(position, value)] in time order.
-            let mut per_key: BTreeMap<String, Vec<((usize, usize), AttrValue)>> = BTreeMap::new();
+            let mut per_key: PerKey = BTreeMap::new();
             for &(ti, oi) in positions {
                 let out = &window.outputs_at(ti)[oi];
                 for (key, value) in self.spec.attrs(out) {
@@ -173,10 +177,7 @@ impl<P: ConsistencySpec> ConsistencyEngine<P> {
     }
 
     /// Presence vector of one identifier across the window's invocations.
-    pub(super) fn presence(
-        window_len: usize,
-        positions: &[(usize, usize)],
-    ) -> Vec<bool> {
+    pub(super) fn presence(window_len: usize, positions: &[(usize, usize)]) -> Vec<bool> {
         let mut present = vec![false; window_len];
         for &(ti, _) in positions {
             present[ti] = true;
@@ -450,11 +451,8 @@ mod tests {
         // Absent, present for one invocation, absent: appear+disappear
         // within T.
         let engine = ConsistencyEngine::new(Spec).with_temporal_threshold(5.0);
-        let w = ConsistencyWindow::from_pairs(vec![
-            (0.0, vec![]),
-            (1.0, vec![o(9, 0)]),
-            (2.0, vec![]),
-        ]);
+        let w =
+            ConsistencyWindow::from_pairs(vec![(0.0, vec![]), (1.0, vec![o(9, 0)]), (2.0, vec![])]);
         let v = engine.check(&w);
         assert_eq!(v.len(), 1);
         assert!(v[0].is_temporal());
@@ -527,10 +525,7 @@ mod tests {
         assert_eq!(set.names(), vec!["video-class", "video-temporal"]);
 
         // Attribute violation only.
-        let w = ConsistencyWindow::from_pairs(vec![
-            (0.0, vec![o(1, 0)]),
-            (1.0, vec![o(1, 1)]),
-        ]);
+        let w = ConsistencyWindow::from_pairs(vec![(0.0, vec![o(1, 0)]), (1.0, vec![o(1, 1)])]);
         let outcomes = set.check_all(&w);
         assert!(outcomes[0].1.fired());
         assert!(!outcomes[1].1.fired());

@@ -127,8 +127,7 @@ mod tests {
     #[test]
     fn iter_pairs() {
         let w = ConsistencyWindow::from_pairs(vec![(0.0, vec![1]), (1.0, vec![2, 3])]);
-        let collected: Vec<(f64, Vec<i32>)> =
-            w.iter().map(|(t, o)| (t, o.to_vec())).collect();
+        let collected: Vec<(f64, Vec<i32>)> = w.iter().map(|(t, o)| (t, o.to_vec())).collect();
         assert_eq!(collected, vec![(0.0, vec![1]), (1.0, vec![2, 3])]);
     }
 

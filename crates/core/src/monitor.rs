@@ -12,9 +12,7 @@ pub struct SampleReport {
 impl SampleReport {
     /// Whether the given assertion fired on this sample.
     pub fn fired(&self, id: AssertionId) -> bool {
-        self.outcomes
-            .iter()
-            .any(|&(a, s)| a == id && s.fired())
+        self.outcomes.iter().any(|&(a, s)| a == id && s.fired())
     }
 
     /// Whether any assertion fired.
@@ -173,8 +171,9 @@ mod tests {
         let mut m = Monitor::new();
         m.assertions_mut()
             .add_fn("negative", |&x: &i32| Severity::from_bool(x < 0));
-        m.assertions_mut()
-            .add_fn("magnitude", |&x: &i32| Severity::new(x.unsigned_abs() as f64 / 100.0));
+        m.assertions_mut().add_fn("magnitude", |&x: &i32| {
+            Severity::new(x.unsigned_abs() as f64 / 100.0)
+        });
         m
     }
 

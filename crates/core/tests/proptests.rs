@@ -30,20 +30,20 @@ impl ConsistencySpec for Spec {
 }
 
 fn arb_window() -> impl Strategy<Value = ConsistencyWindow<Out>> {
-    proptest::collection::vec(
-        proptest::collection::vec((0u8..4, 0u8..3), 0..4),
-        1..12,
+    proptest::collection::vec(proptest::collection::vec((0u8..4, 0u8..3), 0..4), 1..12).prop_map(
+        |frames| {
+            let mut w = ConsistencyWindow::new();
+            for (t, outs) in frames.into_iter().enumerate() {
+                w.push(
+                    t as f64,
+                    outs.into_iter()
+                        .map(|(id, class)| Out { id, class })
+                        .collect(),
+                );
+            }
+            w
+        },
     )
-    .prop_map(|frames| {
-        let mut w = ConsistencyWindow::new();
-        for (t, outs) in frames.into_iter().enumerate() {
-            w.push(
-                t as f64,
-                outs.into_iter().map(|(id, class)| Out { id, class }).collect(),
-            );
-        }
-        w
-    })
 }
 
 proptest! {

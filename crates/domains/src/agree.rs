@@ -91,7 +91,9 @@ mod tests {
     fn out_of_frustum_lidar_boxes_are_skipped() {
         // A vehicle behind the ego cannot be checked against the camera.
         let a = agree_assertion();
-        assert!(!a.check(&frame(vec![], vec![vehicle_at(-20.0, 0.0)])).fired());
+        assert!(!a
+            .check(&frame(vec![], vec![vehicle_at(-20.0, 0.0)]))
+            .fired());
     }
 
     #[test]

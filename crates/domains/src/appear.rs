@@ -93,8 +93,6 @@ mod tests {
     fn long_visit_does_not_fire() {
         // Present for longer than T between two absences: legitimate.
         let a = appear_assertion(0.25);
-        assert!(!a
-            .check(&window(&[false, true, true, true, false]))
-            .fired());
+        assert!(!a.check(&window(&[false, true, true, true, false])).fired());
     }
 }

@@ -81,9 +81,7 @@ mod tests {
     fn slow_transition_is_legal() {
         // A for 40 s, then B for 40 s: each class transitions once.
         let a = ecg_assertion();
-        assert!(!a
-            .check(&window(&[0, 0, 0, 0, 1, 1, 1, 1], 10.0))
-            .fired());
+        assert!(!a.check(&window(&[0, 0, 0, 0, 1, 1, 1, 1], 10.0)).fired());
     }
 
     #[test]

@@ -80,7 +80,9 @@ mod tests {
     fn blip_does_not_fire_flicker() {
         // appear-type violations belong to the `appear` assertion.
         let a = flicker_assertion(0.45);
-        assert!(!a.check(&window(&[false, false, true, false, false])).fired());
+        assert!(!a
+            .check(&window(&[false, false, true, false, false]))
+            .fired());
     }
 
     #[test]
@@ -88,9 +90,7 @@ mod tests {
         // A gap longer than T is a legitimate departure (t = 0.25 s, the
         // 3-frame gap spans 0.4 s).
         let a = flicker_assertion(0.25);
-        assert!(!a
-            .check(&window(&[true, false, false, false, true]))
-            .fired());
+        assert!(!a.check(&window(&[true, false, false, false, true])).fired());
     }
 
     #[test]
@@ -101,9 +101,21 @@ mod tests {
             score: 0.9,
         };
         let frames = vec![
-            VideoFrame { index: 0, time: 0.0, dets: vec![mk(0.0), mk(500.0)] },
-            VideoFrame { index: 1, time: 0.1, dets: vec![] },
-            VideoFrame { index: 2, time: 0.2, dets: vec![mk(0.0), mk(500.0)] },
+            VideoFrame {
+                index: 0,
+                time: 0.0,
+                dets: vec![mk(0.0), mk(500.0)],
+            },
+            VideoFrame {
+                index: 1,
+                time: 0.1,
+                dets: vec![],
+            },
+            VideoFrame {
+                index: 2,
+                time: 0.2,
+                dets: vec![mk(0.0), mk(500.0)],
+            },
         ];
         let a = flicker_assertion(0.45);
         assert_eq!(a.check(&VideoWindow::new(frames, 1)).value(), 2.0);

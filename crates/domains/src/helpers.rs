@@ -91,9 +91,7 @@ pub fn overlap_triples(dets: &[ScoredBox], iou_threshold: f64) -> usize {
     let mut triples = 0;
     for i in 0..n {
         for j in (i + 1)..n {
-            if dets[i].class != dets[j].class
-                || dets[i].bbox.iou(&dets[j].bbox) < iou_threshold
-            {
+            if dets[i].class != dets[j].class || dets[i].bbox.iou(&dets[j].bbox) < iou_threshold {
                 continue;
             }
             for k in (j + 1)..n {

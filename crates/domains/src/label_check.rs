@@ -133,9 +133,8 @@ mod tests {
 
     #[test]
     fn majority_correct_slip_in_long_track() {
-        let mut frames: Vec<Vec<LabeledBox>> = (0..10)
-            .map(|i| vec![lb(i as f64 * 2.0, 2, 2, 1)])
-            .collect();
+        let mut frames: Vec<Vec<LabeledBox>> =
+            (0..10).map(|i| vec![lb(i as f64 * 2.0, 2, 2, 1)]).collect();
         frames[5][0].class = 0; // one slip
         let report = check_labels(&frames);
         assert_eq!(report.flagged, vec![(5, 0)]);

@@ -200,7 +200,11 @@ pub fn av_weak_batch(
     camera_dets: &[Vec<Detection>],
     weight: f64,
 ) -> TrainingBatch {
-    assert_eq!(samples.len(), camera_dets.len(), "samples/detections mismatch");
+    assert_eq!(
+        samples.len(),
+        camera_dets.len(),
+        "samples/detections mismatch"
+    );
     let mut batch = TrainingBatch::new();
     for (sample, dets) in samples.iter().zip(camera_dets) {
         let camera_boxes: Vec<BBox2D> = dets.iter().map(|d| d.scored.bbox).collect();

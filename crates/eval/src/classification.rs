@@ -14,11 +14,7 @@ pub fn accuracy(predicted: &[usize], actual: &[usize]) -> f64 {
     if predicted.is_empty() {
         return 0.0;
     }
-    let hits = predicted
-        .iter()
-        .zip(actual)
-        .filter(|(p, a)| p == a)
-        .count();
+    let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
     hits as f64 / predicted.len() as f64
 }
 

@@ -205,14 +205,22 @@ mod tests {
 
     #[test]
     fn perfect_detection_is_tp() {
-        let m = match_frame(&[det(0.0, 0.0, 10.0, 0, 0.9)], &[gt(0.0, 0.0, 10.0, 0)], 0.5);
+        let m = match_frame(
+            &[det(0.0, 0.0, 10.0, 0, 0.9)],
+            &[gt(0.0, 0.0, 10.0, 0)],
+            0.5,
+        );
         assert_eq!(m.outcomes, vec![MatchOutcome::TruePositive { gt_index: 0 }]);
         assert!(m.missed_gt.is_empty());
     }
 
     #[test]
     fn wrong_class_is_fp_and_gt_missed() {
-        let m = match_frame(&[det(0.0, 0.0, 10.0, 1, 0.9)], &[gt(0.0, 0.0, 10.0, 0)], 0.5);
+        let m = match_frame(
+            &[det(0.0, 0.0, 10.0, 1, 0.9)],
+            &[gt(0.0, 0.0, 10.0, 0)],
+            0.5,
+        );
         assert_eq!(m.outcomes, vec![MatchOutcome::FalsePositive]);
         assert_eq!(m.missed_gt, vec![0]);
     }
@@ -238,7 +246,11 @@ mod tests {
     #[test]
     fn below_threshold_is_fp() {
         // IoU ≈ 0.143 < 0.5.
-        let m = match_frame(&[det(5.0, 5.0, 10.0, 0, 0.9)], &[gt(0.0, 0.0, 10.0, 0)], 0.5);
+        let m = match_frame(
+            &[det(5.0, 5.0, 10.0, 0, 0.9)],
+            &[gt(0.0, 0.0, 10.0, 0)],
+            0.5,
+        );
         assert_eq!(m.outcomes, vec![MatchOutcome::FalsePositive]);
     }
 

@@ -35,7 +35,9 @@ impl CameraIntrinsics {
             || height <= 0.0
         {
             return Err(GeomError::InvalidCamera {
-                detail: format!("focal length and image size must be positive (f={f}, {width}x{height})"),
+                detail: format!(
+                    "focal length and image size must be positive (f={f}, {width}x{height})"
+                ),
             });
         }
         Ok(Self {

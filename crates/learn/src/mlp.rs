@@ -155,7 +155,11 @@ impl Mlp {
     pub fn train_epoch<R: Rng>(&mut self, data: &Dataset, batch_size: usize, rng: &mut R) -> f64 {
         assert!(batch_size > 0, "batch size must be positive");
         assert!(!data.is_empty(), "cannot train on an empty dataset");
-        assert_eq!(data.dim(), self.config.input_dim, "feature dimension mismatch");
+        assert_eq!(
+            data.dim(),
+            self.config.input_dim,
+            "feature dimension mismatch"
+        );
         let order = data.shuffled_indices(rng);
         let mut total = 0.0;
         for chunk in order.chunks(batch_size) {
@@ -171,16 +175,8 @@ impl Mlp {
             return 0.0;
         }
         let n_layers = self.layers.len();
-        let mut gw: Vec<Vec<f64>> = self
-            .layers
-            .iter()
-            .map(|l| vec![0.0; l.w.len()])
-            .collect();
-        let mut gb: Vec<Vec<f64>> = self
-            .layers
-            .iter()
-            .map(|l| vec![0.0; l.b.len()])
-            .collect();
+        let mut gw: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|l| vec![0.0; l.b.len()]).collect();
         let mut loss = 0.0;
         let scale = 1.0 / indices.len() as f64;
         for &i in indices {
@@ -200,20 +196,20 @@ impl Mlp {
             for li in (0..n_layers).rev() {
                 let input = &acts[li];
                 let layer = &self.layers[li];
-                for o in 0..layer.out_dim {
-                    gb[li][o] += delta[o];
+                for (o, &dv) in delta.iter().enumerate().take(layer.out_dim) {
+                    gb[li][o] += dv;
                     let row = &mut gw[li][o * layer.in_dim..(o + 1) * layer.in_dim];
                     for (g, xv) in row.iter_mut().zip(input) {
-                        *g += delta[o] * xv;
+                        *g += dv * xv;
                     }
                 }
                 if li > 0 {
                     // delta for previous layer, gated by its ReLU.
                     let mut prev = vec![0.0; layer.in_dim];
-                    for o in 0..layer.out_dim {
+                    for (o, &dv) in delta.iter().enumerate().take(layer.out_dim) {
                         let row = &layer.w[o * layer.in_dim..(o + 1) * layer.in_dim];
                         for (p, wv) in prev.iter_mut().zip(row) {
-                            *p += delta[o] * wv;
+                            *p += dv * wv;
                         }
                     }
                     for (p, a) in prev.iter_mut().zip(&acts[li]) {
@@ -306,7 +302,10 @@ mod tests {
         for _ in 0..500 {
             mlp.train_epoch(&data, 8, &mut rng);
         }
-        assert!((mlp.eval_accuracy(&data) - 1.0).abs() < 1e-9, "xor not learned");
+        assert!(
+            (mlp.eval_accuracy(&data) - 1.0).abs() < 1e-9,
+            "xor not learned"
+        );
     }
 
     #[test]

@@ -19,10 +19,7 @@ impl Sgd {
     /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
     pub fn new(len: usize, lr: f64, momentum: f64) -> Self {
         assert!(lr > 0.0 && lr.is_finite(), "learning rate must be positive");
-        assert!(
-            (0.0..1.0).contains(&momentum),
-            "momentum must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
         Self {
             lr,
             momentum,
@@ -47,7 +44,11 @@ impl Sgd {
     ///
     /// Panics if slice lengths disagree with the construction length.
     pub fn step(&mut self, params: &mut [f64], grads: &[f64]) {
-        assert_eq!(params.len(), self.velocity.len(), "parameter length changed");
+        assert_eq!(
+            params.len(),
+            self.velocity.len(),
+            "parameter length changed"
+        );
         assert_eq!(params.len(), grads.len(), "grad length mismatch");
         for i in 0..params.len() {
             self.velocity[i] = self.momentum * self.velocity[i] + grads[i];

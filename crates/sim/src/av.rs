@@ -193,9 +193,7 @@ impl AvWorld {
                 let size_norm = ((bbox2.area() / (1600.0 * 900.0)).sqrt()).clamp(0.0, 1.0);
                 let mut sig_rng = derive_rng(
                     self.seed ^ 0xA516_7A15,
-                    v.track
-                        .wrapping_mul(10_000)
-                        .wrapping_add(idx as u64),
+                    v.track.wrapping_mul(10_000).wrapping_add(idx as u64),
                 );
                 let appearance = self.appearance.object_appearance(
                     v.class,
@@ -291,8 +289,8 @@ impl AvWorld {
                 let inflate = det_rng.gen_range(1.6..2.6);
                 size = Vec3::new(size.x * inflate, size.y * inflate, size.z);
             }
-            let bbox = BBox3D::new(box3.center() + jitter, size, box3.yaw())
-                .expect("valid lidar box");
+            let bbox =
+                BBox3D::new(box3.center() + jitter, size, box3.yaw()).expect("valid lidar box");
             out.push(LidarDetection {
                 bbox,
                 score: (p_det * det_rng.gen_range(0.85..1.0)).clamp(0.05, 0.99),
@@ -402,7 +400,9 @@ mod tests {
         for scene in 0..60u64 {
             for s in w.scene(scene) {
                 for l in &s.lidar {
-                    let Some(track) = l.source_track else { continue };
+                    let Some(track) = l.source_track else {
+                        continue;
+                    };
                     let (_, gt, _) = s.gt_3d.iter().find(|(t, _, _)| *t == track).unwrap();
                     total += 1;
                     if l.bbox.size().x > gt.size().x * 1.4 {

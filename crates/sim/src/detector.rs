@@ -48,6 +48,16 @@ pub struct DetectorConfig {
     /// where independent per-frame draws *flicker*, and makes training
     /// progress gradual (margins must grow before detection saturates).
     pub detect_temperature: f64,
+    /// Temperature on the classification head's reported probabilities
+    /// (argmax-invariant, so accuracy is unaffected).
+    ///
+    /// An unregularized softmax trained to convergence is wildly
+    /// overconfident — nearly every prediction saturates at `p > 0.99`,
+    /// collapsing the confidence distribution into a spike. Reported
+    /// confidences in real detectors are softer than the raw head; this
+    /// temperature restores that spread so confidence *ranks* detections
+    /// (which both mAP and the §5.3 confidence-percentile analysis need).
+    pub cls_temperature: f64,
 }
 
 impl Default for DetectorConfig {
@@ -57,6 +67,7 @@ impl Default for DetectorConfig {
             lr: 0.025,
             seed: 0xDE7EC7,
             detect_temperature: 2.0,
+            cls_temperature: 2.5,
         }
     }
 }
@@ -65,6 +76,11 @@ impl Default for DetectorConfig {
 /// much smaller `DetectorConfig::lr`, so active-learning gains accrue
 /// over rounds rather than saturating immediately).
 const PRETRAIN_LR: f64 = 0.3;
+
+/// Width (in logit units) of the boundary band inside which
+/// [`DetectorConfig::detect_temperature`] softens the detection head's
+/// *rejections*; see [`SimDetector::detect_probability`].
+const TEMPERATURE_BAND: f64 = 1.0;
 
 /// Where a detection came from — ground truth the *simulator* keeps for
 /// evaluation; assertions only ever see the [`ScoredBox`].
@@ -149,7 +165,10 @@ impl TrainingBatch {
     ///
     /// Panics if the signal is clutter.
     pub fn add_labeled_object(&mut self, signal: &ObjectSignal) {
-        assert!(!signal.is_clutter(), "use add_labeled_background for clutter");
+        assert!(
+            !signal.is_clutter(),
+            "use add_labeled_background for clutter"
+        );
         self.det.push(signal.appearance.clone(), 1);
         self.cls.push(signal.appearance.clone(), signal.true_class);
         self.dup.push(signal.appearance.clone(), 0);
@@ -274,7 +293,7 @@ impl SimDetector {
             // range. The learned negative brightness weight is what makes
             // duplicates *flare up* at night — genuine extrapolation
             // failure under domain shift.
-            let p_dup = 0.03 + 0.10 * size + 0.25 * (0.85 - app[3]).max(0.0);
+            let p_dup = 0.03 + 0.10 * size + 0.15 * (0.85 - app[3]).max(0.0);
             let dup = rng.gen_bool(p_dup.clamp(0.0, 1.0));
             batch.dup.push(app, usize::from(dup));
         }
@@ -304,15 +323,44 @@ impl SimDetector {
     /// Detection probability for one signal: the detection head's
     /// positive-class probability with the configured temperature applied
     /// to its logit.
+    ///
+    /// The temperature models per-frame sensor/threshold noise. On the
+    /// *accept* side the whole logit is softened — that is the flickering
+    /// mid-probability zone marginal objects (night-time dark vehicles)
+    /// live in. On the *reject* side only [`TEMPERATURE_BAND`] logits
+    /// around the boundary are softened: threshold noise smears decisions
+    /// the head is unsure about, but does not flip patches it rejects by
+    /// a wide margin, so confidently rejected clutter blinks in only on
+    /// rare noise spikes rather than every few frames.
     pub fn detect_probability(&self, signal: &ObjectSignal) -> f64 {
         let p = self.det_head.predict_proba(&signal.appearance)[1].clamp(1e-9, 1.0 - 1e-9);
         let logit = (p / (1.0 - p)).ln();
-        1.0 / (1.0 + (-logit / self.config.detect_temperature).exp())
+        let t = self.config.detect_temperature;
+        let softened = if logit >= 0.0 {
+            logit / t
+        } else {
+            let mag = -logit;
+            -(mag.min(TEMPERATURE_BAND) / t + (mag - TEMPERATURE_BAND).max(0.0))
+        };
+        1.0 / (1.0 + (-softened).exp())
     }
 
-    /// Class distribution the detector would assign to one signal.
+    /// Class distribution the detector would assign to one signal, with
+    /// [`DetectorConfig::cls_temperature`] applied (argmax-invariant).
     pub fn class_probabilities(&self, signal: &ObjectSignal) -> Vec<f64> {
-        self.cls_head.predict_proba(&signal.appearance)
+        let probs = self.cls_head.predict_proba(&signal.appearance);
+        let t = self.config.cls_temperature;
+        if (t - 1.0).abs() < 1e-12 {
+            return probs;
+        }
+        // Dividing log-probabilities by the temperature and renormalizing
+        // is the same as re-softmaxing the head's logits at temperature t.
+        let scaled: Vec<f64> = probs
+            .iter()
+            .map(|p| (p.clamp(1e-300, 1.0).ln() / t).exp())
+            .collect();
+        let z: f64 = scaled.iter().sum();
+        scaled.iter().map(|s| s / z).collect()
     }
 
     /// Duplicate probability for one signal.
@@ -332,7 +380,7 @@ impl SimDetector {
             let mut rng = derive_rng(
                 self.config.seed,
                 frame_index
-                    .wrapping_mul(0x1_0000_01)
+                    .wrapping_mul(0x0100_0001)
                     .wrapping_add(signal.track_id),
             );
             // Fixed draw order regardless of branching, for stability.
@@ -393,7 +441,12 @@ impl SimDetector {
                             scored: ScoredBox {
                                 bbox: dup_box,
                                 class,
-                                score: (confidence * 0.93).clamp(0.01, 0.999),
+                                // Duplicates carry the primary box's
+                                // confidence — which is why NMS keys on
+                                // IoU, not score, and why multibox errors
+                                // reach the top confidence percentiles
+                                // (§5.3).
+                                score: confidence,
                             },
                             provenance: Provenance::Duplicate {
                                 track_id: signal.track_id,

@@ -17,8 +17,8 @@
 use rand::rngs::StdRng;
 use rand::Rng;
 
-use crate::signal::normal;
 use crate::derive_rng;
+use crate::signal::normal;
 
 /// Number of rhythm classes (CINC17: normal, AF, other, noisy).
 pub const ECG_CLASSES: usize = 4;
@@ -113,7 +113,10 @@ impl EcgWorld {
     /// Panics if the stride or dwell time is non-positive.
     pub fn new(config: EcgConfig, seed: u64) -> Self {
         assert!(config.stride_secs > 0.0, "stride must be positive");
-        assert!(config.mean_dwell_windows > 1.0, "dwell must exceed one window");
+        assert!(
+            config.mean_dwell_windows > 1.0,
+            "dwell must exceed one window"
+        );
         assert!(
             (0.0..1.0).contains(&config.noise_correlation),
             "noise correlation must be in [0, 1)"
@@ -160,11 +163,10 @@ impl EcgWorld {
         // The noisy class is intrinsically harder: extra feature noise.
         let noise = self.config.noise * if self.state == 3 { 1.5 } else { 1.0 };
         let rho = self.config.noise_correlation;
-        for d in 0..ECG_DIM {
+        for (ns, mean) in self.noise_state.iter_mut().zip(&CLASS_MEANS[self.state]) {
             // AR(1): persistent artifacts rather than white noise.
-            self.noise_state[d] = rho * self.noise_state[d]
-                + (1.0 - rho * rho).sqrt() * normal(&mut self.rng);
-            features.push(CLASS_MEANS[self.state][d] + self.noise_state[d] * noise);
+            *ns = rho * *ns + (1.0 - rho * rho).sqrt() * normal(&mut self.rng);
+            features.push(mean + *ns * noise);
         }
         let point = EcgPoint {
             time: self.window_idx as f64 * self.config.stride_secs,
@@ -238,8 +240,7 @@ mod tests {
                 run = 1;
             }
         }
-        let mean_dwell_secs =
-            dwells.iter().sum::<usize>() as f64 / dwells.len() as f64 * 10.0;
+        let mean_dwell_secs = dwells.iter().sum::<usize>() as f64 / dwells.len() as f64 * 10.0;
         assert!(
             mean_dwell_secs > 60.0,
             "mean dwell {mean_dwell_secs}s too short"

@@ -78,9 +78,8 @@ impl HumanLabeler {
             // frames.
             let mut track_rng = derive_rng(self.seed ^ 0x7AC4, signal.track_id);
             let confused = track_rng.gen::<f64>() < self.track_confusion_rate;
-            let confused_class = (signal.true_class
-                + track_rng.gen_range(1..NUM_CLASSES))
-                % NUM_CLASSES;
+            let confused_class =
+                (signal.true_class + track_rng.gen_range(1..NUM_CLASSES)) % NUM_CLASSES;
             // Frame-level slip: one draw per (track, frame).
             let mut slip_rng = derive_rng(
                 self.seed ^ 0x511D,
@@ -90,8 +89,7 @@ impl HumanLabeler {
                     .wrapping_add(frame.index),
             );
             let slipped = slip_rng.gen::<f64>() < self.slip_rate;
-            let slip_class = (signal.true_class + slip_rng.gen_range(1..NUM_CLASSES))
-                % NUM_CLASSES;
+            let slip_class = (signal.true_class + slip_rng.gen_range(1..NUM_CLASSES)) % NUM_CLASSES;
 
             let class = if slipped {
                 slip_class

@@ -246,8 +246,7 @@ mod tests {
         let w = world();
         let scene = w.scene(0);
         assert!(!scene.faces.is_empty());
-        let slots: std::collections::HashSet<usize> =
-            scene.faces.iter().map(|f| f.slot).collect();
+        let slots: std::collections::HashSet<usize> = scene.faces.iter().map(|f| f.slot).collect();
         // Each slot appears the same number of times.
         for &slot in &slots {
             let count = scene.faces.iter().filter(|f| f.slot == slot).count();
@@ -280,8 +279,7 @@ mod tests {
         // always — required for the majority-vote correction to be valid.
         let w = world();
         for s in w.scenes(0..100) {
-            let slots: std::collections::HashSet<usize> =
-                s.faces.iter().map(|f| f.slot).collect();
+            let slots: std::collections::HashSet<usize> = s.faces.iter().map(|f| f.slot).collect();
             for slot in slots {
                 let ids: Vec<u32> = s
                     .faces

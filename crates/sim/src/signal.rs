@@ -183,8 +183,11 @@ impl AppearanceModel {
         let c = &self.conditions;
         let mut app = vec![0.0; APP_DIM];
         let base = rng.gen_range(0.0..0.10);
+        // The night channel bias couples into clutter at a fraction of its
+        // object strength: reflective background picks up some of the
+        // sensor's spectral bias, but much less than metal vehicle bodies.
         for (k, bias) in c.channel_bias.iter().enumerate() {
-            app[k] = base + bias * 0.3 + sample_normal(rng) * c.noise;
+            app[k] = base + bias * 0.15 + sample_normal(rng) * c.noise;
         }
         app[3] = c.brightness + sample_normal(rng) * 0.15;
         app[4] = size;

@@ -201,11 +201,16 @@ impl TrafficWorld {
                 ),
             };
             let speed = dir * self.rng.gen_range(4.0..12.0) * 30.0 / self.config.fps.max(1.0);
-            let x = if dir > 0.0 { -w / 2.0 } else { self.config.width + w / 2.0 };
+            let x = if dir > 0.0 {
+                -w / 2.0
+            } else {
+                self.config.width + w / 2.0
+            };
             // Avoid spawning into a vehicle already at the lane entrance.
-            let entrance_clear = self.cars.iter().all(|c| {
-                c.lane != lane || (c.x - x).abs() > (c.width + w) * 0.75
-            });
+            let entrance_clear = self
+                .cars
+                .iter()
+                .all(|c| c.lane != lane || (c.x - x).abs() > (c.width + w) * 0.75);
             if !entrance_clear {
                 continue;
             }
@@ -246,9 +251,8 @@ impl TrafficWorld {
         }
         let width = self.config.width;
         let cars_snapshot = self.cars.clone();
-        self.cars.retain(|c| {
-            c.x + c.width / 2.0 > -5.0 && c.x - c.width / 2.0 < width + 5.0
-        });
+        self.cars
+            .retain(|c| c.x + c.width / 2.0 > -5.0 && c.x - c.width / 2.0 < width + 5.0);
 
         let mut signals = Vec::new();
         for car in &self.cars {
@@ -262,13 +266,10 @@ impl TrafficWorld {
                     occlusion = occlusion.max(bbox.overlap_fraction(&ob));
                 }
             }
-            let size = ((bbox.area() / (self.config.width * self.config.height)).sqrt())
-                .clamp(0.0, 1.0);
+            let size =
+                ((bbox.area() / (self.config.width * self.config.height)).sqrt()).clamp(0.0, 1.0);
             let speed_norm = (car.speed.abs() / 15.0).clamp(0.0, 1.0);
-            let mut sig_rng = derive_rng(
-                self.frame.wrapping_mul(0x9E37_79B9),
-                car.track_id,
-            );
+            let mut sig_rng = derive_rng(self.frame.wrapping_mul(0x9E37_79B9), car.track_id);
             let appearance = self.appearance.object_appearance(
                 car.class,
                 car.quality,
@@ -287,8 +288,8 @@ impl TrafficWorld {
         }
         for (id, bbox, base_q) in &self.clutter {
             let mut sig_rng = derive_rng(self.frame.wrapping_mul(0x9E37_79B9), *id);
-            let size = ((bbox.area() / (self.config.width * self.config.height)).sqrt())
-                .clamp(0.0, 1.0);
+            let size =
+                ((bbox.area() / (self.config.width * self.config.height)).sqrt()).clamp(0.0, 1.0);
             let appearance = self.appearance.clutter_appearance(size, &mut sig_rng);
             signals.push(ObjectSignal {
                 track_id: *id,
@@ -360,7 +361,10 @@ mod tests {
                 }
             }
         }
-        let long_track = seen.values().find(|xs| xs.len() > 10).expect("a long track");
+        let long_track = seen
+            .values()
+            .find(|xs| xs.len() > 10)
+            .expect("a long track");
         let dx = long_track.last().unwrap() - long_track.first().unwrap();
         assert!(dx.abs() > 50.0, "vehicle should traverse: {dx}");
     }
@@ -376,17 +380,15 @@ mod tests {
                 if s.is_clutter() {
                     continue;
                 }
-                let e = first_last.entry(s.track_id).or_insert((f.index, f.index, 0));
+                let e = first_last
+                    .entry(s.track_id)
+                    .or_insert((f.index, f.index, 0));
                 e.1 = f.index;
                 e.2 += 1;
             }
         }
         for (track, (first, last, count)) in first_last {
-            assert_eq!(
-                last - first + 1,
-                count,
-                "gt track {track} has gaps"
-            );
+            assert_eq!(last - first + 1, count, "gt track {track} has gaps");
         }
     }
 
@@ -436,10 +438,7 @@ mod tests {
             .find(|f| f.signals.iter().any(|s| !s.is_clutter()))
             .expect("some traffic");
         let s = f.signals.iter().find(|s| !s.is_clutter()).unwrap();
-        assert_eq!(
-            f.signal_for_track(s.track_id).unwrap().track_id,
-            s.track_id
-        );
+        assert_eq!(f.signal_for_track(s.track_id).unwrap().track_id, s.track_id);
         assert!(f.signal_for_track(123_456_789).is_none());
     }
 

@@ -32,6 +32,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+// Module split: `track` holds the data model ([`Track`], [`Observation`],
+// [`TrackId`]); `tracker` holds the association algorithm ([`IouTracker`])
+// that produces it. Similar names, deliberately distinct roles.
 mod interpolate;
 mod track;
 mod tracker;

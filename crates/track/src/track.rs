@@ -51,7 +51,11 @@ impl Track {
 
     /// First frame the object was observed in.
     pub fn first_frame(&self) -> usize {
-        *self.observations.keys().next().expect("track is never empty")
+        *self
+            .observations
+            .keys()
+            .next()
+            .expect("track is never empty")
     }
 
     /// Last frame the object was observed in.

@@ -111,16 +111,19 @@ impl ActiveLearner for Learner {
 
 fn main() {
     for (name, mut strategy) in [
-        ("random", Box::new(RandomStrategy) as Box<dyn SelectionStrategy>),
-        ("BAL", Box::new(BalStrategy::new(FallbackPolicy::Uncertainty))),
+        (
+            "random",
+            Box::new(RandomStrategy) as Box<dyn SelectionStrategy>,
+        ),
+        (
+            "BAL",
+            Box::new(BalStrategy::new(FallbackPolicy::Uncertainty)),
+        ),
     ] {
         let mut learner = Learner::new(21);
         let mut rng = StdRng::seed_from_u64(9);
         let records = run_rounds(&mut learner, strategy.as_mut(), 5, 60, &mut rng);
-        let curve: Vec<String> = records
-            .iter()
-            .map(|r| format!("{:.1}", r.metric))
-            .collect();
+        let curve: Vec<String> = records.iter().map(|r| format!("{:.1}", r.metric)).collect();
         println!("{name:<7} mAP% per round: {}", curve.join(" -> "));
     }
     println!("(BAL spends its budget on assertion-flagged frames, which concentrate the");

@@ -31,11 +31,21 @@ fn main() {
     let caught = report.caught_errors(&labeled);
     let false_flags = report.flagged.len() - caught;
 
-    println!("validated {total} human labels across {} frames:", frames.len());
+    println!(
+        "validated {total} human labels across {} frames:",
+        frames.len()
+    );
     println!("  true label errors:   {errors}");
-    println!("  flagged by assertion: {} ({caught} real, {false_flags} false flags)", report.flagged.len());
+    println!(
+        "  flagged by assertion: {} ({caught} real, {false_flags} false flags)",
+        report.flagged.len()
+    );
     println!(
         "  caught {:.0}% of errors — consistent mislabels are invisible to a consistency check",
-        if errors > 0 { 100.0 * caught as f64 / errors as f64 } else { 0.0 }
+        if errors > 0 {
+            100.0 * caught as f64 / errors as f64
+        } else {
+            0.0
+        }
     );
 }

@@ -28,11 +28,9 @@ fn main() {
     });
 
     // A Boolean assertion: the model should never output class 9.
-    monitor
-        .assertions_mut()
-        .add_fn("no-class-9", |s: &Sample| {
-            Severity::from_bool(s.recent.last() == Some(&9))
-        });
+    monitor.assertions_mut().add_fn("no-class-9", |s: &Sample| {
+        Severity::from_bool(s.recent.last() == Some(&9))
+    });
 
     // A corrective action, like "shut down the autopilot" in the paper:
     // fire on any severity >= 2.

@@ -22,11 +22,31 @@ fn car(x: f64, class: usize) -> ScoredBox {
 fn flicker_produces_an_interpolated_add_correction() {
     // A car moves steadily but the detector misses frame 2.
     let frames = vec![
-        VideoFrame { index: 0, time: 0.0, dets: vec![car(100.0, 0)] },
-        VideoFrame { index: 1, time: 0.1, dets: vec![car(110.0, 0)] },
-        VideoFrame { index: 2, time: 0.2, dets: vec![] },
-        VideoFrame { index: 3, time: 0.3, dets: vec![car(130.0, 0)] },
-        VideoFrame { index: 4, time: 0.4, dets: vec![car(140.0, 0)] },
+        VideoFrame {
+            index: 0,
+            time: 0.0,
+            dets: vec![car(100.0, 0)],
+        },
+        VideoFrame {
+            index: 1,
+            time: 0.1,
+            dets: vec![car(110.0, 0)],
+        },
+        VideoFrame {
+            index: 2,
+            time: 0.2,
+            dets: vec![],
+        },
+        VideoFrame {
+            index: 3,
+            time: 0.3,
+            dets: vec![car(130.0, 0)],
+        },
+        VideoFrame {
+            index: 4,
+            time: 0.4,
+            dets: vec![car(140.0, 0)],
+        },
     ];
     let window = VideoWindow::new(frames, 2);
     let tracked = track_window(&window);
@@ -46,7 +66,11 @@ fn flicker_produces_an_interpolated_add_correction() {
             let obs: Vec<Observation> = w
                 .outputs_at(i)
                 .iter()
-                .map(|tb| Observation { bbox: tb.bbox, class: tb.class, score: 1.0 })
+                .map(|tb| Observation {
+                    bbox: tb.bbox,
+                    class: tb.class,
+                    score: 1.0,
+                })
                 .collect();
             let ids = tracker.update(i, &obs);
             for (tb, tid) in w.outputs_at(i).iter().zip(ids) {
@@ -59,12 +83,18 @@ fn flicker_produces_an_interpolated_add_correction() {
         interpolate_gaps(track)
             .into_iter()
             .find(|&(f, _)| f == ti)
-            .map(|(_, bbox)| TrackedBox { track: *id, class: 0, bbox })
+            .map(|(_, bbox)| TrackedBox {
+                track: *id,
+                class: 0,
+                bbox,
+            })
     });
     let adds: Vec<_> = corrections
         .iter()
         .filter_map(|c| match c {
-            Correction::Add { time_index, output, .. } => Some((*time_index, output.bbox)),
+            Correction::Add {
+                time_index, output, ..
+            } => Some((*time_index, output.bbox)),
             _ => None,
         })
         .collect();
@@ -72,15 +102,31 @@ fn flicker_produces_an_interpolated_add_correction() {
     let (ti, bbox) = adds[0];
     assert_eq!(ti, 2);
     // The interpolated box sits midway between frames 1 and 3.
-    assert!((bbox.x1() - 120.0).abs() < 1.0, "interpolated x1 {}", bbox.x1());
+    assert!(
+        (bbox.x1() - 120.0).abs() < 1.0,
+        "interpolated x1 {}",
+        bbox.x1()
+    );
 }
 
 #[test]
 fn class_flip_produces_majority_vote_correction() {
     let frames = vec![
-        VideoFrame { index: 0, time: 0.0, dets: vec![car(100.0, 0)] },
-        VideoFrame { index: 1, time: 0.1, dets: vec![car(110.0, 1)] }, // flip!
-        VideoFrame { index: 2, time: 0.2, dets: vec![car(120.0, 0)] },
+        VideoFrame {
+            index: 0,
+            time: 0.0,
+            dets: vec![car(100.0, 0)],
+        },
+        VideoFrame {
+            index: 1,
+            time: 0.1,
+            dets: vec![car(110.0, 1)],
+        }, // flip!
+        VideoFrame {
+            index: 2,
+            time: 0.2,
+            dets: vec![car(120.0, 0)],
+        },
     ];
     let window = VideoWindow::new(frames, 1);
     let tracked = track_window(&window);
@@ -89,7 +135,9 @@ fn class_flip_produces_majority_vote_correction() {
     let set_attrs: Vec<_> = corrections
         .iter()
         .filter_map(|c| match c {
-            Correction::SetAttr { time_index, value, .. } => Some((*time_index, value.clone())),
+            Correction::SetAttr {
+                time_index, value, ..
+            } => Some((*time_index, value.clone())),
             _ => None,
         })
         .collect();

@@ -95,7 +95,10 @@ fn news_pipeline_flags_attribute_inconsistencies() {
         .iter()
         .filter(|s| assertion.check(s).fired())
         .count();
-    assert!(fired > 3, "transient identity/gender/hair errors must fire: {fired}");
+    assert!(
+        fired > 3,
+        "transient identity/gender/hair errors must fire: {fired}"
+    );
     assert!(fired < 150, "not every scene should fire: {fired}");
 }
 

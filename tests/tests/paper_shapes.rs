@@ -106,7 +106,10 @@ fn flagged_frames_contain_more_errors_than_random_frames() {
             clean_n += 1;
         }
     }
-    assert!(flagged_n > 10 && clean_n > 10, "need both populations: {flagged_n}/{clean_n}");
+    assert!(
+        flagged_n > 10 && clean_n > 10,
+        "need both populations: {flagged_n}/{clean_n}"
+    );
     let flagged_rate = flagged_err as f64 / flagged_n as f64;
     let clean_rate = clean_err as f64 / clean_n as f64;
     assert!(

@@ -1,0 +1,416 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! The build environment has no network access, so this workspace vendors
+//! the API subset its property tests use. Unlike a pure stub, this is a
+//! working randomized property-test harness:
+//!
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges and tuples of strategies;
+//! * [`collection::vec`] for vectors with fixed or ranged length;
+//! * [`any`] for full-range primitives;
+//! * the [`proptest!`] macro, which runs each property over
+//!   [`CASES`] deterministically seeded random inputs;
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Differences from the real crate: failing inputs are *not* shrunk (the
+//! panic message reports the case number; re-running is deterministic, so
+//! every failure reproduces exactly), and the per-property case count is
+//! the fixed [`CASES`] rather than a runtime config.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+
+/// Number of random cases each `proptest!` property is run with.
+pub const CASES: usize = 64;
+
+/// Why a property-test case did not pass, mirroring
+/// `proptest::test_runner::TestCaseError`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was falsified (`prop_assert!` and friends).
+    Fail(String),
+    /// The inputs were rejected as uninteresting (`prop_assume!`).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed case.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejected case.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+        }
+    }
+}
+
+/// Result of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Strategies: composable random-value generators.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SampleUniform};
+    use std::ops::Range;
+
+    /// A composable generator of random values, mirroring
+    /// `proptest::strategy::Strategy`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Returns a strategy producing `f(v)` for `v` drawn from `self`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    impl<T: SampleUniform + Copy> Strategy for Range<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident),+)),+ $(,)?) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+
+    tuple_strategy!(
+        (A),
+        (A, B),
+        (A, B, C),
+        (A, B, C, D),
+        (A, B, C, D, E),
+        (A, B, C, D, E, F),
+        (A, B, C, D, E, F, G),
+        (A, B, C, D, E, F, G, H)
+    );
+
+    /// Strategy for full-range primitives; see [`crate::any`].
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Any<T> {
+        /// Creates the strategy.
+        pub fn new() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: rand::Standard> Strategy for Any<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rng.gen()
+        }
+    }
+}
+
+/// Returns a strategy over the full range of primitive `T`
+/// (`u64`, `i32`, `bool`, ...).
+pub fn any<T: rand::Standard>() -> strategy::Any<T> {
+    strategy::Any::new()
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Lengths accepted by [`vec`]: an exact `usize` or a `usize` range.
+    pub trait IntoLenRange {
+        /// Returns the `[min, max)` length bounds.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoLenRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    impl IntoLenRange for Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        min: usize,
+        max: usize,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = if self.min + 1 == self.max {
+                self.min
+            } else {
+                rng.gen_range(self.min..self.max)
+            };
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// Returns a strategy for `Vec`s of values drawn from `elem`, with a
+    /// length drawn from `len` (an exact `usize` or a `usize..usize` range).
+    pub fn vec<S: Strategy>(elem: S, len: impl IntoLenRange) -> VecStrategy<S> {
+        let (min, max) = len.bounds();
+        assert!(min < max, "collection::vec: empty length range");
+        VecStrategy { elem, min, max }
+    }
+}
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, TestCaseError,
+        TestCaseResult,
+    };
+}
+
+/// Returns the deterministic RNG for case `case` of property `name`.
+///
+/// Used by the [`proptest!`] expansion; the seed mixes the property name
+/// so different properties in one file explore different inputs.
+pub fn case_rng(name: &str, case: usize) -> StdRng {
+    use rand::SeedableRng;
+    // FNV-1a over the property name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Defines property tests: each `fn` runs its body over [`CASES`] random
+/// assignments of its `pattern in strategy` arguments.
+///
+/// As in the real crate, the body runs in a context whose return type is
+/// [`TestCaseResult`], so `?`, `return Ok(())`, and helpers returning
+/// `Result<(), TestCaseError>` all work.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __runs = 0usize;
+                let mut __rejects = 0usize;
+                let mut __case = 0usize;
+                while __runs < $crate::CASES {
+                    let mut __rng = $crate::case_rng(stringify!($name), __case);
+                    __case += 1;
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )+
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: $crate::TestCaseResult = (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match __result {
+                        Ok(()) => __runs += 1,
+                        Err($crate::TestCaseError::Reject(_)) => {
+                            __rejects += 1;
+                            assert!(
+                                __rejects <= 20 * $crate::CASES,
+                                "proptest `{}`: too many prop_assume rejections",
+                                stringify!($name),
+                            );
+                        }
+                        Err($crate::TestCaseError::Fail(__reason)) => panic!(
+                            "proptest `{}` falsified (case #{}): {}",
+                            stringify!($name),
+                            __case - 1,
+                            __reason,
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` property (or any function
+/// returning [`TestCaseResult`]); failure returns `Err` rather than
+/// panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond),
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            __l,
+            __r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l == __r,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`: {}",
+            __l,
+            __r,
+            format!($($fmt)+),
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            __l,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            __l != __r,
+            "assertion failed: `(left != right)`\n  both: `{:?}`: {}",
+            __l,
+            format!($($fmt)+),
+        );
+    }};
+}
+
+/// Rejects the current case when its inputs do not satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::TestCaseError::reject(format!(
+                "prop_assume failed: {}",
+                stringify!($cond),
+            )));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in -5.0f64..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn prop_map_applies(v in (0.0f64..1.0).prop_map(|x| x + 10.0)) {
+            prop_assert!((10.0..11.0).contains(&v));
+        }
+
+        #[test]
+        fn vec_lengths_in_range(v in crate::collection::vec(0u8..4, 1..15)) {
+            prop_assert!((1..15).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn exact_vec_len(v in crate::collection::vec(-1.0f64..1.0, 4)) {
+            prop_assert_eq!(v.len(), 4);
+        }
+
+        #[test]
+        fn assume_skips(n in 0u64..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn any_generates(x in any::<bool>(), y in any::<u64>()) {
+            // Smoke test: full-range primitives generate without panicking.
+            let _ = (x, y);
+        }
+    }
+}
