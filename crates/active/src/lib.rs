@@ -44,6 +44,9 @@ mod runner;
 mod strategy;
 
 pub use ccmab::CcMab;
+// The scoped-thread runtime strategies fan pool scoring out over; re-
+// exported so harness code can name it without an `omg-core` import.
+pub use omg_core::runtime::ThreadPool;
 pub use pool::CandidatePool;
 pub use runner::{run_rounds, ActiveLearner, RoundRecord};
 pub use strategy::{

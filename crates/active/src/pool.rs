@@ -1,6 +1,9 @@
 use std::error::Error;
 use std::fmt;
 
+use omg_core::runtime::ThreadPool;
+use omg_core::SampleReport;
+
 /// Error constructing a [`CandidatePool`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolShapeError {
@@ -60,6 +63,48 @@ impl CandidatePool {
             uncertainties,
             num_assertions,
         })
+    }
+
+    /// Builds a pool straight from monitor [`SampleReport`]s (e.g. the
+    /// output of `Monitor::process_batch`), pairing each report's
+    /// severity vector with the candidate's uncertainty score.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolShapeError`] if lengths disagree or the reports
+    /// carry ragged severity vectors.
+    pub fn from_reports(
+        reports: &[SampleReport],
+        uncertainties: Vec<f64>,
+    ) -> Result<Self, PoolShapeError> {
+        let severities = reports.iter().map(SampleReport::severity_vector).collect();
+        Self::new(severities, uncertainties)
+    }
+
+    /// Builds a pool by scoring every candidate in parallel over the
+    /// runtime: `scorer(i)` returns candidate `i`'s `(severity vector,
+    /// uncertainty)` pair. Results merge in candidate order, so the pool
+    /// is identical at any thread count (the scorer must be a pure
+    /// function of the index).
+    ///
+    /// This is the fan-out path the experiment harness uses to
+    /// construct pools: running the assertion set over every candidate
+    /// window dominates pool-construction cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PoolShapeError`] if the scorer produces ragged severity
+    /// vectors.
+    pub fn build_parallel<F>(
+        runtime: &ThreadPool,
+        n: usize,
+        scorer: F,
+    ) -> Result<Self, PoolShapeError>
+    where
+        F: Fn(usize) -> (Vec<f64>, f64) + Sync,
+    {
+        let (severities, uncertainties) = runtime.map_indexed(n, scorer).into_iter().unzip();
+        Self::new(severities, uncertainties)
     }
 
     /// Number of candidates.
@@ -175,5 +220,43 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.num_assertions(), 0);
         assert!(p.fire_counts().is_empty());
+    }
+
+    #[test]
+    fn from_reports_carries_severity_vectors() {
+        use omg_core::{Monitor, Severity};
+        let mut m: Monitor<i32> = Monitor::new();
+        m.assertions_mut()
+            .add_fn("neg", |&x: &i32| Severity::from_bool(x < 0));
+        m.assertions_mut()
+            .add_fn("mag", |&x: &i32| Severity::new(x.abs() as f64));
+        let samples = vec![-2, 3];
+        let reports = m.process_batch(&samples, &ThreadPool::sequential());
+        let p = CandidatePool::from_reports(&reports, vec![0.1, 0.9]).unwrap();
+        assert_eq!(p.context(0), &[1.0, 2.0]);
+        assert_eq!(p.context(1), &[0.0, 3.0]);
+        assert_eq!(p.uncertainty(1), 0.9);
+        assert!(CandidatePool::from_reports(&reports, vec![0.5]).is_err());
+    }
+
+    #[test]
+    fn build_parallel_is_thread_count_invariant() {
+        let scorer = |i: usize| {
+            (
+                vec![i as f64, if i % 3 == 0 { 1.0 } else { 0.0 }],
+                i as f64 / 100.0,
+            )
+        };
+        let seq = CandidatePool::build_parallel(&ThreadPool::sequential(), 50, scorer).unwrap();
+        for threads in [2, 8] {
+            let par = CandidatePool::build_parallel(&ThreadPool::new(threads), 50, scorer).unwrap();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        assert_eq!(seq.len(), 50);
+        assert_eq!(seq.num_assertions(), 2);
+        // Ragged scorers surface as shape errors.
+        let ragged =
+            CandidatePool::build_parallel(&ThreadPool::sequential(), 3, |i| (vec![0.0; i], 0.0));
+        assert!(ragged.is_err());
     }
 }

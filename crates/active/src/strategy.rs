@@ -1,3 +1,4 @@
+use omg_core::runtime::ThreadPool;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
@@ -9,16 +10,46 @@ use crate::CandidatePool;
 /// Strategies may keep state across rounds (BAL tracks the previous
 /// round's fire rates); [`SelectionStrategy::reset`] clears that state
 /// between independent trials.
-pub trait SelectionStrategy {
+///
+/// Strategies are `Send + Sync`: [`SelectionStrategy::score_all`] shares
+/// `&self` across the runtime's workers, and experiment drivers move
+/// strategies between trial threads. All strategy state is plain data,
+/// so this is a bound, not a burden.
+pub trait SelectionStrategy: Send + Sync {
     /// Short name for experiment tables ("random", "uncertainty",
     /// "uniform-ma", "bal").
     fn name(&self) -> &str;
+
+    /// The strategy's priority score for one candidate: a pure function
+    /// of the pool (no RNG, no round state), higher meaning "label this
+    /// sooner". Score-ordered strategies select by sorting on it;
+    /// sampling strategies expose the signal their sampling weights
+    /// derive from (dashboards rank flagged data with it).
+    fn score(&self, pool: &CandidatePool, candidate: usize) -> f64;
+
+    /// Scores every candidate, fanning the per-candidate scoring out
+    /// over the runtime's workers and merging in candidate order — the
+    /// result is identical at any thread count.
+    fn score_all(&self, pool: &CandidatePool, runtime: &ThreadPool) -> Vec<f64> {
+        runtime.map_indexed(pool.len(), |i| self.score(pool, i))
+    }
 
     /// Selects up to `budget` distinct pool indices to label.
     fn select(&mut self, pool: &CandidatePool, budget: usize, rng: &mut StdRng) -> Vec<usize>;
 
     /// Clears cross-round state (start of a new trial).
     fn reset(&mut self) {}
+}
+
+/// Sorts candidate indices by descending score, breaking ties by earlier
+/// index (the deterministic order every score-ranked path shares).
+fn sort_by_score_desc<F: Fn(usize) -> f64>(order: &mut [usize], score: F) {
+    order.sort_by(|&a, &b| {
+        score(b)
+            .partial_cmp(&score(a))
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
 }
 
 /// Samples `k` distinct indices uniformly from `candidates` (excluding
@@ -47,6 +78,11 @@ impl SelectionStrategy for RandomStrategy {
         "random"
     }
 
+    /// Uniform: every candidate is equally likely.
+    fn score(&self, _pool: &CandidatePool, _candidate: usize) -> f64 {
+        1.0
+    }
+
     fn select(&mut self, pool: &CandidatePool, budget: usize, rng: &mut StdRng) -> Vec<usize> {
         let mut taken = vec![false; pool.len()];
         let all: Vec<usize> = (0..pool.len()).collect();
@@ -64,14 +100,14 @@ impl SelectionStrategy for UncertaintyStrategy {
         "uncertainty"
     }
 
+    /// The model's least-confidence score.
+    fn score(&self, pool: &CandidatePool, candidate: usize) -> f64 {
+        pool.uncertainty(candidate)
+    }
+
     fn select(&mut self, pool: &CandidatePool, budget: usize, _rng: &mut StdRng) -> Vec<usize> {
         let mut order: Vec<usize> = (0..pool.len()).collect();
-        order.sort_by(|&a, &b| {
-            pool.uncertainty(b)
-                .partial_cmp(&pool.uncertainty(a))
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.cmp(&b))
-        });
+        sort_by_score_desc(&mut order, |i| self.score(pool, i));
         order.truncate(budget);
         order
     }
@@ -109,6 +145,16 @@ pub struct UniformAssertionStrategy;
 impl SelectionStrategy for UniformAssertionStrategy {
     fn name(&self) -> &str {
         "uniform-ma"
+    }
+
+    /// Flagged-or-not: selection samples uniformly *within* the flagged
+    /// set, so the pure priority signal is membership.
+    fn score(&self, pool: &CandidatePool, candidate: usize) -> f64 {
+        if pool.context(candidate).iter().any(|&s| s > 0.0) {
+            1.0
+        } else {
+            0.0
+        }
     }
 
     fn select(&mut self, pool: &CandidatePool, budget: usize, rng: &mut StdRng) -> Vec<usize> {
@@ -247,12 +293,7 @@ impl BalStrategy {
             }
             FallbackPolicy::Uncertainty => {
                 let mut order: Vec<usize> = (0..pool.len()).filter(|&i| !taken[i]).collect();
-                order.sort_by(|&a, &b| {
-                    pool.uncertainty(b)
-                        .partial_cmp(&pool.uncertainty(a))
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.cmp(&b))
-                });
+                sort_by_score_desc(&mut order, |i| pool.uncertainty(i));
                 order.truncate(k);
                 for &i in &order {
                     taken[i] = true;
@@ -266,6 +307,16 @@ impl BalStrategy {
 impl SelectionStrategy for BalStrategy {
     fn name(&self) -> &str {
         "bal"
+    }
+
+    /// The maximum severity across assertions — the signal BAL's
+    /// severity-rank sampling weights points by within a chosen
+    /// assertion. (Selection additionally uses per-round marginal
+    /// reductions and RNG; this is the pure monitoring-facing priority.)
+    fn score(&self, pool: &CandidatePool, candidate: usize) -> f64 {
+        pool.context(candidate)
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b))
     }
 
     fn select(&mut self, pool: &CandidatePool, budget: usize, rng: &mut StdRng) -> Vec<usize> {
@@ -570,6 +621,48 @@ mod tests {
         // After reset the next call behaves like round 0 (flagged only).
         let sel = bal.select(&p, 6, &mut rng());
         assert!(sel.iter().all(|&i| i < 15));
+    }
+
+    #[test]
+    fn scores_are_pure_and_thread_count_invariant() {
+        let p = pool();
+        let strategies: Vec<Box<dyn SelectionStrategy>> = vec![
+            Box::new(RandomStrategy),
+            Box::new(UncertaintyStrategy),
+            Box::new(UniformAssertionStrategy),
+            Box::new(BalStrategy::new(FallbackPolicy::Random)),
+        ];
+        for s in &strategies {
+            let seq = s.score_all(&p, &ThreadPool::sequential());
+            assert_eq!(seq.len(), p.len(), "{}", s.name());
+            for threads in [2, 8] {
+                let par = s.score_all(&p, &ThreadPool::new(threads));
+                assert_eq!(par, seq, "{} at {threads} threads", s.name());
+            }
+        }
+    }
+
+    #[test]
+    fn score_matches_each_strategys_signal() {
+        let p = pool();
+        assert_eq!(RandomStrategy.score(&p, 0), 1.0);
+        assert_eq!(UncertaintyStrategy.score(&p, 3), p.uncertainty(3));
+        // Candidate 0 triggers assertion 0; candidate 19 triggers nothing.
+        assert_eq!(UniformAssertionStrategy.score(&p, 0), 1.0);
+        assert_eq!(UniformAssertionStrategy.score(&p, 19), 0.0);
+        // BAL: max severity across assertions (candidate 9 has 10.0).
+        assert_eq!(BalStrategy::new(FallbackPolicy::Random).score(&p, 9), 10.0);
+    }
+
+    #[test]
+    fn uncertainty_select_is_score_ordered() {
+        let p = pool();
+        let strategy = UncertaintyStrategy;
+        let sel = UncertaintyStrategy.select(&p, p.len(), &mut rng());
+        let scores = strategy.score_all(&p, &ThreadPool::sequential());
+        for w in sel.windows(2) {
+            assert!(scores[w[0]] >= scores[w[1]]);
+        }
     }
 
     #[test]

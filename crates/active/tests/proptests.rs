@@ -1,7 +1,7 @@
 //! Property-based tests for the active-learning strategies.
 
 use omg_active::{
-    BalStrategy, CandidatePool, FallbackPolicy, RandomStrategy, SelectionStrategy,
+    BalStrategy, CandidatePool, FallbackPolicy, RandomStrategy, SelectionStrategy, ThreadPool,
     UncertaintyStrategy, UniformAssertionStrategy,
 };
 use proptest::prelude::*;
@@ -91,6 +91,43 @@ proptest! {
         for _ in 0..rounds {
             let sel = bal.select(&pool, budget, &mut rng);
             check_selection(&pool, budget, &sel)?;
+        }
+    }
+
+    /// Parallel pool construction and scoring feed BAL the exact same
+    /// inputs at any thread count, so same-seeded selections are
+    /// identical across 1/2/8 threads and across rounds — the
+    /// active-layer leg of the engine's determinism invariant.
+    #[test]
+    fn bal_selections_are_thread_count_invariant(
+        pool in arb_pool(), budget in 1usize..20, seed in 0u64..100, rounds in 1usize..4,
+    ) {
+        // Rebuild the pool through the parallel constructor per thread
+        // count; contexts must match bit-for-bit.
+        let rebuild = |threads: usize| {
+            CandidatePool::build_parallel(&ThreadPool::new(threads), pool.len(), |i| {
+                (pool.context(i).to_vec(), pool.uncertainty(i))
+            })
+            .unwrap()
+        };
+        let reference_pool = rebuild(1);
+        let run = |p: &CandidatePool| {
+            let mut bal = BalStrategy::new(FallbackPolicy::Uncertainty);
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..rounds).map(|_| bal.select(p, budget, &mut rng)).collect::<Vec<_>>()
+        };
+        let reference_sel = run(&reference_pool);
+        for threads in [2usize, 8] {
+            let p = rebuild(threads);
+            prop_assert_eq!(&p, &reference_pool, "pool differs at {} threads", threads);
+            prop_assert_eq!(run(&p), reference_sel.clone(), "selections differ at {} threads", threads);
+            let scores = BalStrategy::new(FallbackPolicy::Uncertainty)
+                .score_all(&p, &ThreadPool::new(threads));
+            prop_assert_eq!(
+                scores,
+                BalStrategy::new(FallbackPolicy::Uncertainty)
+                    .score_all(&reference_pool, &ThreadPool::sequential())
+            );
         }
     }
 

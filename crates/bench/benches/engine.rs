@@ -3,42 +3,24 @@
 //! per-sample monitoring cost and consistency-engine scaling.
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use omg_bench::video::monitor_windows;
 use omg_core::consistency::{ConsistencyEngine, ConsistencyWindow};
+use omg_core::runtime::ThreadPool;
 use omg_core::Monitor;
 use omg_domains::helpers::{track_window, TrackedBox, VideoTrackSpec};
-use omg_domains::{video_assertion_set, VideoFrame, VideoWindow};
+use omg_domains::video_assertion_set;
 use omg_geom::BBox2D;
-use omg_sim::detector::{DetectorConfig, SimDetector};
-use omg_sim::traffic::{TrafficConfig, TrafficWorld};
 
-fn make_windows(n: usize) -> Vec<VideoWindow> {
-    let mut world = TrafficWorld::new(TrafficConfig::night_street(), 3);
-    let frames = world.steps(n);
-    let det = SimDetector::pretrained(DetectorConfig::default(), 1);
-    let dets: Vec<Vec<_>> = frames
-        .iter()
-        .map(|f| det.detect_frame(f.index, &f.signals))
-        .collect();
-    (0..n)
-        .map(|c| {
-            let lo = c.saturating_sub(2);
-            let hi = (c + 3).min(n);
-            VideoWindow::new(
-                (lo..hi)
-                    .map(|i| VideoFrame {
-                        index: frames[i].index,
-                        time: frames[i].time,
-                        dets: dets[i].iter().map(|d| d.scored).collect(),
-                    })
-                    .collect(),
-                c - lo,
-            )
-        })
-        .collect()
+fn make_windows(n: usize) -> Vec<omg_domains::VideoWindow> {
+    monitor_windows(n, 3)
 }
 
 /// Per-window cost of running the full video assertion set through the
 /// monitor — the runtime-monitoring overhead a deployment would pay.
+/// `monitor/video_window` is the sequential per-invocation path;
+/// `monitor/video_window_batch/N` is `process_batch` over the same
+/// stream on `N` workers (bit-for-bit the same outputs — the comparison
+/// is pure wall-clock, and `exp_throughput` reports it as windows/sec).
 fn monitor_throughput(c: &mut Criterion) {
     let windows = make_windows(200);
     c.bench_function("monitor/video_window", |b| {
@@ -52,6 +34,20 @@ fn monitor_throughput(c: &mut Criterion) {
             BatchSize::SmallInput,
         );
     });
+    let mut group = c.benchmark_group("monitor/video_window_batch");
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &pool, |b, pool| {
+            b.iter_batched(
+                || Monitor::with_assertions(video_assertion_set(0.45)),
+                |mut monitor| {
+                    criterion::black_box(monitor.process_batch(&windows, pool));
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
 }
 
 /// Consistency-engine cost vs. window length (checking + corrections).

@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omg_active::{
     BalStrategy, CandidatePool, CcMab, FallbackPolicy, RandomStrategy, SelectionStrategy,
-    UncertaintyStrategy, UniformAssertionStrategy,
+    ThreadPool, UncertaintyStrategy, UniformAssertionStrategy,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -53,6 +53,21 @@ fn strategies(c: &mut Criterion) {
     group.finish();
 }
 
+/// Per-candidate strategy scoring fanned out over the runtime — the
+/// batch severity-scoring path pools are ranked with.
+fn score_all(c: &mut Criterion) {
+    let pool = make_pool(10_000, 3, 42);
+    let mut group = c.benchmark_group("selection/score_all_10k");
+    for threads in [1usize, 4] {
+        let runtime = ThreadPool::new(threads);
+        let bal = BalStrategy::new(FallbackPolicy::Random);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &runtime, |b, rt| {
+            b.iter(|| criterion::black_box(bal.score_all(&pool, rt)));
+        });
+    }
+    group.finish();
+}
+
 fn ccmab(c: &mut Criterion) {
     c.bench_function("selection/ccmab_round", |b| {
         let mut rng = StdRng::seed_from_u64(9);
@@ -74,6 +89,6 @@ fn ccmab(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = strategies, ccmab
+    targets = strategies, score_all, ccmab
 }
 criterion_main!(benches);

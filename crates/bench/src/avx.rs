@@ -6,6 +6,7 @@
 //! ("We detected vehicles only"), so evaluation maps every class to 0.
 
 use omg_active::{ActiveLearner, CandidatePool};
+use omg_core::runtime::ThreadPool;
 use omg_core::AssertionSet;
 use omg_domains::{av_assertion_set, AvFrame};
 use omg_eval::{DetectionEvaluator, GtBox, ScoredBox};
@@ -73,25 +74,28 @@ pub fn av_frame(sample: &AvSample, dets: &[Detection]) -> AvFrame {
     }
 }
 
-/// Per-sample severity vectors and uncertainties.
+/// Per-sample severity vectors and uncertainties, fanned out across the
+/// runtime's workers (merged in sample order — identical at any thread
+/// count).
 pub fn score_samples(
     set: &AssertionSet<AvFrame>,
     samples: &[AvSample],
     dets: &[Vec<Detection>],
+    runtime: &ThreadPool,
 ) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let mut severities = Vec::with_capacity(samples.len());
-    let mut uncertainties = Vec::with_capacity(samples.len());
-    for (sample, d) in samples.iter().zip(dets) {
-        let frame = av_frame(sample, d);
-        let outcomes = set.check_all(&frame);
-        severities.push(outcomes.iter().map(|(_, s)| s.value()).collect());
-        let unc = d
-            .iter()
-            .map(|x| 1.0 - x.scored.score)
-            .fold(0.0f64, f64::max);
-        uncertainties.push(unc);
-    }
-    (severities, uncertainties)
+    runtime
+        .map_indexed(samples.len(), |i| {
+            let frame = av_frame(&samples[i], &dets[i]);
+            let outcomes = set.check_all(&frame);
+            let severities: Vec<f64> = outcomes.iter().map(|(_, s)| s.value()).collect();
+            let unc = dets[i]
+                .iter()
+                .map(|x| 1.0 - x.scored.score)
+                .fold(0.0f64, f64::max);
+            (severities, unc)
+        })
+        .into_iter()
+        .unzip()
 }
 
 /// Single-class mAP (percent) of the camera detector on samples.
@@ -127,10 +131,12 @@ pub struct AvLearner {
     unlabeled: Vec<usize>,
     labeled_batch: TrainingBatch,
     epochs_per_round: usize,
+    runtime: ThreadPool,
 }
 
 impl AvLearner {
-    /// Creates a learner around a pretrained camera detector.
+    /// Creates a learner around a pretrained camera detector, scoring
+    /// pools on the harness-wide runtime (`--threads`).
     pub fn new(scenario: AvScenario, detector: SimDetector) -> Self {
         let n = scenario.pool.len();
         Self {
@@ -140,7 +146,14 @@ impl AvLearner {
             unlabeled: (0..n).collect(),
             labeled_batch: TrainingBatch::new(),
             epochs_per_round: 4,
+            runtime: crate::runtime(),
         }
+    }
+
+    /// Overrides the scoring runtime.
+    pub fn with_runtime(mut self, runtime: ThreadPool) -> Self {
+        self.runtime = runtime;
+        self
     }
 
     /// The current camera detector.
@@ -152,7 +165,7 @@ impl AvLearner {
 impl ActiveLearner for AvLearner {
     fn pool(&mut self) -> CandidatePool {
         let dets = detect_all(&self.detector, &self.scenario.pool);
-        let (sev, unc) = score_samples(&self.assertions, &self.scenario.pool, &dets);
+        let (sev, unc) = score_samples(&self.assertions, &self.scenario.pool, &dets, &self.runtime);
         let severities = self.unlabeled.iter().map(|&i| sev[i].clone()).collect();
         let uncertainties = self.unlabeled.iter().map(|&i| unc[i]).collect();
         CandidatePool::new(severities, uncertainties).expect("consistent pool")
@@ -233,7 +246,7 @@ mod tests {
         let det = pretrained_camera(1);
         let dets = detect_all(&det, &s.pool);
         let set = av_assertion_set();
-        let (sev, unc) = score_samples(&set, &s.pool, &dets);
+        let (sev, unc) = score_samples(&set, &s.pool, &dets, &ThreadPool::new(4));
         assert!(sev.iter().all(|r| r.len() == 2));
         assert_eq!(unc.len(), 80);
         let agree_fires: f64 = sev.iter().map(|r| r[0]).sum();

@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    omg_bench::init_runtime_from_args();
     let t0 = std::time::Instant::now();
 
     // --- Video: pretrained quality + weak supervision ---
@@ -21,7 +22,8 @@ fn main() {
 
     let dets = video::detect_all(&detector, &scenario.pool_frames);
     let set = omg_domains::video_assertion_set(video::FLICKER_T);
-    let (sev, _unc) = video::score_frames(&set, &scenario.pool_frames, &dets);
+    let (sev, _unc) =
+        video::score_frames(&set, &scenario.pool_frames, &dets, &omg_bench::runtime());
     for (m, name) in set.names().iter().enumerate() {
         let fires = sev.iter().filter(|r| r[m] > 0.0).count();
         println!("[video] {name} fires on {fires}/{} frames", sev.len());
@@ -53,7 +55,7 @@ fn main() {
         "[ecg] pretrained accuracy% = {:.1}",
         ecgx::evaluate_accuracy(&clf, &ecg.test)
     );
-    let (sev, _) = ecgx::score_pool(&clf, &ecg.pool);
+    let (sev, _) = ecgx::score_pool(&clf, &ecg.pool, &omg_bench::runtime());
     let fires = sev.iter().filter(|r| r[0] > 0.0).count();
     println!("[ecg] assertion fires on {fires}/{} windows", sev.len());
     let mut rng = StdRng::seed_from_u64(5);
@@ -80,7 +82,7 @@ fn main() {
     );
     let dets = avx::detect_all(&cam, &av.pool);
     let set = omg_domains::av_assertion_set();
-    let (sev, _) = avx::score_samples(&set, &av.pool, &dets);
+    let (sev, _) = avx::score_samples(&set, &av.pool, &dets, &omg_bench::runtime());
     for (m, name) in set.names().iter().enumerate() {
         let fires = sev.iter().filter(|r| r[m] > 0.0).count();
         println!("[av] {name} fires on {fires}/{} samples", sev.len());

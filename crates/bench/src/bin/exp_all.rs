@@ -4,6 +4,7 @@ use std::fs;
 use std::path::Path;
 
 fn main() {
+    omg_bench::init_runtime_from_args();
     use omg_bench::experiments as exp;
     let outputs: Vec<(&str, String)> = vec![
         ("table1", exp::table1::run()),

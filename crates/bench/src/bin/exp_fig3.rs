@@ -1,4 +1,5 @@
 //! Regenerates Figure 3 (confidence percentiles of caught errors).
 fn main() {
+    omg_bench::init_runtime_from_args();
     print!("{}", omg_bench::experiments::fig3::run(77));
 }

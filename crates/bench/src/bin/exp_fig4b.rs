@@ -1,4 +1,5 @@
 //! Regenerates Figure 4b (AV active learning, rounds 2-5).
 fn main() {
+    omg_bench::init_runtime_from_args();
     print!("{}", omg_bench::experiments::fig4::run_av(4, 5, 60, false));
 }

@@ -1,4 +1,5 @@
 //! Regenerates Figure 5 (ECG active learning with a single assertion).
 fn main() {
+    omg_bench::init_runtime_from_args();
     print!("{}", omg_bench::experiments::fig5::run(4, 5, 100));
 }

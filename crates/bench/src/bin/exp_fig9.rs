@@ -1,5 +1,6 @@
 //! Regenerates Figure 9 (full active-learning curves, all rounds).
 fn main() {
+    omg_bench::init_runtime_from_args();
     print!(
         "{}",
         omg_bench::experiments::fig4::run_video(2, 5, 100, true)

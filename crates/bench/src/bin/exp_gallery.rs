@@ -1,4 +1,5 @@
 //! Renders the qualitative error gallery (Figures 1, 6, 7).
 fn main() {
+    omg_bench::init_runtime_from_args();
     print!("{}", omg_bench::experiments::gallery::run(5));
 }

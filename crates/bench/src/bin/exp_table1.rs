@@ -1,4 +1,5 @@
 //! Regenerates Table 1 (task/model/assertion inventory).
 fn main() {
+    omg_bench::init_runtime_from_args();
     print!("{}", omg_bench::experiments::table1::run());
 }

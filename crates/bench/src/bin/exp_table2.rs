@@ -1,4 +1,5 @@
 //! Regenerates Table 2 (lines of code per assertion).
 fn main() {
+    omg_bench::init_runtime_from_args();
     print!("{}", omg_bench::experiments::table2::run());
 }

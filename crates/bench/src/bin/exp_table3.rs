@@ -1,4 +1,5 @@
 //! Regenerates Table 3 (precision of deployed assertions).
 fn main() {
+    omg_bench::init_runtime_from_args();
     print!("{}", omg_bench::experiments::table3::run(2024));
 }

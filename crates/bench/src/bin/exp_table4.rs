@@ -1,4 +1,5 @@
 //! Regenerates Table 4 (weak supervision, pretrained vs weakly supervised).
 fn main() {
+    omg_bench::init_runtime_from_args();
     print!("{}", omg_bench::experiments::table4::run(3));
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table 5 (assertion taxonomy, Appendix B).
 fn main() {
+    omg_bench::init_runtime_from_args();
     print!("{}", omg_bench::experiments::table5::run());
 }

@@ -1,4 +1,5 @@
 //! Regenerates Table 6 (human-label validation, Appendix E).
 fn main() {
+    omg_bench::init_runtime_from_args();
     print!("{}", omg_bench::experiments::table6::run(33));
 }

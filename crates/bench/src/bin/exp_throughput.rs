@@ -1,0 +1,121 @@
+//! Sequential-vs-parallel monitor throughput (windows/sec) on the
+//! night-street video stream — the scaling measurement behind the
+//! parallel batch runtime (`Monitor::process_batch`).
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p omg-bench --bin exp_throughput -- \
+//!     [--threads N] [--windows W]
+//! ```
+//!
+//! Runs the sequential `Monitor::process` loop, then `process_batch` at
+//! 1, 2, 4, … up to a ceiling of `--threads` workers (else the
+//! `OMG_THREADS` environment variable, else available parallelism),
+//! verifying on every run that the parallel path's reports and database
+//! match the sequential path bit-for-bit. Results print as a table and
+//! land in `BENCH_throughput.json` under the same `target/bench/`
+//! directory the criterion harnesses write to.
+
+use std::time::Instant;
+
+use omg_bench::video::{monitor_windows, FLICKER_T};
+use omg_core::runtime::ThreadPool;
+use omg_core::Monitor;
+use omg_domains::{video_assertion_set, VideoWindow};
+
+/// Best-of-`reps` wall-clock for one full pass over the stream.
+fn best_secs<F: FnMut()>(reps: usize, mut run: F) -> f64 {
+    (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            run();
+            t0.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let env_threads = std::env::var("OMG_THREADS")
+        .ok()
+        .map(|v| match v.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => panic!("OMG_THREADS expects a positive integer, got {v:?}"),
+        });
+    let max_threads = omg_bench::parse_usize_flag(&args, "--threads")
+        .or(env_threads)
+        .unwrap_or_else(|| ThreadPool::available().threads());
+    let n_windows = omg_bench::parse_usize_flag(&args, "--windows").unwrap_or(2000);
+    let reps = 3;
+
+    eprintln!("building {n_windows} night-street windows…");
+    let windows: Vec<VideoWindow> = monitor_windows(n_windows, 3);
+    let fresh = || Monitor::with_assertions(video_assertion_set(FLICKER_T));
+
+    // Reference run: the sequential per-invocation monitor.
+    let mut reference = fresh();
+    let reference_reports: Vec<_> = windows.iter().map(|w| reference.process(w)).collect();
+    let seq_secs = best_secs(reps, || {
+        let mut m = fresh();
+        for w in &windows {
+            std::hint::black_box(m.process(w));
+        }
+    });
+    let seq_wps = n_windows as f64 / seq_secs;
+
+    println!(
+        "monitor throughput, {n_windows} windows x {} assertions (best of {reps}):",
+        reference.assertions().len()
+    );
+    println!("  {:<22} {:>12} {:>10}", "path", "windows/sec", "speedup");
+    println!("  {:<22} {:>12.0} {:>9.2}x", "sequential", seq_wps, 1.0);
+
+    let mut rows = vec![("sequential".to_string(), seq_wps)];
+    let mut threads = 1usize;
+    while threads <= max_threads {
+        let pool = ThreadPool::new(threads);
+        // Correctness first: the parallel path must reproduce the
+        // sequential reports and database exactly.
+        let mut check = fresh();
+        let reports = check.process_batch(&windows, &pool);
+        assert_eq!(
+            reports, reference_reports,
+            "process_batch({threads}) diverged from the sequential reports"
+        );
+        assert_eq!(
+            check.db(),
+            reference.db(),
+            "process_batch({threads}) diverged from the sequential database"
+        );
+        let secs = best_secs(reps, || {
+            let mut m = fresh();
+            std::hint::black_box(m.process_batch(&windows, &pool));
+        });
+        let wps = n_windows as f64 / secs;
+        let label = format!("batch x{threads}");
+        println!("  {:<22} {:>12.0} {:>9.2}x", label, wps, wps / seq_wps);
+        rows.push((label, wps));
+        if threads == max_threads {
+            break;
+        }
+        threads = (threads * 2).min(max_threads);
+    }
+    println!("  (parallel output verified bit-for-bit against sequential)");
+
+    // Machine-readable trajectory, alongside the criterion JSONs.
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(label, wps)| format!("    {{\"id\": \"{label}\", \"windows_per_sec\": {wps:.1}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"throughput\",\n  \"windows\": {n_windows},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let dir = criterion::bench_output_dir();
+    let path = dir.join("BENCH_throughput.json");
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -3,6 +3,7 @@ use omg_bench::{ecgx, video};
 use omg_sim::detector::Provenance;
 
 fn main() {
+    omg_bench::init_runtime_from_args();
     let scenario = video::VideoScenario::night_street(11, 400, 200);
     let det = video::pretrained_detector(1);
     let all_dets = video::detect_all(&det, &scenario.pool_frames);

@@ -1,6 +1,7 @@
 //! The ECG / atrial-fibrillation scenario (Figure 5; Table 4, row 3).
 
 use omg_active::{ActiveLearner, CandidatePool};
+use omg_core::runtime::ThreadPool;
 use omg_core::Assertion;
 use omg_domains::ecg::ecg_assertion;
 use omg_domains::EcgWindow;
@@ -105,21 +106,25 @@ pub fn evaluate_accuracy(mlp: &Mlp, points: &[EcgPoint]) -> f64 {
 }
 
 /// Per-point severity (the single ECG assertion) and uncertainty over a
-/// prediction stream.
-pub fn score_pool(mlp: &Mlp, pool: &[EcgPoint]) -> (Vec<Vec<f64>>, Vec<f64>) {
+/// prediction stream. The prediction pass runs once sequentially (each
+/// window needs its neighbours' predictions); the window checks and
+/// uncertainty scores then fan out across the runtime's workers.
+pub fn score_pool(mlp: &Mlp, pool: &[EcgPoint], runtime: &ThreadPool) -> (Vec<Vec<f64>>, Vec<f64>) {
     let assertion = ecg_assertion();
     let preds: Vec<usize> = pool.iter().map(|p| mlp.predict(&p.features)).collect();
     let times: Vec<f64> = pool.iter().map(|p| p.time).collect();
-    let mut severities = Vec::with_capacity(pool.len());
-    let mut uncertainties = Vec::with_capacity(pool.len());
-    for i in 0..pool.len() {
-        let lo = i.saturating_sub(ECG_CONTEXT);
-        let hi = (i + ECG_CONTEXT + 1).min(pool.len());
-        let window = EcgWindow::new(times[lo..hi].to_vec(), preds[lo..hi].to_vec(), i - lo);
-        severities.push(vec![assertion.check(&window).value()]);
-        uncertainties.push(least_confidence(&mlp.predict_proba(&pool[i].features)));
-    }
-    (severities, uncertainties)
+    runtime
+        .map_indexed(pool.len(), |i| {
+            let lo = i.saturating_sub(ECG_CONTEXT);
+            let hi = (i + ECG_CONTEXT + 1).min(pool.len());
+            let window = EcgWindow::new(times[lo..hi].to_vec(), preds[lo..hi].to_vec(), i - lo);
+            (
+                vec![assertion.check(&window).value()],
+                least_confidence(&mlp.predict_proba(&pool[i].features)),
+            )
+        })
+        .into_iter()
+        .unzip()
 }
 
 /// The ECG active learner of Figure 5.
@@ -129,12 +134,14 @@ pub struct EcgLearner {
     unlabeled: Vec<usize>,
     labeled: Dataset,
     epochs_per_round: usize,
+    runtime: ThreadPool,
 }
 
 impl EcgLearner {
     /// Creates a learner around a pretrained classifier; the bootstrap
     /// split stays in the training set and continued training runs at a
-    /// fine-tuning rate.
+    /// fine-tuning rate. Pools are scored on the harness-wide runtime
+    /// (`--threads`).
     pub fn new(scenario: EcgScenario, mut classifier: Mlp) -> Self {
         classifier.set_lr(0.02);
         let labeled = to_dataset(&scenario.train);
@@ -145,7 +152,14 @@ impl EcgLearner {
             unlabeled: (0..n).collect(),
             labeled,
             epochs_per_round: 15,
+            runtime: crate::runtime(),
         }
+    }
+
+    /// Overrides the scoring runtime.
+    pub fn with_runtime(mut self, runtime: ThreadPool) -> Self {
+        self.runtime = runtime;
+        self
     }
 
     /// The current classifier.
@@ -156,7 +170,7 @@ impl EcgLearner {
 
 impl ActiveLearner for EcgLearner {
     fn pool(&mut self) -> CandidatePool {
-        let (sev, unc) = score_pool(&self.classifier, &self.scenario.pool);
+        let (sev, unc) = score_pool(&self.classifier, &self.scenario.pool, &self.runtime);
         let severities = self.unlabeled.iter().map(|&i| sev[i].clone()).collect();
         let uncertainties = self.unlabeled.iter().map(|&i| unc[i]).collect();
         CandidatePool::new(severities, uncertainties).expect("consistent pool")
@@ -242,7 +256,12 @@ mod tests {
     fn scoring_yields_one_severity_dim() {
         let s = tiny();
         let mlp = pretrained_classifier(&s, 1);
-        let (sev, unc) = score_pool(&mlp, &s.pool);
+        let (sev, unc) = score_pool(&mlp, &s.pool, &ThreadPool::new(2));
+        assert_eq!(
+            score_pool(&mlp, &s.pool, &ThreadPool::sequential()),
+            (sev.clone(), unc.clone()),
+            "parallel scoring must match sequential"
+        );
         assert_eq!(sev.len(), 300);
         assert!(sev.iter().all(|r| r.len() == 1));
         assert!(unc.iter().all(|&u| (0.0..=1.0).contains(&u)));

@@ -173,7 +173,7 @@ fn av_agree_row(seed: u64) -> Row {
 fn ecg_row(seed: u64) -> Row {
     let scenario = ecgx::EcgScenario::standard(seed);
     let classifier = ecgx::pretrained_classifier(&scenario, 1);
-    let (sev, _) = ecgx::score_pool(&classifier, &scenario.pool);
+    let (sev, _) = ecgx::score_pool(&classifier, &scenario.pool, &crate::runtime());
     let flagged: Vec<usize> = (0..scenario.pool.len())
         .filter(|&i| sev[i][0] > 0.0)
         .collect();
@@ -201,7 +201,7 @@ fn ecg_row(seed: u64) -> Row {
 
 fn news_row(seed: u64) -> Row {
     let scenario = newsx::NewsScenario::standard(seed);
-    let flagged = newsx::flagged_groups(&scenario);
+    let flagged = newsx::flagged_groups(&scenario, &crate::runtime());
     let sampled: Vec<bool> = flagged.iter().map(|g| g.is_real_error).collect();
     let sampled = sample_up_to(&sampled, 50);
     let p = omg_eval::stats::proportion(&sampled, |&e| e);

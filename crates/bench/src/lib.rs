@@ -25,7 +25,84 @@ pub mod loc;
 pub mod newsx;
 pub mod video;
 
+use std::sync::OnceLock;
+
+use omg_core::runtime::ThreadPool;
 use omg_eval::stats;
+
+/// The worker count the experiment binaries run scoring fan-outs with.
+/// Set once (first writer wins) by [`set_threads`] /
+/// [`init_runtime_from_args`].
+static THREADS: OnceLock<usize> = OnceLock::new();
+
+/// Pins the harness-wide worker count. The first call wins; later calls
+/// are ignored (binaries call this once at startup).
+///
+/// # Panics
+///
+/// Panics if `threads` is zero.
+pub fn set_threads(threads: usize) {
+    assert!(threads > 0, "--threads must be at least 1");
+    let _ = THREADS.set(threads);
+}
+
+/// The configured worker count: `--threads` / [`set_threads`] if given,
+/// else the `OMG_THREADS` environment variable, else 1 (sequential, the
+/// deterministic default every test runs with — results are identical at
+/// any setting, only wall-clock changes).
+pub fn threads() -> usize {
+    *THREADS.get_or_init(|| {
+        std::env::var("OMG_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(1)
+    })
+}
+
+/// The scoring runtime sized by [`threads`].
+pub fn runtime() -> ThreadPool {
+    ThreadPool::new(threads())
+}
+
+/// Parses a `--flag N` / `--flag=N` positive-integer option from an
+/// argument list.
+///
+/// # Panics
+///
+/// Panics if the flag is present with a missing, zero, or non-numeric
+/// value — a mistyped knob must fail loudly, not silently fall back.
+pub fn parse_usize_flag(args: &[String], flag: &str) -> Option<usize> {
+    let parse = |value: &str| -> usize {
+        value
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| panic!("{flag} expects a positive integer, got {value:?}"))
+    };
+    for (i, arg) in args.iter().enumerate() {
+        if arg == flag {
+            let value = args
+                .get(i + 1)
+                .unwrap_or_else(|| panic!("{flag} expects a value"));
+            return Some(parse(value));
+        }
+        if let Some(value) = arg.strip_prefix(flag).and_then(|r| r.strip_prefix('=')) {
+            return Some(parse(value));
+        }
+    }
+    None
+}
+
+/// Parses `--threads N` (or `--threads=N`) from the process arguments
+/// (if present) and pins the harness-wide worker count. Every `exp_*`
+/// binary calls this first.
+pub fn init_runtime_from_args() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(n) = parse_usize_flag(&args, "--threads") {
+        set_threads(n);
+    }
+}
 
 /// Mean and standard error of one experiment series across trials.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,5 +158,39 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn ragged_series_rejected() {
         summarize_series("x", &[vec![1.0], vec![1.0, 2.0]]);
+    }
+
+    fn args(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_usize_flag_accepts_both_forms() {
+        assert_eq!(
+            parse_usize_flag(&args(&["bin", "--threads", "4"]), "--threads"),
+            Some(4)
+        );
+        assert_eq!(
+            parse_usize_flag(&args(&["bin", "--threads=8"]), "--threads"),
+            Some(8)
+        );
+        assert_eq!(parse_usize_flag(&args(&["bin"]), "--threads"), None);
+        // A different flag's prefix must not match.
+        assert_eq!(
+            parse_usize_flag(&args(&["bin", "--threadstorm=2"]), "--threads"),
+            None
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "expects a value")]
+    fn parse_usize_flag_rejects_missing_value() {
+        parse_usize_flag(&args(&["bin", "--threads"]), "--threads");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive integer")]
+    fn parse_usize_flag_rejects_zero() {
+        parse_usize_flag(&args(&["bin", "--threads", "0"]), "--threads");
     }
 }

@@ -5,6 +5,7 @@
 //! monitoring statistics only: assertion fire counts and precision.
 
 use omg_core::consistency::{ConsistencyEngine, Violation};
+use omg_core::runtime::ThreadPool;
 use omg_core::Assertion;
 use omg_domains::news::{news_assertion, scene_window, NewsSpec};
 use omg_sim::news::{NewsConfig, NewsScene, NewsWorld};
@@ -46,35 +47,42 @@ pub struct FlaggedGroup {
 }
 
 /// Runs the news assertion over all scenes and returns the flagged
-/// groups (deduplicated per scene/slot).
-pub fn flagged_groups(scenario: &NewsScenario) -> Vec<FlaggedGroup> {
+/// groups (deduplicated per scene/slot). Scenes are independent, so the
+/// consistency checks fan out across the runtime's workers and merge in
+/// scene order.
+pub fn flagged_groups(scenario: &NewsScenario, runtime: &ThreadPool) -> Vec<FlaggedGroup> {
     let engine = ConsistencyEngine::new(NewsSpec);
     let roster = scenario.world.roster();
-    let mut out = Vec::new();
-    for scene in &scenario.scenes {
-        let window = scene_window(scene);
-        let mut seen: Vec<(u64, usize)> = Vec::new();
-        for violation in engine.check(&window) {
-            let Violation::AttributeMismatch { id, .. } = violation else {
-                continue;
-            };
-            if seen.contains(&id) {
-                continue;
+    runtime
+        .map_indexed(scenario.scenes.len(), |si| {
+            let scene = &scenario.scenes[si];
+            let window = scene_window(scene);
+            let mut seen: Vec<(u64, usize)> = Vec::new();
+            let mut out = Vec::new();
+            for violation in engine.check(&window) {
+                let Violation::AttributeMismatch { id, .. } = violation else {
+                    continue;
+                };
+                if seen.contains(&id) {
+                    continue;
+                }
+                seen.push(id);
+                let is_real_error = scene
+                    .faces
+                    .iter()
+                    .filter(|f| (f.scene, f.slot) == id)
+                    .any(|f| f.is_error(roster));
+                out.push(FlaggedGroup {
+                    scene: id.0,
+                    slot: id.1,
+                    is_real_error,
+                });
             }
-            seen.push(id);
-            let is_real_error = scene
-                .faces
-                .iter()
-                .filter(|f| (f.scene, f.slot) == id)
-                .any(|f| f.is_error(roster));
-            out.push(FlaggedGroup {
-                scene: id.0,
-                slot: id.1,
-                is_real_error,
-            });
-        }
-    }
-    out
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
 }
 
 /// Number of scenes on which the combined news assertion fires.
@@ -102,8 +110,13 @@ mod tests {
     #[test]
     fn flagged_groups_are_mostly_real_errors() {
         let s = NewsScenario::new(3, 300);
-        let flagged = flagged_groups(&s);
+        let flagged = flagged_groups(&s, &ThreadPool::sequential());
         assert!(!flagged.is_empty());
+        assert_eq!(
+            flagged_groups(&s, &ThreadPool::new(4)),
+            flagged,
+            "parallel scene checks must merge in scene order"
+        );
         let real = flagged.iter().filter(|g| g.is_real_error).count();
         let precision = real as f64 / flagged.len() as f64;
         assert!(
@@ -115,7 +128,7 @@ mod tests {
     #[test]
     fn flagged_groups_deduplicate() {
         let s = NewsScenario::new(3, 100);
-        let flagged = flagged_groups(&s);
+        let flagged = flagged_groups(&s, &ThreadPool::sequential());
         let mut keys: Vec<(u64, usize)> = flagged.iter().map(|g| (g.scene, g.slot)).collect();
         let before = keys.len();
         keys.sort_unstable();

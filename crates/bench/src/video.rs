@@ -2,6 +2,7 @@
 //! Tables 3, 4, 6).
 
 use omg_active::{ActiveLearner, CandidatePool};
+use omg_core::runtime::ThreadPool;
 use omg_core::AssertionSet;
 use omg_domains::{video_assertion_set, VideoFrame, VideoWindow};
 use omg_eval::DetectionEvaluator;
@@ -67,28 +68,43 @@ pub fn window_at(frames: &[GtFrame], dets: &[Vec<Detection>], center: usize) -> 
 }
 
 /// Per-frame severity vectors and uncertainty scores over a sequence.
+///
+/// Each frame's window is built and checked independently, so the work
+/// fans out across the runtime's workers and merges in frame order —
+/// identical output at any thread count.
 pub fn score_frames(
     set: &AssertionSet<VideoWindow>,
     frames: &[GtFrame],
     dets: &[Vec<Detection>],
+    runtime: &ThreadPool,
 ) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let mut severities = Vec::with_capacity(frames.len());
-    let mut uncertainties = Vec::with_capacity(frames.len());
-    for i in 0..frames.len() {
-        let window = window_at(frames, dets, i);
-        let outcomes = set.check_all(&window);
-        severities.push(outcomes.iter().map(|(_, s)| s.value()).collect());
-        // Least-confidence over the frame's detections: the most
-        // uncertain output. Frames with no detections carry no
-        // uncertainty signal — exactly the blind spot of
-        // uncertainty sampling the paper exploits.
-        let unc = dets[i]
-            .iter()
-            .map(|d| 1.0 - d.scored.score)
-            .fold(0.0f64, f64::max);
-        uncertainties.push(unc);
-    }
-    (severities, uncertainties)
+    runtime
+        .map_indexed(frames.len(), |i| {
+            let window = window_at(frames, dets, i);
+            let outcomes = set.check_all(&window);
+            let severities: Vec<f64> = outcomes.iter().map(|(_, s)| s.value()).collect();
+            // Least-confidence over the frame's detections: the most
+            // uncertain output. Frames with no detections carry no
+            // uncertainty signal — exactly the blind spot of
+            // uncertainty sampling the paper exploits.
+            let unc = dets[i]
+                .iter()
+                .map(|d| 1.0 - d.scored.score)
+                .fold(0.0f64, f64::max);
+            (severities, unc)
+        })
+        .into_iter()
+        .unzip()
+}
+
+/// Builds `n` sliding monitor windows over a fresh night-street stream —
+/// the shared input of the engine benchmarks and `exp_throughput`.
+pub fn monitor_windows(n: usize, seed: u64) -> Vec<VideoWindow> {
+    let mut world = TrafficWorld::new(TrafficConfig::night_street(), seed);
+    let frames = world.steps(n);
+    let det = SimDetector::pretrained(DetectorConfig::default(), 1);
+    let dets = detect_all(&det, &frames);
+    (0..n).map(|c| window_at(&frames, &dets, c)).collect()
 }
 
 /// mAP (percent) of the detector on a frame sequence.
@@ -124,10 +140,12 @@ pub struct VideoLearner {
     unlabeled: Vec<usize>,
     labeled_batch: TrainingBatch,
     epochs_per_round: usize,
+    runtime: ThreadPool,
 }
 
 impl VideoLearner {
-    /// Creates a learner around a pretrained detector.
+    /// Creates a learner around a pretrained detector, scoring pools on
+    /// the harness-wide runtime (`--threads`).
     pub fn new(scenario: VideoScenario, detector: SimDetector) -> Self {
         let n = scenario.pool_frames.len();
         Self {
@@ -137,7 +155,15 @@ impl VideoLearner {
             unlabeled: (0..n).collect(),
             labeled_batch: TrainingBatch::new(),
             epochs_per_round: 4,
+            runtime: crate::runtime(),
         }
+    }
+
+    /// Overrides the scoring runtime (results are identical at any
+    /// thread count; only wall-clock changes).
+    pub fn with_runtime(mut self, runtime: ThreadPool) -> Self {
+        self.runtime = runtime;
+        self
     }
 
     /// The current detector.
@@ -156,7 +182,12 @@ impl ActiveLearner for VideoLearner {
         // Score the whole stream once (windows need neighbours), then
         // project onto the unlabeled positions.
         let dets = detect_all(&self.detector, &self.scenario.pool_frames);
-        let (sev, unc) = score_frames(&self.assertions, &self.scenario.pool_frames, &dets);
+        let (sev, unc) = score_frames(
+            &self.assertions,
+            &self.scenario.pool_frames,
+            &dets,
+            &self.runtime,
+        );
         let severities = self.unlabeled.iter().map(|&i| sev[i].clone()).collect();
         let uncertainties = self.unlabeled.iter().map(|&i| unc[i]).collect();
         CandidatePool::new(severities, uncertainties).expect("consistent pool")
@@ -375,7 +406,7 @@ mod tests {
         let det = pretrained_detector(1);
         let dets = detect_all(&det, &s.pool_frames);
         let set = video_assertion_set(FLICKER_T);
-        let (sev, unc) = score_frames(&set, &s.pool_frames, &dets);
+        let (sev, unc) = score_frames(&set, &s.pool_frames, &dets, &ThreadPool::sequential());
         assert_eq!(sev.len(), 120);
         assert_eq!(unc.len(), 120);
         let total_fires: f64 = sev.iter().flat_map(|r| r.iter()).sum();
@@ -383,6 +414,13 @@ mod tests {
             total_fires > 0.0,
             "the pretrained night detector must trip assertions"
         );
+        // The fan-out path merges in frame order: identical scores at
+        // any thread count.
+        for threads in [2, 8] {
+            let (psev, punc) = score_frames(&set, &s.pool_frames, &dets, &ThreadPool::new(threads));
+            assert_eq!(psev, sev, "severities differ at {threads} threads");
+            assert_eq!(punc, unc, "uncertainties differ at {threads} threads");
+        }
     }
 
     #[test]

@@ -19,10 +19,24 @@ pub struct Record {
 /// the system needs: fire counts (BAL's marginal-reduction signal),
 /// flagged-sample lists (active-learning pools), and top-by-severity
 /// rankings (dashboards, Figure 3's high-confidence-error analysis).
-#[derive(Debug, Clone, Default)]
+///
+/// # Sharding
+///
+/// Internally the log is sharded **per assertion**: shard `m` holds the
+/// `(sample, severity)` append log of assertion `m`, in recording order.
+/// Per-assertion queries (`fire_count`, `fired_samples`,
+/// `top_by_severity`) scan one shard instead of the whole log, and
+/// [`AssertionDb::record_batch`] appends a whole batch of dense outcome
+/// rows shard-by-shard (columnar, cache-friendly) — the merge step of
+/// `Monitor::process_batch`. Recording a batch column-wise produces
+/// exactly the same shard contents as recording its samples one at a
+/// time, which is what keeps the parallel monitor bit-for-bit equal to
+/// the sequential one.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AssertionDb {
-    records: Vec<Record>,
-    num_assertions: usize,
+    /// `shards[m]` = append log of assertion `m`, in recording order.
+    shards: Vec<Vec<(usize, Severity)>>,
+    num_records: usize,
     num_samples: usize,
 }
 
@@ -32,28 +46,65 @@ impl AssertionDb {
         Self::default()
     }
 
+    fn shard_mut(&mut self, assertion: AssertionId) -> &mut Vec<(usize, Severity)> {
+        if assertion.0 >= self.shards.len() {
+            self.shards.resize_with(assertion.0 + 1, Vec::new);
+        }
+        &mut self.shards[assertion.0]
+    }
+
     /// Appends the outcomes of one sample (a dense `(id, severity)` vector
     /// as produced by `AssertionSet::check_all`).
     pub fn record_sample(&mut self, sample: usize, outcomes: &[(AssertionId, Severity)]) {
         for &(assertion, severity) in outcomes {
-            self.num_assertions = self.num_assertions.max(assertion.0 + 1);
-            self.records.push(Record {
-                sample,
-                assertion,
-                severity,
-            });
+            self.shard_mut(assertion).push((sample, severity));
         }
+        self.num_records += outcomes.len();
         self.num_samples = self.num_samples.max(sample + 1);
+    }
+
+    /// Appends a batch of consecutive samples' outcome rows, column-wise:
+    /// row `i` is the dense outcome vector of sample `first_sample + i`.
+    ///
+    /// Equivalent to calling [`AssertionDb::record_sample`] on each row in
+    /// order (same shard contents, same query answers), but appends whole
+    /// per-assertion columns at a time. Rows that are *not* dense
+    /// id-ordered vectors fall back to the row-major path.
+    pub fn record_batch(&mut self, first_sample: usize, rows: &[Vec<(AssertionId, Severity)>]) {
+        let Some(first_row) = rows.first() else {
+            return;
+        };
+        let dim = first_row.len();
+        let dense = rows
+            .iter()
+            .all(|r| r.len() == dim && r.iter().enumerate().all(|(m, &(id, _))| id.0 == m));
+        if !dense {
+            for (i, row) in rows.iter().enumerate() {
+                self.record_sample(first_sample + i, row);
+            }
+            return;
+        }
+        for m in 0..dim {
+            let shard = self.shard_mut(AssertionId(m));
+            shard.reserve(rows.len());
+            shard.extend(
+                rows.iter()
+                    .enumerate()
+                    .map(|(i, row)| (first_sample + i, row[m].1)),
+            );
+        }
+        self.num_records += rows.len() * dim;
+        self.num_samples = self.num_samples.max(first_sample + rows.len());
     }
 
     /// Total number of rows (including abstentions).
     pub fn len(&self) -> usize {
-        self.records.len()
+        self.num_records
     }
 
     /// Whether the database has no rows.
     pub fn is_empty(&self) -> bool {
-        self.records.is_empty()
+        self.num_records == 0
     }
 
     /// Number of distinct samples recorded (by maximum sample index).
@@ -63,50 +114,63 @@ impl AssertionDb {
 
     /// Number of assertion dimensions seen.
     pub fn num_assertions(&self) -> usize {
-        self.num_assertions
+        self.shards.len()
     }
 
-    /// Iterates over all rows in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Record> {
-        self.records.iter()
-    }
-
-    /// How many samples fired the given assertion.
-    pub fn fire_count(&self, assertion: AssertionId) -> usize {
-        self.records
+    /// Iterates over all rows in `(sample, assertion)` order — the order
+    /// the sequential monitor records them in.
+    pub fn iter(&self) -> impl Iterator<Item = Record> + '_ {
+        let mut rows: Vec<Record> = self
+            .shards
             .iter()
-            .filter(|r| r.assertion == assertion && r.severity.fired())
-            .count()
+            .enumerate()
+            .flat_map(|(m, shard)| {
+                shard.iter().map(move |&(sample, severity)| Record {
+                    sample,
+                    assertion: AssertionId(m),
+                    severity,
+                })
+            })
+            .collect();
+        rows.sort_by_key(|r| (r.sample, r.assertion));
+        rows.into_iter()
+    }
+
+    /// How many samples fired the given assertion. Scans only that
+    /// assertion's shard.
+    pub fn fire_count(&self, assertion: AssertionId) -> usize {
+        self.shards
+            .get(assertion.0)
+            .map_or(0, |shard| shard.iter().filter(|(_, s)| s.fired()).count())
     }
 
     /// Fire counts for every assertion dimension, in id order.
     pub fn fire_counts(&self) -> Vec<usize> {
-        let mut counts = vec![0usize; self.num_assertions];
-        for r in &self.records {
-            if r.severity.fired() {
-                counts[r.assertion.0] += 1;
-            }
-        }
-        counts
+        self.shards
+            .iter()
+            .map(|shard| shard.iter().filter(|(_, s)| s.fired()).count())
+            .collect()
     }
 
-    /// Sample indices that fired the given assertion, in sample order,
-    /// with their severities.
+    /// Sample indices that fired the given assertion, in recording order,
+    /// with their severities. Scans only that assertion's shard.
     pub fn fired_samples(&self, assertion: AssertionId) -> Vec<(usize, Severity)> {
-        self.records
-            .iter()
-            .filter(|r| r.assertion == assertion && r.severity.fired())
-            .map(|r| (r.sample, r.severity))
-            .collect()
+        self.shards.get(assertion.0).map_or_else(Vec::new, |shard| {
+            shard.iter().filter(|(_, s)| s.fired()).copied().collect()
+        })
     }
 
     /// Sample indices that fired *any* assertion (deduplicated, in order).
     pub fn any_fired_samples(&self) -> Vec<usize> {
         let mut fired: Vec<usize> = self
-            .records
+            .shards
             .iter()
-            .filter(|r| r.severity.fired())
-            .map(|r| r.sample)
+            .flat_map(|shard| {
+                shard
+                    .iter()
+                    .filter(|(_, s)| s.fired())
+                    .map(|&(sample, _)| sample)
+            })
             .collect();
         fired.sort_unstable();
         fired.dedup();
@@ -133,9 +197,11 @@ impl AssertionDb {
     /// This matrix is exactly BAL's context input: "Each entry in a
     /// feature vector is the severity score from a model assertion" (§3).
     pub fn severity_matrix(&self) -> Vec<Vec<f64>> {
-        let mut m = vec![vec![0.0; self.num_assertions]; self.num_samples];
-        for r in &self.records {
-            m[r.sample][r.assertion.0] = r.severity.value();
+        let mut m = vec![vec![0.0; self.shards.len()]; self.num_samples];
+        for (a, shard) in self.shards.iter().enumerate() {
+            for &(sample, severity) in shard {
+                m[sample][a] = severity.value();
+            }
         }
         m
     }
@@ -164,6 +230,7 @@ mod tests {
         assert_eq!(db.fire_count(AssertionId(0)), 2);
         assert_eq!(db.fire_count(AssertionId(1)), 1);
         assert_eq!(db.fire_counts(), vec![2, 1]);
+        assert_eq!(db.fire_count(AssertionId(9)), 0, "unseen shard is empty");
     }
 
     #[test]
@@ -173,6 +240,7 @@ mod tests {
             db.fired_samples(AssertionId(0)),
             vec![(0, Severity::new(1.0)), (2, Severity::new(3.0))]
         );
+        assert!(db.fired_samples(AssertionId(7)).is_empty());
     }
 
     #[test]
@@ -207,12 +275,77 @@ mod tests {
         assert_eq!(db.fire_counts(), Vec::<usize>::new());
         assert!(db.any_fired_samples().is_empty());
         assert!(db.severity_matrix().is_empty());
+        assert_eq!(db.iter().count(), 0);
     }
 
     #[test]
-    fn iter_preserves_insertion_order() {
-        let db = db_with(&[(0, 0, 1.0), (1, 0, 2.0)]);
-        let samples: Vec<usize> = db.iter().map(|r| r.sample).collect();
-        assert_eq!(samples, vec![0, 1]);
+    fn iter_is_sample_major_assertion_minor() {
+        let mut db = AssertionDb::new();
+        db.record_sample(
+            0,
+            &[
+                (AssertionId(0), Severity::new(1.0)),
+                (AssertionId(1), Severity::ABSTAIN),
+            ],
+        );
+        db.record_sample(
+            1,
+            &[
+                (AssertionId(0), Severity::ABSTAIN),
+                (AssertionId(1), Severity::new(2.0)),
+            ],
+        );
+        let order: Vec<(usize, usize)> = db.iter().map(|r| (r.sample, r.assertion.0)).collect();
+        assert_eq!(order, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn record_batch_equals_per_sample_recording() {
+        let rows: Vec<Vec<(AssertionId, Severity)>> = (0..7)
+            .map(|i| {
+                vec![
+                    (AssertionId(0), Severity::new(i as f64)),
+                    (AssertionId(1), Severity::from_bool(i % 2 == 0)),
+                ]
+            })
+            .collect();
+        let mut batched = AssertionDb::new();
+        batched.record_sample(0, &rows[0]);
+        batched.record_batch(1, &rows[1..]);
+
+        let mut sequential = AssertionDb::new();
+        for (i, row) in rows.iter().enumerate() {
+            sequential.record_sample(i, row);
+        }
+        assert_eq!(batched, sequential);
+        assert_eq!(batched.len(), 14);
+        assert_eq!(batched.num_samples(), 7);
+    }
+
+    #[test]
+    fn record_batch_sparse_rows_fall_back() {
+        // Rows that are not dense id-ordered vectors still record
+        // identically to the per-sample path.
+        let rows = vec![
+            vec![(AssertionId(2), Severity::new(1.0))],
+            vec![
+                (AssertionId(1), Severity::new(2.0)),
+                (AssertionId(0), Severity::ABSTAIN),
+            ],
+        ];
+        let mut batched = AssertionDb::new();
+        batched.record_batch(5, &rows);
+        let mut sequential = AssertionDb::new();
+        sequential.record_sample(5, &rows[0]);
+        sequential.record_sample(6, &rows[1]);
+        assert_eq!(batched, sequential);
+        assert_eq!(batched.num_assertions(), 3);
+    }
+
+    #[test]
+    fn record_batch_empty_is_noop() {
+        let mut db = AssertionDb::new();
+        db.record_batch(0, &[]);
+        assert!(db.is_empty());
     }
 }

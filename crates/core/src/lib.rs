@@ -28,7 +28,11 @@
 //!   after each model invocation, records outcomes, and invokes
 //!   corrective-action hooks whose severity threshold is crossed (the
 //!   paper's "automatically trigger corrective actions, e.g., shutting
-//!   down an autopilot").
+//!   down an autopilot"). `Monitor::process_batch` scores whole batches
+//!   in parallel over a [`runtime::ThreadPool`], bit-for-bit equal to
+//!   the sequential path.
+//! * [`runtime`] — the dependency-free scoped-thread pool behind the
+//!   batch path, with deterministic input-order merging.
 //! * [`consistency`] — the high-level consistency-assertion API of §4:
 //!   from an identifier function, an attributes function, and a temporal
 //!   threshold `T`, OMG generates Boolean assertions *and* correction
@@ -67,6 +71,7 @@ pub mod consistency;
 mod database;
 mod monitor;
 mod registry;
+pub mod runtime;
 mod severity;
 pub mod taxonomy;
 

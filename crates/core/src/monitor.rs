@@ -1,3 +1,4 @@
+use crate::runtime::ThreadPool;
 use crate::{AssertionDb, AssertionId, AssertionSet, Severity};
 
 /// The outcomes of running the assertion set on one sample.
@@ -10,9 +11,26 @@ pub struct SampleReport {
 }
 
 impl SampleReport {
+    /// The severity the given assertion produced on this sample, if it
+    /// was checked.
+    ///
+    /// Outcomes from `AssertionSet::check_all` are dense in id order, so
+    /// this is a direct index; hand-built sparse reports fall back to a
+    /// scan.
+    pub fn severity(&self, id: AssertionId) -> Option<Severity> {
+        match self.outcomes.get(id.0) {
+            Some(&(a, s)) if a == id => Some(s),
+            _ => self
+                .outcomes
+                .iter()
+                .find(|&&(a, _)| a == id)
+                .map(|&(_, s)| s),
+        }
+    }
+
     /// Whether the given assertion fired on this sample.
     pub fn fired(&self, id: AssertionId) -> bool {
-        self.outcomes.iter().any(|&(a, s)| a == id && s.fired())
+        self.severity(id).is_some_and(|s| s.fired())
     }
 
     /// Whether any assertion fired.
@@ -139,6 +157,47 @@ impl<S: 'static> Monitor<S> {
         samples.into_iter().map(|s| self.process(s)).collect()
     }
 
+    /// Processes a batch of samples, scoring every `(sample, assertion)`
+    /// pair across the pool's workers, then merging deterministically.
+    ///
+    /// The parallel phase shares `&self.assertions` across workers
+    /// (assertions are pure `Send + Sync` functions) and computes each
+    /// sample's dense outcome vector; the merge phase then runs on the
+    /// calling thread **in sample order**: outcomes are appended to the
+    /// [`AssertionDb`] shard-by-shard and corrective actions fire in the
+    /// same order the sequential path would fire them.
+    ///
+    /// **Determinism invariant:** for pure assertions, this produces
+    /// bit-for-bit the same reports, database contents, and corrective-
+    /// action sequence as calling [`Monitor::process`] on each sample in
+    /// order, at any thread count (enforced by the engine's property
+    /// tests at 1/2/8 threads).
+    pub fn process_batch(&mut self, samples: &[S], pool: &ThreadPool) -> Vec<SampleReport>
+    where
+        S: Sync,
+    {
+        let assertions = &self.assertions;
+        let outcomes = pool.map_indexed(samples.len(), |i| assertions.check_all(&samples[i]));
+        let first = self.next_sample;
+        self.db.record_batch(first, &outcomes);
+        self.next_sample += samples.len();
+        let mut reports = Vec::with_capacity(samples.len());
+        for (i, outcomes) in outcomes.into_iter().enumerate() {
+            let report = SampleReport {
+                sample: first + i,
+                outcomes,
+            };
+            let max = report.max_severity();
+            for (threshold, action) in &mut self.actions {
+                if max >= *threshold {
+                    action(&samples[i], &report);
+                }
+            }
+            reports.push(report);
+        }
+        reports
+    }
+
     /// Number of samples processed.
     pub fn samples_processed(&self) -> usize {
         self.next_sample
@@ -243,5 +302,68 @@ mod tests {
         let m = monitor();
         let s = format!("{m:?}");
         assert!(s.contains("negative"));
+    }
+
+    #[test]
+    fn process_batch_matches_sequential() {
+        let samples: Vec<i32> = (-50..50).map(|x| x * 7).collect();
+        let mut seq = monitor();
+        let seq_reports: Vec<_> = samples.iter().map(|s| seq.process(s)).collect();
+        for threads in [1, 2, 8] {
+            let mut par = monitor();
+            let par_reports = par.process_batch(&samples, &ThreadPool::new(threads));
+            assert_eq!(par_reports, seq_reports, "threads={threads}");
+            assert_eq!(par.db(), seq.db(), "threads={threads}");
+            assert_eq!(par.samples_processed(), seq.samples_processed());
+        }
+    }
+
+    #[test]
+    fn process_batch_fires_actions_in_sample_order() {
+        let fired = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let fired2 = fired.clone();
+        let mut m = monitor();
+        m.on_severity(Severity::new(1.5), move |_, r: &SampleReport| {
+            fired2.lock().unwrap().push(r.sample);
+        });
+        let samples = vec![-500, 1, -300, 2, -900];
+        m.process_batch(&samples, &ThreadPool::new(4));
+        assert_eq!(*fired.lock().unwrap(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn process_batch_then_process_continues_the_stream() {
+        let mut m = monitor();
+        m.process_batch(&[-1, 2], &ThreadPool::new(2));
+        let r = m.process(&-3);
+        assert_eq!(r.sample, 2);
+        assert_eq!(m.db().num_samples(), 3);
+    }
+
+    #[test]
+    fn sparse_report_lookup_falls_back() {
+        // Hand-built sparse report: outcome index != assertion id.
+        let r = SampleReport {
+            sample: 0,
+            outcomes: vec![(AssertionId(3), Severity::FIRED)],
+        };
+        assert!(r.fired(AssertionId(3)));
+        assert!(!r.fired(AssertionId(0)));
+        assert_eq!(r.severity(AssertionId(3)), Some(Severity::FIRED));
+        assert_eq!(r.severity(AssertionId(1)), None);
+    }
+
+    #[test]
+    fn monitor_is_send() {
+        // Compile-time: a monitor (assertions, db, and boxed `FnMut +
+        // Send` hooks) can move to another thread whenever its sample
+        // type can.
+        fn assert_send<T: Send>() {}
+        assert_send::<Monitor<i32>>();
+        assert_send::<Monitor<Vec<String>>>();
+        // AssertionSet is additionally Sync (shared by batch workers).
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<AssertionSet<i32>>();
+        assert_send::<AssertionSet<i32>>();
     }
 }

@@ -1,0 +1,218 @@
+//! A dependency-free scoped-thread runtime for data-parallel assertion
+//! checking.
+//!
+//! The paper's §7 argues assertion monitoring is cheap enough to run
+//! inline with deployment ("can be run … over every model invocation");
+//! scaling that to many streams and large assertion sets means scoring
+//! independent `(sample, assertion)` pairs on every core. [`ThreadPool`]
+//! provides exactly that: a fixed worker count, [`std::thread::scope`]
+//! under the hood (so borrowed data crosses into workers without `Arc` or
+//! `'static` bounds), and **deterministic, input-order merging** of
+//! results.
+//!
+//! # Determinism
+//!
+//! [`ThreadPool::map_indexed`] self-schedules contiguous index chunks
+//! onto workers via an atomic cursor, so *which* thread computes an item
+//! is nondeterministic — but every item is a pure function of its index
+//! and the merged output is always in index order. Callers that keep
+//! their closures pure therefore get bit-for-bit identical results at any
+//! thread count, which the engine's determinism property tests enforce.
+//!
+//! # Example
+//!
+//! ```
+//! use omg_core::runtime::ThreadPool;
+//!
+//! let pool = ThreadPool::new(4);
+//! let squares = pool.map_indexed(5, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+//! // Identical to the sequential path, at any thread count.
+//! assert_eq!(squares, ThreadPool::sequential().map_indexed(5, |i| i * i));
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A fixed-size scoped-thread pool.
+///
+/// The pool is a lightweight handle (just a thread count): workers are
+/// spawned per batch inside [`std::thread::scope`], so no threads idle
+/// between batches and no join handles outlive a call. For the batch
+/// sizes the monitor processes (hundreds to millions of windows), spawn
+/// cost is noise next to assertion checking; for tiny batches
+/// [`ThreadPool::map_indexed`] short-circuits to the sequential path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Creates a pool with the given worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "thread pool needs at least one thread");
+        Self { threads }
+    }
+
+    /// The single-threaded pool: every `map_indexed` call runs inline on
+    /// the caller's thread. Useful as a default and as the reference
+    /// implementation the parallel path must match bit-for-bit.
+    pub fn sequential() -> Self {
+        Self { threads: 1 }
+    }
+
+    /// A pool sized to the machine's available parallelism (1 if the
+    /// runtime cannot tell).
+    pub fn available() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self { threads }
+    }
+
+    /// The worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Computes `f(0), f(1), …, f(n - 1)` across the pool's workers and
+    /// returns the results **in index order**.
+    ///
+    /// Work is self-scheduled in contiguous chunks (an atomic cursor
+    /// hands the next chunk to whichever worker is free), so uneven item
+    /// costs balance across threads. `f` must be a pure function of the
+    /// index for the output to be deterministic; all engine callers are.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invocation of `f` panics (the first worker panic is
+    /// propagated after all workers stop picking up new chunks).
+    pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.threads == 1 || n < 2 {
+            return (0..n).map(f).collect();
+        }
+        // Chunks ~4x the worker count balance load without shredding
+        // cache locality; a chunk is never empty.
+        let chunk = n.div_ceil(self.threads * 4).max(1);
+        let workers = self.threads.min(n.div_ceil(chunk));
+        let cursor = AtomicUsize::new(0);
+        let f = &f;
+        let cursor = &cursor;
+        let mut chunks: Vec<(usize, Vec<T>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        loop {
+                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                            if start >= n {
+                                break;
+                            }
+                            let end = (start + chunk).min(n);
+                            mine.push((start, (start..end).map(f).collect::<Vec<T>>()));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(chunks) => chunks,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        // Chunks arrive in per-worker completion order; restore global
+        // index order. Starts are distinct, so the sort is total.
+        chunks.sort_unstable_by_key(|&(start, _)| start);
+        debug_assert_eq!(chunks.iter().map(|(_, c)| c.len()).sum::<usize>(), n);
+        chunks.into_iter().flat_map(|(_, c)| c).collect()
+    }
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::sequential()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_rejected() {
+        ThreadPool::new(0);
+    }
+
+    #[test]
+    fn sequential_and_default_are_one_thread() {
+        assert_eq!(ThreadPool::sequential().threads(), 1);
+        assert_eq!(ThreadPool::default(), ThreadPool::sequential());
+        assert!(ThreadPool::available().threads() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            for n in [0, 1, 2, 7, 64, 1000] {
+                let got = pool.map_indexed(n, |i| 3 * i + 1);
+                let want: Vec<usize> = (0..n).map(|i| 3 * i + 1).collect();
+                assert_eq!(got, want, "threads={threads} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn uneven_work_still_merges_in_order() {
+        // Early indices are much more expensive than late ones, so chunk
+        // completion order differs wildly from index order.
+        let pool = ThreadPool::new(4);
+        let got = pool.map_indexed(200, |i| {
+            let spins = if i < 10 { 20_000 } else { 10 };
+            let mut acc = i as u64;
+            for k in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+            }
+            (i, acc)
+        });
+        assert_eq!(got.len(), 200);
+        for (idx, &(i, _)) in got.iter().enumerate() {
+            assert_eq!(i, idx);
+        }
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let pool = ThreadPool::new(16);
+        assert_eq!(pool.map_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = ThreadPool::new(2);
+        let result = std::panic::catch_unwind(|| {
+            pool.map_indexed(8, |i| {
+                assert!(i != 5, "boom at 5");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn borrows_non_static_data() {
+        let data = [10, 20, 30, 40];
+        let pool = ThreadPool::new(2);
+        let doubled = pool.map_indexed(data.len(), |i| data[i] * 2);
+        assert_eq!(doubled, vec![20, 40, 60, 80]);
+    }
+}

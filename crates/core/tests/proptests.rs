@@ -1,6 +1,7 @@
 //! Property-based tests for the assertion engine.
 
 use omg_core::consistency::{AttrValue, ConsistencyEngine, ConsistencySpec, ConsistencyWindow};
+use omg_core::runtime::ThreadPool;
 use omg_core::{AssertionDb, AssertionId, AssertionSet, Monitor, Severity};
 use proptest::prelude::*;
 
@@ -144,5 +145,73 @@ proptest! {
         set.add_fn("even", |&v: &i32| Severity::from_bool(v % 2 == 0));
         set.add_fn("big", |&v: &i32| Severity::from_bool(v.abs() > 1000));
         prop_assert_eq!(set.check_all(&x), set.check_all(&x));
+    }
+
+    /// The hard tentpole invariant: `process_batch` at 1, 2, and 8
+    /// threads produces bit-for-bit the same reports and database state
+    /// as the sequential per-sample path, for random assertion sets over
+    /// random sample streams.
+    #[test]
+    fn process_batch_is_deterministic_across_thread_counts(
+        samples in proptest::collection::vec(-1000i32..1000, 0..60),
+        thresholds in proptest::collection::vec(-500i32..500, 1..6),
+        scale in 1u32..100,
+    ) {
+        let build = || {
+            let mut m: Monitor<i32> = Monitor::new();
+            for (k, &t) in thresholds.iter().enumerate() {
+                m.assertions_mut().add_fn(
+                    format!("above-{k}"),
+                    move |&x: &i32| Severity::from_bool(x > t),
+                );
+            }
+            m.assertions_mut().add_fn("scaled-mag", move |&x: &i32| {
+                Severity::new(x.unsigned_abs() as f64 / scale as f64)
+            });
+            m
+        };
+        let mut seq = build();
+        let seq_reports: Vec<_> = samples.iter().map(|s| seq.process(s)).collect();
+        for threads in [1usize, 2, 8] {
+            let mut par = build();
+            let par_reports = par.process_batch(&samples, &ThreadPool::new(threads));
+            prop_assert_eq!(&par_reports, &seq_reports, "threads={}", threads);
+            prop_assert_eq!(par.db(), seq.db(), "threads={}", threads);
+            prop_assert_eq!(par.samples_processed(), seq.samples_processed());
+        }
+    }
+
+    /// `ThreadPool::map_indexed` always merges in index order, at any
+    /// thread count and batch size.
+    #[test]
+    fn map_indexed_merges_in_order(n in 0usize..300, threads in 1usize..9, salt in any::<u64>()) {
+        let pool = ThreadPool::new(threads);
+        let got = pool.map_indexed(n, |i| (i as u64).wrapping_mul(salt));
+        let want: Vec<u64> = (0..n as u64).map(|i| i.wrapping_mul(salt)).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Splitting one stream into arbitrary consecutive batches leaves the
+    /// database identical to one big batch.
+    #[test]
+    fn batch_splits_do_not_change_db(
+        samples in proptest::collection::vec(-100i32..100, 1..50),
+        split in 0usize..50,
+    ) {
+        let split = split.min(samples.len());
+        let build = || {
+            let mut m: Monitor<i32> = Monitor::new();
+            m.assertions_mut().add_fn("neg", |&x: &i32| Severity::from_bool(x < 0));
+            m.assertions_mut().add_fn("mag", |&x: &i32| Severity::new(x.unsigned_abs() as f64));
+            m
+        };
+        let pool = ThreadPool::new(2);
+        let mut whole = build();
+        whole.process_batch(&samples, &pool);
+        let mut halves = build();
+        halves.process_batch(&samples[..split], &pool);
+        halves.process_batch(&samples[split..], &pool);
+        prop_assert_eq!(whole.db(), halves.db());
+        prop_assert_eq!(whole.samples_processed(), halves.samples_processed());
     }
 }

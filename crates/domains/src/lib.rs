@@ -75,6 +75,29 @@ pub fn ecg_assertion_set() -> AssertionSet<EcgWindow> {
 mod tests {
     use super::*;
 
+    /// Compile-time audit for the parallel monitor runtime: every
+    /// deployed window/sample type and every deployed assertion set must
+    /// cross thread boundaries (`Monitor::process_batch` shares samples
+    /// and assertions across scoped workers). The `Assertion` trait's
+    /// `Send + Sync` supertraits enforce this for each assertion
+    /// individually; these assertions pin it for the composed sets and
+    /// the sample types they run over.
+    #[test]
+    fn deployed_types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VideoFrame>();
+        assert_send_sync::<VideoWindow>();
+        assert_send_sync::<AvFrame>();
+        assert_send_sync::<EcgWindow>();
+        assert_send_sync::<AssertionSet<VideoWindow>>();
+        assert_send_sync::<AssertionSet<AvFrame>>();
+        assert_send_sync::<AssertionSet<EcgWindow>>();
+        // The monitor itself is Send (hooks are `FnMut + Send`), though
+        // not Sync — batch workers share only its assertion set.
+        fn assert_send<T: Send>() {}
+        assert_send::<omg_core::Monitor<VideoWindow>>();
+    }
+
     #[test]
     fn video_set_has_papers_three_assertions() {
         let set = video_assertion_set(0.45);

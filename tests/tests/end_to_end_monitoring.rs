@@ -1,6 +1,7 @@
 //! End-to-end monitoring: world → detector → assertions → database, for
 //! all four domains.
 
+use omg_core::runtime::ThreadPool;
 use omg_core::Monitor;
 use omg_domains::{av_assertion_set, video_assertion_set, AvFrame, VideoFrame, VideoWindow};
 use omg_sim::av::{AvConfig, AvWorld};
@@ -100,6 +101,44 @@ fn news_pipeline_flags_attribute_inconsistencies() {
         "transient identity/gender/hair errors must fire: {fired}"
     );
     assert!(fired < 150, "not every scene should fire: {fired}");
+}
+
+/// The deployment-scale path on real domain assertions: `process_batch`
+/// over the night-street stream reproduces the sequential monitor
+/// bit-for-bit (reports, database, corrective-action count) at every
+/// thread count.
+#[test]
+fn video_batch_monitoring_matches_sequential() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    let windows = video_windows(200, 5);
+
+    let build = || {
+        let mut m = Monitor::with_assertions(video_assertion_set(0.45));
+        let alerts = Arc::new(AtomicUsize::new(0));
+        let a = alerts.clone();
+        m.on_severity(omg_core::Severity::new(1.0), move |_, _| {
+            a.fetch_add(1, Ordering::SeqCst);
+        });
+        (m, alerts)
+    };
+
+    let (mut seq, seq_alerts) = build();
+    let seq_reports: Vec<_> = windows.iter().map(|w| seq.process(w)).collect();
+    for threads in [1, 2, 8] {
+        let (mut par, par_alerts) = build();
+        let par_reports = par.process_batch(&windows, &ThreadPool::new(threads));
+        assert_eq!(
+            par_reports, seq_reports,
+            "reports differ at {threads} threads"
+        );
+        assert_eq!(par.db(), seq.db(), "database differs at {threads} threads");
+        assert_eq!(
+            par_alerts.load(Ordering::SeqCst),
+            seq_alerts.load(Ordering::SeqCst),
+            "corrective actions differ at {threads} threads"
+        );
+    }
 }
 
 #[test]

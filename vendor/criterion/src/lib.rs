@@ -11,12 +11,135 @@
 //! iteration, then `sample_size` timed samples, and prints the
 //! per-iteration mean and min. There is no statistical outlier analysis,
 //! plotting, or saved baselines.
+//!
+//! Two extensions the real criterion does differently:
+//!
+//! * **Machine-readable output** — every benchmark's mean/min lands in
+//!   `target/bench/BENCH_<target>.json` (written by [`criterion_main!`]
+//!   via [`write_json_report`]), so CI can archive the repo's perf
+//!   trajectory per commit.
+//! * **Smoke mode** — the `OMG_BENCH_SAMPLES` environment variable
+//!   overrides every benchmark's sample count (e.g. `1` in CI, where the
+//!   goal is catching bench bit-rot and emitting the JSON, not stable
+//!   timings).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::path::PathBuf;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One benchmark's aggregated timing, collected for the JSON report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BenchResult {
+    id: String,
+    mean_ns: u128,
+    min_ns: u128,
+    samples: usize,
+}
+
+/// Results of every benchmark run so far in this process.
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+fn record_result(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let min = samples.iter().min().copied().unwrap_or_default();
+    RESULTS.lock().expect("results lock").push(BenchResult {
+        id: id.to_string(),
+        mean_ns: total.as_nanos() / samples.len() as u128,
+        min_ns: min.as_nanos(),
+        samples: samples.len(),
+    });
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn render_json(bench: &str, results: &[BenchResult]) -> String {
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"id\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}",
+                json_escape(&r.id),
+                r.mean_ns,
+                r.min_ns,
+                r.samples
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"bench\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_escape(bench),
+        rows.join(",\n")
+    )
+}
+
+/// The workspace `target/` directory: `CARGO_TARGET_DIR` if set, else
+/// `target/` under the nearest ancestor holding a `Cargo.lock` (bench
+/// binaries run with the package directory as CWD), else `./target`.
+fn target_dir() -> PathBuf {
+    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
+        return PathBuf::from(dir);
+    }
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    for dir in cwd.ancestors() {
+        if dir.join("Cargo.lock").is_file() {
+            return dir.join("target");
+        }
+    }
+    PathBuf::from("target")
+}
+
+/// The directory machine-readable bench results land in:
+/// `<target>/bench`, where `<target>` honors `CARGO_TARGET_DIR` and
+/// otherwise resolves against the nearest workspace root. Exposed so
+/// non-criterion measurement binaries (e.g. `exp_throughput`) write
+/// their JSON next to the harness outputs.
+pub fn bench_output_dir() -> PathBuf {
+    target_dir().join("bench")
+}
+
+/// Writes every benchmark result recorded so far to
+/// `target/bench/BENCH_<bench>.json` (mean/min nanoseconds per
+/// benchmark). Called by [`criterion_main!`] with the bench target's
+/// crate name; a failure to write is reported but does not fail the
+/// bench run.
+pub fn write_json_report(bench: &str) {
+    let results = RESULTS.lock().expect("results lock");
+    if results.is_empty() {
+        return;
+    }
+    let dir = bench_output_dir();
+    let path = dir.join(format!("BENCH_{bench}.json"));
+    let json = render_json(bench, &results);
+    let written = std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json));
+    match written {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}
+
+/// The `OMG_BENCH_SAMPLES` override, if set to a positive integer.
+fn sample_size_override() -> Option<usize> {
+    std::env::var("OMG_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
 
 /// Opaque value barrier preventing the optimizer from deleting benched work.
 pub fn black_box<T>(x: T) -> T {
@@ -103,6 +226,7 @@ fn report(id: &str, samples: &[Duration]) {
         "{id:<40} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
         samples.len()
     );
+    record_result(id, samples);
 }
 
 /// The benchmark driver, mirroring `criterion::Criterion`.
@@ -112,15 +236,19 @@ pub struct Criterion {
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 10 }
+        Criterion {
+            sample_size: sample_size_override().unwrap_or(10),
+        }
     }
 }
 
 impl Criterion {
-    /// Sets the number of timed samples per benchmark.
+    /// Sets the number of timed samples per benchmark. The
+    /// `OMG_BENCH_SAMPLES` environment variable wins over the coded
+    /// value (CI smoke mode sets it to 1).
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n > 0, "sample_size must be positive");
-        self.sample_size = n;
+        self.sample_size = sample_size_override().unwrap_or(n);
         self
     }
 
@@ -197,12 +325,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates a `main` that runs each group.
+/// Generates a `main` that runs each group, then writes the bench
+/// target's JSON report (`target/bench/BENCH_<crate>.json`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_json_report(env!("CARGO_CRATE_NAME"));
         }
     };
 }
@@ -237,5 +367,53 @@ mod tests {
         c.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::SmallInput)
         });
+    }
+
+    #[test]
+    fn json_report_renders_results() {
+        let results = vec![
+            BenchResult {
+                id: "monitor/video_window".to_string(),
+                mean_ns: 1500,
+                min_ns: 1200,
+                samples: 20,
+            },
+            BenchResult {
+                id: "odd \"name\"".to_string(),
+                mean_ns: 10,
+                min_ns: 10,
+                samples: 1,
+            },
+        ];
+        let json = render_json("engine", &results);
+        assert!(json.contains("\"bench\": \"engine\""));
+        assert!(json.contains("\"id\": \"monitor/video_window\""));
+        assert!(json.contains("\"mean_ns\": 1500"));
+        assert!(json.contains("\\\"name\\\""));
+        // Balanced-brace sanity: hand-rolled JSON stays parseable.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces:\n{json}"
+        );
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn bench_runs_record_results() {
+        let mut c = Criterion::default().sample_size(2);
+        c.bench_function("record-test/unique-id", |b| b.iter(|| black_box(1 + 1)));
+        let results = RESULTS.lock().unwrap();
+        let rec = results
+            .iter()
+            .find(|r| r.id == "record-test/unique-id")
+            .expect("bench result recorded");
+        assert_eq!(rec.samples, 2);
+        assert!(rec.min_ns <= rec.mean_ns);
     }
 }
