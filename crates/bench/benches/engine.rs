@@ -6,9 +6,10 @@ use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criteri
 use omg_bench::video::monitor_windows;
 use omg_core::consistency::{ConsistencyEngine, ConsistencyWindow};
 use omg_core::runtime::ThreadPool;
+use omg_core::stream::StreamMonitor;
 use omg_core::Monitor;
 use omg_domains::helpers::{track_window, TrackedBox, VideoTrackSpec};
-use omg_domains::video_assertion_set;
+use omg_domains::{video_assertion_set, video_prepared_assertion_set, VideoPrepare};
 use omg_geom::BBox2D;
 
 fn make_windows(n: usize) -> Vec<omg_domains::VideoWindow> {
@@ -42,6 +43,40 @@ fn monitor_throughput(c: &mut Criterion) {
                 || Monitor::with_assertions(video_assertion_set(0.45)),
                 |mut monitor| {
                     criterion::black_box(monitor.process_batch(&windows, pool));
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+/// Streaming-monitor cost on the same stream: one preparation (tracker
+/// run + consistency check) per window, shared by the set — versus the
+/// batch monitor's per-assertion re-derivation above. Outputs are
+/// bit-for-bit identical; the comparison is pure wall-clock
+/// (`exp_throughput --stream` reports it as windows/sec).
+fn stream_monitor_throughput(c: &mut Criterion) {
+    let windows = make_windows(200);
+    c.bench_function("monitor/video_window_stream", |b| {
+        b.iter_batched(
+            || StreamMonitor::new(video_prepared_assertion_set(0.45), VideoPrepare::new(0.45)),
+            |mut monitor| {
+                for w in &windows {
+                    criterion::black_box(monitor.ingest(w));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    let mut group = c.benchmark_group("monitor/video_window_stream_batch");
+    for threads in [1usize, 2, 4, 8] {
+        let pool = ThreadPool::new(threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &pool, |b, pool| {
+            b.iter_batched(
+                || StreamMonitor::new(video_prepared_assertion_set(0.45), VideoPrepare::new(0.45)),
+                |mut monitor| {
+                    criterion::black_box(monitor.ingest_batch(&windows, pool));
                 },
                 BatchSize::SmallInput,
             );
@@ -95,6 +130,6 @@ fn tracker_cost(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = monitor_throughput, consistency_scaling, tracker_cost
+    targets = monitor_throughput, stream_monitor_throughput, consistency_scaling, tracker_cost
 }
 criterion_main!(benches);

@@ -7,9 +7,11 @@
 
 use omg_active::{ActiveLearner, CandidatePool};
 use omg_core::runtime::ThreadPool;
+use omg_core::stream::Prepare;
 use omg_core::AssertionSet;
-use omg_domains::{av_assertion_set, AvFrame};
+use omg_domains::{av_prepared_assertion_set, AvFrame, AvPrepare};
 use omg_eval::{DetectionEvaluator, GtBox, ScoredBox};
+use omg_geom::BBox2D;
 use omg_sim::av::{AvConfig, AvSample, AvWorld};
 use omg_sim::detector::{Detection, DetectorConfig, SimDetector, TrainingBatch};
 use rand::rngs::StdRng;
@@ -74,6 +76,14 @@ pub fn av_frame(sample: &AvSample, dets: &[Detection]) -> AvFrame {
     }
 }
 
+/// The per-sample uncertainty signal shared by the batch and streaming
+/// scorers: least-confidence over the camera detections.
+pub fn sample_uncertainty(dets: &[Detection]) -> f64 {
+    dets.iter()
+        .map(|x| 1.0 - x.scored.score)
+        .fold(0.0f64, f64::max)
+}
+
 /// Per-sample severity vectors and uncertainties, fanned out across the
 /// runtime's workers (merged in sample order — identical at any thread
 /// count).
@@ -88,11 +98,39 @@ pub fn score_samples(
             let frame = av_frame(&samples[i], &dets[i]);
             let outcomes = set.check_all(&frame);
             let severities: Vec<f64> = outcomes.iter().map(|(_, s)| s.value()).collect();
-            let unc = dets[i]
+            (severities, sample_uncertainty(&dets[i]))
+        })
+        .into_iter()
+        .unzip()
+}
+
+/// The streaming counterpart of [`score_samples`]: AV windows carry no
+/// temporal context (each sample stands alone), so streaming here means
+/// ingesting one sample at a time and running the LIDAR→camera
+/// projection **once per sample**, shared by the prepared assertion set,
+/// instead of once per assertion that needs it. Identical severities and
+/// uncertainties at any thread count.
+pub fn stream_score_samples(
+    set: &AssertionSet<AvFrame, Vec<BBox2D>>,
+    samples: &[AvSample],
+    dets: &[Vec<Detection>],
+    runtime: &ThreadPool,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    assert_eq!(
+        samples.len(),
+        dets.len(),
+        "need one detection list per sample"
+    );
+    runtime
+        .map_indexed(samples.len(), |i| {
+            let frame = av_frame(&samples[i], &dets[i]);
+            let prep = AvPrepare.prepare(&frame);
+            let severities: Vec<f64> = set
+                .check_all_prepared(&frame, &prep)
                 .iter()
-                .map(|x| 1.0 - x.scored.score)
-                .fold(0.0f64, f64::max);
-            (severities, unc)
+                .map(|&(_, s)| s.value())
+                .collect();
+            (severities, sample_uncertainty(&dets[i]))
         })
         .into_iter()
         .unzip()
@@ -127,7 +165,7 @@ pub fn evaluate_map(detector: &SimDetector, samples: &[AvSample]) -> f64 {
 pub struct AvLearner {
     scenario: AvScenario,
     detector: SimDetector,
-    assertions: AssertionSet<AvFrame>,
+    assertions: AssertionSet<AvFrame, Vec<BBox2D>>,
     unlabeled: Vec<usize>,
     labeled_batch: TrainingBatch,
     epochs_per_round: usize,
@@ -136,13 +174,14 @@ pub struct AvLearner {
 
 impl AvLearner {
     /// Creates a learner around a pretrained camera detector, scoring
-    /// pools on the harness-wide runtime (`--threads`).
+    /// pools on the harness-wide runtime (`--threads`) via the streaming
+    /// path (one LIDAR projection per sample, shared by the set).
     pub fn new(scenario: AvScenario, detector: SimDetector) -> Self {
         let n = scenario.pool.len();
         Self {
             scenario,
             detector,
-            assertions: av_assertion_set(),
+            assertions: av_prepared_assertion_set(),
             unlabeled: (0..n).collect(),
             labeled_batch: TrainingBatch::new(),
             epochs_per_round: 4,
@@ -165,16 +204,15 @@ impl AvLearner {
 impl ActiveLearner for AvLearner {
     fn pool(&mut self) -> CandidatePool {
         let dets = detect_all(&self.detector, &self.scenario.pool);
-        let (sev, unc) = score_samples(&self.assertions, &self.scenario.pool, &dets, &self.runtime);
+        let (sev, unc) =
+            stream_score_samples(&self.assertions, &self.scenario.pool, &dets, &self.runtime);
         let severities = self.unlabeled.iter().map(|&i| sev[i].clone()).collect();
         let uncertainties = self.unlabeled.iter().map(|&i| unc[i]).collect();
         CandidatePool::new(severities, uncertainties).expect("consistent pool")
     }
 
     fn label_and_train(&mut self, selection: &[usize], rng: &mut StdRng) {
-        let mut chosen: Vec<usize> = selection.iter().map(|&p| self.unlabeled[p]).collect();
-        chosen.sort_unstable();
-        for &i in &chosen {
+        for &i in &crate::claim_selection(&mut self.unlabeled, selection) {
             for signal in &self.scenario.pool[i].signals {
                 if signal.is_clutter() {
                     self.labeled_batch.add_labeled_background(signal);
@@ -183,7 +221,6 @@ impl ActiveLearner for AvLearner {
                 }
             }
         }
-        self.unlabeled.retain(|i| !chosen.contains(i));
         if !self.labeled_batch.is_empty() {
             self.detector
                 .train(&self.labeled_batch, self.epochs_per_round, rng);
@@ -227,6 +264,7 @@ pub fn pretrained_camera(seed: u64) -> SimDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use omg_domains::av_assertion_set;
     use rand::SeedableRng;
 
     fn tiny() -> AvScenario {
@@ -263,6 +301,36 @@ mod tests {
         let map = evaluate_map(&det, &s.test);
         assert!(map > 1.0, "mAP% {map}");
         assert!(map < 90.0, "mAP% {map} suspiciously high for dusk camera");
+    }
+
+    #[test]
+    fn stream_scoring_matches_batch_scoring() {
+        let s = tiny();
+        let det = pretrained_camera(1);
+        let dets = detect_all(&det, &s.pool);
+        let want = score_samples(
+            &av_assertion_set(),
+            &s.pool,
+            &dets,
+            &ThreadPool::sequential(),
+        );
+        let prepared = av_prepared_assertion_set();
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                stream_score_samples(&prepared, &s.pool, &dets, &ThreadPool::new(threads)),
+                want,
+                "streaming AV scoring diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_selection_claims_each_sample_once() {
+        let s = tiny();
+        let mut learner = AvLearner::new(s, pretrained_camera(1));
+        let mut rng = StdRng::seed_from_u64(3);
+        learner.label_and_train(&[0, 0, 1, 0], &mut rng);
+        assert_eq!(learner.pool().len(), 78, "two distinct samples claimed");
     }
 
     #[test]

@@ -1,21 +1,34 @@
 //! Sequential-vs-parallel monitor throughput (windows/sec) on the
 //! night-street video stream — the scaling measurement behind the
-//! parallel batch runtime (`Monitor::process_batch`).
+//! parallel batch runtime (`Monitor::process_batch`) — plus, with
+//! `--stream`, the batch-vs-streaming comparison behind the shared
+//! window-preparation layer.
 //!
 //! Usage:
 //!
 //! ```sh
 //! cargo run --release -p omg-bench --bin exp_throughput -- \
-//!     [--threads N] [--windows W]
+//!     [--threads N] [--windows W] [--stream]
 //! ```
 //!
-//! Runs the sequential `Monitor::process` loop, then `process_batch` at
-//! 1, 2, 4, … up to a ceiling of `--threads` workers (else the
-//! `OMG_THREADS` environment variable, else available parallelism),
-//! verifying on every run that the parallel path's reports and database
-//! match the sequential path bit-for-bit. Results print as a table and
-//! land in `BENCH_throughput.json` under the same `target/bench/`
-//! directory the criterion harnesses write to.
+//! Default mode runs the sequential `Monitor::process` loop, then
+//! `process_batch` at 1, 2, 4, … up to a ceiling of `--threads` workers
+//! (else the `OMG_THREADS` environment variable, else available
+//! parallelism), verifying on every run that the parallel path's reports
+//! and database match the sequential path bit-for-bit. Results print as
+//! a table and land in `BENCH_throughput.json` under the same
+//! `target/bench/` directory the criterion harnesses write to.
+//!
+//! `--stream` mode instead compares the batch scorers (every assertion
+//! re-derives its window preparation) against the streaming scorers (one
+//! preparation per window, shared by the whole set) on **all four
+//! scenarios** — video, AV, ECG, TV news — asserting bit-for-bit
+//! identical severities on every run and writing one
+//! `BENCH_stream_<scenario>.json` per scenario. Stream mode always runs
+//! the fixed 1/2/8 thread ladder (the engine's equivalence contract is
+//! specified at those counts); `--threads` applies to the default mode
+//! only and is rejected alongside `--stream` to avoid silently ignoring
+//! it.
 
 use std::time::Instant;
 
@@ -23,6 +36,9 @@ use omg_bench::video::{monitor_windows, FLICKER_T};
 use omg_core::runtime::ThreadPool;
 use omg_core::Monitor;
 use omg_domains::{video_assertion_set, VideoWindow};
+
+/// Thread counts the `--stream` equivalence + throughput runs cover.
+const STREAM_THREADS: [usize; 3] = [1, 2, 8];
 
 /// Best-of-`reps` wall-clock for one full pass over the stream.
 fn best_secs<F: FnMut()>(reps: usize, mut run: F) -> f64 {
@@ -33,6 +49,139 @@ fn best_secs<F: FnMut()>(reps: usize, mut run: F) -> f64 {
             t0.elapsed().as_secs_f64()
         })
         .fold(f64::INFINITY, f64::min)
+}
+
+/// Writes one scenario's rows as `BENCH_stream_<scenario>.json`.
+fn write_stream_json(scenario: &str, windows: usize, rows: &[(String, f64)]) {
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(label, wps)| format!("    {{\"id\": \"{label}\", \"windows_per_sec\": {wps:.1}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"stream_{scenario}\",\n  \"windows\": {windows},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let dir = criterion::bench_output_dir();
+    let path = dir.join(format!("BENCH_stream_{scenario}.json"));
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+    }
+}
+
+/// Benchmarks one scenario's batch scorer against its streaming scorer:
+/// `batch` and `stream` run the respective full-stream scoring pass with
+/// the given thread count and return the severity matrix; every
+/// streaming run is asserted bit-for-bit equal to the batch reference.
+fn stream_scenario(
+    name: &str,
+    n_windows: usize,
+    reps: usize,
+    batch: impl Fn(&ThreadPool) -> Vec<Vec<f64>>,
+    stream: impl Fn(&ThreadPool) -> Vec<Vec<f64>>,
+) {
+    let sequential = ThreadPool::sequential();
+    let reference = batch(&sequential);
+    let batch_secs = best_secs(reps, || {
+        std::hint::black_box(batch(&sequential));
+    });
+    let batch_wps = n_windows as f64 / batch_secs;
+    println!("{name}: {n_windows} windows (best of {reps}):");
+    println!("  {:<22} {:>12} {:>10}", "path", "windows/sec", "speedup");
+    println!("  {:<22} {:>12.0} {:>9.2}x", "batch x1", batch_wps, 1.0);
+    let mut rows = vec![("batch x1".to_string(), batch_wps)];
+    for threads in STREAM_THREADS {
+        let pool = ThreadPool::new(threads);
+        // Correctness first: identical severities on every run.
+        assert_eq!(
+            stream(&pool),
+            reference,
+            "{name}: streaming severities diverged from batch at {threads} threads"
+        );
+        let secs = best_secs(reps, || {
+            std::hint::black_box(stream(&pool));
+        });
+        let wps = n_windows as f64 / secs;
+        let label = format!("stream x{threads}");
+        println!("  {:<22} {:>12.0} {:>9.2}x", label, wps, wps / batch_wps);
+        rows.push((label, wps));
+    }
+    println!("  (streaming severities verified bit-for-bit against batch)");
+    write_stream_json(name, n_windows, &rows);
+}
+
+/// The `--stream` mode: batch-vs-streaming scorers on all four
+/// scenarios.
+fn run_stream_mode(n_windows: usize, reps: usize) {
+    use omg_bench::{avx, ecgx, newsx, video};
+
+    println!("== streaming scorers vs batch scorers, all four scenarios ==\n");
+
+    // Video: 3 assertions sharing one tracked window per frame.
+    let scenario = video::VideoScenario::night_street(3, n_windows, 10);
+    let detector = video::pretrained_detector(1);
+    let dets = video::detect_all(&detector, &scenario.pool_frames);
+    let batch_set = video_assertion_set(FLICKER_T);
+    let stream_set = omg_domains::video_prepared_assertion_set(FLICKER_T);
+    let preparer = omg_domains::VideoPrepare::new(FLICKER_T);
+    stream_scenario(
+        "video",
+        scenario.pool_frames.len(),
+        reps,
+        |pool| video::score_frames(&batch_set, &scenario.pool_frames, &dets, pool).0,
+        |pool| {
+            video::stream_score_frames(&stream_set, &preparer, &scenario.pool_frames, &dets, pool).0
+        },
+    );
+
+    // AVs: agree + multibox sharing one LIDAR projection per sample.
+    let av = avx::AvScenario::new(9, (n_windows / 20).max(2) as u64, 1);
+    let camera = avx::pretrained_camera(1);
+    let av_dets = avx::detect_all(&camera, &av.pool);
+    let av_batch = omg_domains::av_assertion_set();
+    let av_stream = omg_domains::av_prepared_assertion_set();
+    stream_scenario(
+        "av",
+        av.pool.len(),
+        reps,
+        |pool| avx::score_samples(&av_batch, &av.pool, &av_dets, pool).0,
+        |pool| avx::stream_score_samples(&av_stream, &av.pool, &av_dets, pool).0,
+    );
+
+    // ECG: one segmentation per context window.
+    let ecg = ecgx::EcgScenario::new(3, 150, n_windows.max(50), 50);
+    let mlp = ecgx::pretrained_classifier(&ecg, 1);
+    stream_scenario(
+        "ecg",
+        ecg.pool.len(),
+        reps,
+        |pool| ecgx::score_pool(&mlp, &ecg.pool, pool).0,
+        |pool| ecgx::stream_score_pool(&mlp, &ecg.pool, pool).0,
+    );
+
+    // TV news: one scene grouping shared by the assertion and the
+    // flagged-group analysis (the batch path groups once per consumer).
+    let news = newsx::NewsScenario::new(3, (n_windows / 4).max(20) as u64);
+    stream_scenario(
+        "news",
+        news.scenes.len(),
+        reps,
+        |pool| {
+            let groups = newsx::flagged_groups(&news, pool);
+            std::hint::black_box(&groups);
+            let assertion = omg_domains::news::news_assertion();
+            news.scenes
+                .iter()
+                .map(|s| vec![omg_core::Assertion::check(&assertion, s).value()])
+                .collect()
+        },
+        |pool| {
+            newsx::stream_scene_reports(&news, pool)
+                .into_iter()
+                .map(|r| vec![r.severity])
+                .collect()
+        },
+    );
 }
 
 fn main() {
@@ -48,6 +197,17 @@ fn main() {
         .unwrap_or_else(|| ThreadPool::available().threads());
     let n_windows = omg_bench::parse_usize_flag(&args, "--windows").unwrap_or(2000);
     let reps = 3;
+
+    if args.iter().any(|a| a == "--stream") {
+        assert!(
+            omg_bench::parse_usize_flag(&args, "--threads").is_none(),
+            "--threads applies to the default mode only; --stream always \
+             runs the fixed 1/2/8 thread ladder the equivalence contract \
+             is specified at"
+        );
+        run_stream_mode(n_windows, reps);
+        return;
+    }
 
     eprintln!("building {n_windows} night-street windows…");
     let windows: Vec<VideoWindow> = monitor_windows(n_windows, 3);

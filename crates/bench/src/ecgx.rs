@@ -1,10 +1,12 @@
 //! The ECG / atrial-fibrillation scenario (Figure 5; Table 4, row 3).
 
 use omg_active::{ActiveLearner, CandidatePool};
+use omg_core::consistency::ConsistencyWindow;
 use omg_core::runtime::ThreadPool;
-use omg_core::Assertion;
+use omg_core::stream::{score_stream_chunked, Prepare, SlidingWindows, StreamScorer};
+use omg_core::{Assertion, AssertionSet};
 use omg_domains::ecg::ecg_assertion;
-use omg_domains::EcgWindow;
+use omg_domains::{ecg_prepared_assertion_set, EcgPrepare, EcgWindow};
 use omg_learn::uncertainty::least_confidence;
 use omg_learn::{Dataset, Mlp, MlpConfig};
 use omg_sim::derive_rng;
@@ -105,6 +107,29 @@ pub fn evaluate_accuracy(mlp: &Mlp, points: &[EcgPoint]) -> f64 {
     100.0 * hits as f64 / points.len() as f64
 }
 
+/// Builds the context window centered on prediction `center` (clamped at
+/// stream edges).
+///
+/// # Panics
+///
+/// Panics if `center` is not a valid prediction index or the times and
+/// predictions don't line up.
+pub fn ecg_window_at(times: &[f64], preds: &[usize], center: usize) -> EcgWindow {
+    assert_eq!(
+        times.len(),
+        preds.len(),
+        "need one prediction per timestamp"
+    );
+    assert!(
+        center < times.len(),
+        "window center {center} out of range for {} predictions",
+        times.len()
+    );
+    let lo = center.saturating_sub(ECG_CONTEXT);
+    let hi = (center + ECG_CONTEXT + 1).min(times.len());
+    EcgWindow::new(times[lo..hi].to_vec(), preds[lo..hi].to_vec(), center - lo)
+}
+
 /// Per-point severity (the single ECG assertion) and uncertainty over a
 /// prediction stream. The prediction pass runs once sequentially (each
 /// window needs its neighbours' predictions); the window checks and
@@ -115,9 +140,7 @@ pub fn score_pool(mlp: &Mlp, pool: &[EcgPoint], runtime: &ThreadPool) -> (Vec<Ve
     let times: Vec<f64> = pool.iter().map(|p| p.time).collect();
     runtime
         .map_indexed(pool.len(), |i| {
-            let lo = i.saturating_sub(ECG_CONTEXT);
-            let hi = (i + ECG_CONTEXT + 1).min(pool.len());
-            let window = EcgWindow::new(times[lo..hi].to_vec(), preds[lo..hi].to_vec(), i - lo);
+            let window = ecg_window_at(&times, &preds, i);
             (
                 vec![assertion.check(&window).value()],
                 least_confidence(&mlp.predict_proba(&pool[i].features)),
@@ -125,6 +148,112 @@ pub fn score_pool(mlp: &Mlp, pool: &[EcgPoint], runtime: &ThreadPool) -> (Vec<Ve
         })
         .into_iter()
         .unzip()
+}
+
+/// An incremental ECG scorer: ingests one (time, prediction) pair at a
+/// time over a ring buffer, segments each completed context window once,
+/// and checks the prepared assertion set against the shared segments —
+/// the streaming counterpart of [`score_pool`]'s scoring pass.
+pub struct EcgStreamScorer<'a> {
+    set: &'a AssertionSet<EcgWindow, ConsistencyWindow<usize>>,
+    mlp: &'a Mlp,
+    pool: &'a [EcgPoint],
+    times: &'a [f64],
+    preds: &'a [usize],
+    /// Global index of the first item this scorer is fed.
+    offset: usize,
+    slider: SlidingWindows<(f64, usize)>,
+}
+
+impl<'a> EcgStreamScorer<'a> {
+    /// Creates a scorer over a prediction stream; `offset` is the global
+    /// index of the first item that will be pushed. Uncertainties are
+    /// computed at emission time on whichever worker runs the chunk,
+    /// like the batch path does.
+    pub fn new(
+        set: &'a AssertionSet<EcgWindow, ConsistencyWindow<usize>>,
+        mlp: &'a Mlp,
+        pool: &'a [EcgPoint],
+        times: &'a [f64],
+        preds: &'a [usize],
+        offset: usize,
+    ) -> Self {
+        assert_eq!(
+            times.len(),
+            preds.len(),
+            "need one prediction per timestamp"
+        );
+        assert_eq!(
+            times.len(),
+            pool.len(),
+            "need one pool point per prediction"
+        );
+        Self {
+            set,
+            mlp,
+            pool,
+            times,
+            preds,
+            offset,
+            slider: SlidingWindows::new(ECG_CONTEXT),
+        }
+    }
+
+    fn score(
+        &self,
+        items: Vec<(f64, usize)>,
+        center: usize,
+        local_index: usize,
+    ) -> (Vec<f64>, f64) {
+        let (t, p): (Vec<f64>, Vec<usize>) = items.into_iter().unzip();
+        let window = EcgWindow::new(t, p, center);
+        let prep = EcgPrepare.prepare(&window);
+        let severities = self
+            .set
+            .check_all_prepared(&window, &prep)
+            .iter()
+            .map(|&(_, s)| s.value())
+            .collect();
+        let point = &self.pool[self.offset + local_index];
+        (
+            severities,
+            least_confidence(&self.mlp.predict_proba(&point.features)),
+        )
+    }
+}
+
+impl StreamScorer for EcgStreamScorer<'_> {
+    type Output = (Vec<f64>, f64);
+
+    fn push(&mut self, index: usize) -> Option<(Vec<f64>, f64)> {
+        let ready = self.slider.push((self.times[index], self.preds[index]));
+        ready.map(|w| self.score(w.items, w.center, w.index))
+    }
+
+    fn finish(mut self) -> Vec<(Vec<f64>, f64)> {
+        let tail = self.slider.finish();
+        tail.into_iter()
+            .map(|w| self.score(w.items, w.center, w.index))
+            .collect()
+    }
+}
+
+/// The streaming counterpart of [`score_pool`]: identical severities and
+/// uncertainties, computed incrementally over a ring buffer with one
+/// segmentation per window, chunked across the runtime's workers.
+pub fn stream_score_pool(
+    mlp: &Mlp,
+    pool: &[EcgPoint],
+    runtime: &ThreadPool,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let set = ecg_prepared_assertion_set();
+    let preds: Vec<usize> = pool.iter().map(|p| mlp.predict(&p.features)).collect();
+    let times: Vec<f64> = pool.iter().map(|p| p.time).collect();
+    score_stream_chunked(pool.len(), ECG_CONTEXT, runtime, |offset| {
+        EcgStreamScorer::new(&set, mlp, pool, &times, &preds, offset)
+    })
+    .into_iter()
+    .unzip()
 }
 
 /// The ECG active learner of Figure 5.
@@ -170,20 +299,17 @@ impl EcgLearner {
 
 impl ActiveLearner for EcgLearner {
     fn pool(&mut self) -> CandidatePool {
-        let (sev, unc) = score_pool(&self.classifier, &self.scenario.pool, &self.runtime);
+        let (sev, unc) = stream_score_pool(&self.classifier, &self.scenario.pool, &self.runtime);
         let severities = self.unlabeled.iter().map(|&i| sev[i].clone()).collect();
         let uncertainties = self.unlabeled.iter().map(|&i| unc[i]).collect();
         CandidatePool::new(severities, uncertainties).expect("consistent pool")
     }
 
     fn label_and_train(&mut self, selection: &[usize], rng: &mut StdRng) {
-        let mut chosen: Vec<usize> = selection.iter().map(|&p| self.unlabeled[p]).collect();
-        chosen.sort_unstable();
-        for &i in &chosen {
+        for &i in &crate::claim_selection(&mut self.unlabeled, selection) {
             let p = &self.scenario.pool[i];
             self.labeled.push(p.features.clone(), p.true_class);
         }
-        self.unlabeled.retain(|i| !chosen.contains(i));
         for _ in 0..self.epochs_per_round {
             self.classifier.train_epoch(&self.labeled, 16, rng);
         }
@@ -270,6 +396,38 @@ mod tests {
             fires > 0.0,
             "an imperfect classifier must oscillate somewhere"
         );
+    }
+
+    #[test]
+    fn stream_scoring_matches_batch_scoring() {
+        let s = tiny();
+        let mlp = pretrained_classifier(&s, 1);
+        let want = score_pool(&mlp, &s.pool, &ThreadPool::sequential());
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                stream_score_pool(&mlp, &s.pool, &ThreadPool::new(threads)),
+                want,
+                "streaming ECG scoring diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ecg_window_at_rejects_out_of_range_center() {
+        ecg_window_at(&[0.0, 10.0], &[0, 1], 2);
+    }
+
+    #[test]
+    fn duplicate_selection_labels_each_point_once() {
+        let s = tiny();
+        let mlp = pretrained_classifier(&s, 1);
+        let mut learner = EcgLearner::new(s, mlp);
+        let mut rng = StdRng::seed_from_u64(5);
+        let before = learner.labeled.len();
+        learner.label_and_train(&[4, 4, 9, 4], &mut rng);
+        assert_eq!(learner.unlabeled.len(), 298);
+        assert_eq!(learner.labeled.len(), before + 2, "each point labeled once");
     }
 
     #[test]

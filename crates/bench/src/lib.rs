@@ -104,6 +104,25 @@ pub fn init_runtime_from_args() {
     }
 }
 
+/// Claims the selected pool positions from a learner's (ascending)
+/// `unlabeled` index list: maps positions to pool indices, sorts and
+/// **deduplicates** them (a selection strategy may emit the same position
+/// twice; labeling the same sample twice would double-count the labeling
+/// budget and double-weight the sample in training), removes them from
+/// `unlabeled` via binary search over the sorted claims, and returns the
+/// claimed pool indices in ascending order.
+///
+/// # Panics
+///
+/// Panics if a selection position is out of range of `unlabeled`.
+pub fn claim_selection(unlabeled: &mut Vec<usize>, selection: &[usize]) -> Vec<usize> {
+    let mut chosen: Vec<usize> = selection.iter().map(|&p| unlabeled[p]).collect();
+    chosen.sort_unstable();
+    chosen.dedup();
+    unlabeled.retain(|i| chosen.binary_search(i).is_err());
+    chosen
+}
+
 /// Mean and standard error of one experiment series across trials.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeriesSummary {
@@ -192,5 +211,18 @@ mod tests {
     #[should_panic(expected = "positive integer")]
     fn parse_usize_flag_rejects_zero() {
         parse_usize_flag(&args(&["bin", "--threads", "0"]), "--threads");
+    }
+
+    #[test]
+    fn claim_selection_dedups_and_removes() {
+        let mut unlabeled: Vec<usize> = vec![10, 20, 30, 40, 50];
+        // Positions 1 and 3, with 1 repeated: the repeat must not claim
+        // (or count) twice.
+        let chosen = claim_selection(&mut unlabeled, &[3, 1, 1]);
+        assert_eq!(chosen, vec![20, 40]);
+        assert_eq!(unlabeled, vec![10, 30, 50]);
+        // Claiming nothing changes nothing.
+        assert_eq!(claim_selection(&mut unlabeled, &[]), Vec::<usize>::new());
+        assert_eq!(unlabeled, vec![10, 30, 50]);
     }
 }

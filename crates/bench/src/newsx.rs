@@ -4,11 +4,13 @@
 //! access the training code for this domain", §5.1), so news contributes
 //! monitoring statistics only: assertion fire counts and precision.
 
-use omg_core::consistency::{ConsistencyEngine, Violation};
+use omg_core::consistency::{ConsistencyEngine, ConsistencyWindow, Violation};
 use omg_core::runtime::ThreadPool;
+use omg_core::stream::Prepare;
 use omg_core::Assertion;
 use omg_domains::news::{news_assertion, scene_window, NewsSpec};
-use omg_sim::news::{NewsConfig, NewsScene, NewsWorld};
+use omg_domains::{news_prepared_assertion_set, NewsPrepare};
+use omg_sim::news::{Host, NewsConfig, NewsFace, NewsScene, NewsWorld};
 
 /// The fixed configuration of a news experiment.
 #[derive(Debug, Clone)]
@@ -46,6 +48,38 @@ pub struct FlaggedGroup {
     pub is_real_error: bool,
 }
 
+/// Extracts the flagged (scene, slot) groups from one scene's
+/// already-grouped consistency window (deduplicated per scene/slot).
+fn groups_in_scene(
+    engine: &ConsistencyEngine<NewsSpec>,
+    scene: &NewsScene,
+    window: &ConsistencyWindow<NewsFace>,
+    roster: &[Host],
+) -> Vec<FlaggedGroup> {
+    let mut seen: Vec<(u64, usize)> = Vec::new();
+    let mut out = Vec::new();
+    for violation in engine.check(window) {
+        let Violation::AttributeMismatch { id, .. } = violation else {
+            continue;
+        };
+        if seen.contains(&id) {
+            continue;
+        }
+        seen.push(id);
+        let is_real_error = scene
+            .faces
+            .iter()
+            .filter(|f| (f.scene, f.slot) == id)
+            .any(|f| f.is_error(roster));
+        out.push(FlaggedGroup {
+            scene: id.0,
+            slot: id.1,
+            is_real_error,
+        });
+    }
+    out
+}
+
 /// Runs the news assertion over all scenes and returns the flagged
 /// groups (deduplicated per scene/slot). Scenes are independent, so the
 /// consistency checks fan out across the runtime's workers and merge in
@@ -57,28 +91,7 @@ pub fn flagged_groups(scenario: &NewsScenario, runtime: &ThreadPool) -> Vec<Flag
         .map_indexed(scenario.scenes.len(), |si| {
             let scene = &scenario.scenes[si];
             let window = scene_window(scene);
-            let mut seen: Vec<(u64, usize)> = Vec::new();
-            let mut out = Vec::new();
-            for violation in engine.check(&window) {
-                let Violation::AttributeMismatch { id, .. } = violation else {
-                    continue;
-                };
-                if seen.contains(&id) {
-                    continue;
-                }
-                seen.push(id);
-                let is_real_error = scene
-                    .faces
-                    .iter()
-                    .filter(|f| (f.scene, f.slot) == id)
-                    .any(|f| f.is_error(roster));
-                out.push(FlaggedGroup {
-                    scene: id.0,
-                    slot: id.1,
-                    is_real_error,
-                });
-            }
-            out
+            groups_in_scene(&engine, scene, &window, roster)
         })
         .into_iter()
         .flatten()
@@ -93,6 +106,35 @@ pub fn scenes_fired(scenario: &NewsScenario) -> usize {
         .iter()
         .filter(|s| assertion.check(s).fired())
         .count()
+}
+
+/// The full monitoring report for one scene: the combined assertion's
+/// severity and the flagged groups, both derived from **one** scene
+/// grouping.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SceneReport {
+    /// The combined news assertion's severity on the scene.
+    pub severity: f64,
+    /// The flagged (scene, slot) groups.
+    pub groups: Vec<FlaggedGroup>,
+}
+
+/// The streaming counterpart of [`scenes_fired`] + [`flagged_groups`]:
+/// each scene is grouped **once** (via the shared preparation layer) and
+/// the grouping feeds both the prepared assertion set and the
+/// flagged-group analysis — instead of the batch path's one grouping per
+/// consumer. Identical severities and groups at any thread count.
+pub fn stream_scene_reports(scenario: &NewsScenario, runtime: &ThreadPool) -> Vec<SceneReport> {
+    let set = news_prepared_assertion_set();
+    let engine = ConsistencyEngine::new(NewsSpec);
+    let roster = scenario.world.roster();
+    runtime.map_indexed(scenario.scenes.len(), |si| {
+        let scene = &scenario.scenes[si];
+        let window = NewsPrepare.prepare(scene);
+        let severity = set.check_all_prepared(scene, &window)[0].1.value();
+        let groups = groups_in_scene(&engine, scene, &window, roster);
+        SceneReport { severity, groups }
+    })
 }
 
 #[cfg(test)]
@@ -123,6 +165,28 @@ mod tests {
             precision > 0.95,
             "news consistency should be near-perfectly precise: {precision}"
         );
+    }
+
+    #[test]
+    fn stream_reports_match_batch_analyses() {
+        let s = NewsScenario::new(3, 150);
+        let batch_groups = flagged_groups(&s, &ThreadPool::sequential());
+        let batch_fired = scenes_fired(&s);
+        for threads in [1, 2, 8] {
+            let reports = stream_scene_reports(&s, &ThreadPool::new(threads));
+            assert_eq!(reports.len(), 150);
+            let stream_groups: Vec<FlaggedGroup> =
+                reports.iter().flat_map(|r| r.groups.clone()).collect();
+            assert_eq!(
+                stream_groups, batch_groups,
+                "groups diverge at {threads} threads"
+            );
+            let stream_fired = reports.iter().filter(|r| r.severity > 0.0).count();
+            assert_eq!(
+                stream_fired, batch_fired,
+                "fire counts diverge at {threads} threads"
+            );
+        }
     }
 
     #[test]

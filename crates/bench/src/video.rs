@@ -1,10 +1,13 @@
 //! The `night-street` video-analytics scenario (Figures 3, 4a, 9a;
 //! Tables 3, 4, 6).
 
+use std::collections::VecDeque;
+
 use omg_active::{ActiveLearner, CandidatePool};
 use omg_core::runtime::ThreadPool;
+use omg_core::stream::{score_stream_chunked, Prepare, SlidingWindows, StreamScorer};
 use omg_core::AssertionSet;
-use omg_domains::{video_assertion_set, VideoFrame, VideoWindow};
+use omg_domains::{video_prepared_assertion_set, VideoFrame, VideoPrep, VideoPrepare, VideoWindow};
 use omg_eval::DetectionEvaluator;
 use omg_sim::detector::{Detection, DetectorConfig, Provenance, SimDetector, TrainingBatch};
 use omg_sim::traffic::{GtFrame, TrafficConfig, TrafficWorld};
@@ -54,7 +57,22 @@ pub fn detect_all(detector: &SimDetector, frames: &[GtFrame]) -> Vec<Vec<Detecti
 
 /// Builds the sliding assertion window centered on `center` (clamped at
 /// sequence edges).
+///
+/// # Panics
+///
+/// Panics if `center` is not a valid frame index or the detection lists
+/// don't line up with the frames.
 pub fn window_at(frames: &[GtFrame], dets: &[Vec<Detection>], center: usize) -> VideoWindow {
+    assert_eq!(
+        frames.len(),
+        dets.len(),
+        "need one detection list per frame"
+    );
+    assert!(
+        center < frames.len(),
+        "window center {center} out of range for {} frames",
+        frames.len()
+    );
     let lo = center.saturating_sub(WINDOW_HALF);
     let hi = (center + WINDOW_HALF + 1).min(frames.len());
     let vf: Vec<VideoFrame> = (lo..hi)
@@ -83,18 +101,128 @@ pub fn score_frames(
             let window = window_at(frames, dets, i);
             let outcomes = set.check_all(&window);
             let severities: Vec<f64> = outcomes.iter().map(|(_, s)| s.value()).collect();
-            // Least-confidence over the frame's detections: the most
-            // uncertain output. Frames with no detections carry no
-            // uncertainty signal — exactly the blind spot of
-            // uncertainty sampling the paper exploits.
-            let unc = dets[i]
-                .iter()
-                .map(|d| 1.0 - d.scored.score)
-                .fold(0.0f64, f64::max);
-            (severities, unc)
+            (severities, frame_uncertainty(&dets[i]))
         })
         .into_iter()
         .unzip()
+}
+
+/// The per-frame uncertainty signal shared by the batch and streaming
+/// scorers: least-confidence over the frame's detections (frames with no
+/// detections carry no uncertainty — exactly the blind spot of
+/// uncertainty sampling the paper exploits).
+pub fn frame_uncertainty(dets: &[Detection]) -> f64 {
+    dets.iter()
+        .map(|d| 1.0 - d.scored.score)
+        .fold(0.0f64, f64::max)
+}
+
+/// An incremental night-street scorer: ingests one frame at a time over
+/// a ring buffer, prepares each completed window **once** (one tracker
+/// run + one consistency check), and shares the artifact across all
+/// three video assertions — the streaming counterpart of
+/// [`score_frames`], bit-for-bit equal to it.
+pub struct VideoStreamScorer<'a> {
+    set: &'a AssertionSet<VideoWindow, VideoPrep>,
+    preparer: &'a (dyn Prepare<VideoWindow, Prepared = VideoPrep> + 'a),
+    frames: &'a [GtFrame],
+    dets: &'a [Vec<Detection>],
+    slider: SlidingWindows<VideoFrame>,
+    /// Uncertainties of frames whose windows are still pending.
+    pending_unc: VecDeque<f64>,
+}
+
+impl<'a> VideoStreamScorer<'a> {
+    /// Creates a scorer over a frame/detection stream. The preparer must
+    /// use the same temporal threshold the set was built with (pass a
+    /// counting probe to verify the prepare-once invariant).
+    pub fn new(
+        set: &'a AssertionSet<VideoWindow, VideoPrep>,
+        preparer: &'a (dyn Prepare<VideoWindow, Prepared = VideoPrep> + 'a),
+        frames: &'a [GtFrame],
+        dets: &'a [Vec<Detection>],
+    ) -> Self {
+        assert_eq!(
+            frames.len(),
+            dets.len(),
+            "need one detection list per frame"
+        );
+        Self {
+            set,
+            preparer,
+            frames,
+            dets,
+            slider: SlidingWindows::new(WINDOW_HALF),
+            pending_unc: VecDeque::with_capacity(WINDOW_HALF + 1),
+        }
+    }
+
+    /// Scores one completed window: prepare once, check every assertion
+    /// against the shared tracked window.
+    fn score(&mut self, items: Vec<VideoFrame>, center: usize) -> (Vec<f64>, f64) {
+        let window = VideoWindow::new(items, center);
+        let prep = self.preparer.prepare(&window);
+        let severities = self
+            .set
+            .check_all_prepared(&window, &prep)
+            .iter()
+            .map(|&(_, s)| s.value())
+            .collect();
+        let unc = self
+            .pending_unc
+            .pop_front()
+            .expect("one pending uncertainty per completed window");
+        (severities, unc)
+    }
+}
+
+impl StreamScorer for VideoStreamScorer<'_> {
+    type Output = (Vec<f64>, f64);
+
+    fn push(&mut self, index: usize) -> Option<(Vec<f64>, f64)> {
+        let frame = &self.frames[index];
+        let vf = VideoFrame {
+            index: frame.index,
+            time: frame.time,
+            dets: self.dets[index].iter().map(|d| d.scored).collect(),
+        };
+        self.pending_unc
+            .push_back(frame_uncertainty(&self.dets[index]));
+        let ready = self.slider.push(vf);
+        ready.map(|w| self.score(w.items, w.center))
+    }
+
+    fn finish(mut self) -> Vec<(Vec<f64>, f64)> {
+        let tail = self.slider.finish();
+        tail.into_iter()
+            .map(|w| self.score(w.items, w.center))
+            .collect()
+    }
+}
+
+/// The streaming counterpart of [`score_frames`]: same per-frame severity
+/// vectors and uncertainties, computed incrementally over a ring buffer
+/// with **one** preparation per window (tracking + consistency check,
+/// shared by all three assertions) instead of one per assertion. Chunks
+/// of the stream fan out across the runtime's workers and merge in frame
+/// order — bit-for-bit identical to the batch path at any thread count.
+pub fn stream_score_frames(
+    set: &AssertionSet<VideoWindow, VideoPrep>,
+    preparer: &VideoPrepare,
+    frames: &[GtFrame],
+    dets: &[Vec<Detection>],
+    runtime: &ThreadPool,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    assert_eq!(
+        frames.len(),
+        dets.len(),
+        "need one detection list per frame"
+    );
+    score_stream_chunked(frames.len(), WINDOW_HALF, runtime, |_offset| {
+        VideoStreamScorer::new(set, preparer, frames, dets)
+    })
+    .into_iter()
+    .unzip()
 }
 
 /// Builds `n` sliding monitor windows over a fresh night-street stream —
@@ -135,7 +263,8 @@ pub fn label_frame_into(batch: &mut TrainingBatch, frame: &GtFrame) {
 pub struct VideoLearner {
     scenario: VideoScenario,
     detector: SimDetector,
-    assertions: AssertionSet<VideoWindow>,
+    assertions: AssertionSet<VideoWindow, VideoPrep>,
+    preparer: VideoPrepare,
     /// Pool positions (into `scenario.pool_frames`) still unlabeled.
     unlabeled: Vec<usize>,
     labeled_batch: TrainingBatch,
@@ -145,13 +274,15 @@ pub struct VideoLearner {
 
 impl VideoLearner {
     /// Creates a learner around a pretrained detector, scoring pools on
-    /// the harness-wide runtime (`--threads`).
+    /// the harness-wide runtime (`--threads`) via the streaming path
+    /// (one tracker run per window, shared by all three assertions).
     pub fn new(scenario: VideoScenario, detector: SimDetector) -> Self {
         let n = scenario.pool_frames.len();
         Self {
             scenario,
             detector,
-            assertions: video_assertion_set(FLICKER_T),
+            assertions: video_prepared_assertion_set(FLICKER_T),
+            preparer: VideoPrepare::new(FLICKER_T),
             unlabeled: (0..n).collect(),
             labeled_batch: TrainingBatch::new(),
             epochs_per_round: 4,
@@ -179,11 +310,12 @@ impl VideoLearner {
 
 impl ActiveLearner for VideoLearner {
     fn pool(&mut self) -> CandidatePool {
-        // Score the whole stream once (windows need neighbours), then
-        // project onto the unlabeled positions.
+        // Score the whole stream once (windows need neighbours) on the
+        // streaming path, then project onto the unlabeled positions.
         let dets = detect_all(&self.detector, &self.scenario.pool_frames);
-        let (sev, unc) = score_frames(
+        let (sev, unc) = stream_score_frames(
             &self.assertions,
+            &self.preparer,
             &self.scenario.pool_frames,
             &dets,
             &self.runtime,
@@ -194,15 +326,12 @@ impl ActiveLearner for VideoLearner {
     }
 
     fn label_and_train(&mut self, selection: &[usize], rng: &mut StdRng) {
-        let mut chosen: Vec<usize> = selection.iter().map(|&p| self.unlabeled[p]).collect();
-        chosen.sort_unstable();
-        for &frame_idx in &chosen {
+        for &frame_idx in &crate::claim_selection(&mut self.unlabeled, selection) {
             label_frame_into(
                 &mut self.labeled_batch,
                 &self.scenario.pool_frames[frame_idx],
             );
         }
-        self.unlabeled.retain(|i| !chosen.contains(i));
         if !self.labeled_batch.is_empty() {
             self.detector
                 .train(&self.labeled_batch, self.epochs_per_round, rng);
@@ -246,6 +375,11 @@ pub struct FoundError {
     pub confidence: f64,
     /// Pool frame index where it was found.
     pub frame: usize,
+    /// Identity of the erroneous track or cluster within the frame.
+    /// `(frame, source)` is the error's dedup key across overlapping
+    /// windows: two *distinct* errors in one frame stay distinct even
+    /// when they happen to share a confidence.
+    pub source: u64,
 }
 
 /// Collects, per assertion name, the *true* errors found in flagged
@@ -279,44 +413,60 @@ pub fn errors_by_assertion(
             out[aid.0].1.extend(errors);
         }
     }
-    // Deduplicate per assertion (windows overlap).
+    // Deduplicate per assertion (overlapping windows re-find the same
+    // error) by track/cluster identity — *not* by confidence, which
+    // would collapse distinct same-confidence errors in one frame.
     for (_, errs) in &mut out {
-        errs.sort_by(|a, b| {
-            a.frame
-                .cmp(&b.frame)
-                .then(a.confidence.partial_cmp(&b.confidence).unwrap())
-        });
-        errs.dedup_by(|a, b| a.frame == b.frame && (a.confidence - b.confidence).abs() < 1e-12);
+        dedup_errors(errs);
     }
     out
 }
 
-fn duplicate_errors(dets: &[Detection], frame: usize) -> Vec<FoundError> {
+/// Sorts errors into (frame, source) order and drops re-findings of the
+/// same error from overlapping windows. Identity — not confidence — is
+/// the key: two distinct errors in one frame that happen to share a
+/// confidence both survive.
+pub(crate) fn dedup_errors(errs: &mut Vec<FoundError>) {
+    errs.sort_by(|a, b| a.frame.cmp(&b.frame).then(a.source.cmp(&b.source)));
+    errs.dedup_by(|a, b| a.frame == b.frame && a.source == b.source);
+}
+
+pub(crate) fn duplicate_errors(dets: &[Detection], frame: usize) -> Vec<FoundError> {
     // Table 5 scores a multibox cluster by "the maximum confidence of 3
     // vehicles that highly overlap": attribute the cluster's max
-    // confidence to the error.
-    dets.iter()
+    // confidence to the error — one error per duplicated cluster, no
+    // matter how many duplicate members it has.
+    let mut clusters: Vec<u64> = dets
+        .iter()
         .filter(|d| matches!(d.provenance, Provenance::Duplicate { .. }))
-        .map(|d| {
+        .map(|d| d.track_id())
+        .collect();
+    clusters.sort_unstable();
+    clusters.dedup();
+    clusters
+        .into_iter()
+        .map(|track| {
             let cluster_max = dets
                 .iter()
-                .filter(|o| o.track_id() == d.track_id())
+                .filter(|o| o.track_id() == track)
                 .map(|o| o.scored.score)
                 .fold(0.0f64, f64::max);
             FoundError {
                 confidence: cluster_max,
                 frame,
+                source: track,
             }
         })
         .collect()
 }
 
-fn clutter_errors(dets: &[Detection], frame: usize) -> Vec<FoundError> {
+pub(crate) fn clutter_errors(dets: &[Detection], frame: usize) -> Vec<FoundError> {
     dets.iter()
         .filter(|d| matches!(d.provenance, Provenance::Clutter { .. }))
         .map(|d| FoundError {
             confidence: d.scored.score,
             frame,
+            source: d.track_id(),
         })
         .collect()
 }
@@ -349,6 +499,7 @@ fn flicker_miss_errors(
             errors.push(FoundError {
                 confidence: (before + after) / 2.0,
                 frame: center,
+                source: signal.track_id,
             });
         }
     }
@@ -370,6 +521,7 @@ pub fn pretrained_detector(seed: u64) -> SimDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use omg_domains::video_assertion_set;
     use rand::SeedableRng;
 
     fn tiny_scenario() -> VideoScenario {
@@ -434,6 +586,187 @@ mod tests {
         assert_eq!(learner.unlabeled_len(), 117);
         let metric = learner.evaluate();
         assert!(metric > 0.0 && metric < 100.0, "mAP% {metric}");
+    }
+
+    #[test]
+    fn duplicate_selection_labels_each_frame_once() {
+        // Regression: a selection with repeated positions used to label
+        // (and budget-count) the frame twice; the learner must end up in
+        // exactly the state a deduplicated selection produces.
+        let mut dup = VideoLearner::new(tiny_scenario(), pretrained_detector(1));
+        let mut clean = VideoLearner::new(tiny_scenario(), pretrained_detector(1));
+        let mut rng_dup = StdRng::seed_from_u64(2);
+        let mut rng_clean = StdRng::seed_from_u64(2);
+        dup.label_and_train(&[7, 3, 7, 7, 3], &mut rng_dup);
+        clean.label_and_train(&[3, 7], &mut rng_clean);
+        assert_eq!(dup.unlabeled_len(), 118);
+        assert_eq!(dup.unlabeled_len(), clean.unlabeled_len());
+        // Identical training data => identical detector behaviour.
+        let frame = &dup.scenario.test_frames[0];
+        assert_eq!(
+            dup.detector().detect_frame(frame.index, &frame.signals),
+            clean.detector().detect_frame(frame.index, &frame.signals),
+            "double-labeled batch changed training"
+        );
+    }
+
+    #[test]
+    fn stream_scoring_matches_batch_scoring() {
+        let s = tiny_scenario();
+        let det = pretrained_detector(1);
+        let dets = detect_all(&det, &s.pool_frames);
+        let batch_set = video_assertion_set(FLICKER_T);
+        let (sev, unc) = score_frames(&batch_set, &s.pool_frames, &dets, &ThreadPool::sequential());
+        let stream_set = video_prepared_assertion_set(FLICKER_T);
+        let preparer = VideoPrepare::new(FLICKER_T);
+        for threads in [1, 2, 8] {
+            let (ssev, sunc) = stream_score_frames(
+                &stream_set,
+                &preparer,
+                &s.pool_frames,
+                &dets,
+                &ThreadPool::new(threads),
+            );
+            assert_eq!(ssev, sev, "severities diverge at {threads} threads");
+            assert_eq!(sunc, unc, "uncertainties diverge at {threads} threads");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn window_at_rejects_out_of_range_center() {
+        let s = tiny_scenario();
+        let det = pretrained_detector(1);
+        let dets = detect_all(&det, &s.pool_frames);
+        window_at(&s.pool_frames, &dets, s.pool_frames.len());
+    }
+
+    fn det(score: f64, provenance: Provenance) -> Detection {
+        use omg_eval::ScoredBox;
+        use omg_geom::BBox2D;
+        Detection {
+            scored: ScoredBox {
+                bbox: BBox2D::new(0.0, 0.0, 10.0, 10.0).unwrap(),
+                class: 0,
+                score,
+            },
+            provenance,
+        }
+    }
+
+    #[test]
+    fn multi_member_cluster_counts_as_one_error() {
+        // Regression: a cluster with two Duplicate members used to push
+        // its max confidence once per member.
+        let dets = vec![
+            det(
+                0.9,
+                Provenance::Object {
+                    track_id: 5,
+                    true_class: 0,
+                },
+            ),
+            det(
+                0.8,
+                Provenance::Duplicate {
+                    track_id: 5,
+                    true_class: 0,
+                },
+            ),
+            det(
+                0.7,
+                Provenance::Duplicate {
+                    track_id: 5,
+                    true_class: 0,
+                },
+            ),
+            det(
+                0.6,
+                Provenance::Duplicate {
+                    track_id: 9,
+                    true_class: 0,
+                },
+            ),
+        ];
+        let errs = duplicate_errors(&dets, 3);
+        assert_eq!(errs.len(), 2, "one error per duplicated cluster");
+        assert_eq!(
+            errs[0],
+            FoundError {
+                confidence: 0.9,
+                frame: 3,
+                source: 5
+            }
+        );
+        assert_eq!(
+            errs[1],
+            FoundError {
+                confidence: 0.6,
+                frame: 3,
+                source: 9
+            }
+        );
+    }
+
+    #[test]
+    fn equal_confidence_distinct_errors_survive_dedup() {
+        // Regression: dedup used to key on (frame, confidence), merging
+        // two distinct same-frame errors that tie on confidence.
+        let mut errs = vec![
+            FoundError {
+                confidence: 0.8,
+                frame: 4,
+                source: 11,
+            },
+            FoundError {
+                confidence: 0.8,
+                frame: 4,
+                source: 22,
+            },
+            FoundError {
+                confidence: 0.8,
+                frame: 4,
+                source: 11,
+            }, // re-found by the next window
+            FoundError {
+                confidence: 0.5,
+                frame: 2,
+                source: 11,
+            },
+        ];
+        dedup_errors(&mut errs);
+        assert_eq!(
+            errs,
+            vec![
+                FoundError {
+                    confidence: 0.5,
+                    frame: 2,
+                    source: 11
+                },
+                FoundError {
+                    confidence: 0.8,
+                    frame: 4,
+                    source: 11
+                },
+                FoundError {
+                    confidence: 0.8,
+                    frame: 4,
+                    source: 22
+                },
+            ]
+        );
+        // And the clutter extractor tags sources so ties stay distinct.
+        let dets = vec![
+            det(0.8, Provenance::Clutter { track_id: 1 }),
+            det(0.8, Provenance::Clutter { track_id: 2 }),
+        ];
+        let mut found = clutter_errors(&dets, 4);
+        dedup_errors(&mut found);
+        assert_eq!(
+            found.len(),
+            2,
+            "equal-confidence clutter errors are distinct"
+        );
     }
 
     #[test]

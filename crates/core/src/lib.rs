@@ -33,6 +33,12 @@
 //!   the sequential path.
 //! * [`runtime`] — the dependency-free scoped-thread pool behind the
 //!   batch path, with deterministic input-order merging.
+//! * [`stream`] — the incremental streaming engine: the [`stream::Prepare`]
+//!   shared window-preparation layer (expensive derivations run once per
+//!   window, shared by every assertion via
+//!   [`AssertionSet::check_all_prepared`]), the [`stream::SlidingWindows`]
+//!   ring buffer, and [`stream::StreamMonitor`] — all bit-for-bit equal
+//!   to the batch reference at any thread count.
 //! * [`consistency`] — the high-level consistency-assertion API of §4:
 //!   from an identifier function, an attributes function, and a temporal
 //!   threshold `T`, OMG generates Boolean assertions *and* correction
@@ -73,6 +79,7 @@ mod monitor;
 mod registry;
 pub mod runtime;
 mod severity;
+pub mod stream;
 pub mod taxonomy;
 
 pub use assertion::{Assertion, FnAssertion};

@@ -176,8 +176,8 @@ impl<S: 'static> Monitor<S> {
     where
         S: Sync,
     {
-        let assertions = &self.assertions;
-        let outcomes = pool.map_indexed(samples.len(), |i| assertions.check_all(&samples[i]));
+        let outcomes =
+            crate::stream::score_batch(&self.assertions, &crate::stream::NoPrep, samples, pool);
         let first = self.next_sample;
         self.db.record_batch(first, &outcomes);
         self.next_sample += samples.len();

@@ -13,8 +13,28 @@ impl std::fmt::Display for AssertionId {
     }
 }
 
+/// The prepared-path check of one assertion: severity from the sample
+/// plus the set's shared preparation artifact (see
+/// [`crate::stream::Prepare`]).
+type PreparedCheck<S, P> = Box<dyn Fn(&S, &P) -> Severity + Send + Sync>;
+
+/// One registered assertion: the self-contained reference check, plus an
+/// optional fast-path check that consumes a shared per-sample preparation
+/// artifact instead of re-deriving it.
+struct Entry<S, P> {
+    assertion: Box<dyn Assertion<S>>,
+    prepared: Option<PreparedCheck<S, P>>,
+}
+
 /// An ordered registry of assertions over sample type `S` — the paper's
 /// collaboratively maintained "assertion database" interface (Figure 2).
+///
+/// The second type parameter `P` is the *shared preparation artifact*
+/// expensive per-sample derivations (tracking, beat segmentation) produce
+/// once per sample for every assertion to consume; it defaults to `()`
+/// (no shared preparation), so `AssertionSet<S>` reads as before. See
+/// [`crate::stream`] for the preparation layer and
+/// [`AssertionSet::check_all_prepared`] for the fast path.
 ///
 /// # Example
 ///
@@ -28,16 +48,23 @@ impl std::fmt::Display for AssertionId {
 /// assert!(outcomes[0].1.fired());
 /// assert_eq!(set.name(id), "non-empty");
 /// ```
-pub struct AssertionSet<S> {
-    assertions: Vec<Box<dyn Assertion<S>>>,
+pub struct AssertionSet<S, P = ()> {
+    entries: Vec<Entry<S, P>>,
 }
 
-impl<S: 'static> AssertionSet<S> {
+impl<S: 'static, P> AssertionSet<S, P> {
     /// Creates an empty set.
     pub fn new() -> Self {
         Self {
-            assertions: Vec::new(),
+            entries: Vec::new(),
         }
+    }
+
+    fn assert_unique(&self, name: &str) {
+        assert!(
+            self.entries.iter().all(|e| e.assertion.name() != name),
+            "duplicate assertion name: {name}"
+        );
     }
 
     /// Registers an assertion and returns its id.
@@ -50,13 +77,7 @@ impl<S: 'static> AssertionSet<S> {
     where
         A: Assertion<S> + 'static,
     {
-        assert!(
-            self.assertions.iter().all(|a| a.name() != assertion.name()),
-            "duplicate assertion name: {}",
-            assertion.name()
-        );
-        self.assertions.push(Box::new(assertion));
-        AssertionId(self.assertions.len() - 1)
+        self.add_boxed(Box::new(assertion))
     }
 
     /// Registers a closure assertion — OMG's `AddAssertion(func)`.
@@ -71,23 +92,47 @@ impl<S: 'static> AssertionSet<S> {
     /// Registers a boxed assertion (used by the consistency engine, which
     /// generates assertions dynamically).
     pub fn add_boxed(&mut self, assertion: Box<dyn Assertion<S>>) -> AssertionId {
-        assert!(
-            self.assertions.iter().all(|a| a.name() != assertion.name()),
-            "duplicate assertion name: {}",
-            assertion.name()
-        );
-        self.assertions.push(assertion);
-        AssertionId(self.assertions.len() - 1)
+        self.assert_unique(assertion.name());
+        self.entries.push(Entry {
+            assertion,
+            prepared: None,
+        });
+        AssertionId(self.entries.len() - 1)
+    }
+
+    /// Registers an assertion together with its prepared-path check.
+    ///
+    /// `assertion.check` stays the self-contained reference
+    /// implementation (it derives whatever it needs from the sample
+    /// alone); `prepared` must compute the *same* severity from the
+    /// sample plus a shared preparation artifact. The engine's
+    /// equivalence property tests hold the two paths bit-for-bit equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another assertion with the same name is already
+    /// registered.
+    pub fn add_prepared<A, F>(&mut self, assertion: A, prepared: F) -> AssertionId
+    where
+        A: Assertion<S> + 'static,
+        F: Fn(&S, &P) -> Severity + Send + Sync + 'static,
+    {
+        self.assert_unique(assertion.name());
+        self.entries.push(Entry {
+            assertion: Box::new(assertion),
+            prepared: Some(Box::new(prepared)),
+        });
+        AssertionId(self.entries.len() - 1)
     }
 
     /// Number of registered assertions (the bandit context dimension `d`).
     pub fn len(&self) -> usize {
-        self.assertions.len()
+        self.entries.len()
     }
 
     /// Whether the set is empty.
     pub fn is_empty(&self) -> bool {
-        self.assertions.is_empty()
+        self.entries.is_empty()
     }
 
     /// The name of an assertion.
@@ -96,35 +141,71 @@ impl<S: 'static> AssertionSet<S> {
     ///
     /// Panics if `id` is not from this set.
     pub fn name(&self, id: AssertionId) -> &str {
-        self.assertions[id.0].name()
+        self.entries[id.0].assertion.name()
     }
 
     /// All assertion names in id order.
     pub fn names(&self) -> Vec<&str> {
-        self.assertions.iter().map(|a| a.name()).collect()
+        self.entries.iter().map(|e| e.assertion.name()).collect()
     }
 
     /// All assertion ids in order.
     pub fn ids(&self) -> Vec<AssertionId> {
-        (0..self.assertions.len()).map(AssertionId).collect()
+        (0..self.entries.len()).map(AssertionId).collect()
     }
 
     /// The id of the assertion with the given name, if registered.
     pub fn id_of(&self, name: &str) -> Option<AssertionId> {
-        self.assertions
+        self.entries
             .iter()
-            .position(|a| a.name() == name)
+            .position(|e| e.assertion.name() == name)
             .map(AssertionId)
+    }
+
+    /// Whether the assertion has a prepared-path check registered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this set.
+    pub fn has_prepared(&self, id: AssertionId) -> bool {
+        self.entries[id.0].prepared.is_some()
     }
 
     /// Runs every assertion on the sample, returning `(id, severity)` for
     /// all of them (including abstentions, so the result is a dense
     /// severity vector).
+    ///
+    /// This is the *reference* path: each assertion is self-contained and
+    /// re-derives any expensive artifact itself. The streaming engine
+    /// calls [`AssertionSet::check_all_prepared`] instead so the
+    /// derivation runs once per sample.
     pub fn check_all(&self, sample: &S) -> Vec<(AssertionId, Severity)> {
-        self.assertions
+        self.entries
             .iter()
             .enumerate()
-            .map(|(i, a)| (AssertionId(i), a.check(sample)))
+            .map(|(i, e)| (AssertionId(i), e.assertion.check(sample)))
+            .collect()
+    }
+
+    /// Runs every assertion on the sample with a shared, already-computed
+    /// preparation artifact: assertions registered via
+    /// [`AssertionSet::add_prepared`] consume `prep` instead of
+    /// re-deriving it, the rest fall back to their plain check.
+    ///
+    /// For deterministic preparers this is bit-for-bit equal to
+    /// [`AssertionSet::check_all`] (enforced by the engine's equivalence
+    /// property tests); only the wall-clock differs.
+    pub fn check_all_prepared(&self, sample: &S, prep: &P) -> Vec<(AssertionId, Severity)> {
+        self.entries
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let severity = match &e.prepared {
+                    Some(check) => check(sample, prep),
+                    None => e.assertion.check(sample),
+                };
+                (AssertionId(i), severity)
+            })
             .collect()
     }
 
@@ -134,17 +215,31 @@ impl<S: 'static> AssertionSet<S> {
     ///
     /// Panics if `id` is not from this set.
     pub fn check_one(&self, id: AssertionId, sample: &S) -> Severity {
-        self.assertions[id.0].check(sample)
+        self.entries[id.0].assertion.check(sample)
+    }
+
+    /// Runs one assertion on the sample with a shared preparation
+    /// artifact (falling back to the plain check when the assertion has
+    /// no prepared path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not from this set.
+    pub fn check_one_prepared(&self, id: AssertionId, sample: &S, prep: &P) -> Severity {
+        match &self.entries[id.0].prepared {
+            Some(check) => check(sample, prep),
+            None => self.entries[id.0].assertion.check(sample),
+        }
     }
 }
 
-impl<S: 'static> Default for AssertionSet<S> {
+impl<S: 'static, P> Default for AssertionSet<S, P> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl<S: 'static> std::fmt::Debug for AssertionSet<S> {
+impl<S: 'static, P> std::fmt::Debug for AssertionSet<S, P> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("AssertionSet")
             .field("assertions", &self.names())

@@ -1,0 +1,777 @@
+//! Incremental streaming monitoring with shared window preparation.
+//!
+//! The paper's §7 argues assertions are cheap enough to "be run … over
+//! every model invocation"; keeping that true on a live stream means the
+//! hot path must be *incremental* — O(1) amortized work per arriving
+//! sample — rather than batch-shaped re-derivation over the whole
+//! history. Two costs dominate in practice:
+//!
+//! 1. **Window preparation.** Several assertions over the same window
+//!    often need the same expensive derivation (the video assertions all
+//!    need the tracked window; an ECG set needs the segmented prediction
+//!    run). Self-contained assertions each re-derive it, multiplying the
+//!    dominant cost by the assertion count. The [`Prepare`] trait names
+//!    that derivation once; [`crate::AssertionSet::check_all_prepared`]
+//!    shares one artifact across every assertion in the set.
+//! 2. **Window construction.** A sliding window over a stream only ever
+//!    changes at its edges. [`SlidingWindows`] is the ring buffer that
+//!    turns a one-sample-at-a-time stream into the same clamped windows a
+//!    batch scorer would build from the full sequence, using O(window)
+//!    memory instead of O(stream).
+//!
+//! [`StreamMonitor`] composes the two into the deployment-time face of
+//! the streaming engine: ingest a sample, prepare once, check every
+//! assertion, record to the [`AssertionDb`], fire corrective actions —
+//! and emit the same [`SampleReport`]s the batch [`crate::Monitor`]
+//! would.
+//!
+//! # Batch-equivalence guarantee
+//!
+//! For pure assertions and a deterministic preparer, every path through
+//! this module is **bit-for-bit equal** to the batch reference
+//! ([`crate::AssertionSet::check_all`] per sample, in order) at any
+//! thread count. The engine's property tests enforce this at 1/2/8
+//! threads across all deployed scenarios.
+
+use crate::runtime::ThreadPool;
+use crate::{AssertionDb, AssertionId, AssertionSet, SampleReport, Severity};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// An expensive per-sample derivation shared by every assertion in a set.
+///
+/// `prepare` must be a deterministic pure function of the sample: the
+/// streaming engine relies on `check_all_prepared(s, &prepare(s))`
+/// equalling `check_all(s)` bit-for-bit, and may prepare the same sample
+/// on different threads in different runs.
+pub trait Prepare<S>: Send + Sync {
+    /// The artifact `prepare` derives (a tracked window, segmented
+    /// beats, projected boxes, …).
+    type Prepared: Send;
+
+    /// Derives the artifact from one sample.
+    fn prepare(&self, sample: &S) -> Self::Prepared;
+}
+
+/// The trivial preparation: no shared artifact. Lets any plain
+/// `AssertionSet<S>` run on the streaming engine unchanged.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoPrep;
+
+impl<S> Prepare<S> for NoPrep {
+    type Prepared = ();
+
+    fn prepare(&self, _sample: &S) {}
+}
+
+/// A closure-backed [`Prepare`] — the `FnAssertion` of preparers.
+///
+/// # Example
+///
+/// ```
+/// use omg_core::stream::{FnPrepare, Prepare};
+///
+/// let sum = FnPrepare::new(|xs: &Vec<i32>| xs.iter().sum::<i32>());
+/// assert_eq!(sum.prepare(&vec![1, 2, 3]), 6);
+/// ```
+pub struct FnPrepare<F>(F);
+
+impl<F> FnPrepare<F> {
+    /// Wraps a closure as a preparer.
+    pub fn new(f: F) -> Self {
+        Self(f)
+    }
+}
+
+impl<S, P, F> Prepare<S> for FnPrepare<F>
+where
+    F: Fn(&S) -> P + Send + Sync,
+    P: Send,
+{
+    type Prepared = P;
+
+    fn prepare(&self, sample: &S) -> P {
+        (self.0)(sample)
+    }
+}
+
+/// A probe that counts how many times an inner preparer runs — the
+/// instrument behind the engine's prepare-once tests ("tracking runs
+/// exactly once per window").
+pub struct CountingPrepare<Pr> {
+    inner: Pr,
+    count: Arc<AtomicUsize>,
+}
+
+impl<Pr> CountingPrepare<Pr> {
+    /// Wraps a preparer; `counter` is incremented on every `prepare`.
+    pub fn new(inner: Pr, counter: Arc<AtomicUsize>) -> Self {
+        Self {
+            inner,
+            count: counter,
+        }
+    }
+
+    /// Number of `prepare` calls so far.
+    pub fn count(&self) -> usize {
+        self.count.load(Ordering::SeqCst)
+    }
+}
+
+impl<S, Pr: Prepare<S>> Prepare<S> for CountingPrepare<Pr> {
+    type Prepared = Pr::Prepared;
+
+    fn prepare(&self, sample: &S) -> Pr::Prepared {
+        self.count.fetch_add(1, Ordering::SeqCst);
+        self.inner.prepare(sample)
+    }
+}
+
+/// One window emitted by [`SlidingWindows`]: the items, which of them is
+/// the center, and the center's global stream index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowItems<T> {
+    /// The window's items, in stream order.
+    pub items: Vec<T>,
+    /// Index within `items` of the center — the item the window is about.
+    pub center: usize,
+    /// The center's index in the overall stream.
+    pub index: usize,
+}
+
+/// An incremental builder of clamped sliding windows over a stream.
+///
+/// Configured with `half` items of context on each side of a center, it
+/// ingests items one at a time over a ring buffer of at most
+/// `2 * half + 1` items and emits, for every stream position `c`, the
+/// window `[max(0, c - half), min(c + half + 1, n))` — exactly the
+/// clamped window a batch scorer would build from the full sequence, in
+/// center order, with `half` items of latency and O(window) memory.
+///
+/// # Example
+///
+/// ```
+/// use omg_core::stream::SlidingWindows;
+///
+/// let mut sw = SlidingWindows::new(1);
+/// assert!(sw.push('a').is_none()); // center 0 still needs lookahead
+/// let w = sw.push('b').expect("center 0 complete");
+/// assert_eq!((w.items.as_slice(), w.center, w.index), (['a', 'b'].as_slice(), 0, 0));
+/// let tail = sw.finish(); // clamped windows for the last centers
+/// assert_eq!(tail.len(), 1);
+/// assert_eq!(tail[0].items, vec!['a', 'b']);
+/// assert_eq!((tail[0].center, tail[0].index), (1, 1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindows<T> {
+    half: usize,
+    buf: VecDeque<T>,
+    /// Total items pushed so far.
+    pushed: usize,
+    /// Next center (global stream index) to emit.
+    next_center: usize,
+}
+
+impl<T: Clone> SlidingWindows<T> {
+    /// Creates a builder with `half` items of context on each side.
+    pub fn new(half: usize) -> Self {
+        Self {
+            half,
+            buf: VecDeque::with_capacity(2 * half + 2),
+            pushed: 0,
+            next_center: 0,
+        }
+    }
+
+    /// The context radius.
+    pub fn half(&self) -> usize {
+        self.half
+    }
+
+    /// Total items pushed so far.
+    pub fn pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Builds the window for center `c` from the current buffer. Only
+    /// valid while `c`'s full context (as far as the stream provides it)
+    /// is buffered.
+    fn window_for(&self, c: usize) -> WindowItems<T> {
+        let lo = c.saturating_sub(self.half);
+        let hi = (c + self.half + 1).min(self.pushed);
+        let oldest = self.pushed - self.buf.len();
+        debug_assert!(lo >= oldest, "window start fell off the ring buffer");
+        let items: Vec<T> = (lo..hi).map(|i| self.buf[i - oldest].clone()).collect();
+        WindowItems {
+            items,
+            center: c - lo,
+            index: c,
+        }
+    }
+
+    /// Ingests the next item; returns the newly completed window, if any
+    /// (the window centered `half` items back, once its lookahead is in).
+    pub fn push(&mut self, item: T) -> Option<WindowItems<T>> {
+        self.buf.push_back(item);
+        if self.buf.len() > 2 * self.half + 1 {
+            self.buf.pop_front();
+        }
+        self.pushed += 1;
+        if self.pushed > self.next_center + self.half {
+            let w = self.window_for(self.next_center);
+            self.next_center += 1;
+            Some(w)
+        } else {
+            None
+        }
+    }
+
+    /// Flushes the end of the stream: the windows for the remaining
+    /// centers, clamped at the right edge (mirroring the left-edge clamp
+    /// the first windows get).
+    pub fn finish(&mut self) -> Vec<WindowItems<T>> {
+        let mut out = Vec::with_capacity(self.pushed.saturating_sub(self.next_center));
+        while self.next_center < self.pushed {
+            out.push(self.window_for(self.next_center));
+            self.next_center += 1;
+        }
+        out
+    }
+}
+
+/// Scores every sample of a batch across the pool's workers — prepare
+/// once per sample, then every assertion via the set's prepared path —
+/// and merges the dense outcome rows **in sample order**.
+///
+/// This is the shared scoring core of [`crate::Monitor::process_batch`]
+/// (with [`NoPrep`]) and [`StreamMonitor::ingest_batch`]; for pure
+/// assertions and a deterministic preparer it is bit-for-bit equal to
+/// checking each sample sequentially, at any thread count.
+pub fn score_batch<S, P>(
+    set: &AssertionSet<S, P>,
+    preparer: &(dyn Prepare<S, Prepared = P> + '_),
+    samples: &[S],
+    pool: &ThreadPool,
+) -> Vec<Vec<(AssertionId, Severity)>>
+where
+    S: Sync + 'static,
+    P: Send,
+{
+    pool.map_indexed(samples.len(), |i| {
+        let prep = preparer.prepare(&samples[i]);
+        set.check_all_prepared(&samples[i], &prep)
+    })
+}
+
+/// An incremental scorer over a stream of indexed items: ingesting item
+/// `i` may complete (and score) the window centered `half` items back;
+/// [`StreamScorer::finish`] flushes the right-edge-clamped tail.
+///
+/// Implementations typically wrap a [`SlidingWindows`] over borrowed
+/// stream data plus a prepared assertion set; see
+/// [`score_stream_chunked`] for running one across a thread pool.
+pub trait StreamScorer {
+    /// The per-center report (severities, uncertainty, …).
+    type Output;
+
+    /// Ingests stream item `index`; returns the report for the newly
+    /// completed center, if any.
+    fn push(&mut self, index: usize) -> Option<Self::Output>;
+
+    /// Flushes reports for the remaining centers at end-of-stream.
+    fn finish(self) -> Vec<Self::Output>;
+}
+
+/// Runs an incremental [`StreamScorer`] over a length-`n` stream of
+/// sliding windows (context radius `half`) across the pool's workers.
+///
+/// The stream is split into contiguous chunks of centers; each worker
+/// streams its chunk with `half` items of margin re-fed on each side, so
+/// every center's window is exactly the window a single scorer — or a
+/// batch scorer — would build, and the merged output (in center order)
+/// is **identical at any thread count**. Re-feeding the margin costs
+/// `2 * half` items per chunk, amortized to nothing over chunk sizes.
+///
+/// `make_scorer` receives the global index of the first item its chunk
+/// will be fed (its ring buffer's local index 0), so scorers can map
+/// window positions back to global stream indices.
+///
+/// # Panics
+///
+/// Panics if a chunk's scorer does not emit exactly one report per
+/// center (a `StreamScorer` contract violation).
+pub fn score_stream_chunked<Sc, F>(
+    n: usize,
+    half: usize,
+    pool: &ThreadPool,
+    make_scorer: F,
+) -> Vec<Sc::Output>
+where
+    Sc: StreamScorer,
+    Sc::Output: Send,
+    F: Fn(usize) -> Sc + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    // One worker needs no chunking: a single pure stream, zero re-fed
+    // margin, exactly one preparation per window. Parallel runs use the
+    // pool's self-scheduler geometry (~4 chunks per worker) to balance
+    // load without shredding window-overlap locality.
+    let chunk = if pool.threads() == 1 {
+        n
+    } else {
+        n.div_ceil(pool.threads() * 4).max(1)
+    };
+    let n_chunks = n.div_ceil(chunk);
+    pool.map_indexed(n_chunks, |k| {
+        let c0 = k * chunk;
+        let c1 = ((k + 1) * chunk).min(n);
+        let feed_start = c0.saturating_sub(half);
+        let feed_end = (c1 + half).min(n);
+        // The margin's centers re-stream but belong to neighbouring
+        // chunks: drop the first `skip` emissions and stop at `want`.
+        let skip = c0 - feed_start;
+        let want = c1 - c0;
+        let mut scorer = make_scorer(feed_start);
+        let mut emitted = 0usize;
+        let mut out = Vec::with_capacity(want);
+        for i in feed_start..feed_end {
+            if let Some(r) = scorer.push(i) {
+                if emitted >= skip && out.len() < want {
+                    out.push(r);
+                }
+                emitted += 1;
+            }
+        }
+        if out.len() < want {
+            for r in scorer.finish() {
+                if emitted >= skip && out.len() < want {
+                    out.push(r);
+                }
+                emitted += 1;
+            }
+        }
+        assert_eq!(out.len(), want, "chunk must emit one report per center");
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// A corrective action hook (see [`crate::Monitor::on_severity`]).
+type ActionHook<S> = Box<dyn FnMut(&S, &SampleReport) + Send>;
+
+/// The streaming runtime monitor: the prepare-once counterpart of
+/// [`crate::Monitor`].
+///
+/// Where `Monitor` runs self-contained assertions (each re-deriving
+/// whatever it needs), a `StreamMonitor` owns the set's [`Prepare`]r and
+/// runs the expensive per-sample derivation **exactly once per sample**,
+/// sharing the artifact across every assertion via
+/// [`AssertionSet::check_all_prepared`]. Everything else matches the
+/// batch monitor: outcomes append to the [`AssertionDb`], corrective
+/// actions fire in sample order, and the emitted [`SampleReport`]s are
+/// bit-for-bit what `Monitor::process` would produce on the same stream.
+///
+/// # Example
+///
+/// ```
+/// use omg_core::stream::{FnPrepare, StreamMonitor};
+/// use omg_core::{AssertionSet, Severity};
+///
+/// // Shared preparation: the (expensive, imagine) sum of the sample.
+/// let mut set: AssertionSet<Vec<i64>, i64> = AssertionSet::new();
+/// set.add_prepared(
+///     omg_core::FnAssertion::new("negative-sum", |xs: &Vec<i64>| {
+///         Severity::from_bool(xs.iter().sum::<i64>() < 0)
+///     }),
+///     |_, &sum| Severity::from_bool(sum < 0),
+/// );
+/// let mut m = StreamMonitor::new(set, FnPrepare::new(|xs: &Vec<i64>| xs.iter().sum()));
+/// assert!(m.ingest(&vec![-2, 1]).any_fired());
+/// assert!(!m.ingest(&vec![2, 1]).any_fired());
+/// assert_eq!(m.samples_processed(), 2);
+/// assert_eq!(m.prepare_count(), 2);
+/// ```
+pub struct StreamMonitor<S, P = ()> {
+    assertions: AssertionSet<S, P>,
+    preparer: Box<dyn Prepare<S, Prepared = P>>,
+    db: AssertionDb,
+    next_sample: usize,
+    prepares: usize,
+    actions: Vec<(Severity, ActionHook<S>)>,
+}
+
+impl<S: 'static, P: Send + 'static> StreamMonitor<S, P> {
+    /// Creates a streaming monitor around an assertion set and the
+    /// preparer producing its shared artifact.
+    pub fn new<Pr>(assertions: AssertionSet<S, P>, preparer: Pr) -> Self
+    where
+        Pr: Prepare<S, Prepared = P> + 'static,
+    {
+        Self {
+            assertions,
+            preparer: Box::new(preparer),
+            db: AssertionDb::new(),
+            next_sample: 0,
+            prepares: 0,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The registered assertions.
+    pub fn assertions(&self) -> &AssertionSet<S, P> {
+        &self.assertions
+    }
+
+    /// Mutable access for registering assertions.
+    pub fn assertions_mut(&mut self) -> &mut AssertionSet<S, P> {
+        &mut self.assertions
+    }
+
+    /// The assertion database accumulated so far.
+    pub fn db(&self) -> &AssertionDb {
+        &self.db
+    }
+
+    /// Number of samples ingested.
+    pub fn samples_processed(&self) -> usize {
+        self.next_sample
+    }
+
+    /// Number of preparation runs so far — the prepare-once invariant
+    /// makes this exactly [`StreamMonitor::samples_processed`].
+    pub fn prepare_count(&self) -> usize {
+        self.prepares
+    }
+
+    /// Registers a corrective action invoked whenever a sample's maximum
+    /// severity is at least `threshold` (see
+    /// [`crate::Monitor::on_severity`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` does not fire.
+    pub fn on_severity<F>(&mut self, threshold: Severity, action: F)
+    where
+        F: FnMut(&S, &SampleReport) + Send + 'static,
+    {
+        assert!(
+            threshold.fired(),
+            "corrective-action threshold must be positive"
+        );
+        self.actions.push((threshold, Box::new(action)));
+    }
+
+    /// Records a scored sample and fires corrective actions.
+    fn commit(&mut self, sample: &S, outcomes: Vec<(AssertionId, Severity)>) -> SampleReport {
+        let report = SampleReport {
+            sample: self.next_sample,
+            outcomes,
+        };
+        self.db.record_sample(report.sample, &report.outcomes);
+        self.next_sample += 1;
+        let max = report.max_severity();
+        for (threshold, action) in &mut self.actions {
+            if max >= *threshold {
+                action(sample, &report);
+            }
+        }
+        report
+    }
+
+    /// Ingests one sample: prepares once, checks every assertion against
+    /// the shared artifact, records the outcomes, and fires corrective
+    /// actions.
+    pub fn ingest(&mut self, sample: &S) -> SampleReport {
+        let prep = self.preparer.prepare(sample);
+        self.prepares += 1;
+        let outcomes = self.assertions.check_all_prepared(sample, &prep);
+        self.commit(sample, outcomes)
+    }
+
+    /// Ingests a batch: scoring (one preparation + all checks per
+    /// sample) fans out across the pool's workers, then reports merge,
+    /// record, and fire actions in sample order — bit-for-bit what
+    /// calling [`StreamMonitor::ingest`] per sample would produce.
+    pub fn ingest_batch(&mut self, samples: &[S], pool: &ThreadPool) -> Vec<SampleReport>
+    where
+        S: Sync,
+    {
+        let outcomes = score_batch(&self.assertions, self.preparer.as_ref(), samples, pool);
+        self.prepares += samples.len();
+        let first = self.next_sample;
+        self.db.record_batch(first, &outcomes);
+        self.next_sample += samples.len();
+        let mut reports = Vec::with_capacity(samples.len());
+        for (i, outcomes) in outcomes.into_iter().enumerate() {
+            let report = SampleReport {
+                sample: first + i,
+                outcomes,
+            };
+            let max = report.max_severity();
+            for (threshold, action) in &mut self.actions {
+                if max >= *threshold {
+                    action(&samples[i], &report);
+                }
+            }
+            reports.push(report);
+        }
+        reports
+    }
+}
+
+impl<S: 'static, P: Send + 'static> std::fmt::Debug for StreamMonitor<S, P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamMonitor")
+            .field("assertions", &self.assertions.names())
+            .field("samples_processed", &self.next_sample)
+            .field("prepares", &self.prepares)
+            .field("actions", &self.actions.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Monitor;
+
+    /// A set whose assertions share a (counted) "expensive" derivation:
+    /// the sum of the sample.
+    fn prepared_set() -> AssertionSet<Vec<i64>, i64> {
+        let mut set: AssertionSet<Vec<i64>, i64> = AssertionSet::new();
+        set.add_prepared(
+            crate::FnAssertion::new("negative-sum", |xs: &Vec<i64>| {
+                Severity::from_bool(xs.iter().sum::<i64>() < 0)
+            }),
+            |_, &sum: &i64| Severity::from_bool(sum < 0),
+        );
+        set.add_prepared(
+            crate::FnAssertion::new("huge-sum", |xs: &Vec<i64>| {
+                Severity::new(xs.iter().sum::<i64>().unsigned_abs() as f64 / 100.0)
+            }),
+            |_, &sum: &i64| Severity::new(sum.unsigned_abs() as f64 / 100.0),
+        );
+        // A prep-oblivious assertion mixes in via the fallback path.
+        set.add_fn("empty", |xs: &Vec<i64>| Severity::from_bool(xs.is_empty()));
+        set
+    }
+
+    fn plain_set() -> AssertionSet<Vec<i64>> {
+        let mut set = AssertionSet::new();
+        set.add_fn("negative-sum", |xs: &Vec<i64>| {
+            Severity::from_bool(xs.iter().sum::<i64>() < 0)
+        });
+        set.add_fn("huge-sum", |xs: &Vec<i64>| {
+            Severity::new(xs.iter().sum::<i64>().unsigned_abs() as f64 / 100.0)
+        });
+        set.add_fn("empty", |xs: &Vec<i64>| Severity::from_bool(xs.is_empty()));
+        set
+    }
+
+    fn samples() -> Vec<Vec<i64>> {
+        vec![vec![-5, 2], vec![], vec![300, 7], vec![1], vec![-900]]
+    }
+
+    #[test]
+    fn sliding_windows_match_batch_windows() {
+        for half in [0usize, 1, 2, 3] {
+            for n in [0usize, 1, 2, 5, 9] {
+                let items: Vec<usize> = (0..n).collect();
+                let mut sw = SlidingWindows::new(half);
+                let mut got = Vec::new();
+                for &x in &items {
+                    got.extend(sw.push(x));
+                }
+                got.extend(sw.finish());
+                assert_eq!(got.len(), n, "half={half} n={n}");
+                for (c, w) in got.iter().enumerate() {
+                    let lo = c.saturating_sub(half);
+                    let hi = (c + half + 1).min(n);
+                    let want: Vec<usize> = (lo..hi).collect();
+                    assert_eq!(w.items, want, "half={half} n={n} center={c}");
+                    assert_eq!(w.center, c - lo);
+                    assert_eq!(w.index, c);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sliding_windows_latency_is_half() {
+        let mut sw = SlidingWindows::new(2);
+        assert_eq!(sw.half(), 2);
+        assert!(sw.push(0).is_none());
+        assert!(sw.push(1).is_none());
+        let w = sw.push(2).expect("center 0 ready after its lookahead");
+        assert_eq!(w.index, 0);
+        assert_eq!(sw.pushed(), 3);
+    }
+
+    #[test]
+    fn check_all_prepared_matches_check_all() {
+        let set = prepared_set();
+        for s in samples() {
+            let prep: i64 = s.iter().sum();
+            assert_eq!(set.check_all_prepared(&s, &prep), set.check_all(&s));
+        }
+    }
+
+    #[test]
+    fn stream_monitor_matches_batch_monitor() {
+        let samples = samples();
+        let mut reference = Monitor::with_assertions(plain_set());
+        let want: Vec<_> = samples.iter().map(|s| reference.process(s)).collect();
+
+        let mut stream = StreamMonitor::new(
+            prepared_set(),
+            FnPrepare::new(|xs: &Vec<i64>| xs.iter().sum::<i64>()),
+        );
+        let got: Vec<_> = samples.iter().map(|s| stream.ingest(s)).collect();
+        assert_eq!(got, want);
+        assert_eq!(stream.db(), reference.db());
+        assert_eq!(stream.prepare_count(), samples.len());
+
+        for threads in [1, 2, 8] {
+            let mut batch = StreamMonitor::new(
+                prepared_set(),
+                FnPrepare::new(|xs: &Vec<i64>| xs.iter().sum::<i64>()),
+            );
+            let reports = batch.ingest_batch(&samples, &ThreadPool::new(threads));
+            assert_eq!(reports, want, "threads={threads}");
+            assert_eq!(batch.db(), reference.db(), "threads={threads}");
+            assert_eq!(batch.prepare_count(), samples.len());
+        }
+    }
+
+    #[test]
+    fn counting_prepare_counts_once_per_sample() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let probe = CountingPrepare::new(
+            FnPrepare::new(|xs: &Vec<i64>| xs.iter().sum::<i64>()),
+            counter.clone(),
+        );
+        let mut m = StreamMonitor::new(prepared_set(), probe);
+        let samples = samples();
+        m.ingest_batch(&samples, &ThreadPool::new(4));
+        m.ingest(&samples[0]);
+        assert_eq!(counter.load(Ordering::SeqCst), samples.len() + 1);
+    }
+
+    #[test]
+    fn stream_monitor_fires_actions_in_sample_order() {
+        let fired = Arc::new(std::sync::Mutex::new(Vec::new()));
+        let fired2 = fired.clone();
+        let mut m = StreamMonitor::new(
+            prepared_set(),
+            FnPrepare::new(|xs: &Vec<i64>| xs.iter().sum::<i64>()),
+        );
+        m.on_severity(Severity::new(1.5), move |_, r: &SampleReport| {
+            fired2.lock().unwrap().push(r.sample);
+        });
+        m.ingest_batch(&samples(), &ThreadPool::new(4));
+        assert_eq!(*fired.lock().unwrap(), vec![2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn abstain_threshold_rejected() {
+        StreamMonitor::new(prepared_set(), NoPrep2()).on_severity(Severity::ABSTAIN, |_, _| {});
+    }
+
+    /// NoPrep over a prepared set needs a preparer with `Prepared = i64`;
+    /// a tiny stub keeps the panic test honest.
+    struct NoPrep2();
+    impl Prepare<Vec<i64>> for NoPrep2 {
+        type Prepared = i64;
+        fn prepare(&self, _s: &Vec<i64>) -> i64 {
+            0
+        }
+    }
+
+    #[test]
+    fn no_prep_runs_plain_sets_on_the_stream_engine() {
+        let mut m = StreamMonitor::new(plain_set(), NoPrep);
+        let r = m.ingest(&vec![-3]);
+        assert!(r.fired(AssertionId(0)));
+        assert!(format!("{m:?}").contains("negative-sum"));
+    }
+
+    /// A toy incremental scorer: the sum of each clamped window over a
+    /// shared data slice. `offset` maps the slider's local window indices
+    /// back to global stream indices.
+    struct SumScorer<'a> {
+        data: &'a [i64],
+        offset: usize,
+        slider: SlidingWindows<i64>,
+    }
+
+    impl StreamScorer for SumScorer<'_> {
+        type Output = (usize, i64);
+
+        fn push(&mut self, index: usize) -> Option<(usize, i64)> {
+            let offset = self.offset;
+            self.slider
+                .push(self.data[index])
+                .map(|w| (offset + w.index, w.items.iter().sum()))
+        }
+
+        fn finish(mut self) -> Vec<(usize, i64)> {
+            self.slider
+                .finish()
+                .into_iter()
+                .map(|w| (self.offset + w.index, w.items.iter().sum()))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn chunked_stream_scoring_matches_batch_windows() {
+        let data: Vec<i64> = (0..97).map(|i| (i * 31 % 17) - 8).collect();
+        let n = data.len();
+        for half in [0usize, 1, 2, 5] {
+            // Batch reference: clamped window sums from the full slice.
+            let want: Vec<(usize, i64)> = (0..n)
+                .map(|c| {
+                    let lo = c.saturating_sub(half);
+                    let hi = (c + half + 1).min(n);
+                    (c, data[lo..hi].iter().sum())
+                })
+                .collect();
+            for threads in [1, 2, 8] {
+                let got =
+                    score_stream_chunked(n, half, &ThreadPool::new(threads), |offset| SumScorer {
+                        data: &data,
+                        offset,
+                        slider: SlidingWindows::new(half),
+                    });
+                assert_eq!(got, want, "half={half} threads={threads}");
+            }
+        }
+        let empty = score_stream_chunked(0, 2, &ThreadPool::new(4), |offset| SumScorer {
+            data: &data,
+            offset,
+            slider: SlidingWindows::new(2),
+        });
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn score_batch_is_thread_count_invariant() {
+        let set = prepared_set();
+        let preparer = FnPrepare::new(|xs: &Vec<i64>| xs.iter().sum::<i64>());
+        let samples = samples();
+        let want = score_batch(&set, &preparer, &samples, &ThreadPool::sequential());
+        for threads in [2, 8] {
+            assert_eq!(
+                score_batch(&set, &preparer, &samples, &ThreadPool::new(threads)),
+                want,
+                "threads={threads}"
+            );
+        }
+    }
+}

@@ -18,20 +18,32 @@ use crate::AvFrame;
 pub const AGREE_IOU: f64 = 0.10;
 
 // BEGIN ASSERTION
+/// Projects a frame's LIDAR boxes onto the camera plane, dropping boxes
+/// outside the frustum (not comparable) — the per-frame derivation the
+/// streaming engine prepares once and shares.
+pub fn project_lidar(frame: &AvFrame) -> Vec<omg_geom::BBox2D> {
+    frame
+        .lidar_boxes
+        .iter()
+        .filter_map(|b| frame.camera.project_box(b))
+        .collect()
+}
+
+/// Counts projected LIDAR boxes no camera detection overlaps — the core
+/// of `agree`, shared by the reference and prepared paths.
+pub fn agree_severity(frame: &AvFrame, projected: &[omg_geom::BBox2D]) -> Severity {
+    let camera_boxes: Vec<_> = frame.camera_dets.iter().map(|d| d.bbox).collect();
+    let failures = projected
+        .iter()
+        .filter(|p| no_overlap(p, camera_boxes.iter(), AGREE_IOU))
+        .count();
+    Severity::from_count(failures)
+}
+
 /// Builds the `agree` assertion.
 pub fn agree_assertion() -> FnAssertion<AvFrame> {
     FnAssertion::new("agree", |frame: &AvFrame| {
-        let camera_boxes: Vec<_> = frame.camera_dets.iter().map(|d| d.bbox).collect();
-        let mut failures = 0usize;
-        for lidar_box in &frame.lidar_boxes {
-            let Some(projected) = frame.camera.project_box(lidar_box) else {
-                continue; // outside the camera frustum: not comparable
-            };
-            if no_overlap(&projected, camera_boxes.iter(), AGREE_IOU) {
-                failures += 1;
-            }
-        }
-        Severity::from_count(failures)
+        agree_severity(frame, &project_lidar(frame))
     })
 }
 // END ASSERTION

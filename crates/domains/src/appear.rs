@@ -6,24 +6,31 @@
 //! identifier = tracker-assigned track id, temporal threshold `T`; this
 //! assertion counts the *blip-type* temporal violations.
 
-use omg_core::consistency::{ConsistencyEngine, Violation};
+use omg_core::consistency::{ConsistencyEngine, ConsistencyWindow, Violation};
 use omg_core::{FnAssertion, Severity};
 
-use crate::helpers::{track_window, VideoTrackSpec};
+use crate::helpers::{track_window, TrackedBox, VideoTrackSpec};
 use crate::VideoWindow;
 
 // BEGIN ASSERTION
+/// Counts the blip-type temporal violations on an already-tracked window —
+/// the core of `appear`, shared by the self-contained reference path and
+/// the prepared streaming path (one tracking per window for the whole
+/// assertion set).
+pub fn appear_severity(tracked: &ConsistencyWindow<TrackedBox>, t: f64) -> Severity {
+    let engine = ConsistencyEngine::new(VideoTrackSpec).with_temporal_threshold(t);
+    let blips = engine
+        .check(tracked)
+        .into_iter()
+        .filter(|v| matches!(v, Violation::TemporalTransition { gap: false, .. }))
+        .count();
+    Severity::from_count(blips)
+}
+
 /// Builds the `appear` assertion with temporal threshold `t` seconds.
 pub fn appear_assertion(t: f64) -> FnAssertion<VideoWindow> {
-    let engine = ConsistencyEngine::new(VideoTrackSpec).with_temporal_threshold(t);
     FnAssertion::new("appear", move |window: &VideoWindow| {
-        let tracked = track_window(window);
-        let blips = engine
-            .check(&tracked)
-            .into_iter()
-            .filter(|v| matches!(v, Violation::TemporalTransition { gap: false, .. }))
-            .count();
-        Severity::from_count(blips)
+        appear_severity(&track_window(window), t)
     })
 }
 // END ASSERTION

@@ -40,15 +40,29 @@ impl ConsistencySpec for EcgSpec {
     }
 }
 
+/// Segments an ECG prediction window into the consistency window the
+/// assertion runs over — the expensive per-window derivation the
+/// streaming engine prepares once and shares.
+pub fn ecg_segments(window: &EcgWindow) -> ConsistencyWindow<usize> {
+    let mut cw = ConsistencyWindow::new();
+    for (&t, &p) in window.times.iter().zip(&window.preds) {
+        cw.push(t, vec![p]);
+    }
+    cw
+}
+
+/// Counts the consistency violations on already-segmented predictions —
+/// the core of the ECG assertion, shared by the reference and prepared
+/// paths.
+pub fn ecg_severity(segments: &ConsistencyWindow<usize>) -> Severity {
+    let engine = ConsistencyEngine::new(EcgSpec).with_temporal_threshold(ECG_T_SECS);
+    Severity::from_count(engine.check(segments).len())
+}
+
 /// Builds the ECG assertion.
 pub fn ecg_assertion() -> FnAssertion<EcgWindow> {
-    let engine = ConsistencyEngine::new(EcgSpec).with_temporal_threshold(ECG_T_SECS);
     FnAssertion::new("ecg", move |window: &EcgWindow| {
-        let mut cw = ConsistencyWindow::new();
-        for (&t, &p) in window.times.iter().zip(&window.preds) {
-            cw.push(t, vec![p]);
-        }
-        Severity::from_count(engine.check(&cw).len())
+        ecg_severity(&ecg_segments(window))
     })
 }
 // END ASSERTION

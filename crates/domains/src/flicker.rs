@@ -6,24 +6,31 @@
 //! (§4): identifier = tracker-assigned track id, temporal threshold `T`;
 //! this assertion counts the *gap-type* temporal violations.
 
-use omg_core::consistency::{ConsistencyEngine, Violation};
+use omg_core::consistency::{ConsistencyEngine, ConsistencyWindow, Violation};
 use omg_core::{FnAssertion, Severity};
 
-use crate::helpers::{track_window, VideoTrackSpec};
+use crate::helpers::{track_window, TrackedBox, VideoTrackSpec};
 use crate::VideoWindow;
 
 // BEGIN ASSERTION
+/// Counts the gap-type temporal violations on an already-tracked window —
+/// the core of `flicker`, shared by the self-contained reference path
+/// (which tracks the window itself) and the prepared streaming path
+/// (which receives the window tracked once for the whole assertion set).
+pub fn flicker_severity(tracked: &ConsistencyWindow<TrackedBox>, t: f64) -> Severity {
+    let engine = ConsistencyEngine::new(VideoTrackSpec).with_temporal_threshold(t);
+    let gaps = engine
+        .check(tracked)
+        .into_iter()
+        .filter(|v| matches!(v, Violation::TemporalTransition { gap: true, .. }))
+        .count();
+    Severity::from_count(gaps)
+}
+
 /// Builds the `flicker` assertion with temporal threshold `t` seconds.
 pub fn flicker_assertion(t: f64) -> FnAssertion<VideoWindow> {
-    let engine = ConsistencyEngine::new(VideoTrackSpec).with_temporal_threshold(t);
     FnAssertion::new("flicker", move |window: &VideoWindow| {
-        let tracked = track_window(window);
-        let gaps = engine
-            .check(&tracked)
-            .into_iter()
-            .filter(|v| matches!(v, Violation::TemporalTransition { gap: true, .. }))
-            .count();
-        Severity::from_count(gaps)
+        flicker_severity(&track_window(window), t)
     })
 }
 // END ASSERTION

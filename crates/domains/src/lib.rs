@@ -22,7 +22,12 @@
 //! * [`weak`] — the weak-supervision rules (§4.2): flicker-gap box
 //!   imputation, blip removal, duplicate suppression, LIDAR→camera box
 //!   imputation, and ECG majority smoothing;
-//! * [`label_check`] — the human-label validation pipeline (Appendix E).
+//! * [`label_check`] — the human-label validation pipeline (Appendix E);
+//! * [`prepared`] — shared window preparation for the streaming engine:
+//!   per-task `Prepare`rs (tracking, LIDAR projection, segmentation,
+//!   scene grouping) and `*_prepared_assertion_set` constructors whose
+//!   assertions consume one artifact per window instead of re-deriving
+//!   it per assertion.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,9 +40,15 @@ pub mod helpers;
 pub mod label_check;
 pub mod multibox;
 pub mod news;
+pub mod prepared;
 pub mod weak;
 mod window;
 
+pub use prepared::{
+    av_prepared_assertion_set, ecg_prepared_assertion_set, news_prepared_assertion_set,
+    video_prepared_assertion_set, AvPrepare, EcgPrepare, NewsPrepare, TrackedWindow, VideoPrep,
+    VideoPrepare,
+};
 pub use window::{AvFrame, EcgWindow, VideoFrame, VideoWindow};
 
 use omg_core::AssertionSet;

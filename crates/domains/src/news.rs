@@ -42,12 +42,19 @@ impl ConsistencySpec for NewsSpec {
     }
 }
 
+/// Counts attribute inconsistencies on an already-grouped scene window —
+/// the core of `news`, shared by the reference path (which groups the
+/// scene itself) and the prepared streaming path.
+pub fn news_severity(window: &ConsistencyWindow<NewsFace>) -> Severity {
+    let engine = ConsistencyEngine::new(NewsSpec);
+    Severity::from_count(engine.check(window).len())
+}
+
 /// Builds the combined `news` assertion: the number of attribute
 /// inconsistencies across all (scene, slot) groups in the scene.
 pub fn news_assertion() -> FnAssertion<NewsScene> {
-    let engine = ConsistencyEngine::new(NewsSpec);
     FnAssertion::new("news", move |scene: &NewsScene| {
-        Severity::from_count(engine.check(&scene_window(scene)).len())
+        news_severity(&scene_window(scene))
     })
 }
 // END ASSERTION

@@ -1,0 +1,233 @@
+//! The streaming engine's contract: for every deployed scenario, the
+//! incremental prepare-once path is **bit-for-bit equal** to the batch
+//! reference path, across stream lengths and thread counts — and the
+//! expensive per-window preparation runs exactly once per window.
+//!
+//! (Heinrichs 2023 motivates the incremental formulation: online
+//! monitoring has to keep up with the stream. The paper's §7 motivates
+//! the equality: assertions must be checkable "over every model
+//! invocation", so the fast path may not change a single severity.)
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use omg_bench::video::{self, FLICKER_T};
+use omg_bench::{avx, ecgx, newsx};
+use omg_core::runtime::ThreadPool;
+use omg_core::stream::{score_stream_chunked, CountingPrepare, StreamMonitor};
+use omg_core::Monitor;
+use omg_domains::{
+    av_assertion_set, av_prepared_assertion_set, video_assertion_set, video_prepared_assertion_set,
+    VideoPrepare,
+};
+use omg_sim::detector::SimDetector;
+use proptest::prelude::*;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+/// Pretraining a detector is by far the most expensive step of a case
+/// (a 7,000-example corpus, 30 epochs); the equivalence properties vary
+/// the *world* per case, so one shared pretrained model suffices.
+fn detector() -> &'static SimDetector {
+    static DETECTOR: OnceLock<SimDetector> = OnceLock::new();
+    DETECTOR.get_or_init(|| video::pretrained_detector(1))
+}
+
+fn camera() -> &'static SimDetector {
+    static CAMERA: OnceLock<SimDetector> = OnceLock::new();
+    CAMERA.get_or_init(|| avx::pretrained_camera(1))
+}
+
+proptest! {
+    #[test]
+    fn video_stream_equals_batch(seed in 0u64..200, len in 5usize..24) {
+        let scenario = video::VideoScenario::night_street(seed, len, 1);
+        let dets = video::detect_all(detector(), &scenario.pool_frames);
+        let batch_set = video_assertion_set(FLICKER_T);
+        let want = video::score_frames(
+            &batch_set,
+            &scenario.pool_frames,
+            &dets,
+            &ThreadPool::sequential(),
+        );
+        let stream_set = video_prepared_assertion_set(FLICKER_T);
+        let preparer = VideoPrepare::new(FLICKER_T);
+        for threads in THREADS {
+            let got = video::stream_score_frames(
+                &stream_set,
+                &preparer,
+                &scenario.pool_frames,
+                &dets,
+                &ThreadPool::new(threads),
+            );
+            prop_assert_eq!(
+                &got, &want,
+                "video stream != batch (seed={}, len={}, threads={})", seed, len, threads
+            );
+        }
+    }
+
+    #[test]
+    fn ecg_stream_equals_batch(seed in 0u64..200, len in 8usize..48) {
+        let scenario = ecgx::EcgScenario::new(seed, 40, len, 10);
+        let mlp = ecgx::pretrained_classifier(&scenario, seed ^ 3);
+        let want = ecgx::score_pool(&mlp, &scenario.pool, &ThreadPool::sequential());
+        for threads in THREADS {
+            let got = ecgx::stream_score_pool(&mlp, &scenario.pool, &ThreadPool::new(threads));
+            prop_assert_eq!(
+                &got, &want,
+                "ecg stream != batch (seed={}, len={}, threads={})", seed, len, threads
+            );
+        }
+    }
+
+    #[test]
+    fn av_stream_equals_batch(seed in 0u64..200, scenes in 1u64..3) {
+        let scenario = avx::AvScenario::new(seed, scenes, 1);
+        let dets = avx::detect_all(camera(), &scenario.pool);
+        let want = avx::score_samples(
+            &av_assertion_set(),
+            &scenario.pool,
+            &dets,
+            &ThreadPool::sequential(),
+        );
+        let prepared = av_prepared_assertion_set();
+        for threads in THREADS {
+            let got = avx::stream_score_samples(
+                &prepared,
+                &scenario.pool,
+                &dets,
+                &ThreadPool::new(threads),
+            );
+            prop_assert_eq!(
+                &got, &want,
+                "av stream != batch (seed={}, scenes={}, threads={})", seed, scenes, threads
+            );
+        }
+    }
+
+    #[test]
+    fn news_stream_equals_batch(seed in 0u64..200, scenes in 5u64..30) {
+        let scenario = newsx::NewsScenario::new(seed, scenes);
+        let batch_groups = newsx::flagged_groups(&scenario, &ThreadPool::sequential());
+        let batch_fired = newsx::scenes_fired(&scenario);
+        for threads in THREADS {
+            let reports = newsx::stream_scene_reports(&scenario, &ThreadPool::new(threads));
+            prop_assert_eq!(reports.len(), scenario.scenes.len());
+            let stream_groups: Vec<_> = reports.iter().flat_map(|r| r.groups.clone()).collect();
+            prop_assert_eq!(
+                &stream_groups, &batch_groups,
+                "news groups diverge (seed={}, scenes={}, threads={})", seed, scenes, threads
+            );
+            let stream_fired = reports.iter().filter(|r| r.severity > 0.0).count();
+            prop_assert_eq!(
+                stream_fired, batch_fired,
+                "news fire counts diverge (seed={}, scenes={}, threads={})", seed, scenes, threads
+            );
+        }
+    }
+
+    #[test]
+    fn stream_monitor_equals_batch_monitor_on_video(seed in 0u64..200, len in 2usize..16) {
+        // The monitor-level guarantee: StreamMonitor's reports and
+        // database match Monitor's, sample for sample, at 1/2/8 threads.
+        // (Windows built by hand from the shared detector: the
+        // `monitor_windows` convenience pretrains a fresh one per call.)
+        let mut world = omg_sim::traffic::TrafficWorld::new(
+            omg_sim::traffic::TrafficConfig::night_street(),
+            seed,
+        );
+        let frames = world.steps(len);
+        let dets = video::detect_all(detector(), &frames);
+        let windows: Vec<_> = (0..len).map(|c| video::window_at(&frames, &dets, c)).collect();
+        let mut reference = Monitor::with_assertions(video_assertion_set(FLICKER_T));
+        let want: Vec<_> = windows.iter().map(|w| reference.process(w)).collect();
+        let mut stream = StreamMonitor::new(
+            video_prepared_assertion_set(FLICKER_T),
+            VideoPrepare::new(FLICKER_T),
+        );
+        let got: Vec<_> = windows.iter().map(|w| stream.ingest(w)).collect();
+        prop_assert_eq!(&got, &want, "ingest != process (seed={}, len={})", seed, len);
+        prop_assert_eq!(stream.db(), reference.db());
+        prop_assert_eq!(stream.prepare_count(), windows.len());
+        for threads in THREADS {
+            let mut batch = StreamMonitor::new(
+                video_prepared_assertion_set(FLICKER_T),
+                VideoPrepare::new(FLICKER_T),
+            );
+            let reports = batch.ingest_batch(&windows, &ThreadPool::new(threads));
+            prop_assert_eq!(&reports, &want, "ingest_batch diverged at {} threads", threads);
+            prop_assert_eq!(batch.db(), reference.db());
+        }
+    }
+}
+
+/// The prepare-once invariant, measured: scoring an `n`-frame stream
+/// runs the video preparation (tracking + consistency check) exactly
+/// `n` times — once per window — on the sequential path, and exactly
+/// once per window *plus re-fed chunk margins* on the chunked parallel
+/// path (margins re-prepare, but their reports are discarded, never
+/// double-emitted).
+#[test]
+fn video_preparation_runs_exactly_once_per_window() {
+    let scenario = video::VideoScenario::night_street(11, 60, 1);
+    let dets = video::detect_all(detector(), &scenario.pool_frames);
+    let set = video_prepared_assertion_set(FLICKER_T);
+    let n = scenario.pool_frames.len();
+
+    let counter = Arc::new(AtomicUsize::new(0));
+    let probe = CountingPrepare::new(VideoPrepare::new(FLICKER_T), counter.clone());
+    let out = score_stream_chunked(n, video::WINDOW_HALF, &ThreadPool::sequential(), |_| {
+        video::VideoStreamScorer::new(&set, &probe, &scenario.pool_frames, &dets)
+    });
+    assert_eq!(out.len(), n);
+    assert_eq!(
+        counter.load(Ordering::SeqCst),
+        n,
+        "sequential streaming must prepare exactly once per window"
+    );
+
+    // StreamMonitor counts its own prepares — same invariant.
+    let mut world =
+        omg_sim::traffic::TrafficWorld::new(omg_sim::traffic::TrafficConfig::night_street(), 5);
+    let frames = world.steps(25);
+    let wdets = video::detect_all(detector(), &frames);
+    let windows: Vec<_> = (0..25)
+        .map(|c| video::window_at(&frames, &wdets, c))
+        .collect();
+    let mut monitor = StreamMonitor::new(
+        video_prepared_assertion_set(FLICKER_T),
+        VideoPrepare::new(FLICKER_T),
+    );
+    for w in &windows {
+        monitor.ingest(w);
+    }
+    assert_eq!(monitor.prepare_count(), windows.len());
+}
+
+/// Chunked parallel streaming re-prepares only the chunk margins: with
+/// chunk size `ceil(n / (threads * 4))` and margin `2 * WINDOW_HALF`,
+/// the prepare count stays within `n + n_chunks * 2 * WINDOW_HALF`.
+#[test]
+fn parallel_streaming_overhead_is_bounded_by_chunk_margins() {
+    let scenario = video::VideoScenario::night_street(13, 80, 1);
+    let dets = video::detect_all(detector(), &scenario.pool_frames);
+    let set = video_prepared_assertion_set(FLICKER_T);
+    let n = scenario.pool_frames.len();
+    let threads = 4;
+
+    let counter = Arc::new(AtomicUsize::new(0));
+    let probe = CountingPrepare::new(VideoPrepare::new(FLICKER_T), counter.clone());
+    let out = score_stream_chunked(n, video::WINDOW_HALF, &ThreadPool::new(threads), |_| {
+        video::VideoStreamScorer::new(&set, &probe, &scenario.pool_frames, &dets)
+    });
+    assert_eq!(out.len(), n);
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let prepares = counter.load(Ordering::SeqCst);
+    assert!(
+        prepares >= n && prepares <= n + n_chunks * 2 * video::WINDOW_HALF,
+        "prepare count {prepares} outside [{n}, {}]",
+        n + n_chunks * 2 * video::WINDOW_HALF
+    );
+}
