@@ -1,17 +1,22 @@
-//! The autonomous-vehicle scenario (Figure 4b; Tables 3, 4).
+//! The autonomous-vehicle scenario (Figure 4b; Tables 3, 4), ported onto
+//! the generic [`Scenario`] engine.
 //!
 //! Matching §5.1: scenes are sampled at 2 Hz, the LIDAR model is
 //! bootstrapped (fixed), and active learning / weak supervision improve
 //! the *camera* model. The task is single-class vehicle detection
 //! ("We detected vehicles only"), so evaluation maps every class to 0.
+//!
+//! AV samples carry no temporal context (`window_half = 0`): streaming
+//! here means ingesting one sample at a time and running the
+//! LIDAR→camera projection **once per sample**, shared by the prepared
+//! set, instead of once per assertion that needs it.
 
-use omg_active::{ActiveLearner, CandidatePool};
-use omg_core::runtime::ThreadPool;
-use omg_core::stream::Prepare;
-use omg_core::AssertionSet;
-use omg_domains::{av_prepared_assertion_set, AvFrame, AvPrepare};
+use std::sync::OnceLock;
+
+use omg_domains::{av_assertion_set, av_prepared_assertion_set, AvFrame, AvPrepare};
 use omg_eval::{DetectionEvaluator, GtBox, ScoredBox};
 use omg_geom::BBox2D;
+use omg_scenario::{detection_uncertainty, Scenario};
 use omg_sim::av::{AvConfig, AvSample, AvWorld};
 use omg_sim::detector::{Detection, DetectorConfig, SimDetector, TrainingBatch};
 use rand::rngs::StdRng;
@@ -76,66 +81,6 @@ pub fn av_frame(sample: &AvSample, dets: &[Detection]) -> AvFrame {
     }
 }
 
-/// The per-sample uncertainty signal shared by the batch and streaming
-/// scorers: least-confidence over the camera detections.
-pub fn sample_uncertainty(dets: &[Detection]) -> f64 {
-    dets.iter()
-        .map(|x| 1.0 - x.scored.score)
-        .fold(0.0f64, f64::max)
-}
-
-/// Per-sample severity vectors and uncertainties, fanned out across the
-/// runtime's workers (merged in sample order — identical at any thread
-/// count).
-pub fn score_samples(
-    set: &AssertionSet<AvFrame>,
-    samples: &[AvSample],
-    dets: &[Vec<Detection>],
-    runtime: &ThreadPool,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
-    runtime
-        .map_indexed(samples.len(), |i| {
-            let frame = av_frame(&samples[i], &dets[i]);
-            let outcomes = set.check_all(&frame);
-            let severities: Vec<f64> = outcomes.iter().map(|(_, s)| s.value()).collect();
-            (severities, sample_uncertainty(&dets[i]))
-        })
-        .into_iter()
-        .unzip()
-}
-
-/// The streaming counterpart of [`score_samples`]: AV windows carry no
-/// temporal context (each sample stands alone), so streaming here means
-/// ingesting one sample at a time and running the LIDAR→camera
-/// projection **once per sample**, shared by the prepared assertion set,
-/// instead of once per assertion that needs it. Identical severities and
-/// uncertainties at any thread count.
-pub fn stream_score_samples(
-    set: &AssertionSet<AvFrame, Vec<BBox2D>>,
-    samples: &[AvSample],
-    dets: &[Vec<Detection>],
-    runtime: &ThreadPool,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
-    assert_eq!(
-        samples.len(),
-        dets.len(),
-        "need one detection list per sample"
-    );
-    runtime
-        .map_indexed(samples.len(), |i| {
-            let frame = av_frame(&samples[i], &dets[i]);
-            let prep = AvPrepare.prepare(&frame);
-            let severities: Vec<f64> = set
-                .check_all_prepared(&frame, &prep)
-                .iter()
-                .map(|&(_, s)| s.value())
-                .collect();
-            (severities, sample_uncertainty(&dets[i]))
-        })
-        .into_iter()
-        .unzip()
-}
-
 /// Single-class mAP (percent) of the camera detector on samples.
 pub fn evaluate_map(detector: &SimDetector, samples: &[AvSample]) -> f64 {
     let mut ev = DetectionEvaluator::new(0.5);
@@ -161,77 +106,6 @@ pub fn evaluate_map(detector: &SimDetector, samples: &[AvSample]) -> f64 {
     ev.map_percent()
 }
 
-/// The NuScenes-like active learner of Figure 4b.
-pub struct AvLearner {
-    scenario: AvScenario,
-    detector: SimDetector,
-    assertions: AssertionSet<AvFrame, Vec<BBox2D>>,
-    unlabeled: Vec<usize>,
-    labeled_batch: TrainingBatch,
-    epochs_per_round: usize,
-    runtime: ThreadPool,
-}
-
-impl AvLearner {
-    /// Creates a learner around a pretrained camera detector, scoring
-    /// pools on the harness-wide runtime (`--threads`) via the streaming
-    /// path (one LIDAR projection per sample, shared by the set).
-    pub fn new(scenario: AvScenario, detector: SimDetector) -> Self {
-        let n = scenario.pool.len();
-        Self {
-            scenario,
-            detector,
-            assertions: av_prepared_assertion_set(),
-            unlabeled: (0..n).collect(),
-            labeled_batch: TrainingBatch::new(),
-            epochs_per_round: 4,
-            runtime: crate::runtime(),
-        }
-    }
-
-    /// Overrides the scoring runtime.
-    pub fn with_runtime(mut self, runtime: ThreadPool) -> Self {
-        self.runtime = runtime;
-        self
-    }
-
-    /// The current camera detector.
-    pub fn detector(&self) -> &SimDetector {
-        &self.detector
-    }
-}
-
-impl ActiveLearner for AvLearner {
-    fn pool(&mut self) -> CandidatePool {
-        let dets = detect_all(&self.detector, &self.scenario.pool);
-        let (sev, unc) =
-            stream_score_samples(&self.assertions, &self.scenario.pool, &dets, &self.runtime);
-        let severities = self.unlabeled.iter().map(|&i| sev[i].clone()).collect();
-        let uncertainties = self.unlabeled.iter().map(|&i| unc[i]).collect();
-        CandidatePool::new(severities, uncertainties).expect("consistent pool")
-    }
-
-    fn label_and_train(&mut self, selection: &[usize], rng: &mut StdRng) {
-        for &i in &crate::claim_selection(&mut self.unlabeled, selection) {
-            for signal in &self.scenario.pool[i].signals {
-                if signal.is_clutter() {
-                    self.labeled_batch.add_labeled_background(signal);
-                } else {
-                    self.labeled_batch.add_labeled_object(signal);
-                }
-            }
-        }
-        if !self.labeled_batch.is_empty() {
-            self.detector
-                .train(&self.labeled_batch, self.epochs_per_round, rng);
-        }
-    }
-
-    fn evaluate(&mut self) -> f64 {
-        evaluate_map(&self.detector, &self.scenario.test)
-    }
-}
-
 /// The AV weak-supervision experiment (Table 4, row 2): LIDAR-imputed
 /// boxes fine-tune the camera model.
 pub fn av_weak_supervision(
@@ -251,6 +125,89 @@ pub fn av_weak_supervision(
     (before, after)
 }
 
+impl Scenario for AvScenario {
+    type Item = AvFrame;
+    type Sample = AvFrame;
+    type Prep = Vec<BBox2D>;
+    type Model = SimDetector;
+    type Labels = TrainingBatch;
+
+    fn name(&self) -> &'static str {
+        "av"
+    }
+
+    fn title(&self) -> &'static str {
+        "AVs"
+    }
+
+    fn metric_unit(&self) -> &'static str {
+        "mAP"
+    }
+
+    fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn pretrained_model(&self, seed: u64) -> SimDetector {
+        pretrained_camera(seed)
+    }
+
+    fn run_model(&self, model: &SimDetector) -> Vec<AvFrame> {
+        self.pool
+            .iter()
+            .map(|s| av_frame(s, &model.detect_frame(frame_key(s), &s.signals)))
+            .collect()
+    }
+
+    fn assertion_set(&self) -> omg_core::AssertionSet<AvFrame> {
+        av_assertion_set()
+    }
+
+    fn prepared_set(&self) -> omg_core::AssertionSet<AvFrame, Vec<BBox2D>> {
+        av_prepared_assertion_set()
+    }
+
+    fn preparer(&self) -> Box<dyn omg_core::stream::Prepare<AvFrame, Prepared = Vec<BBox2D>>> {
+        Box::new(AvPrepare)
+    }
+
+    fn make_sample(&self, items: &[AvFrame], center: usize) -> AvFrame {
+        items[center].clone()
+    }
+
+    fn uncertainty(&self, item: &AvFrame) -> f64 {
+        detection_uncertainty(item.camera_dets.iter().map(|d| d.score))
+    }
+
+    fn initial_labels(&self) -> TrainingBatch {
+        TrainingBatch::new()
+    }
+
+    fn label_into(&self, labels: &mut TrainingBatch, pool_index: usize) {
+        for signal in &self.pool[pool_index].signals {
+            if signal.is_clutter() {
+                labels.add_labeled_background(signal);
+            } else {
+                labels.add_labeled_object(signal);
+            }
+        }
+    }
+
+    fn train(&self, model: &mut SimDetector, labels: &TrainingBatch, rng: &mut StdRng) {
+        if !labels.is_empty() {
+            model.train(labels, 4, rng);
+        }
+    }
+
+    fn evaluate(&self, model: &SimDetector) -> f64 {
+        evaluate_map(model, &self.test)
+    }
+
+    fn weak_supervision(&self, model: &SimDetector, rng: &mut StdRng) -> Option<(f64, f64)> {
+        Some(av_weak_supervision(self, model, 2, rng))
+    }
+}
+
 /// Builds the standard pretrained camera detector for the AV experiments
 /// (higher detection noise: the AV camera is a harder deployment).
 pub fn pretrained_camera(seed: u64) -> SimDetector {
@@ -261,10 +218,19 @@ pub fn pretrained_camera(seed: u64) -> SimDetector {
     SimDetector::pretrained(config, seed)
 }
 
+/// The registry's shared pretrained camera (model seed 1); see
+/// [`crate::video::shared_pretrained_detector`] for why it is cached.
+pub fn shared_pretrained_camera() -> &'static SimDetector {
+    static CAMERA: OnceLock<SimDetector> = OnceLock::new();
+    CAMERA.get_or_init(|| pretrained_camera(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use omg_domains::av_assertion_set;
+    use omg_active::ActiveLearner;
+    use omg_core::runtime::ThreadPool;
+    use omg_scenario::{score_scenario, stream_score_scenario, ScenarioLearner};
     use rand::SeedableRng;
 
     fn tiny() -> AvScenario {
@@ -281,10 +247,8 @@ mod tests {
     #[test]
     fn scoring_has_two_assertion_dims() {
         let s = tiny();
-        let det = pretrained_camera(1);
-        let dets = detect_all(&det, &s.pool);
-        let set = av_assertion_set();
-        let (sev, unc) = score_samples(&set, &s.pool, &dets, &ThreadPool::new(4));
+        let items = s.run_model(&pretrained_camera(1));
+        let (sev, unc) = score_scenario(&s, &s.assertion_set(), &items, &ThreadPool::new(4));
         assert!(sev.iter().all(|r| r.len() == 2));
         assert_eq!(unc.len(), 80);
         let agree_fires: f64 = sev.iter().map(|r| r[0]).sum();
@@ -306,18 +270,13 @@ mod tests {
     #[test]
     fn stream_scoring_matches_batch_scoring() {
         let s = tiny();
-        let det = pretrained_camera(1);
-        let dets = detect_all(&det, &s.pool);
-        let want = score_samples(
-            &av_assertion_set(),
-            &s.pool,
-            &dets,
-            &ThreadPool::sequential(),
-        );
-        let prepared = av_prepared_assertion_set();
+        let items = s.run_model(&pretrained_camera(1));
+        let want = score_scenario(&s, &s.assertion_set(), &items, &ThreadPool::sequential());
+        let prepared = s.prepared_set();
+        let preparer = s.preparer();
         for threads in [1, 2, 8] {
             assert_eq!(
-                stream_score_samples(&prepared, &s.pool, &dets, &ThreadPool::new(threads)),
+                stream_score_scenario(&s, &prepared, &preparer, &items, &ThreadPool::new(threads)),
                 want,
                 "streaming AV scoring diverged at {threads} threads"
             );
@@ -327,7 +286,7 @@ mod tests {
     #[test]
     fn duplicate_selection_claims_each_sample_once() {
         let s = tiny();
-        let mut learner = AvLearner::new(s, pretrained_camera(1));
+        let mut learner = ScenarioLearner::new(s, pretrained_camera(1));
         let mut rng = StdRng::seed_from_u64(3);
         learner.label_and_train(&[0, 0, 1, 0], &mut rng);
         assert_eq!(learner.pool().len(), 78, "two distinct samples claimed");
@@ -336,7 +295,7 @@ mod tests {
     #[test]
     fn learner_round_trip() {
         let s = tiny();
-        let mut learner = AvLearner::new(s, pretrained_camera(1));
+        let mut learner = ScenarioLearner::new(s, pretrained_camera(1));
         let mut rng = StdRng::seed_from_u64(3);
         let pool = learner.pool();
         assert_eq!(pool.len(), 80);

@@ -6,7 +6,9 @@ use omg_active::{
     run_rounds, BalStrategy, FallbackPolicy, RandomStrategy, SelectionStrategy,
     UncertaintyStrategy, UniformAssertionStrategy,
 };
+use omg_bench::scenarios::learner as scenario_learner;
 use omg_bench::{avx, ecgx, video};
+use omg_scenario::{score_scenario, Scenario};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -20,10 +22,9 @@ fn main() {
     let pre_map = video::evaluate_map(&detector, &scenario.test_frames);
     println!("[video] pretrained mAP% = {pre_map:.1}");
 
-    let dets = video::detect_all(&detector, &scenario.pool_frames);
-    let set = omg_domains::video_assertion_set(video::FLICKER_T);
-    let (sev, _unc) =
-        video::score_frames(&set, &scenario.pool_frames, &dets, &omg_bench::runtime());
+    let items = scenario.run_model(&detector);
+    let set = scenario.assertion_set();
+    let (sev, _unc) = score_scenario(&scenario, &set, &items, &omg_bench::runtime());
     for (m, name) in set.names().iter().enumerate() {
         let fires = sev.iter().filter(|r| r[m] > 0.0).count();
         println!("[video] {name} fires on {fires}/{} frames", sev.len());
@@ -40,7 +41,7 @@ fn main() {
     for (name, strategy) in strategies() {
         let mut s = strategy;
         let scenario = video::VideoScenario::night_street(11, 600, 400);
-        let mut learner = video::VideoLearner::new(scenario, video::pretrained_detector(1));
+        let mut learner = scenario_learner(scenario, video::pretrained_detector(1));
         let mut rng = StdRng::seed_from_u64(17);
         let records = run_rounds(&mut learner, s.as_mut(), 5, 60, &mut rng);
         let series: Vec<String> = records.iter().map(|r| format!("{:.1}", r.metric)).collect();
@@ -55,7 +56,12 @@ fn main() {
         "[ecg] pretrained accuracy% = {:.1}",
         ecgx::evaluate_accuracy(&clf, &ecg.test)
     );
-    let (sev, _) = ecgx::score_pool(&clf, &ecg.pool, &omg_bench::runtime());
+    let (sev, _) = score_scenario(
+        &ecg,
+        &ecg.assertion_set(),
+        &ecg.run_model(&clf),
+        &omg_bench::runtime(),
+    );
     let fires = sev.iter().filter(|r| r[0] > 0.0).count();
     println!("[ecg] assertion fires on {fires}/{} windows", sev.len());
     let mut rng = StdRng::seed_from_u64(5);
@@ -65,7 +71,7 @@ fn main() {
         let mut s = strategy;
         let ecg = ecgx::EcgScenario::standard(7);
         let clf = ecgx::pretrained_classifier(&ecg, 1);
-        let mut learner = ecgx::EcgLearner::new(ecg, clf);
+        let mut learner = scenario_learner(ecg, clf);
         let mut rng = StdRng::seed_from_u64(23);
         let records = run_rounds(&mut learner, s.as_mut(), 5, 100, &mut rng);
         let series: Vec<String> = records.iter().map(|r| format!("{:.1}", r.metric)).collect();
@@ -80,9 +86,9 @@ fn main() {
         "[av] pretrained mAP% = {:.1}",
         avx::evaluate_map(&cam, &av.test)
     );
-    let dets = avx::detect_all(&cam, &av.pool);
-    let set = omg_domains::av_assertion_set();
-    let (sev, _) = avx::score_samples(&set, &av.pool, &dets, &omg_bench::runtime());
+    let av_items = av.run_model(&cam);
+    let set = av.assertion_set();
+    let (sev, _) = score_scenario(&av, &set, &av_items, &omg_bench::runtime());
     for (m, name) in set.names().iter().enumerate() {
         let fires = sev.iter().filter(|r| r[m] > 0.0).count();
         println!("[av] {name} fires on {fires}/{} samples", sev.len());
@@ -94,7 +100,7 @@ fn main() {
         let mut s = strategy;
         let av = avx::AvScenario::standard(3);
         let cam = avx::pretrained_camera(1);
-        let mut learner = avx::AvLearner::new(av, cam);
+        let mut learner = scenario_learner(av, cam);
         let mut rng = StdRng::seed_from_u64(29);
         let records = run_rounds(&mut learner, s.as_mut(), 5, 50, &mut rng);
         let series: Vec<String> = records.iter().map(|r| format!("{:.1}", r.metric)).collect();

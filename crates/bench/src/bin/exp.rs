@@ -1,0 +1,42 @@
+//! The experiment multiplexer: one binary for the whole regeneration
+//! suite.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p omg-bench --bin exp -- <experiment> \
+//!     [--threads N] [--seed S]
+//! ```
+//!
+//! `<experiment>` is one of the names in
+//! [`omg_bench::experiments::EXPERIMENTS`] (`table1` … `table6`,
+//! `fig3` … `fig9`, `gallery`) or `all` (the default), which regenerates
+//! everything and archives the outputs under `target/experiments/`.
+//! `--threads` pins the scoring fan-out width (results are identical at
+//! any setting); `--seed` overrides the default seed of the
+//! seed-parameterized experiments.
+
+/// The first positional (non-flag) argument, wherever it sits relative
+/// to the flags. Every `exp` flag takes a value, so a bare `--flag`
+/// consumes the following token; `exp --seed 5 table3` must select
+/// `table3`, not silently fall back to `all`.
+fn positional(args: &[String]) -> Option<&str> {
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        if let Some(flag) = arg.strip_prefix("--") {
+            if !flag.contains('=') {
+                it.next();
+            }
+            continue;
+        }
+        return Some(arg);
+    }
+    None
+}
+
+fn main() {
+    omg_bench::init_runtime_from_args();
+    let args: Vec<String> = std::env::args().collect();
+    let seed = omg_bench::parse_u64_flag(&args, "--seed");
+    omg_bench::experiments::run_cli(positional(&args).unwrap_or("all"), seed);
+}

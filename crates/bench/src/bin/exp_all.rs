@@ -1,35 +1,8 @@
-//! Runs every experiment and writes the outputs under
-//! `target/experiments/`, printing them as it goes.
-use std::fs;
-use std::path::Path;
+//! Alias for `exp all`, kept so existing scripts and CI invocations
+//! keep working; see the `exp` multiplexer for per-experiment runs.
 
 fn main() {
     omg_bench::init_runtime_from_args();
-    use omg_bench::experiments as exp;
-    let outputs: Vec<(&str, String)> = vec![
-        ("table1", exp::table1::run()),
-        ("table2", exp::table2::run()),
-        ("table3", exp::table3::run(2024)),
-        ("fig3", exp::fig3::run(77)),
-        ("fig4a", exp::fig4::run_video(2, 5, 100, false)),
-        ("fig4a_savings", exp::fig4::label_savings(2, 5, 100, 85.0)),
-        ("fig4b", exp::fig4::run_av(4, 5, 60, false)),
-        ("fig5", exp::fig5::run(4, 5, 100)),
-        ("table4", exp::table4::run(3)),
-        ("fig9", {
-            let mut s = exp::fig4::run_video(2, 5, 100, true);
-            s.push_str(&exp::fig4::run_av(4, 5, 60, true));
-            s
-        }),
-        ("table5", exp::table5::run()),
-        ("table6", exp::table6::run(33)),
-        ("gallery", exp::gallery::run(5)),
-    ];
-    let dir = Path::new("target/experiments");
-    fs::create_dir_all(dir).expect("create output dir");
-    for (name, text) in &outputs {
-        fs::write(dir.join(format!("{name}.txt")), text).expect("write output");
-        println!("{text}");
-    }
-    println!("wrote {} outputs under target/experiments/", outputs.len());
+    let args: Vec<String> = std::env::args().collect();
+    omg_bench::experiments::run_cli("all", omg_bench::parse_u64_flag(&args, "--seed"));
 }

@@ -21,9 +21,11 @@
 //!
 //! `--stream` mode instead compares the batch scorers (every assertion
 //! re-derives its window preparation) against the streaming scorers (one
-//! preparation per window, shared by the whole set) on **all four
-//! scenarios** — video, AV, ECG, TV news — asserting bit-for-bit
-//! identical severities on every run and writing one
+//! preparation per window, shared by the whole set) on **every scenario
+//! in the runtime registry** (`omg_bench::scenarios::all_scenarios`) —
+//! no hardcoded scenario list, so a newly registered scenario is benched
+//! and archived automatically — asserting bit-for-bit identical
+//! severities on every run and writing one
 //! `BENCH_stream_<scenario>.json` per scenario. Stream mode always runs
 //! the fixed 1/2/8 thread ladder (the engine's equivalence contract is
 //! specified at those counts); `--threads` applies to the default mode
@@ -36,6 +38,7 @@ use omg_bench::video::{monitor_windows, FLICKER_T};
 use omg_core::runtime::ThreadPool;
 use omg_core::Monitor;
 use omg_domains::{video_assertion_set, VideoWindow};
+use omg_scenario::DynScenario;
 
 /// Thread counts the `--stream` equivalence + throughput runs cover.
 const STREAM_THREADS: [usize; 3] = [1, 2, 8];
@@ -69,17 +72,14 @@ fn write_stream_json(scenario: &str, windows: usize, rows: &[(String, f64)]) {
     }
 }
 
-/// Benchmarks one scenario's batch scorer against its streaming scorer:
-/// `batch` and `stream` run the respective full-stream scoring pass with
-/// the given thread count and return the severity matrix; every
+/// Benchmarks one registered scenario's batch scorer against its
+/// streaming scorer over the full stream at each thread count; every
 /// streaming run is asserted bit-for-bit equal to the batch reference.
-fn stream_scenario(
-    name: &str,
-    n_windows: usize,
-    reps: usize,
-    batch: impl Fn(&ThreadPool) -> Vec<Vec<f64>>,
-    stream: impl Fn(&ThreadPool) -> Vec<Vec<f64>>,
-) {
+fn stream_scenario(scenario: &dyn DynScenario, reps: usize) {
+    let name = scenario.name();
+    let n_windows = scenario.len();
+    let batch = |pool: &ThreadPool| scenario.score_batch(pool).0;
+    let stream = |pool: &ThreadPool| scenario.score_stream(pool).0;
     let sequential = ThreadPool::sequential();
     let reference = batch(&sequential);
     let batch_secs = best_secs(reps, || {
@@ -110,78 +110,17 @@ fn stream_scenario(
     write_stream_json(name, n_windows, &rows);
 }
 
-/// The `--stream` mode: batch-vs-streaming scorers on all four
-/// scenarios.
+/// The `--stream` mode: batch-vs-streaming scorers on every scenario
+/// in the runtime registry.
 fn run_stream_mode(n_windows: usize, reps: usize) {
-    use omg_bench::{avx, ecgx, newsx, video};
-
-    println!("== streaming scorers vs batch scorers, all four scenarios ==\n");
-
-    // Video: 3 assertions sharing one tracked window per frame.
-    let scenario = video::VideoScenario::night_street(3, n_windows, 10);
-    let detector = video::pretrained_detector(1);
-    let dets = video::detect_all(&detector, &scenario.pool_frames);
-    let batch_set = video_assertion_set(FLICKER_T);
-    let stream_set = omg_domains::video_prepared_assertion_set(FLICKER_T);
-    let preparer = omg_domains::VideoPrepare::new(FLICKER_T);
-    stream_scenario(
-        "video",
-        scenario.pool_frames.len(),
-        reps,
-        |pool| video::score_frames(&batch_set, &scenario.pool_frames, &dets, pool).0,
-        |pool| {
-            video::stream_score_frames(&stream_set, &preparer, &scenario.pool_frames, &dets, pool).0
-        },
+    let scenarios = omg_bench::scenarios::all_scenarios(3, n_windows);
+    println!(
+        "== streaming scorers vs batch scorers, {} registered scenarios ==\n",
+        scenarios.len()
     );
-
-    // AVs: agree + multibox sharing one LIDAR projection per sample.
-    let av = avx::AvScenario::new(9, (n_windows / 20).max(2) as u64, 1);
-    let camera = avx::pretrained_camera(1);
-    let av_dets = avx::detect_all(&camera, &av.pool);
-    let av_batch = omg_domains::av_assertion_set();
-    let av_stream = omg_domains::av_prepared_assertion_set();
-    stream_scenario(
-        "av",
-        av.pool.len(),
-        reps,
-        |pool| avx::score_samples(&av_batch, &av.pool, &av_dets, pool).0,
-        |pool| avx::stream_score_samples(&av_stream, &av.pool, &av_dets, pool).0,
-    );
-
-    // ECG: one segmentation per context window.
-    let ecg = ecgx::EcgScenario::new(3, 150, n_windows.max(50), 50);
-    let mlp = ecgx::pretrained_classifier(&ecg, 1);
-    stream_scenario(
-        "ecg",
-        ecg.pool.len(),
-        reps,
-        |pool| ecgx::score_pool(&mlp, &ecg.pool, pool).0,
-        |pool| ecgx::stream_score_pool(&mlp, &ecg.pool, pool).0,
-    );
-
-    // TV news: one scene grouping shared by the assertion and the
-    // flagged-group analysis (the batch path groups once per consumer).
-    let news = newsx::NewsScenario::new(3, (n_windows / 4).max(20) as u64);
-    stream_scenario(
-        "news",
-        news.scenes.len(),
-        reps,
-        |pool| {
-            let groups = newsx::flagged_groups(&news, pool);
-            std::hint::black_box(&groups);
-            let assertion = omg_domains::news::news_assertion();
-            news.scenes
-                .iter()
-                .map(|s| vec![omg_core::Assertion::check(&assertion, s).value()])
-                .collect()
-        },
-        |pool| {
-            newsx::stream_scene_reports(&news, pool)
-                .into_iter()
-                .map(|r| vec![r.severity])
-                .collect()
-        },
-    );
+    for scenario in &scenarios {
+        stream_scenario(scenario.as_ref(), reps);
+    }
 }
 
 fn main() {
@@ -198,7 +137,7 @@ fn main() {
     let n_windows = omg_bench::parse_usize_flag(&args, "--windows").unwrap_or(2000);
     let reps = 3;
 
-    if args.iter().any(|a| a == "--stream") {
+    if omg_bench::has_flag(&args, "--stream") {
         assert!(
             omg_bench::parse_usize_flag(&args, "--threads").is_none(),
             "--threads applies to the default mode only; --stream always \

@@ -1,14 +1,11 @@
-//! The ECG / atrial-fibrillation scenario (Figure 5; Table 4, row 3).
+//! The ECG / atrial-fibrillation scenario (Figure 5; Table 4, row 3),
+//! ported onto the generic [`Scenario`] engine.
 
-use omg_active::{ActiveLearner, CandidatePool};
 use omg_core::consistency::ConsistencyWindow;
-use omg_core::runtime::ThreadPool;
-use omg_core::stream::{score_stream_chunked, Prepare, SlidingWindows, StreamScorer};
-use omg_core::{Assertion, AssertionSet};
-use omg_domains::ecg::ecg_assertion;
-use omg_domains::{ecg_prepared_assertion_set, EcgPrepare, EcgWindow};
+use omg_domains::{ecg_assertion_set, ecg_prepared_assertion_set, EcgPrepare, EcgWindow};
 use omg_learn::uncertainty::least_confidence;
 use omg_learn::{Dataset, Mlp, MlpConfig};
+use omg_scenario::Scenario;
 use omg_sim::derive_rng;
 use omg_sim::ecg::{EcgConfig, EcgPoint, EcgWorld, ECG_CLASSES, ECG_DIM};
 use rand::rngs::StdRng;
@@ -64,6 +61,18 @@ impl EcgScenario {
     }
 }
 
+/// One position of the ECG prediction stream: the classifier's output
+/// and its least-confidence uncertainty for one recording window.
+#[derive(Debug, Clone, Copy)]
+pub struct EcgItem {
+    /// Timestamp of the prediction, seconds.
+    pub time: f64,
+    /// Predicted rhythm class.
+    pub pred: usize,
+    /// Least-confidence uncertainty of the prediction.
+    pub unc: f64,
+}
+
 /// Converts ECG points into an `omg-learn` dataset.
 pub fn to_dataset(points: &[EcgPoint]) -> Dataset {
     let mut d = Dataset::new(ECG_DIM);
@@ -107,219 +116,6 @@ pub fn evaluate_accuracy(mlp: &Mlp, points: &[EcgPoint]) -> f64 {
     100.0 * hits as f64 / points.len() as f64
 }
 
-/// Builds the context window centered on prediction `center` (clamped at
-/// stream edges).
-///
-/// # Panics
-///
-/// Panics if `center` is not a valid prediction index or the times and
-/// predictions don't line up.
-pub fn ecg_window_at(times: &[f64], preds: &[usize], center: usize) -> EcgWindow {
-    assert_eq!(
-        times.len(),
-        preds.len(),
-        "need one prediction per timestamp"
-    );
-    assert!(
-        center < times.len(),
-        "window center {center} out of range for {} predictions",
-        times.len()
-    );
-    let lo = center.saturating_sub(ECG_CONTEXT);
-    let hi = (center + ECG_CONTEXT + 1).min(times.len());
-    EcgWindow::new(times[lo..hi].to_vec(), preds[lo..hi].to_vec(), center - lo)
-}
-
-/// Per-point severity (the single ECG assertion) and uncertainty over a
-/// prediction stream. The prediction pass runs once sequentially (each
-/// window needs its neighbours' predictions); the window checks and
-/// uncertainty scores then fan out across the runtime's workers.
-pub fn score_pool(mlp: &Mlp, pool: &[EcgPoint], runtime: &ThreadPool) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let assertion = ecg_assertion();
-    let preds: Vec<usize> = pool.iter().map(|p| mlp.predict(&p.features)).collect();
-    let times: Vec<f64> = pool.iter().map(|p| p.time).collect();
-    runtime
-        .map_indexed(pool.len(), |i| {
-            let window = ecg_window_at(&times, &preds, i);
-            (
-                vec![assertion.check(&window).value()],
-                least_confidence(&mlp.predict_proba(&pool[i].features)),
-            )
-        })
-        .into_iter()
-        .unzip()
-}
-
-/// An incremental ECG scorer: ingests one (time, prediction) pair at a
-/// time over a ring buffer, segments each completed context window once,
-/// and checks the prepared assertion set against the shared segments —
-/// the streaming counterpart of [`score_pool`]'s scoring pass.
-pub struct EcgStreamScorer<'a> {
-    set: &'a AssertionSet<EcgWindow, ConsistencyWindow<usize>>,
-    mlp: &'a Mlp,
-    pool: &'a [EcgPoint],
-    times: &'a [f64],
-    preds: &'a [usize],
-    /// Global index of the first item this scorer is fed.
-    offset: usize,
-    slider: SlidingWindows<(f64, usize)>,
-}
-
-impl<'a> EcgStreamScorer<'a> {
-    /// Creates a scorer over a prediction stream; `offset` is the global
-    /// index of the first item that will be pushed. Uncertainties are
-    /// computed at emission time on whichever worker runs the chunk,
-    /// like the batch path does.
-    pub fn new(
-        set: &'a AssertionSet<EcgWindow, ConsistencyWindow<usize>>,
-        mlp: &'a Mlp,
-        pool: &'a [EcgPoint],
-        times: &'a [f64],
-        preds: &'a [usize],
-        offset: usize,
-    ) -> Self {
-        assert_eq!(
-            times.len(),
-            preds.len(),
-            "need one prediction per timestamp"
-        );
-        assert_eq!(
-            times.len(),
-            pool.len(),
-            "need one pool point per prediction"
-        );
-        Self {
-            set,
-            mlp,
-            pool,
-            times,
-            preds,
-            offset,
-            slider: SlidingWindows::new(ECG_CONTEXT),
-        }
-    }
-
-    fn score(
-        &self,
-        items: Vec<(f64, usize)>,
-        center: usize,
-        local_index: usize,
-    ) -> (Vec<f64>, f64) {
-        let (t, p): (Vec<f64>, Vec<usize>) = items.into_iter().unzip();
-        let window = EcgWindow::new(t, p, center);
-        let prep = EcgPrepare.prepare(&window);
-        let severities = self
-            .set
-            .check_all_prepared(&window, &prep)
-            .iter()
-            .map(|&(_, s)| s.value())
-            .collect();
-        let point = &self.pool[self.offset + local_index];
-        (
-            severities,
-            least_confidence(&self.mlp.predict_proba(&point.features)),
-        )
-    }
-}
-
-impl StreamScorer for EcgStreamScorer<'_> {
-    type Output = (Vec<f64>, f64);
-
-    fn push(&mut self, index: usize) -> Option<(Vec<f64>, f64)> {
-        let ready = self.slider.push((self.times[index], self.preds[index]));
-        ready.map(|w| self.score(w.items, w.center, w.index))
-    }
-
-    fn finish(mut self) -> Vec<(Vec<f64>, f64)> {
-        let tail = self.slider.finish();
-        tail.into_iter()
-            .map(|w| self.score(w.items, w.center, w.index))
-            .collect()
-    }
-}
-
-/// The streaming counterpart of [`score_pool`]: identical severities and
-/// uncertainties, computed incrementally over a ring buffer with one
-/// segmentation per window, chunked across the runtime's workers.
-pub fn stream_score_pool(
-    mlp: &Mlp,
-    pool: &[EcgPoint],
-    runtime: &ThreadPool,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
-    let set = ecg_prepared_assertion_set();
-    let preds: Vec<usize> = pool.iter().map(|p| mlp.predict(&p.features)).collect();
-    let times: Vec<f64> = pool.iter().map(|p| p.time).collect();
-    score_stream_chunked(pool.len(), ECG_CONTEXT, runtime, |offset| {
-        EcgStreamScorer::new(&set, mlp, pool, &times, &preds, offset)
-    })
-    .into_iter()
-    .unzip()
-}
-
-/// The ECG active learner of Figure 5.
-pub struct EcgLearner {
-    scenario: EcgScenario,
-    classifier: Mlp,
-    unlabeled: Vec<usize>,
-    labeled: Dataset,
-    epochs_per_round: usize,
-    runtime: ThreadPool,
-}
-
-impl EcgLearner {
-    /// Creates a learner around a pretrained classifier; the bootstrap
-    /// split stays in the training set and continued training runs at a
-    /// fine-tuning rate. Pools are scored on the harness-wide runtime
-    /// (`--threads`).
-    pub fn new(scenario: EcgScenario, mut classifier: Mlp) -> Self {
-        classifier.set_lr(0.02);
-        let labeled = to_dataset(&scenario.train);
-        let n = scenario.pool.len();
-        Self {
-            scenario,
-            classifier,
-            unlabeled: (0..n).collect(),
-            labeled,
-            epochs_per_round: 15,
-            runtime: crate::runtime(),
-        }
-    }
-
-    /// Overrides the scoring runtime.
-    pub fn with_runtime(mut self, runtime: ThreadPool) -> Self {
-        self.runtime = runtime;
-        self
-    }
-
-    /// The current classifier.
-    pub fn classifier(&self) -> &Mlp {
-        &self.classifier
-    }
-}
-
-impl ActiveLearner for EcgLearner {
-    fn pool(&mut self) -> CandidatePool {
-        let (sev, unc) = stream_score_pool(&self.classifier, &self.scenario.pool, &self.runtime);
-        let severities = self.unlabeled.iter().map(|&i| sev[i].clone()).collect();
-        let uncertainties = self.unlabeled.iter().map(|&i| unc[i]).collect();
-        CandidatePool::new(severities, uncertainties).expect("consistent pool")
-    }
-
-    fn label_and_train(&mut self, selection: &[usize], rng: &mut StdRng) {
-        for &i in &crate::claim_selection(&mut self.unlabeled, selection) {
-            let p = &self.scenario.pool[i];
-            self.labeled.push(p.features.clone(), p.true_class);
-        }
-        for _ in 0..self.epochs_per_round {
-            self.classifier.train_epoch(&self.labeled, 16, rng);
-        }
-    }
-
-    fn evaluate(&mut self) -> f64 {
-        evaluate_accuracy(&self.classifier, &self.scenario.test)
-    }
-}
-
 /// The ECG weak-supervision experiment (Table 4, row 3): oscillation
 /// corrections relabel blip windows with the surrounding rhythm and the
 /// classifier fine-tunes on them.
@@ -353,9 +149,107 @@ pub fn ecg_weak_supervision(
     (before, after)
 }
 
+impl Scenario for EcgScenario {
+    type Item = EcgItem;
+    type Sample = EcgWindow;
+    type Prep = ConsistencyWindow<usize>;
+    type Model = Mlp;
+    type Labels = Dataset;
+
+    fn name(&self) -> &'static str {
+        "ecg"
+    }
+
+    fn title(&self) -> &'static str {
+        "ECG"
+    }
+
+    fn metric_unit(&self) -> &'static str {
+        "% accuracy"
+    }
+
+    fn window_half(&self) -> usize {
+        ECG_CONTEXT
+    }
+
+    fn pool_len(&self) -> usize {
+        self.pool.len()
+    }
+
+    fn pretrained_model(&self, seed: u64) -> Mlp {
+        pretrained_classifier(self, seed)
+    }
+
+    fn run_model(&self, model: &Mlp) -> Vec<EcgItem> {
+        self.pool
+            .iter()
+            .map(|p| EcgItem {
+                time: p.time,
+                pred: model.predict(&p.features),
+                unc: least_confidence(&model.predict_proba(&p.features)),
+            })
+            .collect()
+    }
+
+    fn assertion_set(&self) -> omg_core::AssertionSet<EcgWindow> {
+        ecg_assertion_set()
+    }
+
+    fn prepared_set(&self) -> omg_core::AssertionSet<EcgWindow, ConsistencyWindow<usize>> {
+        ecg_prepared_assertion_set()
+    }
+
+    fn preparer(
+        &self,
+    ) -> Box<dyn omg_core::stream::Prepare<EcgWindow, Prepared = ConsistencyWindow<usize>>> {
+        Box::new(EcgPrepare)
+    }
+
+    fn make_sample(&self, items: &[EcgItem], center: usize) -> EcgWindow {
+        EcgWindow::new(
+            items.iter().map(|it| it.time).collect(),
+            items.iter().map(|it| it.pred).collect(),
+            center,
+        )
+    }
+
+    fn uncertainty(&self, item: &EcgItem) -> f64 {
+        item.unc
+    }
+
+    fn initial_labels(&self) -> Dataset {
+        // The bootstrap split stays in the training set.
+        to_dataset(&self.train)
+    }
+
+    fn label_into(&self, labels: &mut Dataset, pool_index: usize) {
+        let p = &self.pool[pool_index];
+        labels.push(p.features.clone(), p.true_class);
+    }
+
+    fn train(&self, model: &mut Mlp, labels: &Dataset, rng: &mut StdRng) {
+        // Continued training runs at a fine-tuning rate.
+        model.set_lr(0.02);
+        for _ in 0..15 {
+            model.train_epoch(labels, 16, rng);
+        }
+    }
+
+    fn evaluate(&self, model: &Mlp) -> f64 {
+        evaluate_accuracy(model, &self.test)
+    }
+
+    fn weak_supervision(&self, model: &Mlp, rng: &mut StdRng) -> Option<(f64, f64)> {
+        Some(ecg_weak_supervision(self, model, 1000, rng))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use omg_active::ActiveLearner;
+    use omg_core::runtime::ThreadPool;
+    use omg_scenario::{score_scenario, stream_score_scenario, ScenarioLearner};
     use rand::SeedableRng;
 
     fn tiny() -> EcgScenario {
@@ -382,9 +276,11 @@ mod tests {
     fn scoring_yields_one_severity_dim() {
         let s = tiny();
         let mlp = pretrained_classifier(&s, 1);
-        let (sev, unc) = score_pool(&mlp, &s.pool, &ThreadPool::new(2));
+        let items = s.run_model(&mlp);
+        let set = s.assertion_set();
+        let (sev, unc) = score_scenario(&s, &set, &items, &ThreadPool::new(2));
         assert_eq!(
-            score_pool(&mlp, &s.pool, &ThreadPool::sequential()),
+            score_scenario(&s, &set, &items, &ThreadPool::sequential()),
             (sev.clone(), unc.clone()),
             "parallel scoring must match sequential"
         );
@@ -402,10 +298,13 @@ mod tests {
     fn stream_scoring_matches_batch_scoring() {
         let s = tiny();
         let mlp = pretrained_classifier(&s, 1);
-        let want = score_pool(&mlp, &s.pool, &ThreadPool::sequential());
+        let items = s.run_model(&mlp);
+        let want = score_scenario(&s, &s.assertion_set(), &items, &ThreadPool::sequential());
+        let prepared = s.prepared_set();
+        let preparer = s.preparer();
         for threads in [1, 2, 8] {
             assert_eq!(
-                stream_score_pool(&mlp, &s.pool, &ThreadPool::new(threads)),
+                stream_score_scenario(&s, &prepared, &preparer, &items, &ThreadPool::new(threads)),
                 want,
                 "streaming ECG scoring diverged at {threads} threads"
             );
@@ -413,28 +312,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn ecg_window_at_rejects_out_of_range_center() {
-        ecg_window_at(&[0.0, 10.0], &[0, 1], 2);
-    }
-
-    #[test]
     fn duplicate_selection_labels_each_point_once() {
         let s = tiny();
         let mlp = pretrained_classifier(&s, 1);
-        let mut learner = EcgLearner::new(s, mlp);
+        let mut learner = ScenarioLearner::new(s, mlp);
         let mut rng = StdRng::seed_from_u64(5);
-        let before = learner.labeled.len();
         learner.label_and_train(&[4, 4, 9, 4], &mut rng);
-        assert_eq!(learner.unlabeled.len(), 298);
-        assert_eq!(learner.labeled.len(), before + 2, "each point labeled once");
+        assert_eq!(learner.unlabeled_len(), 298, "each point claimed once");
     }
 
     #[test]
     fn learner_improves_with_labels() {
         let s = tiny();
         let mlp = pretrained_classifier(&s, 1);
-        let mut learner = EcgLearner::new(s, mlp);
+        let mut learner = ScenarioLearner::new(s, mlp);
         let before = learner.evaluate();
         let mut rng = StdRng::seed_from_u64(5);
         // Label 150 pool points spread across the stream (a contiguous

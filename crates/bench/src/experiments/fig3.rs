@@ -5,24 +5,21 @@
 //! *confident* about (94th percentile in the paper), which
 //! uncertainty-based monitoring can never flag.
 
-use omg_domains::video_assertion_set;
 use omg_eval::stats::percentile_rank;
 use omg_eval::table::{Align, Table};
+use omg_scenario::{errors_by_assertion, Scenario};
 
-use crate::video::{
-    all_confidences, detect_all, errors_by_assertion, pretrained_detector, VideoScenario, FLICKER_T,
-};
+use crate::video::{all_confidences, pretrained_detector, VideoScenario};
 
 /// Renders Figure 3 as a rank → percentile table (one column per
 /// assertion).
 pub fn run(seed: u64) -> String {
     let scenario = VideoScenario::night_street(seed, 1500, 10);
-    let detector = pretrained_detector(1);
-    let dets = detect_all(&detector, &scenario.pool_frames);
-    let set = video_assertion_set(FLICKER_T);
-    let population = all_confidences(&dets);
+    let items = scenario.run_model(&pretrained_detector(1));
+    let set = scenario.assertion_set();
+    let population = all_confidences(&items);
 
-    let by_assertion = errors_by_assertion(&scenario.pool_frames, &dets, &set);
+    let by_assertion = errors_by_assertion(&scenario, &set, &items);
     let mut columns: Vec<(String, Vec<f64>)> = Vec::new();
     for (name, mut errors) in by_assertion {
         errors.sort_by(|a, b| {

@@ -10,6 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::experiments::trial_seeds;
+use crate::scenarios::learner as scenario_learner;
 use crate::{avx, summarize_series, video, SeriesSummary};
 
 /// The four strategies of §5.4, in the paper's legend order.
@@ -59,8 +60,7 @@ pub fn run_video(trials: usize, rounds: usize, budget: usize, all_rounds: bool) 
         for &seed in &trial_seeds(trials) {
             strategy.reset();
             let scenario = video::VideoScenario::standard(seed);
-            let mut learner =
-                video::VideoLearner::new(scenario, video::pretrained_detector(seed ^ 1));
+            let mut learner = scenario_learner(scenario, video::pretrained_detector(seed ^ 1));
             let mut rng = StdRng::seed_from_u64(seed ^ 0xA1);
             let records = run_rounds(&mut learner, strategy.as_mut(), rounds, budget, &mut rng);
             per_trial.push(records.into_iter().map(|r| r.metric).collect());
@@ -85,7 +85,7 @@ pub fn run_av(trials: usize, rounds: usize, budget: usize, all_rounds: bool) -> 
         for &seed in &trial_seeds(trials) {
             strategy.reset();
             let scenario = avx::AvScenario::standard(seed);
-            let mut learner = avx::AvLearner::new(scenario, avx::pretrained_camera(seed ^ 1));
+            let mut learner = scenario_learner(scenario, avx::pretrained_camera(seed ^ 1));
             let mut rng = StdRng::seed_from_u64(seed ^ 0xB2);
             let records = run_rounds(&mut learner, strategy.as_mut(), rounds, budget, &mut rng);
             per_trial.push(records.into_iter().map(|r| r.metric).collect());
@@ -110,8 +110,7 @@ pub fn label_savings(trials: usize, rounds: usize, budget: usize, target: f64) -
         for &seed in &trial_seeds(trials) {
             strategy.reset();
             let scenario = video::VideoScenario::standard(seed);
-            let mut learner =
-                video::VideoLearner::new(scenario, video::pretrained_detector(seed ^ 1));
+            let mut learner = scenario_learner(scenario, video::pretrained_detector(seed ^ 1));
             let mut rng = StdRng::seed_from_u64(seed ^ 0xC3);
             let records = run_rounds(&mut learner, strategy, rounds, budget, &mut rng);
             let labels = records

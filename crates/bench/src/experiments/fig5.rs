@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::experiments::trial_seeds;
+use crate::scenarios::learner as scenario_learner;
 use crate::{ecgx, summarize_series};
 
 /// Figure 5 compares only random, uncertainty, and BAL ("due to the
@@ -34,7 +35,7 @@ pub fn run(trials: usize, rounds: usize, budget: usize) -> String {
             strategy.reset();
             let scenario = ecgx::EcgScenario::standard(seed);
             let classifier = ecgx::pretrained_classifier(&scenario, seed ^ 1);
-            let mut learner = ecgx::EcgLearner::new(scenario, classifier);
+            let mut learner = scenario_learner(scenario, classifier);
             let mut rng = StdRng::seed_from_u64(seed ^ 0xD4);
             let records = run_rounds(&mut learner, strategy.as_mut(), rounds, budget, &mut rng);
             per_trial.push(records.into_iter().map(|r| r.metric).collect());

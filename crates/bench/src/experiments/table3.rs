@@ -16,6 +16,8 @@ use omg_eval::table::{Align, Table};
 use omg_sim::detector::{Detection, Provenance};
 use omg_sim::traffic::GtFrame;
 
+use omg_scenario::{score_scenario, Scenario};
+
 use crate::video::{detect_all, pretrained_detector, window_at, VideoScenario, FLICKER_T};
 use crate::{avx, ecgx, newsx};
 
@@ -173,16 +175,18 @@ fn av_agree_row(seed: u64) -> Row {
 fn ecg_row(seed: u64) -> Row {
     let scenario = ecgx::EcgScenario::standard(seed);
     let classifier = ecgx::pretrained_classifier(&scenario, 1);
-    let (sev, _) = ecgx::score_pool(&classifier, &scenario.pool, &crate::runtime());
+    let items = scenario.run_model(&classifier);
+    let (sev, _) = score_scenario(
+        &scenario,
+        &scenario.assertion_set(),
+        &items,
+        &crate::runtime(),
+    );
     let flagged: Vec<usize> = (0..scenario.pool.len())
         .filter(|&i| sev[i][0] > 0.0)
         .collect();
     let sampled = sample_up_to(&flagged, 50);
-    let preds: Vec<usize> = scenario
-        .pool
-        .iter()
-        .map(|p| classifier.predict(&p.features))
-        .collect();
+    let preds: Vec<usize> = items.iter().map(|it| it.pred).collect();
     let output_only = omg_eval::stats::proportion(&sampled, |&i| {
         // Any prediction in the assertion's context is wrong. True
         // rhythms dwell >= 40 s, so any A->B->A inside 30 s must include

@@ -1,5 +1,11 @@
 //! Table 4: weak supervision — pretrained vs. weakly supervised model
 //! quality, with no human labels.
+//!
+//! Registry-driven: every registered scenario with a weak-supervision
+//! rule contributes a row (monitoring-only scenarios and scenarios
+//! without a rule are skipped), so a new scenario that defines
+//! [`omg_scenario::Scenario::weak_supervision`] appears here with no
+//! edits to this module.
 
 use omg_eval::stats::mean;
 use omg_eval::table::{Align, Table};
@@ -7,52 +13,35 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::experiments::trial_seeds;
-use crate::{avx, ecgx, video};
+use crate::scenarios::standard_scenarios;
 
-/// Runs the three weak-supervision experiments over `trials` trials and
+/// Runs every registered weak-supervision rule over `trials` trials and
 /// renders Table 4.
 pub fn run(trials: usize) -> String {
-    let mut rows: Vec<(String, f64, f64)> = Vec::new();
-
-    let mut before_v = Vec::new();
-    let mut after_v = Vec::new();
+    // label -> (before, after) samples across trials, in registry order.
+    let mut rows: Vec<(String, Vec<f64>, Vec<f64>)> = Vec::new();
     for &seed in &trial_seeds(trials) {
-        let scenario = video::VideoScenario::standard(seed);
-        let detector = video::pretrained_detector(seed ^ 1);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xE5);
-        let (b, a) = video::video_weak_supervision(&scenario, &detector, 6, &mut rng);
-        before_v.push(b);
-        after_v.push(a);
+        for scenario in standard_scenarios(seed) {
+            // Derive the fine-tuning rng from the scenario's *stable
+            // name*, not its registry position, so reordering or
+            // inserting scenarios never shifts another row's numbers.
+            let salt = scenario
+                .name()
+                .bytes()
+                .fold(0xE5u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64));
+            let mut rng = StdRng::seed_from_u64(seed ^ salt);
+            let Some((before, after)) = scenario.weak_supervision(&mut rng) else {
+                continue;
+            };
+            let label = format!("{} ({})", scenario.title(), scenario.metric_unit());
+            if let Some(row) = rows.iter_mut().find(|(l, _, _)| *l == label) {
+                row.1.push(before);
+                row.2.push(after);
+            } else {
+                rows.push((label, vec![before], vec![after]));
+            }
+        }
     }
-    rows.push((
-        "Video analytics (mAP)".into(),
-        mean(&before_v),
-        mean(&after_v),
-    ));
-
-    let mut before_av = Vec::new();
-    let mut after_av = Vec::new();
-    for &seed in &trial_seeds(trials) {
-        let scenario = avx::AvScenario::standard(seed);
-        let detector = avx::pretrained_camera(seed ^ 1);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xF6);
-        let (b, a) = avx::av_weak_supervision(&scenario, &detector, 2, &mut rng);
-        before_av.push(b);
-        after_av.push(a);
-    }
-    rows.push(("AVs (mAP)".into(), mean(&before_av), mean(&after_av)));
-
-    let mut before_e = Vec::new();
-    let mut after_e = Vec::new();
-    for &seed in &trial_seeds(trials) {
-        let scenario = ecgx::EcgScenario::standard(seed);
-        let classifier = ecgx::pretrained_classifier(&scenario, seed ^ 1);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xA7);
-        let (b, a) = ecgx::ecg_weak_supervision(&scenario, &classifier, 1000, &mut rng);
-        before_e.push(b);
-        after_e.push(a);
-    }
-    rows.push(("ECG (% accuracy)".into(), mean(&before_e), mean(&after_e)));
 
     let mut t = Table::new(vec![
         "Domain",
@@ -65,7 +54,9 @@ pub fn run(trials: usize) -> String {
          paper: video 34.4->49.9 mAP, AVs 10.6->14.1 mAP, ECG 70.7->72.1%)"
     ))
     .with_aligns(vec![Align::Left, Align::Right, Align::Right, Align::Right]);
-    for (domain, before, after) in rows {
+    for (domain, before_samples, after_samples) in rows {
+        let before = mean(&before_samples);
+        let after = mean(&after_samples);
         let rel = 100.0 * (after - before) / before.max(1e-9);
         t.row(vec![
             domain,

@@ -1,18 +1,25 @@
 //! Experiment harness: regenerates every table and figure of the paper's
 //! evaluation (see `DESIGN.md` §5 for the experiment index).
 //!
-//! Each scenario module wires a simulated world (`omg-sim`), the deployed
-//! assertions (`omg-domains`), the assertion engine (`omg-core`), the
-//! selection strategies (`omg-active`), and the metrics (`omg-eval`)
-//! into:
+//! Each scenario module wires a simulated world (`omg-sim`) and the
+//! deployed assertions (`omg-domains`) into an implementation of the
+//! [`omg_scenario::Scenario`] trait; the generic engine in
+//! `omg-scenario` then provides batch scoring, streaming scoring, the
+//! active learner, and the error analysis for all of them. The
+//! [`scenarios`] module is the runtime registry the binaries, benches,
+//! and conformance tests iterate:
 //!
-//! * an [`omg_active::ActiveLearner`] implementation for the
-//!   active-learning experiments (Figures 4, 5, 9);
-//! * precision/error analyses (Table 3, Figure 3, Table 6);
-//! * weak-supervision runs (Table 4).
+//! * [`video`] — night-street video analytics (Figures 3, 4a, 9a;
+//!   Tables 3, 4, 6);
+//! * [`avx`] — AV camera/LIDAR fusion (Figure 4b; Tables 3, 4);
+//! * [`ecgx`] — ECG rhythm classification (Figure 5; Table 4);
+//! * [`newsx`] — TV news monitoring (Tables 1-3);
+//! * [`highway`] — highway multi-sensor fusion, the fifth scenario
+//!   proving the engine's abstraction.
 //!
-//! The binaries under `src/bin/` print the paper-matching rows; run
-//! `cargo run --release -p omg-bench --bin exp_all` to regenerate
+//! The `exp` binary multiplexes the experiment suite (`exp table1`,
+//! `exp fig5`, `exp all`, …); run
+//! `cargo run --release -p omg-bench --bin exp -- all` to regenerate
 //! everything.
 
 #![forbid(unsafe_code)]
@@ -21,8 +28,10 @@
 pub mod avx;
 pub mod ecgx;
 pub mod experiments;
+pub mod highway;
 pub mod loc;
 pub mod newsx;
+pub mod scenarios;
 pub mod video;
 
 use std::sync::OnceLock;
@@ -65,21 +74,14 @@ pub fn runtime() -> ThreadPool {
     ThreadPool::new(threads())
 }
 
-/// Parses a `--flag N` / `--flag=N` positive-integer option from an
-/// argument list.
+/// Parses a `--flag N` / `--flag=N` option from an argument list with a
+/// caller-supplied value parser (shared by the usize and u64 variants).
 ///
 /// # Panics
 ///
-/// Panics if the flag is present with a missing, zero, or non-numeric
+/// Panics (via `parse`) if the flag is present with a missing or invalid
 /// value — a mistyped knob must fail loudly, not silently fall back.
-pub fn parse_usize_flag(args: &[String], flag: &str) -> Option<usize> {
-    let parse = |value: &str| -> usize {
-        value
-            .parse()
-            .ok()
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| panic!("{flag} expects a positive integer, got {value:?}"))
-    };
+fn parse_flag_with<T>(args: &[String], flag: &str, parse: impl Fn(&str) -> T) -> Option<T> {
     for (i, arg) in args.iter().enumerate() {
         if arg == flag {
             let value = args
@@ -94,33 +96,50 @@ pub fn parse_usize_flag(args: &[String], flag: &str) -> Option<usize> {
     None
 }
 
+/// Parses a `--flag N` / `--flag=N` positive-integer option from an
+/// argument list.
+///
+/// # Panics
+///
+/// Panics if the flag is present with a missing, zero, or non-numeric
+/// value.
+pub fn parse_usize_flag(args: &[String], flag: &str) -> Option<usize> {
+    parse_flag_with(args, flag, |value| {
+        value
+            .parse()
+            .ok()
+            .filter(|&n: &usize| n > 0)
+            .unwrap_or_else(|| panic!("{flag} expects a positive integer, got {value:?}"))
+    })
+}
+
+/// Parses a `--flag N` / `--flag=N` unsigned-seed option from an
+/// argument list (zero is a legitimate seed).
+///
+/// # Panics
+///
+/// Panics if the flag is present with a missing or non-numeric value.
+pub fn parse_u64_flag(args: &[String], flag: &str) -> Option<u64> {
+    parse_flag_with(args, flag, |value| {
+        value
+            .parse()
+            .unwrap_or_else(|_| panic!("{flag} expects an unsigned integer, got {value:?}"))
+    })
+}
+
+/// Whether a bare `--flag` is present in an argument list.
+pub fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
 /// Parses `--threads N` (or `--threads=N`) from the process arguments
-/// (if present) and pins the harness-wide worker count. Every `exp_*`
+/// (if present) and pins the harness-wide worker count. Every experiment
 /// binary calls this first.
 pub fn init_runtime_from_args() {
     let args: Vec<String> = std::env::args().collect();
     if let Some(n) = parse_usize_flag(&args, "--threads") {
         set_threads(n);
     }
-}
-
-/// Claims the selected pool positions from a learner's (ascending)
-/// `unlabeled` index list: maps positions to pool indices, sorts and
-/// **deduplicates** them (a selection strategy may emit the same position
-/// twice; labeling the same sample twice would double-count the labeling
-/// budget and double-weight the sample in training), removes them from
-/// `unlabeled` via binary search over the sorted claims, and returns the
-/// claimed pool indices in ascending order.
-///
-/// # Panics
-///
-/// Panics if a selection position is out of range of `unlabeled`.
-pub fn claim_selection(unlabeled: &mut Vec<usize>, selection: &[usize]) -> Vec<usize> {
-    let mut chosen: Vec<usize> = selection.iter().map(|&p| unlabeled[p]).collect();
-    chosen.sort_unstable();
-    chosen.dedup();
-    unlabeled.retain(|i| chosen.binary_search(i).is_err());
-    chosen
 }
 
 /// Mean and standard error of one experiment series across trials.
@@ -214,15 +233,27 @@ mod tests {
     }
 
     #[test]
-    fn claim_selection_dedups_and_removes() {
-        let mut unlabeled: Vec<usize> = vec![10, 20, 30, 40, 50];
-        // Positions 1 and 3, with 1 repeated: the repeat must not claim
-        // (or count) twice.
-        let chosen = claim_selection(&mut unlabeled, &[3, 1, 1]);
-        assert_eq!(chosen, vec![20, 40]);
-        assert_eq!(unlabeled, vec![10, 30, 50]);
-        // Claiming nothing changes nothing.
-        assert_eq!(claim_selection(&mut unlabeled, &[]), Vec::<usize>::new());
-        assert_eq!(unlabeled, vec![10, 30, 50]);
+    fn parse_u64_flag_accepts_zero_seeds() {
+        assert_eq!(
+            parse_u64_flag(&args(&["bin", "--seed", "0"]), "--seed"),
+            Some(0)
+        );
+        assert_eq!(
+            parse_u64_flag(&args(&["bin", "--seed=77"]), "--seed"),
+            Some(77)
+        );
+        assert_eq!(parse_u64_flag(&args(&["bin"]), "--seed"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsigned integer")]
+    fn parse_u64_flag_rejects_garbage() {
+        parse_u64_flag(&args(&["bin", "--seed", "x"]), "--seed");
+    }
+
+    #[test]
+    fn has_flag_matches_exactly() {
+        assert!(has_flag(&args(&["bin", "--stream"]), "--stream"));
+        assert!(!has_flag(&args(&["bin", "--streams"]), "--stream"));
     }
 }

@@ -1,14 +1,18 @@
 //! The `night-street` video-analytics scenario (Figures 3, 4a, 9a;
-//! Tables 3, 4, 6).
+//! Tables 3, 4, 6), ported onto the generic [`Scenario`] engine.
+//!
+//! This module keeps only what is *specific* to night-street: the world,
+//! the detector hookup, the error-attribution rules, and the
+//! weak-supervision recipe. Batch scoring, streaming scoring, the active
+//! learner, and the error-collection loop are the generic drivers in
+//! `omg-scenario`.
 
-use std::collections::VecDeque;
+use std::sync::OnceLock;
 
-use omg_active::{ActiveLearner, CandidatePool};
-use omg_core::runtime::ThreadPool;
-use omg_core::stream::{score_stream_chunked, Prepare, SlidingWindows, StreamScorer};
-use omg_core::AssertionSet;
-use omg_domains::{video_prepared_assertion_set, VideoFrame, VideoPrep, VideoPrepare, VideoWindow};
+use omg_domains::{video_assertion_set, video_prepared_assertion_set, VideoPrep, VideoPrepare};
+use omg_domains::{VideoFrame, VideoWindow};
 use omg_eval::DetectionEvaluator;
+use omg_scenario::{detection_uncertainty, FoundError, Scenario};
 use omg_sim::detector::{Detection, DetectorConfig, Provenance, SimDetector, TrainingBatch};
 use omg_sim::traffic::{GtFrame, TrafficConfig, TrafficWorld};
 use rand::rngs::StdRng;
@@ -45,6 +49,18 @@ impl VideoScenario {
     pub fn standard(seed: u64) -> Self {
         Self::night_street(seed, 1200, 500)
     }
+}
+
+/// One position of the night-street stream: the ground-truth frame and
+/// the detector's output on it. The ground truth and provenance ride
+/// along for the error-attribution and labeling hooks; the assertions
+/// only ever see the scored boxes.
+#[derive(Debug, Clone)]
+pub struct VideoItem {
+    /// The simulated frame (ground truth + detector-facing signals).
+    pub gt: GtFrame,
+    /// The detector's output on the frame.
+    pub dets: Vec<Detection>,
 }
 
 /// Runs the detector over a frame sequence.
@@ -85,146 +101,6 @@ pub fn window_at(frames: &[GtFrame], dets: &[Vec<Detection>], center: usize) -> 
     VideoWindow::new(vf, center - lo)
 }
 
-/// Per-frame severity vectors and uncertainty scores over a sequence.
-///
-/// Each frame's window is built and checked independently, so the work
-/// fans out across the runtime's workers and merges in frame order —
-/// identical output at any thread count.
-pub fn score_frames(
-    set: &AssertionSet<VideoWindow>,
-    frames: &[GtFrame],
-    dets: &[Vec<Detection>],
-    runtime: &ThreadPool,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
-    runtime
-        .map_indexed(frames.len(), |i| {
-            let window = window_at(frames, dets, i);
-            let outcomes = set.check_all(&window);
-            let severities: Vec<f64> = outcomes.iter().map(|(_, s)| s.value()).collect();
-            (severities, frame_uncertainty(&dets[i]))
-        })
-        .into_iter()
-        .unzip()
-}
-
-/// The per-frame uncertainty signal shared by the batch and streaming
-/// scorers: least-confidence over the frame's detections (frames with no
-/// detections carry no uncertainty — exactly the blind spot of
-/// uncertainty sampling the paper exploits).
-pub fn frame_uncertainty(dets: &[Detection]) -> f64 {
-    dets.iter()
-        .map(|d| 1.0 - d.scored.score)
-        .fold(0.0f64, f64::max)
-}
-
-/// An incremental night-street scorer: ingests one frame at a time over
-/// a ring buffer, prepares each completed window **once** (one tracker
-/// run + one consistency check), and shares the artifact across all
-/// three video assertions — the streaming counterpart of
-/// [`score_frames`], bit-for-bit equal to it.
-pub struct VideoStreamScorer<'a> {
-    set: &'a AssertionSet<VideoWindow, VideoPrep>,
-    preparer: &'a (dyn Prepare<VideoWindow, Prepared = VideoPrep> + 'a),
-    frames: &'a [GtFrame],
-    dets: &'a [Vec<Detection>],
-    slider: SlidingWindows<VideoFrame>,
-    /// Uncertainties of frames whose windows are still pending.
-    pending_unc: VecDeque<f64>,
-}
-
-impl<'a> VideoStreamScorer<'a> {
-    /// Creates a scorer over a frame/detection stream. The preparer must
-    /// use the same temporal threshold the set was built with (pass a
-    /// counting probe to verify the prepare-once invariant).
-    pub fn new(
-        set: &'a AssertionSet<VideoWindow, VideoPrep>,
-        preparer: &'a (dyn Prepare<VideoWindow, Prepared = VideoPrep> + 'a),
-        frames: &'a [GtFrame],
-        dets: &'a [Vec<Detection>],
-    ) -> Self {
-        assert_eq!(
-            frames.len(),
-            dets.len(),
-            "need one detection list per frame"
-        );
-        Self {
-            set,
-            preparer,
-            frames,
-            dets,
-            slider: SlidingWindows::new(WINDOW_HALF),
-            pending_unc: VecDeque::with_capacity(WINDOW_HALF + 1),
-        }
-    }
-
-    /// Scores one completed window: prepare once, check every assertion
-    /// against the shared tracked window.
-    fn score(&mut self, items: Vec<VideoFrame>, center: usize) -> (Vec<f64>, f64) {
-        let window = VideoWindow::new(items, center);
-        let prep = self.preparer.prepare(&window);
-        let severities = self
-            .set
-            .check_all_prepared(&window, &prep)
-            .iter()
-            .map(|&(_, s)| s.value())
-            .collect();
-        let unc = self
-            .pending_unc
-            .pop_front()
-            .expect("one pending uncertainty per completed window");
-        (severities, unc)
-    }
-}
-
-impl StreamScorer for VideoStreamScorer<'_> {
-    type Output = (Vec<f64>, f64);
-
-    fn push(&mut self, index: usize) -> Option<(Vec<f64>, f64)> {
-        let frame = &self.frames[index];
-        let vf = VideoFrame {
-            index: frame.index,
-            time: frame.time,
-            dets: self.dets[index].iter().map(|d| d.scored).collect(),
-        };
-        self.pending_unc
-            .push_back(frame_uncertainty(&self.dets[index]));
-        let ready = self.slider.push(vf);
-        ready.map(|w| self.score(w.items, w.center))
-    }
-
-    fn finish(mut self) -> Vec<(Vec<f64>, f64)> {
-        let tail = self.slider.finish();
-        tail.into_iter()
-            .map(|w| self.score(w.items, w.center))
-            .collect()
-    }
-}
-
-/// The streaming counterpart of [`score_frames`]: same per-frame severity
-/// vectors and uncertainties, computed incrementally over a ring buffer
-/// with **one** preparation per window (tracking + consistency check,
-/// shared by all three assertions) instead of one per assertion. Chunks
-/// of the stream fan out across the runtime's workers and merge in frame
-/// order — bit-for-bit identical to the batch path at any thread count.
-pub fn stream_score_frames(
-    set: &AssertionSet<VideoWindow, VideoPrep>,
-    preparer: &VideoPrepare,
-    frames: &[GtFrame],
-    dets: &[Vec<Detection>],
-    runtime: &ThreadPool,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
-    assert_eq!(
-        frames.len(),
-        dets.len(),
-        "need one detection list per frame"
-    );
-    score_stream_chunked(frames.len(), WINDOW_HALF, runtime, |_offset| {
-        VideoStreamScorer::new(set, preparer, frames, dets)
-    })
-    .into_iter()
-    .unzip()
-}
-
 /// Builds `n` sliding monitor windows over a fresh night-street stream —
 /// the shared input of the engine benchmarks and `exp_throughput`.
 pub fn monitor_windows(n: usize, seed: u64) -> Vec<VideoWindow> {
@@ -259,90 +135,6 @@ pub fn label_frame_into(batch: &mut TrainingBatch, frame: &GtFrame) {
     }
 }
 
-/// The night-street active learner of Figure 4a.
-pub struct VideoLearner {
-    scenario: VideoScenario,
-    detector: SimDetector,
-    assertions: AssertionSet<VideoWindow, VideoPrep>,
-    preparer: VideoPrepare,
-    /// Pool positions (into `scenario.pool_frames`) still unlabeled.
-    unlabeled: Vec<usize>,
-    labeled_batch: TrainingBatch,
-    epochs_per_round: usize,
-    runtime: ThreadPool,
-}
-
-impl VideoLearner {
-    /// Creates a learner around a pretrained detector, scoring pools on
-    /// the harness-wide runtime (`--threads`) via the streaming path
-    /// (one tracker run per window, shared by all three assertions).
-    pub fn new(scenario: VideoScenario, detector: SimDetector) -> Self {
-        let n = scenario.pool_frames.len();
-        Self {
-            scenario,
-            detector,
-            assertions: video_prepared_assertion_set(FLICKER_T),
-            preparer: VideoPrepare::new(FLICKER_T),
-            unlabeled: (0..n).collect(),
-            labeled_batch: TrainingBatch::new(),
-            epochs_per_round: 4,
-            runtime: crate::runtime(),
-        }
-    }
-
-    /// Overrides the scoring runtime (results are identical at any
-    /// thread count; only wall-clock changes).
-    pub fn with_runtime(mut self, runtime: ThreadPool) -> Self {
-        self.runtime = runtime;
-        self
-    }
-
-    /// The current detector.
-    pub fn detector(&self) -> &SimDetector {
-        &self.detector
-    }
-
-    /// Number of frames still unlabeled.
-    pub fn unlabeled_len(&self) -> usize {
-        self.unlabeled.len()
-    }
-}
-
-impl ActiveLearner for VideoLearner {
-    fn pool(&mut self) -> CandidatePool {
-        // Score the whole stream once (windows need neighbours) on the
-        // streaming path, then project onto the unlabeled positions.
-        let dets = detect_all(&self.detector, &self.scenario.pool_frames);
-        let (sev, unc) = stream_score_frames(
-            &self.assertions,
-            &self.preparer,
-            &self.scenario.pool_frames,
-            &dets,
-            &self.runtime,
-        );
-        let severities = self.unlabeled.iter().map(|&i| sev[i].clone()).collect();
-        let uncertainties = self.unlabeled.iter().map(|&i| unc[i]).collect();
-        CandidatePool::new(severities, uncertainties).expect("consistent pool")
-    }
-
-    fn label_and_train(&mut self, selection: &[usize], rng: &mut StdRng) {
-        for &frame_idx in &crate::claim_selection(&mut self.unlabeled, selection) {
-            label_frame_into(
-                &mut self.labeled_batch,
-                &self.scenario.pool_frames[frame_idx],
-            );
-        }
-        if !self.labeled_batch.is_empty() {
-            self.detector
-                .train(&self.labeled_batch, self.epochs_per_round, rng);
-        }
-    }
-
-    fn evaluate(&mut self) -> f64 {
-        evaluate_map(&self.detector, &self.scenario.test_frames)
-    }
-}
-
 /// The weak-supervision experiment for video (Table 4, row 1): corrections
 /// from the consistency assertions fine-tune the pretrained detector with
 /// no human labels.
@@ -367,68 +159,105 @@ pub fn video_weak_supervision(
     (before, after)
 }
 
-/// A detection-level error with its confidence, for the Figure 3
-/// analysis.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FoundError {
-    /// Confidence attributed to the error.
-    pub confidence: f64,
-    /// Pool frame index where it was found.
-    pub frame: usize,
-    /// Identity of the erroneous track or cluster within the frame.
-    /// `(frame, source)` is the error's dedup key across overlapping
-    /// windows: two *distinct* errors in one frame stay distinct even
-    /// when they happen to share a confidence.
-    pub source: u64,
-}
+impl Scenario for VideoScenario {
+    type Item = VideoItem;
+    type Sample = VideoWindow;
+    type Prep = VideoPrep;
+    type Model = SimDetector;
+    type Labels = TrainingBatch;
 
-/// Collects, per assertion name, the *true* errors found in flagged
-/// windows, with the confidence the paper's analysis assigns them
-/// (duplicates/FPs use their own confidence; flicker misses use "the
-/// average of the surrounding boxes", §5.3).
-pub fn errors_by_assertion(
-    frames: &[GtFrame],
-    dets: &[Vec<Detection>],
-    set: &AssertionSet<VideoWindow>,
-) -> Vec<(String, Vec<FoundError>)> {
-    let mut out: Vec<(String, Vec<FoundError>)> = set
-        .names()
-        .iter()
-        .map(|n| (n.to_string(), Vec::new()))
-        .collect();
-    for center in 0..frames.len() {
-        let window = window_at(frames, dets, center);
-        let outcomes = set.check_all(&window);
-        for (aid, severity) in outcomes {
-            if !severity.fired() {
-                continue;
-            }
-            let name = set.name(aid);
-            let errors = match name {
-                "multibox" => duplicate_errors(&dets[center], center),
-                "appear" => clutter_errors(&dets[center], center),
-                "flicker" => flicker_miss_errors(frames, dets, center),
-                _ => Vec::new(),
-            };
-            out[aid.0].1.extend(errors);
+    fn name(&self) -> &'static str {
+        "video"
+    }
+
+    fn title(&self) -> &'static str {
+        "Video analytics"
+    }
+
+    fn metric_unit(&self) -> &'static str {
+        "mAP"
+    }
+
+    fn window_half(&self) -> usize {
+        WINDOW_HALF
+    }
+
+    fn pool_len(&self) -> usize {
+        self.pool_frames.len()
+    }
+
+    fn pretrained_model(&self, seed: u64) -> SimDetector {
+        pretrained_detector(seed)
+    }
+
+    fn run_model(&self, model: &SimDetector) -> Vec<VideoItem> {
+        self.pool_frames
+            .iter()
+            .map(|f| VideoItem {
+                gt: f.clone(),
+                dets: model.detect_frame(f.index, &f.signals),
+            })
+            .collect()
+    }
+
+    fn assertion_set(&self) -> omg_core::AssertionSet<VideoWindow> {
+        video_assertion_set(FLICKER_T)
+    }
+
+    fn prepared_set(&self) -> omg_core::AssertionSet<VideoWindow, VideoPrep> {
+        video_prepared_assertion_set(FLICKER_T)
+    }
+
+    fn preparer(&self) -> Box<dyn omg_core::stream::Prepare<VideoWindow, Prepared = VideoPrep>> {
+        Box::new(VideoPrepare::new(FLICKER_T))
+    }
+
+    fn make_sample(&self, items: &[VideoItem], center: usize) -> VideoWindow {
+        let frames = items
+            .iter()
+            .map(|it| VideoFrame {
+                index: it.gt.index,
+                time: it.gt.time,
+                dets: it.dets.iter().map(|d| d.scored).collect(),
+            })
+            .collect();
+        VideoWindow::new(frames, center)
+    }
+
+    fn uncertainty(&self, item: &VideoItem) -> f64 {
+        detection_uncertainty(item.dets.iter().map(|d| d.scored.score))
+    }
+
+    fn initial_labels(&self) -> TrainingBatch {
+        TrainingBatch::new()
+    }
+
+    fn label_into(&self, labels: &mut TrainingBatch, pool_index: usize) {
+        label_frame_into(labels, &self.pool_frames[pool_index]);
+    }
+
+    fn train(&self, model: &mut SimDetector, labels: &TrainingBatch, rng: &mut StdRng) {
+        if !labels.is_empty() {
+            model.train(labels, 4, rng);
         }
     }
-    // Deduplicate per assertion (overlapping windows re-find the same
-    // error) by track/cluster identity — *not* by confidence, which
-    // would collapse distinct same-confidence errors in one frame.
-    for (_, errs) in &mut out {
-        dedup_errors(errs);
-    }
-    out
-}
 
-/// Sorts errors into (frame, source) order and drops re-findings of the
-/// same error from overlapping windows. Identity — not confidence — is
-/// the key: two distinct errors in one frame that happen to share a
-/// confidence both survive.
-pub(crate) fn dedup_errors(errs: &mut Vec<FoundError>) {
-    errs.sort_by(|a, b| a.frame.cmp(&b.frame).then(a.source.cmp(&b.source)));
-    errs.dedup_by(|a, b| a.frame == b.frame && a.source == b.source);
+    fn evaluate(&self, model: &SimDetector) -> f64 {
+        evaluate_map(model, &self.test_frames)
+    }
+
+    fn weak_supervision(&self, model: &SimDetector, rng: &mut StdRng) -> Option<(f64, f64)> {
+        Some(video_weak_supervision(self, model, 6, rng))
+    }
+
+    fn item_errors(&self, assertion: &str, items: &[VideoItem], center: usize) -> Vec<FoundError> {
+        match assertion {
+            "multibox" => duplicate_errors(&items[center].dets, center),
+            "appear" => clutter_errors(&items[center].dets, center),
+            "flicker" => flicker_miss_errors(items, center),
+            _ => Vec::new(),
+        }
+    }
 }
 
 pub(crate) fn duplicate_errors(dets: &[Detection], frame: usize) -> Vec<FoundError> {
@@ -473,22 +302,21 @@ pub(crate) fn clutter_errors(dets: &[Detection], frame: usize) -> Vec<FoundError
 
 /// Missed objects at `center` that were detected on both adjacent frames
 /// (a flicker miss); confidence = mean of the neighbours' confidences.
-fn flicker_miss_errors(
-    frames: &[GtFrame],
-    dets: &[Vec<Detection>],
-    center: usize,
-) -> Vec<FoundError> {
-    if center == 0 || center + 1 >= frames.len() {
+fn flicker_miss_errors(items: &[VideoItem], center: usize) -> Vec<FoundError> {
+    if center == 0 || center + 1 >= items.len() {
         return Vec::new();
     }
-    let detected_conf = |frame_idx: usize, track: u64| -> Option<f64> {
-        dets[frame_idx].iter().find_map(|d| match d.provenance {
-            Provenance::Object { track_id, .. } if track_id == track => Some(d.scored.score),
-            _ => None,
-        })
+    let detected_conf = |item_idx: usize, track: u64| -> Option<f64> {
+        items[item_idx]
+            .dets
+            .iter()
+            .find_map(|d| match d.provenance {
+                Provenance::Object { track_id, .. } if track_id == track => Some(d.scored.score),
+                _ => None,
+            })
     };
     let mut errors = Vec::new();
-    for signal in frames[center].signals.iter().filter(|s| !s.is_clutter()) {
+    for signal in items[center].gt.signals.iter().filter(|s| !s.is_clutter()) {
         if detected_conf(center, signal.track_id).is_some() {
             continue;
         }
@@ -506,10 +334,11 @@ fn flicker_miss_errors(
     errors
 }
 
-/// All detection confidences in the sequence (the Figure 3 population).
-pub fn all_confidences(dets: &[Vec<Detection>]) -> Vec<f64> {
-    dets.iter()
-        .flat_map(|d| d.iter().map(|x| x.scored.score))
+/// All detection confidences in the stream (the Figure 3 population).
+pub fn all_confidences(items: &[VideoItem]) -> Vec<f64> {
+    items
+        .iter()
+        .flat_map(|it| it.dets.iter().map(|x| x.scored.score))
         .collect()
 }
 
@@ -518,10 +347,23 @@ pub fn pretrained_detector(seed: u64) -> SimDetector {
     SimDetector::pretrained(DetectorConfig::default(), seed)
 }
 
+/// The registry's shared pretrained detector (model seed 1): pretraining
+/// is by far the most expensive step of building a harness (a
+/// 7,000-example corpus, 30 epochs), and the conformance suite varies
+/// the *world* per case, so one cached model serves them all.
+pub fn shared_pretrained_detector() -> &'static SimDetector {
+    static DETECTOR: OnceLock<SimDetector> = OnceLock::new();
+    DETECTOR.get_or_init(|| pretrained_detector(1))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use omg_domains::video_assertion_set;
+    use omg_active::ActiveLearner;
+    use omg_core::runtime::ThreadPool;
+    use omg_scenario::{
+        dedup_errors, errors_by_assertion, score_scenario, stream_score_scenario, ScenarioLearner,
+    };
     use rand::SeedableRng;
 
     fn tiny_scenario() -> VideoScenario {
@@ -553,12 +395,27 @@ mod tests {
     }
 
     #[test]
-    fn assertions_fire_on_night_street() {
+    fn generic_samples_match_hand_built_windows() {
+        // The trait's make_sample must build exactly the clamped window
+        // the pre-engine `window_at` reference built.
         let s = tiny_scenario();
         let det = pretrained_detector(1);
         let dets = detect_all(&det, &s.pool_frames);
-        let set = video_assertion_set(FLICKER_T);
-        let (sev, unc) = score_frames(&set, &s.pool_frames, &dets, &ThreadPool::sequential());
+        let items = s.run_model(&det);
+        for center in [0usize, 1, 60, 118, 119] {
+            let lo = center.saturating_sub(WINDOW_HALF);
+            let hi = (center + WINDOW_HALF + 1).min(items.len());
+            let sample = s.make_sample(&items[lo..hi], center - lo);
+            assert_eq!(sample, window_at(&s.pool_frames, &dets, center));
+        }
+    }
+
+    #[test]
+    fn assertions_fire_on_night_street() {
+        let s = tiny_scenario();
+        let items = s.run_model(&pretrained_detector(1));
+        let set = s.assertion_set();
+        let (sev, unc) = score_scenario(&s, &set, &items, &ThreadPool::sequential());
         assert_eq!(sev.len(), 120);
         assert_eq!(unc.len(), 120);
         let total_fires: f64 = sev.iter().flat_map(|r| r.iter()).sum();
@@ -569,7 +426,7 @@ mod tests {
         // The fan-out path merges in frame order: identical scores at
         // any thread count.
         for threads in [2, 8] {
-            let (psev, punc) = score_frames(&set, &s.pool_frames, &dets, &ThreadPool::new(threads));
+            let (psev, punc) = score_scenario(&s, &set, &items, &ThreadPool::new(threads));
             assert_eq!(psev, sev, "severities differ at {threads} threads");
             assert_eq!(punc, unc, "uncertainties differ at {threads} threads");
         }
@@ -578,7 +435,7 @@ mod tests {
     #[test]
     fn learner_trains_and_pool_shrinks() {
         let s = tiny_scenario();
-        let mut learner = VideoLearner::new(s, pretrained_detector(1));
+        let mut learner = ScenarioLearner::new(s, pretrained_detector(1));
         let mut rng = StdRng::seed_from_u64(2);
         let pool = learner.pool();
         assert_eq!(pool.len(), 120);
@@ -593,8 +450,8 @@ mod tests {
         // Regression: a selection with repeated positions used to label
         // (and budget-count) the frame twice; the learner must end up in
         // exactly the state a deduplicated selection produces.
-        let mut dup = VideoLearner::new(tiny_scenario(), pretrained_detector(1));
-        let mut clean = VideoLearner::new(tiny_scenario(), pretrained_detector(1));
+        let mut dup = ScenarioLearner::new(tiny_scenario(), pretrained_detector(1));
+        let mut clean = ScenarioLearner::new(tiny_scenario(), pretrained_detector(1));
         let mut rng_dup = StdRng::seed_from_u64(2);
         let mut rng_clean = StdRng::seed_from_u64(2);
         dup.label_and_train(&[7, 3, 7, 7, 3], &mut rng_dup);
@@ -602,10 +459,10 @@ mod tests {
         assert_eq!(dup.unlabeled_len(), 118);
         assert_eq!(dup.unlabeled_len(), clean.unlabeled_len());
         // Identical training data => identical detector behaviour.
-        let frame = &dup.scenario.test_frames[0];
+        let frame = &dup.scenario().test_frames[0];
         assert_eq!(
-            dup.detector().detect_frame(frame.index, &frame.signals),
-            clean.detector().detect_frame(frame.index, &frame.signals),
+            dup.model().detect_frame(frame.index, &frame.signals),
+            clean.model().detect_frame(frame.index, &frame.signals),
             "double-labeled batch changed training"
         );
     }
@@ -613,22 +470,19 @@ mod tests {
     #[test]
     fn stream_scoring_matches_batch_scoring() {
         let s = tiny_scenario();
-        let det = pretrained_detector(1);
-        let dets = detect_all(&det, &s.pool_frames);
-        let batch_set = video_assertion_set(FLICKER_T);
-        let (sev, unc) = score_frames(&batch_set, &s.pool_frames, &dets, &ThreadPool::sequential());
-        let stream_set = video_prepared_assertion_set(FLICKER_T);
-        let preparer = VideoPrepare::new(FLICKER_T);
+        let items = s.run_model(&pretrained_detector(1));
+        let want = score_scenario(&s, &s.assertion_set(), &items, &ThreadPool::sequential());
+        let stream_set = s.prepared_set();
+        let preparer = s.preparer();
         for threads in [1, 2, 8] {
-            let (ssev, sunc) = stream_score_frames(
+            let got = stream_score_scenario(
+                &s,
                 &stream_set,
                 &preparer,
-                &s.pool_frames,
-                &dets,
+                &items,
                 &ThreadPool::new(threads),
             );
-            assert_eq!(ssev, sev, "severities diverge at {threads} threads");
-            assert_eq!(sunc, unc, "uncertainties diverge at {threads} threads");
+            assert_eq!(got, want, "stream diverges from batch at {threads} threads");
         }
     }
 
@@ -709,53 +563,9 @@ mod tests {
     }
 
     #[test]
-    fn equal_confidence_distinct_errors_survive_dedup() {
-        // Regression: dedup used to key on (frame, confidence), merging
-        // two distinct same-frame errors that tie on confidence.
-        let mut errs = vec![
-            FoundError {
-                confidence: 0.8,
-                frame: 4,
-                source: 11,
-            },
-            FoundError {
-                confidence: 0.8,
-                frame: 4,
-                source: 22,
-            },
-            FoundError {
-                confidence: 0.8,
-                frame: 4,
-                source: 11,
-            }, // re-found by the next window
-            FoundError {
-                confidence: 0.5,
-                frame: 2,
-                source: 11,
-            },
-        ];
-        dedup_errors(&mut errs);
-        assert_eq!(
-            errs,
-            vec![
-                FoundError {
-                    confidence: 0.5,
-                    frame: 2,
-                    source: 11
-                },
-                FoundError {
-                    confidence: 0.8,
-                    frame: 4,
-                    source: 11
-                },
-                FoundError {
-                    confidence: 0.8,
-                    frame: 4,
-                    source: 22
-                },
-            ]
-        );
-        // And the clutter extractor tags sources so ties stay distinct.
+    fn equal_confidence_clutter_errors_stay_distinct() {
+        // The clutter extractor tags sources so confidence ties survive
+        // the identity-keyed dedup.
         let dets = vec![
             det(0.8, Provenance::Clutter { track_id: 1 }),
             det(0.8, Provenance::Clutter { track_id: 2 }),
@@ -772,10 +582,9 @@ mod tests {
     #[test]
     fn error_collection_is_well_formed() {
         let s = tiny_scenario();
-        let det = pretrained_detector(1);
-        let dets = detect_all(&det, &s.pool_frames);
-        let set = video_assertion_set(FLICKER_T);
-        let by_assertion = errors_by_assertion(&s.pool_frames, &dets, &set);
+        let items = s.run_model(&pretrained_detector(1));
+        let set = s.assertion_set();
+        let by_assertion = errors_by_assertion(&s, &set, &items);
         assert_eq!(by_assertion.len(), 3);
         for (_, errs) in &by_assertion {
             for e in errs {
@@ -783,7 +592,7 @@ mod tests {
                 assert!(e.frame < 120);
             }
         }
-        let confs = all_confidences(&dets);
+        let confs = all_confidences(&items);
         assert!(!confs.is_empty());
     }
 }

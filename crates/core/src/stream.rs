@@ -54,6 +54,21 @@ pub trait Prepare<S>: Send + Sync {
     fn prepare(&self, sample: &S) -> Self::Prepared;
 }
 
+/// Boxed preparers prepare by delegation, so a `Box<dyn Prepare<S,
+/// Prepared = P>>` (how scenario harnesses hold their preparer) can be
+/// passed anywhere a concrete preparer is expected — including inside a
+/// [`CountingPrepare`] probe.
+impl<S, Pr> Prepare<S> for Box<Pr>
+where
+    Pr: Prepare<S> + ?Sized,
+{
+    type Prepared = Pr::Prepared;
+
+    fn prepare(&self, sample: &S) -> Self::Prepared {
+        (**self).prepare(sample)
+    }
+}
+
 /// The trivial preparation: no shared artifact. Lets any plain
 /// `AssertionSet<S>` run on the streaming engine unchanged.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]

@@ -9,6 +9,11 @@
 //! | AVs | `agree`, `multibox` | [`agree`], [`multibox`] |
 //! | ECG | 30-second consistency | [`ecg`] |
 //!
+//! A fifth scenario beyond the paper's four — highway multi-sensor
+//! fusion (`fusion-agree`, `fusion-flicker`, module [`fusion`]) — is
+//! composed from the same primitives to prove the abstraction transfers
+//! to new deployment surfaces.
+//!
 //! Each assertion lives in its own file with `// BEGIN ASSERTION` /
 //! `// END ASSERTION` markers around its core logic; the Table 2
 //! experiment counts the non-blank, non-comment lines between the markers
@@ -36,6 +41,7 @@ pub mod agree;
 pub mod appear;
 pub mod ecg;
 pub mod flicker;
+pub mod fusion;
 pub mod helpers;
 pub mod label_check;
 pub mod multibox;
@@ -44,6 +50,10 @@ pub mod prepared;
 pub mod weak;
 mod window;
 
+pub use fusion::{
+    fusion_assertion_set, fusion_prepared_assertion_set, FusionFrame, FusionPrep, FusionPrepare,
+    FusionWindow,
+};
 pub use prepared::{
     av_prepared_assertion_set, ecg_prepared_assertion_set, news_prepared_assertion_set,
     video_prepared_assertion_set, AvPrepare, EcgPrepare, NewsPrepare, TrackedWindow, VideoPrep,

@@ -1,0 +1,169 @@
+//! The generic scoring drivers every scenario runs through.
+//!
+//! Both paths return, per stream position, the dense per-assertion
+//! severity vector and the model uncertainty — the inputs the selection
+//! strategies consume — and both are deterministic, input-order merged,
+//! and bit-for-bit identical to each other at any thread count (the
+//! registry-driven conformance suite enforces this for every registered
+//! scenario).
+
+use omg_core::runtime::ThreadPool;
+use omg_core::stream::{score_stream_chunked, Prepare, SlidingWindows, StreamScorer, WindowItems};
+use omg_core::AssertionSet;
+
+use crate::Scenario;
+
+/// Batch-scores a scenario's item stream: for each position, the clamped
+/// window of `window_half` items of context becomes a sample checked
+/// with the **self-contained** assertion set (each assertion re-derives
+/// what it needs — the reference semantics, and what the paper's Python
+/// implementation does). Work fans out across the pool's workers and
+/// merges in stream order.
+pub fn score_scenario<Sc: Scenario>(
+    scenario: &Sc,
+    set: &AssertionSet<Sc::Sample>,
+    items: &[Sc::Item],
+    pool: &ThreadPool,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let half = scenario.window_half();
+    let n = items.len();
+    pool.map_indexed(n, |i| {
+        let lo = i.saturating_sub(half);
+        let hi = (i + half + 1).min(n);
+        let sample = scenario.make_sample(&items[lo..hi], i - lo);
+        let severities: Vec<f64> = set
+            .check_all(&sample)
+            .iter()
+            .map(|&(_, s)| s.value())
+            .collect();
+        (severities, scenario.uncertainty(&items[i]))
+    })
+    .into_iter()
+    .unzip()
+}
+
+/// An incremental scorer over one chunk of a scenario's item stream:
+/// ingests items one at a time over a ring buffer, prepares each
+/// completed window **once**, and checks the prepared assertion set
+/// against the shared artifact. This one type replaces the per-scenario
+/// stream scorers the use cases used to hand-roll.
+struct ScenarioStreamScorer<'a, Sc: Scenario> {
+    scenario: &'a Sc,
+    set: &'a AssertionSet<Sc::Sample, Sc::Prep>,
+    preparer: &'a (dyn Prepare<Sc::Sample, Prepared = Sc::Prep> + 'a),
+    items: &'a [Sc::Item],
+    /// Global index of the first item this scorer is fed (chunk start).
+    offset: usize,
+    slider: SlidingWindows<Sc::Item>,
+}
+
+impl<Sc: Scenario> ScenarioStreamScorer<'_, Sc> {
+    fn score(&self, w: WindowItems<Sc::Item>) -> (Vec<f64>, f64) {
+        let sample = self.scenario.make_sample(&w.items, w.center);
+        let prep = self.preparer.prepare(&sample);
+        let severities = self
+            .set
+            .check_all_prepared(&sample, &prep)
+            .iter()
+            .map(|&(_, s)| s.value())
+            .collect();
+        let unc = self
+            .scenario
+            .uncertainty(&self.items[self.offset + w.index]);
+        (severities, unc)
+    }
+}
+
+impl<Sc: Scenario> StreamScorer for ScenarioStreamScorer<'_, Sc> {
+    type Output = (Vec<f64>, f64);
+
+    fn push(&mut self, index: usize) -> Option<(Vec<f64>, f64)> {
+        let ready = self.slider.push(self.items[index].clone());
+        ready.map(|w| self.score(w))
+    }
+
+    fn finish(mut self) -> Vec<(Vec<f64>, f64)> {
+        let tail = self.slider.finish();
+        tail.into_iter().map(|w| self.score(w)).collect()
+    }
+}
+
+/// Stream-scores a scenario's item stream: the incremental counterpart
+/// of [`score_scenario`], computing identical severities and
+/// uncertainties over a ring buffer with **one** preparation per window
+/// (shared by every assertion in the prepared set) instead of one per
+/// assertion. Chunks of the stream fan out across the pool's workers
+/// with `window_half` items of re-fed margin and merge in stream order —
+/// bit-for-bit equal to the batch path at any thread count.
+///
+/// The preparer is a parameter (rather than taken from the scenario) so
+/// callers can wrap it — the conformance suite passes a
+/// [`omg_core::stream::CountingPrepare`] probe to measure the
+/// prepare-once invariant.
+pub fn stream_score_scenario<Sc: Scenario>(
+    scenario: &Sc,
+    set: &AssertionSet<Sc::Sample, Sc::Prep>,
+    preparer: &(dyn Prepare<Sc::Sample, Prepared = Sc::Prep> + '_),
+    items: &[Sc::Item],
+    pool: &ThreadPool,
+) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let half = scenario.window_half();
+    score_stream_chunked(items.len(), half, pool, |offset| ScenarioStreamScorer {
+        scenario,
+        set,
+        preparer,
+        items,
+        offset,
+        slider: SlidingWindows::new(half),
+    })
+    .into_iter()
+    .unzip()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests_support::{ToyModel, ToyScenario};
+    use omg_core::stream::CountingPrepare;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn stream_equals_batch_on_the_toy_scenario() {
+        let sc = ToyScenario::new(37);
+        let items = sc.run_model(&ToyModel::default());
+        let want = score_scenario(&sc, &sc.assertion_set(), &items, &ThreadPool::sequential());
+        let set = sc.prepared_set();
+        let preparer = sc.preparer();
+        for threads in [1, 2, 8] {
+            let got =
+                stream_score_scenario(&sc, &set, &preparer, &items, &ThreadPool::new(threads));
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn streaming_prepares_once_per_window_sequentially() {
+        let sc = ToyScenario::new(20);
+        let items = sc.run_model(&ToyModel::default());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let probe = CountingPrepare::new(sc.preparer(), counter.clone());
+        let set = sc.prepared_set();
+        let (sev, _) = stream_score_scenario(&sc, &set, &probe, &items, &ThreadPool::sequential());
+        assert_eq!(sev.len(), items.len());
+        assert_eq!(counter.load(Ordering::SeqCst), items.len());
+    }
+
+    #[test]
+    fn empty_stream_scores_empty() {
+        let sc = ToyScenario::new(0);
+        let items: Vec<i64> = Vec::new();
+        let (sev, unc) =
+            score_scenario(&sc, &sc.assertion_set(), &items, &ThreadPool::sequential());
+        assert!(sev.is_empty() && unc.is_empty());
+        let set = sc.prepared_set();
+        let preparer = sc.preparer();
+        let (ssev, sunc) = stream_score_scenario(&sc, &set, &preparer, &items, &ThreadPool::new(4));
+        assert!(ssev.is_empty() && sunc.is_empty());
+    }
+}

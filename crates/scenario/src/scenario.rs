@@ -1,0 +1,164 @@
+use omg_core::stream::Prepare;
+use omg_core::AssertionSet;
+use rand::rngs::StdRng;
+
+use crate::FoundError;
+
+/// One deployed use case, described once: what the four (now five)
+/// experiment scenarios share, factored into a trait so the batch
+/// scorer, the streaming scorer, the active learner, the error
+/// analysis, the conformance suite, and the throughput bench are each
+/// written **once** against it.
+///
+/// The mental model is a stream: the deployed model runs over the
+/// scenario's unlabeled pool and produces one [`Scenario::Item`] per
+/// stream position ([`Scenario::run_model`]). Assertions never see items
+/// directly — they see a [`Scenario::Sample`] built from a clamped
+/// window of [`Scenario::window_half`] items of context on each side
+/// ([`Scenario::make_sample`]), mirroring the paper's
+/// `flickering(recent_frames, recent_outputs)` signature. Scenarios
+/// without temporal context (AV samples, news scenes) use `half = 0`,
+/// where the window degenerates to the item itself.
+///
+/// # Determinism contract
+///
+/// Everything here must be a deterministic pure function of its inputs:
+/// `run_model` of the model and the scenario's (seeded) data,
+/// `make_sample`/`uncertainty` of the items. The generic drivers rely on
+/// this for their bit-for-bit stream==batch guarantee at any thread
+/// count, which the registry-driven conformance suite enforces for every
+/// registered scenario.
+pub trait Scenario: Send + Sync {
+    /// One position of the scored stream: the model's output for that
+    /// position plus whatever the scenario's labeling / error analysis
+    /// needs to keep alongside it (ground truth, provenance, …).
+    type Item: Clone + Send + Sync + 'static;
+    /// The window/sample type the assertions check.
+    type Sample: Send + Sync + 'static;
+    /// The shared per-window preparation artifact (see
+    /// [`omg_core::stream::Prepare`]).
+    type Prep: Send + 'static;
+    /// The deployed, trainable model (`()` for monitoring-only
+    /// scenarios).
+    type Model: Send + Sync + 'static;
+    /// The accumulated labeled training state (a detector's
+    /// `TrainingBatch`, a classifier's `Dataset`, `()` when the scenario
+    /// does not train).
+    type Labels;
+
+    /// Short stable identifier (keys `BENCH_stream_<name>.json` and test
+    /// diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable task name for experiment tables.
+    fn title(&self) -> &'static str {
+        self.name()
+    }
+
+    /// The unit of [`Scenario::evaluate`]'s metric, for table rendering.
+    fn metric_unit(&self) -> &'static str {
+        ""
+    }
+
+    /// Items of temporal context on each side of a window's center.
+    fn window_half(&self) -> usize {
+        0
+    }
+
+    /// Number of positions in the unlabeled pool (equals
+    /// `run_model(..).len()`).
+    fn pool_len(&self) -> usize;
+
+    /// Builds the scenario's pretrained deployment model.
+    fn pretrained_model(&self, seed: u64) -> Self::Model;
+
+    /// Runs the model over the unlabeled pool, producing one item per
+    /// stream position.
+    fn run_model(&self, model: &Self::Model) -> Vec<Self::Item>;
+
+    /// The self-contained assertion set — the batch *reference* path,
+    /// where each assertion re-derives whatever it needs.
+    fn assertion_set(&self) -> AssertionSet<Self::Sample>;
+
+    /// The prepared assertion set — the streaming path, consuming one
+    /// shared [`Scenario::Prep`] artifact per window.
+    fn prepared_set(&self) -> AssertionSet<Self::Sample, Self::Prep>;
+
+    /// The preparer producing the prepared set's shared artifact.
+    fn preparer(&self) -> Box<dyn Prepare<Self::Sample, Prepared = Self::Prep>>;
+
+    /// Builds the assertion sample for one clamped window of items
+    /// (`items[center]` is the position the sample is about).
+    fn make_sample(&self, items: &[Self::Item], center: usize) -> Self::Sample;
+
+    /// The model's uncertainty signal for one item (the
+    /// uncertainty-sampling baseline's score).
+    fn uncertainty(&self, item: &Self::Item) -> f64;
+
+    /// Whether the scenario supports labeling + retraining (TV news does
+    /// not: the paper had no training access for that domain).
+    fn trains(&self) -> bool {
+        true
+    }
+
+    /// The initial labeled training state (e.g. a bootstrap split).
+    fn initial_labels(&self) -> Self::Labels;
+
+    /// Labels pool position `pool_index` into the training state — what
+    /// a labeling service returns for that position.
+    fn label_into(&self, labels: &mut Self::Labels, pool_index: usize);
+
+    /// Retrains the model on the accumulated labels (one active-learning
+    /// round's training step).
+    fn train(&self, model: &mut Self::Model, labels: &Self::Labels, rng: &mut StdRng);
+
+    /// Evaluates the model on the scenario's held-out test split, in the
+    /// unit of [`Scenario::metric_unit`].
+    fn evaluate(&self, model: &Self::Model) -> f64;
+
+    /// The scenario's weak-supervision rule (§4.2), if it has one:
+    /// corrections fine-tune the model with no human labels, returning
+    /// the (before, after) test metric.
+    fn weak_supervision(&self, _model: &Self::Model, _rng: &mut StdRng) -> Option<(f64, f64)> {
+        None
+    }
+
+    /// The true model errors behind assertion `assertion` firing on the
+    /// window centered at `center` — the Figure 3 attribution hook.
+    /// Scenarios without ground-truth error provenance return nothing.
+    fn item_errors(
+        &self,
+        _assertion: &str,
+        _items: &[Self::Item],
+        _center: usize,
+    ) -> Vec<FoundError> {
+        Vec::new()
+    }
+}
+
+/// Least-confidence uncertainty over a set of detection confidences: the
+/// largest `1 - confidence` (0 when there are no detections — exactly
+/// the blind spot of uncertainty sampling the paper exploits, since a
+/// frame with *no* output carries no uncertainty signal at all).
+///
+/// Shared by every detector-backed scenario (video, AV camera, highway
+/// fusion); classifier-backed scenarios use
+/// `omg_learn::uncertainty::least_confidence` over class probabilities
+/// instead.
+pub fn detection_uncertainty<I: IntoIterator<Item = f64>>(confidences: I) -> f64 {
+    confidences
+        .into_iter()
+        .map(|c| 1.0 - c)
+        .fold(0.0f64, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_uncertainty_is_least_confidence() {
+        assert_eq!(detection_uncertainty([0.9, 0.4, 0.7]), 1.0 - 0.4);
+        assert_eq!(detection_uncertainty(std::iter::empty()), 0.0);
+    }
+}

@@ -1,0 +1,130 @@
+//! A tiny self-contained scenario used by this crate's unit tests: an
+//! integer stream, window sums, and a labeling-counting "model".
+
+use omg_core::stream::{FnPrepare, Prepare};
+use omg_core::{AssertionSet, Severity};
+use rand::rngs::StdRng;
+
+use crate::{FoundError, Scenario};
+
+/// The toy's "model": training just records how many points were
+/// labeled, so learner tests can observe training through `evaluate`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ToyModel {
+    pub labeled: usize,
+}
+
+/// A deterministic integer-stream scenario with two assertions.
+#[derive(Debug, Clone)]
+pub struct ToyScenario {
+    n: usize,
+    trains: bool,
+}
+
+impl ToyScenario {
+    pub fn new(n: usize) -> Self {
+        Self { n, trains: true }
+    }
+
+    pub fn monitoring_only(n: usize) -> Self {
+        Self { n, trains: false }
+    }
+}
+
+type ToySample = (Vec<i64>, usize);
+
+impl Scenario for ToyScenario {
+    type Item = i64;
+    type Sample = ToySample;
+    type Prep = i64;
+    type Model = ToyModel;
+    type Labels = Vec<usize>;
+
+    fn name(&self) -> &'static str {
+        "toy"
+    }
+
+    fn window_half(&self) -> usize {
+        1
+    }
+
+    fn pool_len(&self) -> usize {
+        self.n
+    }
+
+    fn pretrained_model(&self, _seed: u64) -> ToyModel {
+        ToyModel::default()
+    }
+
+    fn run_model(&self, _model: &ToyModel) -> Vec<i64> {
+        (0..self.n as i64).map(|i| ((i * 31) % 17) - 8).collect()
+    }
+
+    fn assertion_set(&self) -> AssertionSet<ToySample> {
+        let mut set = AssertionSet::new();
+        set.add_fn("negative-sum", |s: &ToySample| {
+            Severity::from_bool(s.0.iter().sum::<i64>() < 0)
+        });
+        set.add_fn("large-center", |s: &ToySample| {
+            Severity::from_bool(s.0[s.1].abs() > 5)
+        });
+        set
+    }
+
+    fn prepared_set(&self) -> AssertionSet<ToySample, i64> {
+        let mut set: AssertionSet<ToySample, i64> = AssertionSet::new();
+        set.add_prepared(
+            omg_core::FnAssertion::new("negative-sum", |s: &ToySample| {
+                Severity::from_bool(s.0.iter().sum::<i64>() < 0)
+            }),
+            |_s: &ToySample, &sum: &i64| Severity::from_bool(sum < 0),
+        );
+        set.add_fn("large-center", |s: &ToySample| {
+            Severity::from_bool(s.0[s.1].abs() > 5)
+        });
+        set
+    }
+
+    fn preparer(&self) -> Box<dyn Prepare<ToySample, Prepared = i64>> {
+        Box::new(FnPrepare::new(|s: &ToySample| s.0.iter().sum::<i64>()))
+    }
+
+    fn make_sample(&self, items: &[i64], center: usize) -> ToySample {
+        (items.to_vec(), center)
+    }
+
+    fn uncertainty(&self, item: &i64) -> f64 {
+        item.rem_euclid(10) as f64 / 10.0
+    }
+
+    fn trains(&self) -> bool {
+        self.trains
+    }
+
+    fn initial_labels(&self) -> Vec<usize> {
+        Vec::new()
+    }
+
+    fn label_into(&self, labels: &mut Vec<usize>, pool_index: usize) {
+        labels.push(pool_index);
+    }
+
+    fn train(&self, model: &mut ToyModel, labels: &Vec<usize>, _rng: &mut StdRng) {
+        model.labeled = labels.len();
+    }
+
+    fn evaluate(&self, model: &ToyModel) -> f64 {
+        model.labeled as f64
+    }
+
+    fn item_errors(&self, assertion: &str, items: &[i64], center: usize) -> Vec<FoundError> {
+        if assertion != "large-center" {
+            return Vec::new();
+        }
+        vec![FoundError {
+            confidence: 0.5,
+            frame: center,
+            source: items[center].unsigned_abs(),
+        }]
+    }
+}

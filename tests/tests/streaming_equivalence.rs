@@ -1,129 +1,51 @@
-//! The streaming engine's contract: for every deployed scenario, the
-//! incremental prepare-once path is **bit-for-bit equal** to the batch
-//! reference path, across stream lengths and thread counts — and the
-//! expensive per-window preparation runs exactly once per window.
+//! The scenario engine's conformance suite: **every scenario in the
+//! runtime registry** — current and future — automatically gets the
+//! streaming engine's contract checked, with zero per-scenario test
+//! code:
+//!
+//! * the incremental prepare-once path is **bit-for-bit equal** to the
+//!   batch reference path, across world seeds, stream lengths, and the
+//!   1/2/8-thread ladder;
+//! * the expensive per-window preparation runs exactly once per window
+//!   sequentially, and within the chunk-margin bound in parallel;
+//! * every trainable scenario drives active-learning rounds end to end.
 //!
 //! (Heinrichs 2023 motivates the incremental formulation: online
 //! monitoring has to keep up with the stream. The paper's §7 motivates
 //! the equality: assertions must be checkable "over every model
 //! invocation", so the fast path may not change a single severity.)
+//!
+//! Registering a scenario in `omg_bench::scenarios::all_scenarios` is
+//! what puts it under this suite — a new use case is conformance-tested
+//! by construction.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock};
-
+use omg_bench::scenarios::all_scenarios;
 use omg_bench::video::{self, FLICKER_T};
-use omg_bench::{avx, ecgx, newsx};
 use omg_core::runtime::ThreadPool;
-use omg_core::stream::{score_stream_chunked, CountingPrepare, StreamMonitor};
+use omg_core::stream::StreamMonitor;
 use omg_core::Monitor;
-use omg_domains::{
-    av_assertion_set, av_prepared_assertion_set, video_assertion_set, video_prepared_assertion_set,
-    VideoPrepare,
-};
-use omg_sim::detector::SimDetector;
+use omg_domains::{video_assertion_set, video_prepared_assertion_set, VideoPrepare};
 use proptest::prelude::*;
 
 const THREADS: [usize; 3] = [1, 2, 8];
 
-/// Pretraining a detector is by far the most expensive step of a case
-/// (a 7,000-example corpus, 30 epochs); the equivalence properties vary
-/// the *world* per case, so one shared pretrained model suffices.
-fn detector() -> &'static SimDetector {
-    static DETECTOR: OnceLock<SimDetector> = OnceLock::new();
-    DETECTOR.get_or_init(|| video::pretrained_detector(1))
-}
-
-fn camera() -> &'static SimDetector {
-    static CAMERA: OnceLock<SimDetector> = OnceLock::new();
-    CAMERA.get_or_init(|| avx::pretrained_camera(1))
-}
-
 proptest! {
+    /// The registry-wide equivalence property: for every registered
+    /// scenario, streaming severities and uncertainties equal the batch
+    /// reference bit-for-bit at 1, 2, and 8 threads.
     #[test]
-    fn video_stream_equals_batch(seed in 0u64..200, len in 5usize..24) {
-        let scenario = video::VideoScenario::night_street(seed, len, 1);
-        let dets = video::detect_all(detector(), &scenario.pool_frames);
-        let batch_set = video_assertion_set(FLICKER_T);
-        let want = video::score_frames(
-            &batch_set,
-            &scenario.pool_frames,
-            &dets,
-            &ThreadPool::sequential(),
-        );
-        let stream_set = video_prepared_assertion_set(FLICKER_T);
-        let preparer = VideoPrepare::new(FLICKER_T);
-        for threads in THREADS {
-            let got = video::stream_score_frames(
-                &stream_set,
-                &preparer,
-                &scenario.pool_frames,
-                &dets,
-                &ThreadPool::new(threads),
-            );
-            prop_assert_eq!(
-                &got, &want,
-                "video stream != batch (seed={}, len={}, threads={})", seed, len, threads
-            );
-        }
-    }
-
-    #[test]
-    fn ecg_stream_equals_batch(seed in 0u64..200, len in 8usize..48) {
-        let scenario = ecgx::EcgScenario::new(seed, 40, len, 10);
-        let mlp = ecgx::pretrained_classifier(&scenario, seed ^ 3);
-        let want = ecgx::score_pool(&mlp, &scenario.pool, &ThreadPool::sequential());
-        for threads in THREADS {
-            let got = ecgx::stream_score_pool(&mlp, &scenario.pool, &ThreadPool::new(threads));
-            prop_assert_eq!(
-                &got, &want,
-                "ecg stream != batch (seed={}, len={}, threads={})", seed, len, threads
-            );
-        }
-    }
-
-    #[test]
-    fn av_stream_equals_batch(seed in 0u64..200, scenes in 1u64..3) {
-        let scenario = avx::AvScenario::new(seed, scenes, 1);
-        let dets = avx::detect_all(camera(), &scenario.pool);
-        let want = avx::score_samples(
-            &av_assertion_set(),
-            &scenario.pool,
-            &dets,
-            &ThreadPool::sequential(),
-        );
-        let prepared = av_prepared_assertion_set();
-        for threads in THREADS {
-            let got = avx::stream_score_samples(
-                &prepared,
-                &scenario.pool,
-                &dets,
-                &ThreadPool::new(threads),
-            );
-            prop_assert_eq!(
-                &got, &want,
-                "av stream != batch (seed={}, scenes={}, threads={})", seed, scenes, threads
-            );
-        }
-    }
-
-    #[test]
-    fn news_stream_equals_batch(seed in 0u64..200, scenes in 5u64..30) {
-        let scenario = newsx::NewsScenario::new(seed, scenes);
-        let batch_groups = newsx::flagged_groups(&scenario, &ThreadPool::sequential());
-        let batch_fired = newsx::scenes_fired(&scenario);
-        for threads in THREADS {
-            let reports = newsx::stream_scene_reports(&scenario, &ThreadPool::new(threads));
-            prop_assert_eq!(reports.len(), scenario.scenes.len());
-            let stream_groups: Vec<_> = reports.iter().flat_map(|r| r.groups.clone()).collect();
-            prop_assert_eq!(
-                &stream_groups, &batch_groups,
-                "news groups diverge (seed={}, scenes={}, threads={})", seed, scenes, threads
-            );
-            let stream_fired = reports.iter().filter(|r| r.severity > 0.0).count();
-            prop_assert_eq!(
-                stream_fired, batch_fired,
-                "news fire counts diverge (seed={}, scenes={}, threads={})", seed, scenes, threads
-            );
+    fn every_scenario_streams_equal_to_batch(seed in 0u64..120, size in 8usize..32) {
+        for scenario in all_scenarios(seed, size) {
+            let want = scenario.score_batch(&ThreadPool::sequential());
+            prop_assert_eq!(want.0.len(), scenario.len(), "{}: one row per position", scenario.name());
+            for threads in THREADS {
+                let got = scenario.score_stream(&ThreadPool::new(threads));
+                prop_assert_eq!(
+                    &got, &want,
+                    "{} stream != batch (seed={}, size={}, threads={})",
+                    scenario.name(), seed, size, threads
+                );
+            }
         }
     }
 
@@ -138,7 +60,7 @@ proptest! {
             seed,
         );
         let frames = world.steps(len);
-        let dets = video::detect_all(detector(), &frames);
+        let dets = video::detect_all(video::shared_pretrained_detector(), &frames);
         let windows: Vec<_> = (0..len).map(|c| video::window_at(&frames, &dets, c)).collect();
         let mut reference = Monitor::with_assertions(video_assertion_set(FLICKER_T));
         let want: Vec<_> = windows.iter().map(|w| reference.process(w)).collect();
@@ -162,72 +84,82 @@ proptest! {
     }
 }
 
-/// The prepare-once invariant, measured: scoring an `n`-frame stream
-/// runs the video preparation (tracking + consistency check) exactly
-/// `n` times — once per window — on the sequential path, and exactly
-/// once per window *plus re-fed chunk margins* on the chunked parallel
-/// path (margins re-prepare, but their reports are discarded, never
-/// double-emitted).
+/// The prepare-once invariant, measured through the registry's counting
+/// probe: sequentially, scoring an `n`-position stream runs each
+/// scenario's preparation (tracking, projection, segmentation, grouping)
+/// exactly `n` times — once per window.
 #[test]
-fn video_preparation_runs_exactly_once_per_window() {
-    let scenario = video::VideoScenario::night_street(11, 60, 1);
-    let dets = video::detect_all(detector(), &scenario.pool_frames);
-    let set = video_prepared_assertion_set(FLICKER_T);
-    let n = scenario.pool_frames.len();
-
-    let counter = Arc::new(AtomicUsize::new(0));
-    let probe = CountingPrepare::new(VideoPrepare::new(FLICKER_T), counter.clone());
-    let out = score_stream_chunked(n, video::WINDOW_HALF, &ThreadPool::sequential(), |_| {
-        video::VideoStreamScorer::new(&set, &probe, &scenario.pool_frames, &dets)
-    });
-    assert_eq!(out.len(), n);
-    assert_eq!(
-        counter.load(Ordering::SeqCst),
-        n,
-        "sequential streaming must prepare exactly once per window"
-    );
-
-    // StreamMonitor counts its own prepares — same invariant.
-    let mut world =
-        omg_sim::traffic::TrafficWorld::new(omg_sim::traffic::TrafficConfig::night_street(), 5);
-    let frames = world.steps(25);
-    let wdets = video::detect_all(detector(), &frames);
-    let windows: Vec<_> = (0..25)
-        .map(|c| video::window_at(&frames, &wdets, c))
-        .collect();
-    let mut monitor = StreamMonitor::new(
-        video_prepared_assertion_set(FLICKER_T),
-        VideoPrepare::new(FLICKER_T),
-    );
-    for w in &windows {
-        monitor.ingest(w);
+fn preparation_runs_exactly_once_per_window_sequentially() {
+    for scenario in all_scenarios(11, 60) {
+        let ((sev, _), prepares) = scenario.score_stream_counting(&ThreadPool::sequential());
+        assert_eq!(sev.len(), scenario.len());
+        assert_eq!(
+            prepares,
+            scenario.len(),
+            "{}: sequential streaming must prepare exactly once per window",
+            scenario.name()
+        );
     }
-    assert_eq!(monitor.prepare_count(), windows.len());
 }
 
 /// Chunked parallel streaming re-prepares only the chunk margins: with
-/// chunk size `ceil(n / (threads * 4))` and margin `2 * WINDOW_HALF`,
-/// the prepare count stays within `n + n_chunks * 2 * WINDOW_HALF`.
+/// chunk size `ceil(n / (threads * 4))` and margin `2 * half`, each
+/// scenario's prepare count stays within `n + n_chunks * 2 * half`.
 #[test]
 fn parallel_streaming_overhead_is_bounded_by_chunk_margins() {
-    let scenario = video::VideoScenario::night_street(13, 80, 1);
-    let dets = video::detect_all(detector(), &scenario.pool_frames);
-    let set = video_prepared_assertion_set(FLICKER_T);
-    let n = scenario.pool_frames.len();
     let threads = 4;
+    for scenario in all_scenarios(13, 80) {
+        let n = scenario.len();
+        let ((sev, _), prepares) = scenario.score_stream_counting(&ThreadPool::new(threads));
+        assert_eq!(sev.len(), n);
+        let chunk = n.div_ceil(threads * 4).max(1);
+        let n_chunks = n.div_ceil(chunk);
+        let bound = n + n_chunks * 2 * scenario.window_half();
+        assert!(
+            prepares >= n && prepares <= bound,
+            "{}: prepare count {prepares} outside [{n}, {bound}]",
+            scenario.name()
+        );
+    }
+}
 
-    let counter = Arc::new(AtomicUsize::new(0));
-    let probe = CountingPrepare::new(VideoPrepare::new(FLICKER_T), counter.clone());
-    let out = score_stream_chunked(n, video::WINDOW_HALF, &ThreadPool::new(threads), |_| {
-        video::VideoStreamScorer::new(&set, &probe, &scenario.pool_frames, &dets)
-    });
-    assert_eq!(out.len(), n);
-    let chunk = n.div_ceil(threads * 4).max(1);
-    let n_chunks = n.div_ceil(chunk);
-    let prepares = counter.load(Ordering::SeqCst);
-    assert!(
-        prepares >= n && prepares <= n + n_chunks * 2 * video::WINDOW_HALF,
-        "prepare count {prepares} outside [{n}, {}]",
-        n + n_chunks * 2 * video::WINDOW_HALF
-    );
+/// Every trainable scenario runs active-learning rounds end to end
+/// through the erased registry learner (the fifth scenario is covered
+/// here with zero scenario-specific test code); monitoring-only
+/// scenarios hand out no learner.
+#[test]
+fn every_trainable_scenario_drives_learning_rounds() {
+    use rand::SeedableRng;
+    let mut saw_learner = 0usize;
+    for scenario in all_scenarios(5, 24) {
+        let Some(mut learner) = scenario.learner(ThreadPool::sequential()) else {
+            assert_eq!(
+                scenario.name(),
+                "news",
+                "only TV news is monitoring-only (no training access, §5.1)"
+            );
+            continue;
+        };
+        saw_learner += 1;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let records = omg_active::run_rounds(
+            learner.as_mut(),
+            &mut omg_active::RandomStrategy,
+            2,
+            4,
+            &mut rng,
+        );
+        assert_eq!(
+            records.len(),
+            2,
+            "{}: one record per round",
+            scenario.name()
+        );
+        assert!(
+            records.iter().all(|r| r.labeled == 4),
+            "{}: every round labels its budget",
+            scenario.name()
+        );
+    }
+    assert_eq!(saw_learner, 4, "four of the five scenarios train");
 }
