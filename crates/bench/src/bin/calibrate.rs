@@ -13,6 +13,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    omg_bench::validate_args_or_exit(
+        &std::env::args().collect::<Vec<_>>(),
+        &omg_bench::CliSpec {
+            value_flags: &["--threads"],
+            bare_flags: &[],
+            max_positionals: 0,
+        },
+        "calibrate [--threads N]",
+    );
     omg_bench::init_runtime_from_args();
     let t0 = std::time::Instant::now();
 

@@ -14,7 +14,9 @@
 //! everything and archives the outputs under `target/experiments/`.
 //! `--threads` pins the scoring fan-out width (results are identical at
 //! any setting); `--seed` overrides the default seed of the
-//! seed-parameterized experiments.
+//! seed-parameterized experiments. Anything else — an unknown flag, a
+//! typo'd `--thread`, a value on a bare switch, a second positional —
+//! is rejected with a usage message instead of being silently ignored.
 
 /// The first positional (non-flag) argument, wherever it sits relative
 /// to the flags. Every `exp` flag takes a value, so a bare `--flag`
@@ -34,9 +36,30 @@ fn positional(args: &[String]) -> Option<&str> {
     None
 }
 
+const USAGE: &str = "exp [<experiment>|all] [--threads N] [--seed S]";
+
 fn main() {
-    omg_bench::init_runtime_from_args();
     let args: Vec<String> = std::env::args().collect();
-    let seed = omg_bench::parse_u64_flag(&args, "--seed");
-    omg_bench::experiments::run_cli(positional(&args).unwrap_or("all"), seed);
+    // Reject unknown/malformed arguments before running anything: a
+    // typo'd flag must not silently select a wrong configuration.
+    omg_bench::validate_args_or_exit(
+        &args,
+        &omg_bench::CliSpec {
+            value_flags: &["--threads", "--seed"],
+            bare_flags: &[],
+            max_positionals: 1,
+        },
+        USAGE,
+    );
+    let name = positional(&args).unwrap_or("all");
+    if !omg_bench::experiments::is_known(name) {
+        eprintln!(
+            "error: unknown experiment {name:?}\nusage: {USAGE}\nexperiments: {}",
+            omg_bench::experiments::EXPERIMENTS.join(", ")
+        );
+        std::process::exit(2);
+    }
+    omg_bench::init_runtime_from_args();
+    let seed = omg_bench::parse_u64_flag_cli(&args, "--seed");
+    omg_bench::experiments::run_cli(name, seed);
 }

@@ -2,7 +2,16 @@
 //! keep working; see the `exp` multiplexer for per-experiment runs.
 
 fn main() {
-    omg_bench::init_runtime_from_args();
     let args: Vec<String> = std::env::args().collect();
-    omg_bench::experiments::run_cli("all", omg_bench::parse_u64_flag(&args, "--seed"));
+    omg_bench::validate_args_or_exit(
+        &args,
+        &omg_bench::CliSpec {
+            value_flags: &["--threads", "--seed"],
+            bare_flags: &[],
+            max_positionals: 0,
+        },
+        "exp_all [--threads N] [--seed S]",
+    );
+    omg_bench::init_runtime_from_args();
+    omg_bench::experiments::run_cli("all", omg_bench::parse_u64_flag_cli(&args, "--seed"));
 }

@@ -8,8 +8,14 @@
 //!
 //! ```sh
 //! cargo run --release -p omg-bench --bin exp_throughput -- \
-//!     [--threads N] [--windows W] [--stream]
+//!     [--threads N] [--windows W] [--stream | --check-stream-archive]
 //! ```
+//!
+//! Unknown or malformed arguments (a typo'd `--thread`, `--stream=yes`)
+//! are rejected with a usage message. `--check-stream-archive` verifies
+//! that every scenario in the runtime registry has its
+//! `BENCH_stream_<name>.json` archived — the CI gate that keeps the
+//! streaming benchmark's coverage honest.
 //!
 //! Default mode runs the sequential `Monitor::process` loop, then
 //! `process_batch` at 1, 2, 4, … up to a ceiling of `--threads` workers
@@ -54,7 +60,10 @@ fn best_secs<F: FnMut()>(reps: usize, mut run: F) -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
-/// Writes one scenario's rows as `BENCH_stream_<scenario>.json`.
+/// Writes one scenario's rows as `BENCH_stream_<scenario>.json`. A
+/// write failure is fatal: the archive is the contract CI enforces
+/// (`--check-stream-archive`), so a missing file must fail the run, not
+/// scroll by as a warning.
 fn write_stream_json(scenario: &str, windows: usize, rows: &[(String, f64)]) {
     let json_rows: Vec<String> = rows
         .iter()
@@ -68,7 +77,37 @@ fn write_stream_json(scenario: &str, windows: usize, rows: &[(String, f64)]) {
     let path = dir.join(format!("BENCH_stream_{scenario}.json"));
     match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
         Ok(()) => println!("  wrote {}", path.display()),
-        Err(e) => eprintln!("  could not write {}: {e}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `--check-stream-archive` mode: verifies every registered
+/// scenario has its `BENCH_stream_<name>.json` archived (the CI gate
+/// behind "a registered scenario cannot silently drop out of the
+/// streaming benchmark").
+fn check_stream_archive() {
+    let dir = criterion::bench_output_dir();
+    let missing: Vec<&str> = omg_bench::scenarios::SCENARIO_NAMES
+        .into_iter()
+        .filter(|name| !dir.join(format!("BENCH_stream_{name}.json")).exists())
+        .collect();
+    if missing.is_empty() {
+        println!(
+            "stream bench archive complete: {} scenarios under {}",
+            omg_bench::scenarios::SCENARIO_NAMES.len(),
+            dir.display()
+        );
+    } else {
+        eprintln!(
+            "error: registered scenarios missing BENCH_stream_<name>.json under {}: {}\n\
+             run `exp_throughput --stream` first",
+            dir.display(),
+            missing.join(", ")
+        );
+        std::process::exit(1);
     }
 }
 
@@ -125,25 +164,57 @@ fn run_stream_mode(n_windows: usize, reps: usize) {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let env_threads = std::env::var("OMG_THREADS")
-        .ok()
-        .map(|v| match v.parse::<usize>() {
-            Ok(n) if n > 0 => n,
-            _ => panic!("OMG_THREADS expects a positive integer, got {v:?}"),
-        });
-    let max_threads = omg_bench::parse_usize_flag(&args, "--threads")
+    omg_bench::validate_args_or_exit(
+        &args,
+        &omg_bench::CliSpec {
+            value_flags: &["--threads", "--windows"],
+            bare_flags: &["--stream", "--check-stream-archive"],
+            max_positionals: 0,
+        },
+        "exp_throughput [--threads N] [--windows W] [--stream | --check-stream-archive]",
+    );
+    // Friendly (exit-2, one-line) value parsing: a typo'd value must not
+    // panic with a backtrace.
+    let threads_flag = omg_bench::parse_usize_flag_cli(&args, "--threads");
+    let windows_flag = omg_bench::parse_usize_flag_cli(&args, "--windows");
+    if omg_bench::has_flag(&args, "--check-stream-archive") {
+        // The archive check runs no benchmark: a co-passed benchmark
+        // flag would be silently dropped, so reject it instead.
+        if omg_bench::has_flag(&args, "--stream")
+            || threads_flag.is_some()
+            || windows_flag.is_some()
+        {
+            eprintln!(
+                "error: --check-stream-archive only verifies the archived \
+                 BENCH_stream_<name>.json files; it takes no other flags"
+            );
+            std::process::exit(2);
+        }
+        check_stream_archive();
+        return;
+    }
+    let env_threads = match omg_bench::env_threads() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let max_threads = threads_flag
         .or(env_threads)
         .unwrap_or_else(|| ThreadPool::available().threads());
-    let n_windows = omg_bench::parse_usize_flag(&args, "--windows").unwrap_or(2000);
+    let n_windows = windows_flag.unwrap_or(2000);
     let reps = 3;
 
     if omg_bench::has_flag(&args, "--stream") {
-        assert!(
-            omg_bench::parse_usize_flag(&args, "--threads").is_none(),
-            "--threads applies to the default mode only; --stream always \
-             runs the fixed 1/2/8 thread ladder the equivalence contract \
-             is specified at"
-        );
+        if threads_flag.is_some() {
+            eprintln!(
+                "error: --threads applies to the default mode only; --stream always \
+                 runs the fixed 1/2/8 thread ladder the equivalence contract is \
+                 specified at"
+            );
+            std::process::exit(2);
+        }
         run_stream_mode(n_windows, reps);
         return;
     }

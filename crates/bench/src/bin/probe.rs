@@ -3,6 +3,15 @@ use omg_bench::{ecgx, video};
 use omg_sim::detector::Provenance;
 
 fn main() {
+    omg_bench::validate_args_or_exit(
+        &std::env::args().collect::<Vec<_>>(),
+        &omg_bench::CliSpec {
+            value_flags: &["--threads"],
+            bare_flags: &[],
+            max_positionals: 0,
+        },
+        "probe [--threads N]",
+    );
     omg_bench::init_runtime_from_args();
     let scenario = video::VideoScenario::night_street(11, 400, 200);
     let det = video::pretrained_detector(1);

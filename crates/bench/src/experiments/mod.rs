@@ -29,6 +29,13 @@ pub const EXPERIMENTS: [&str; 12] = [
     "table6", "gallery",
 ];
 
+/// Whether `name` is an experiment [`run_cli`] accepts (an entry of
+/// [`EXPERIMENTS`], or `"all"`). Binaries check this up front so an
+/// unknown name is a usage error, not a panic.
+pub fn is_known(name: &str) -> bool {
+    name == "all" || EXPERIMENTS.contains(&name)
+}
+
 /// Runs one named experiment with the suite-standard parameters and
 /// returns its `(output name, rendered text)` pairs, or `None` for an
 /// unknown name. `seed` (from `--seed`) overrides the default seed of
@@ -114,5 +121,14 @@ mod tests {
         assert!(run_named("table2", None).is_some());
         assert!(run_named("table5", None).is_some());
         assert!(run_named("definitely-not-an-experiment", None).is_none());
+    }
+
+    #[test]
+    fn is_known_covers_the_suite_and_all() {
+        assert!(is_known("all"));
+        for e in EXPERIMENTS {
+            assert!(is_known(e), "{e}");
+        }
+        assert!(!is_known("table9"));
     }
 }

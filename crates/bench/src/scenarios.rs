@@ -10,6 +10,13 @@
 
 use omg_scenario::{DynScenario, Scenario, ScenarioHarness, ScenarioLearner};
 
+/// Every registered scenario's name, in registry order — the cheap
+/// (no worlds, no models) form of the registry that
+/// `exp_throughput --check-stream-archive` and CI enforce the
+/// `BENCH_stream_<name>.json` archive against. Must match
+/// [`all_scenarios`]'s names exactly (a unit test pins this).
+pub const SCENARIO_NAMES: [&str; 5] = ["video", "av", "ecg", "news", "highway"];
+
 use crate::avx::AvScenario;
 use crate::ecgx::EcgScenario;
 use crate::highway::HighwayScenario;
@@ -93,7 +100,10 @@ mod tests {
     fn registry_lists_five_distinct_scenarios() {
         let scenarios = all_scenarios(3, 20);
         let names: Vec<&str> = scenarios.iter().map(|s| s.name()).collect();
-        assert_eq!(names, vec!["video", "av", "ecg", "news", "highway"]);
+        assert_eq!(
+            names, SCENARIO_NAMES,
+            "SCENARIO_NAMES must mirror the registry exactly"
+        );
         for s in &scenarios {
             assert!(!s.is_empty(), "{} built an empty stream", s.name());
             assert!(

@@ -36,9 +36,11 @@
 //! * [`stream`] — the incremental streaming engine: the [`stream::Prepare`]
 //!   shared window-preparation layer (expensive derivations run once per
 //!   window, shared by every assertion via
-//!   [`AssertionSet::check_all_prepared`]), the [`stream::SlidingWindows`]
-//!   ring buffer, and [`stream::StreamMonitor`] — all bit-for-bit equal
-//!   to the batch reference at any thread count.
+//!   [`AssertionSet::check_all_prepared`]), the zero-copy window sliders
+//!   ([`stream::SlidingSpans`] index spans over the caller's slice;
+//!   [`stream::SlidingWindows`] borrowed windows over a mirror buffer
+//!   of moved-in items), and [`stream::StreamMonitor`] — all bit-for-bit
+//!   equal to the batch reference at any thread count.
 //! * [`consistency`] — the high-level consistency-assertion API of §4:
 //!   from an identifier function, an attributes function, and a temporal
 //!   threshold `T`, OMG generates Boolean assertions *and* correction

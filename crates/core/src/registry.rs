@@ -196,17 +196,32 @@ impl<S: 'static, P> AssertionSet<S, P> {
     /// [`AssertionSet::check_all`] (enforced by the engine's equivalence
     /// property tests); only the wall-clock differs.
     pub fn check_all_prepared(&self, sample: &S, prep: &P) -> Vec<(AssertionId, Severity)> {
-        self.entries
-            .iter()
-            .enumerate()
-            .map(|(i, e)| {
-                let severity = match &e.prepared {
-                    Some(check) => check(sample, prep),
-                    None => e.assertion.check(sample),
-                };
-                (AssertionId(i), severity)
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.entries.len());
+        self.check_all_prepared_into(sample, prep, &mut out);
+        out
+    }
+
+    /// [`AssertionSet::check_all_prepared`] into a caller-owned row
+    /// buffer: `out` is cleared and refilled with one `(id, severity)`
+    /// per assertion.
+    ///
+    /// This is the allocation-free form the streaming hot loop uses — a
+    /// scorer reuses one row buffer across every window it scores instead
+    /// of allocating a fresh `Vec` per center.
+    pub fn check_all_prepared_into(
+        &self,
+        sample: &S,
+        prep: &P,
+        out: &mut Vec<(AssertionId, Severity)>,
+    ) {
+        out.clear();
+        out.extend(self.entries.iter().enumerate().map(|(i, e)| {
+            let severity = match &e.prepared {
+                Some(check) => check(sample, prep),
+                None => e.assertion.check(sample),
+            };
+            (AssertionId(i), severity)
+        }));
     }
 
     /// Runs one assertion on the sample.
@@ -286,6 +301,18 @@ mod tests {
         let set = sample_set();
         assert!(set.check_one(AssertionId(0), &-1).fired());
         assert!(!set.check_one(AssertionId(0), &1).fired());
+    }
+
+    #[test]
+    fn check_all_prepared_into_reuses_the_row_buffer() {
+        let set = sample_set();
+        let mut row = Vec::new();
+        set.check_all_prepared_into(&-5, &(), &mut row);
+        assert_eq!(row, set.check_all_prepared(&-5, &()));
+        let cap = row.capacity();
+        set.check_all_prepared_into(&5000, &(), &mut row);
+        assert_eq!(row, set.check_all_prepared(&5000, &()));
+        assert_eq!(row.capacity(), cap, "a refill must not reallocate");
     }
 
     #[test]

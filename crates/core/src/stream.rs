@@ -14,10 +14,15 @@
 //!    that derivation once; [`crate::AssertionSet::check_all_prepared`]
 //!    shares one artifact across every assertion in the set.
 //! 2. **Window construction.** A sliding window over a stream only ever
-//!    changes at its edges. [`SlidingWindows`] is the ring buffer that
-//!    turns a one-sample-at-a-time stream into the same clamped windows a
-//!    batch scorer would build from the full sequence, using O(window)
-//!    memory instead of O(stream).
+//!    changes at its edges, and describing one never requires copying its
+//!    items. [`SlidingSpans`] is the storage-free slider that turns a
+//!    one-position-at-a-time stream into the index spans of the same
+//!    clamped windows a batch scorer would build from the full sequence —
+//!    callers holding the stream as a slice borrow each window in place,
+//!    with zero item clones and zero per-window allocation. Callers that
+//!    receive *owned* items one at a time use [`SlidingWindows`], which
+//!    moves each item once into a contiguous mirror buffer and emits
+//!    windows as borrowed slices of it, in O(window) memory.
 //!
 //! [`StreamMonitor`] composes the two into the deployment-time face of
 //! the streaming engine: ingest a sample, prepare once, check every
@@ -35,7 +40,6 @@
 
 use crate::runtime::ThreadPool;
 use crate::{AssertionDb, AssertionId, AssertionSet, SampleReport, Severity};
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -143,57 +147,82 @@ impl<S, Pr: Prepare<S>> Prepare<S> for CountingPrepare<Pr> {
     }
 }
 
-/// One window emitted by [`SlidingWindows`]: the items, which of them is
-/// the center, and the center's global stream index.
-#[derive(Debug, Clone, PartialEq)]
-pub struct WindowItems<T> {
-    /// The window's items, in stream order.
-    pub items: Vec<T>,
-    /// Index within `items` of the center — the item the window is about.
-    pub center: usize,
-    /// The center's index in the overall stream.
+/// One clamped window as a *span of stream positions*, emitted by
+/// [`SlidingSpans`]: `[start, end)` in stream coordinates, centered on
+/// stream position `index`. Callers that hold the stream as a slice
+/// borrow the window as `&stream[span.start..span.end]` — no items are
+/// stored, moved, or cloned to describe a window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowSpan {
+    /// First stream position in the window (inclusive).
+    pub start: usize,
+    /// One past the last stream position in the window (exclusive).
+    pub end: usize,
+    /// The center's stream position (`start <= index < end`).
     pub index: usize,
 }
 
-/// An incremental builder of clamped sliding windows over a stream.
+impl WindowSpan {
+    /// Index of the center *within* the window (`index - start`).
+    pub fn center(&self) -> usize {
+        self.index - self.start
+    }
+
+    /// Number of positions in the window.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span is empty (never, for spans a slider emits —
+    /// every window contains at least its center).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// The index-emitting slider: pure clamped-window *arithmetic*, no item
+/// storage at all.
 ///
-/// Configured with `half` items of context on each side of a center, it
-/// ingests items one at a time over a ring buffer of at most
-/// `2 * half + 1` items and emits, for every stream position `c`, the
-/// window `[max(0, c - half), min(c + half + 1, n))` — exactly the
-/// clamped window a batch scorer would build from the full sequence, in
-/// center order, with `half` items of latency and O(window) memory.
+/// Configured with `half` positions of context on each side of a
+/// center, it counts stream positions one [`SlidingSpans::push`] at a
+/// time and emits, for every position `c`, the span
+/// `[max(0, c - half), min(c + half + 1, n))` — exactly the clamped
+/// window a batch scorer would build from the full sequence, in center
+/// order, with `half` positions of latency, O(1) state, and zero
+/// allocation. It is the window engine behind the chunked streaming
+/// drivers, whose callers hold the stream as a slice and borrow each
+/// window in place; callers that genuinely receive items one at a time
+/// wrap it in a [`SlidingWindows`] instead.
 ///
 /// # Example
 ///
 /// ```
-/// use omg_core::stream::SlidingWindows;
+/// use omg_core::stream::SlidingSpans;
 ///
-/// let mut sw = SlidingWindows::new(1);
-/// assert!(sw.push('a').is_none()); // center 0 still needs lookahead
-/// let w = sw.push('b').expect("center 0 complete");
-/// assert_eq!((w.items.as_slice(), w.center, w.index), (['a', 'b'].as_slice(), 0, 0));
-/// let tail = sw.finish(); // clamped windows for the last centers
+/// let mut sp = SlidingSpans::new(1);
+/// assert!(sp.push().is_none()); // center 0 still needs lookahead
+/// let s = sp.push().expect("center 0 complete");
+/// assert_eq!((s.start, s.end, s.index), (0, 2, 0));
+/// let tail: Vec<_> = sp.finish().collect(); // right-edge-clamped tail
 /// assert_eq!(tail.len(), 1);
-/// assert_eq!(tail[0].items, vec!['a', 'b']);
-/// assert_eq!((tail[0].center, tail[0].index), (1, 1));
+/// assert_eq!((tail[0].start, tail[0].end, tail[0].index), (0, 2, 1));
 /// ```
+// Deliberately not `Copy`: `finish(self)` must actually consume the
+// slider, or pushing a second stream into stale state would compile.
 #[derive(Debug, Clone)]
-pub struct SlidingWindows<T> {
+pub struct SlidingSpans {
     half: usize,
-    buf: VecDeque<T>,
-    /// Total items pushed so far.
+    /// Total positions pushed so far.
     pushed: usize,
-    /// Next center (global stream index) to emit.
+    /// Next center (stream position) to emit.
     next_center: usize,
 }
 
-impl<T: Clone> SlidingWindows<T> {
-    /// Creates a builder with `half` items of context on each side.
+impl SlidingSpans {
+    /// Creates a slider with `half` positions of context on each side.
     pub fn new(half: usize) -> Self {
         Self {
             half,
-            buf: VecDeque::with_capacity(2 * half + 2),
             pushed: 0,
             next_center: 0,
         }
@@ -204,54 +233,224 @@ impl<T: Clone> SlidingWindows<T> {
         self.half
     }
 
-    /// Total items pushed so far.
+    /// Total positions pushed so far.
     pub fn pushed(&self) -> usize {
         self.pushed
     }
 
-    /// Builds the window for center `c` from the current buffer. Only
-    /// valid while `c`'s full context (as far as the stream provides it)
-    /// is buffered.
-    fn window_for(&self, c: usize) -> WindowItems<T> {
-        let lo = c.saturating_sub(self.half);
-        let hi = (c + self.half + 1).min(self.pushed);
-        let oldest = self.pushed - self.buf.len();
-        debug_assert!(lo >= oldest, "window start fell off the ring buffer");
-        let items: Vec<T> = (lo..hi).map(|i| self.buf[i - oldest].clone()).collect();
-        WindowItems {
-            items,
-            center: c - lo,
+    /// Number of spans emitted so far (the next center to emit).
+    pub fn emitted(&self) -> usize {
+        self.next_center
+    }
+
+    /// The span for center `c`, clamped to the positions pushed so far.
+    fn span_for(&self, c: usize) -> WindowSpan {
+        WindowSpan {
+            start: c.saturating_sub(self.half),
+            end: (c + self.half + 1).min(self.pushed),
             index: c,
         }
     }
 
-    /// Ingests the next item; returns the newly completed window, if any
-    /// (the window centered `half` items back, once its lookahead is in).
-    pub fn push(&mut self, item: T) -> Option<WindowItems<T>> {
-        self.buf.push_back(item);
-        if self.buf.len() > 2 * self.half + 1 {
-            self.buf.pop_front();
-        }
+    /// Counts the next stream position; returns the newly completed span,
+    /// if any (the window centered `half` positions back, once its
+    /// lookahead is in).
+    pub fn push(&mut self) -> Option<WindowSpan> {
         self.pushed += 1;
         if self.pushed > self.next_center + self.half {
-            let w = self.window_for(self.next_center);
+            let s = self.span_for(self.next_center);
             self.next_center += 1;
-            Some(w)
+            Some(s)
         } else {
             None
         }
     }
 
+    /// Flushes the end of the stream: the spans for the remaining
+    /// centers, clamped at the right edge (mirroring the left-edge clamp
+    /// the first spans get). Consumes the slider — a finished stream is
+    /// over, and a fresh stream needs a fresh slider, so stale-state
+    /// windows mixing two streams are unrepresentable:
+    ///
+    /// ```compile_fail
+    /// use omg_core::stream::SlidingSpans;
+    ///
+    /// let mut sp = SlidingSpans::new(1);
+    /// sp.push();
+    /// let _ = sp.finish();
+    /// sp.push(); // error[E0382]: `finish` consumed the slider
+    /// ```
+    pub fn finish(self) -> impl Iterator<Item = WindowSpan> {
+        (self.next_center..self.pushed).map(move |c| self.span_for(c))
+    }
+}
+
+/// One window emitted by [`SlidingWindows`]: a **borrowed** slice of the
+/// slider's storage, which of its items is the center, and the center's
+/// global stream index. The borrow ends at the next `push` — score the
+/// window before ingesting more of the stream (which is the only order a
+/// stream can arrive in anyway).
+#[derive(Debug, PartialEq)]
+pub struct Window<'a, T> {
+    /// The window's items, in stream order.
+    pub items: &'a [T],
+    /// Index within `items` of the center — the item the window is about.
+    pub center: usize,
+    /// The center's index in the overall stream.
+    pub index: usize,
+}
+
+/// An incremental builder of clamped sliding windows over a stream of
+/// *owned* items — for callers that genuinely receive items one at a
+/// time and retain no stream slice of their own. Callers that do hold
+/// the stream as a slice should use the storage-free [`SlidingSpans`]
+/// and borrow windows from their own slice instead.
+///
+/// Items land in a contiguous mirror buffer (each item is moved in
+/// exactly once and never cloned — there is no `T: Clone` bound), so
+/// every emitted [`Window`] is a borrowed `&[T]` slice. The buffer
+/// holds O(window) live items; dead prefixes are compacted away in
+/// amortized O(1) per push. Emission order and clamping are exactly
+/// [`SlidingSpans`]'s: for every stream position `c`, the window
+/// `[max(0, c - half), min(c + half + 1, n))`, with `half` items of
+/// latency.
+///
+/// # Example
+///
+/// ```
+/// use omg_core::stream::SlidingWindows;
+///
+/// let mut sw = SlidingWindows::new(1);
+/// assert!(sw.push('a').is_none()); // center 0 still needs lookahead
+/// let w = sw.push('b').expect("center 0 complete");
+/// assert_eq!((w.items, w.center, w.index), (['a', 'b'].as_slice(), 0, 0));
+/// let mut tail = sw.finish(); // clamped windows for the last centers
+/// let w = tail.next().expect("one tail center");
+/// assert_eq!((w.items, w.center, w.index), (['a', 'b'].as_slice(), 1, 1));
+/// assert!(tail.next().is_none());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SlidingWindows<T> {
+    spans: SlidingSpans,
+    /// Contiguous storage for the live suffix of the stream.
+    buf: Vec<T>,
+    /// Stream index of `buf[0]`.
+    base: usize,
+}
+
+impl<T> SlidingWindows<T> {
+    /// Creates a builder with `half` items of context on each side.
+    pub fn new(half: usize) -> Self {
+        Self {
+            spans: SlidingSpans::new(half),
+            buf: Vec::with_capacity(2 * (2 * half + 1)),
+            base: 0,
+        }
+    }
+
+    /// The context radius.
+    pub fn half(&self) -> usize {
+        self.spans.half()
+    }
+
+    /// Total items pushed so far.
+    pub fn pushed(&self) -> usize {
+        self.spans.pushed()
+    }
+
+    /// Borrows the window a span describes from the mirror buffer.
+    fn window(&self, span: WindowSpan) -> Window<'_, T> {
+        debug_assert!(span.start >= self.base, "window start was compacted away");
+        Window {
+            items: &self.buf[span.start - self.base..span.end - self.base],
+            center: span.center(),
+            index: span.index,
+        }
+    }
+
+    /// Drops items no current or future window can reach, once enough
+    /// have died to amortize the move of the live suffix to the front.
+    fn compact(&mut self) {
+        let window = 2 * self.spans.half() + 1;
+        let dead = self
+            .spans
+            .emitted()
+            .saturating_sub(self.spans.half())
+            .saturating_sub(self.base);
+        if dead >= window {
+            // `drain` drops the dead prefix and *moves* the live suffix
+            // down — no clones. Each compaction moves at most window + 1
+            // items after at least `window` pushes: amortized O(1).
+            self.buf.drain(..dead);
+            self.base += dead;
+        }
+    }
+
+    /// Ingests the next item; returns the newly completed window, if any
+    /// (the window centered `half` items back, once its lookahead is in),
+    /// borrowed from the slider's storage.
+    pub fn push(&mut self, item: T) -> Option<Window<'_, T>> {
+        self.compact();
+        self.buf.push(item);
+        let span = self.spans.push()?;
+        Some(self.window(span))
+    }
+
     /// Flushes the end of the stream: the windows for the remaining
     /// centers, clamped at the right edge (mirroring the left-edge clamp
-    /// the first windows get).
-    pub fn finish(&mut self) -> Vec<WindowItems<T>> {
-        let mut out = Vec::with_capacity(self.pushed.saturating_sub(self.next_center));
-        while self.next_center < self.pushed {
-            out.push(self.window_for(self.next_center));
-            self.next_center += 1;
+    /// the first windows get), as a lending iterator over the buffered
+    /// tail. Consumes the slider — a finished stream is over, and a
+    /// fresh stream needs a fresh slider, so a stale ring mixing two
+    /// streams' items is unrepresentable (it used to be a silent bug):
+    ///
+    /// ```compile_fail
+    /// use omg_core::stream::SlidingWindows;
+    ///
+    /// let mut sw = SlidingWindows::new(1);
+    /// sw.push('a');
+    /// let _ = sw.finish();
+    /// sw.push('b'); // error[E0382]: `finish` consumed the slider
+    /// ```
+    pub fn finish(self) -> TailWindows<T> {
+        let tail: Vec<WindowSpan> = self.spans.finish().collect();
+        TailWindows {
+            buf: self.buf,
+            base: self.base,
+            tail: tail.into_iter(),
         }
-        out
+    }
+}
+
+/// The right-edge-clamped tail windows of a finished [`SlidingWindows`]:
+/// a lending iterator (each [`TailWindows::next`] borrows the owned
+/// buffer), since the tail windows overlap the same storage.
+#[derive(Debug)]
+pub struct TailWindows<T> {
+    buf: Vec<T>,
+    base: usize,
+    tail: std::vec::IntoIter<WindowSpan>,
+}
+
+impl<T> TailWindows<T> {
+    /// The next tail window, borrowed from the finished slider's buffer.
+    #[allow(clippy::should_implement_trait)] // lending: Item borrows self
+    pub fn next(&mut self) -> Option<Window<'_, T>> {
+        let span = self.tail.next()?;
+        Some(Window {
+            items: &self.buf[span.start - self.base..span.end - self.base],
+            center: span.center(),
+            index: span.index,
+        })
+    }
+
+    /// Number of tail windows remaining.
+    pub fn len(&self) -> usize {
+        self.tail.len()
+    }
+
+    /// Whether all tail windows have been yielded.
+    pub fn is_empty(&self) -> bool {
+        self.tail.len() == 0
     }
 }
 
@@ -592,27 +791,77 @@ mod tests {
         vec![vec![-5, 2], vec![], vec![300, 7], vec![1], vec![-900]]
     }
 
+    /// Drains a `SlidingWindows` run over `items`, materializing every
+    /// emitted borrowed window as `(owned items, center, index)`.
+    fn collect_windows<T: Clone>(half: usize, items: &[T]) -> Vec<(Vec<T>, usize, usize)> {
+        let mut sw = SlidingWindows::new(half);
+        let mut got = Vec::new();
+        for x in items {
+            if let Some(w) = sw.push(x.clone()) {
+                got.push((w.items.to_vec(), w.center, w.index));
+            }
+        }
+        let mut tail = sw.finish();
+        while let Some(w) = tail.next() {
+            got.push((w.items.to_vec(), w.center, w.index));
+        }
+        got
+    }
+
+    /// The batch reference: the clamped window of every center, built
+    /// from the full sequence — what both sliders must reproduce.
+    fn batch_windows<T: Clone>(half: usize, items: &[T]) -> Vec<(Vec<T>, usize, usize)> {
+        let n = items.len();
+        (0..n)
+            .map(|c| {
+                let lo = c.saturating_sub(half);
+                let hi = (c + half + 1).min(n);
+                (items[lo..hi].to_vec(), c - lo, c)
+            })
+            .collect()
+    }
+
     #[test]
     fn sliding_windows_match_batch_windows() {
+        // Deterministic clamped-edge coverage: half = 0 (degenerate
+        // windows), n = 0/1, and every n < 2 * half + 1 (streams shorter
+        // than one full window, where both edges clamp at once).
         for half in [0usize, 1, 2, 3] {
             for n in [0usize, 1, 2, 5, 9] {
                 let items: Vec<usize> = (0..n).collect();
-                let mut sw = SlidingWindows::new(half);
-                let mut got = Vec::new();
-                for &x in &items {
-                    got.extend(sw.push(x));
-                }
-                got.extend(sw.finish());
-                assert_eq!(got.len(), n, "half={half} n={n}");
-                for (c, w) in got.iter().enumerate() {
-                    let lo = c.saturating_sub(half);
-                    let hi = (c + half + 1).min(n);
-                    let want: Vec<usize> = (lo..hi).collect();
-                    assert_eq!(w.items, want, "half={half} n={n} center={c}");
-                    assert_eq!(w.center, c - lo);
-                    assert_eq!(w.index, c);
+                assert_eq!(
+                    collect_windows(half, &items),
+                    batch_windows(half, &items),
+                    "half={half} n={n}"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// The borrowed-window slider equals the owned batch-window
+        /// semantics for arbitrary (half, n) — including the clamped
+        /// edges the ranges force (half = 0, n < 2 * half + 1).
+        #[test]
+        fn sliding_windows_equal_batch_windows_prop(half in 0usize..5, n in 0usize..48) {
+            let items: Vec<i64> = (0..n as i64).map(|i| (i * 37) % 23 - 11).collect();
+            proptest::prop_assert_eq!(collect_windows(half, &items), batch_windows(half, &items));
+        }
+
+        /// The storage-free span slider describes exactly the same
+        /// windows, as index ranges.
+        #[test]
+        fn sliding_spans_equal_batch_windows_prop(half in 0usize..5, n in 0usize..48) {
+            let items: Vec<u32> = (0..n as u32).collect();
+            let mut sp = SlidingSpans::new(half);
+            let mut got = Vec::new();
+            for _ in 0..n {
+                if let Some(s) = sp.push() {
+                    got.push((items[s.start..s.end].to_vec(), s.center(), s.index));
                 }
             }
+            got.extend(sp.finish().map(|s| (items[s.start..s.end].to_vec(), s.center(), s.index)));
+            proptest::prop_assert_eq!(got, batch_windows(half, &items));
         }
     }
 
@@ -625,6 +874,68 @@ mod tests {
         let w = sw.push(2).expect("center 0 ready after its lookahead");
         assert_eq!(w.index, 0);
         assert_eq!(sw.pushed(), 3);
+    }
+
+    /// A move-only item type: compiling at all proves the slider has no
+    /// `T: Clone` bound; the long stream exercises mirror-buffer
+    /// compaction (each item is moved in once and windows stay correct).
+    #[test]
+    fn sliding_windows_take_move_only_items_and_compact() {
+        #[derive(Debug, PartialEq)]
+        struct NoClone(usize);
+
+        let half = 2;
+        let n = 100;
+        let mut sw = SlidingWindows::new(half);
+        let mut centers = Vec::new();
+        for i in 0..n {
+            if let Some(w) = sw.push(NoClone(i)) {
+                assert!(w.items.len() <= 2 * half + 1);
+                assert_eq!(w.items[w.center], NoClone(w.index));
+                assert_eq!(w.items[0], NoClone(w.index.saturating_sub(half)));
+                centers.push(w.index);
+            }
+        }
+        let mut tail = sw.finish();
+        assert_eq!(tail.len(), half);
+        assert!(!tail.is_empty());
+        while let Some(w) = tail.next() {
+            assert_eq!(w.items[w.center], NoClone(w.index));
+            centers.push(w.index);
+        }
+        assert_eq!(centers, (0..n).collect::<Vec<_>>());
+    }
+
+    /// Regression (old bug): `finish` used to take `&mut self` and leave
+    /// a stale ring behind, so pushing a *second* stream silently emitted
+    /// windows mixing both streams' items. `finish(self)` now consumes
+    /// the slider — reuse is a compile error — and a fresh slider starts
+    /// from a genuinely clean state.
+    #[test]
+    fn finish_consumes_the_slider_and_fresh_streams_start_clean() {
+        let mut first = SlidingWindows::new(1);
+        assert!(first.push('x').is_none());
+        assert_eq!(first.push('y').unwrap().items, &['x', 'y']);
+        let mut tail = first.finish();
+        assert_eq!(tail.next().unwrap().items, &['x', 'y']);
+        // `first.push('z')` here would not compile: `finish` moved it.
+
+        let mut second = SlidingWindows::new(1);
+        let w = second.push('a');
+        assert!(w.is_none(), "a fresh stream has no stale lookahead");
+        let w = second.push('b').expect("center 0 of the second stream");
+        assert_eq!(w.items, &['a', 'b'], "no first-stream items leak in");
+        assert_eq!(w.index, 0, "stream indices restart at 0");
+    }
+
+    #[test]
+    fn window_span_geometry() {
+        let mut sp = SlidingSpans::new(1);
+        sp.push();
+        let s = sp.push().expect("center 0");
+        assert_eq!((s.len(), s.center(), s.is_empty()), (2, 0, false));
+        assert_eq!(sp.emitted(), 1);
+        assert_eq!(sp.pushed(), 2);
     }
 
     #[test]
@@ -716,31 +1027,36 @@ mod tests {
         assert!(format!("{m:?}").contains("negative-sum"));
     }
 
-    /// A toy incremental scorer: the sum of each clamped window over a
-    /// shared data slice. `offset` maps the slider's local window indices
+    /// A toy incremental scorer: the sum of each clamped window, borrowed
+    /// straight from the shared data slice via an index-emitting slider —
+    /// no item is ever copied. `offset` maps the slider's local spans
     /// back to global stream indices.
     struct SumScorer<'a> {
         data: &'a [i64],
         offset: usize,
-        slider: SlidingWindows<i64>,
+        spans: SlidingSpans,
+    }
+
+    impl SumScorer<'_> {
+        fn score(&self, s: WindowSpan) -> (usize, i64) {
+            let window = &self.data[self.offset + s.start..self.offset + s.end];
+            (self.offset + s.index, window.iter().sum())
+        }
     }
 
     impl StreamScorer for SumScorer<'_> {
         type Output = (usize, i64);
 
         fn push(&mut self, index: usize) -> Option<(usize, i64)> {
-            let offset = self.offset;
-            self.slider
-                .push(self.data[index])
-                .map(|w| (offset + w.index, w.items.iter().sum()))
+            debug_assert_eq!(index, self.offset + self.spans.pushed());
+            self.spans.push().map(|s| self.score(s))
         }
 
         fn finish(mut self) -> Vec<(usize, i64)> {
-            self.slider
-                .finish()
-                .into_iter()
-                .map(|w| (self.offset + w.index, w.items.iter().sum()))
-                .collect()
+            // Swap the slider out so `self` stays borrowable for `score`
+            // (`finish` consumes the slider by design).
+            let spans = std::mem::replace(&mut self.spans, SlidingSpans::new(0));
+            spans.finish().map(|s| self.score(s)).collect()
         }
     }
 
@@ -762,7 +1078,7 @@ mod tests {
                     score_stream_chunked(n, half, &ThreadPool::new(threads), |offset| SumScorer {
                         data: &data,
                         offset,
-                        slider: SlidingWindows::new(half),
+                        spans: SlidingSpans::new(half),
                     });
                 assert_eq!(got, want, "half={half} threads={threads}");
             }
@@ -770,7 +1086,7 @@ mod tests {
         let empty = score_stream_chunked(0, 2, &ThreadPool::new(4), |offset| SumScorer {
             data: &data,
             offset,
-            slider: SlidingWindows::new(2),
+            spans: SlidingSpans::new(2),
         });
         assert!(empty.is_empty());
     }

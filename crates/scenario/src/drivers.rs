@@ -8,8 +8,8 @@
 //! scenario).
 
 use omg_core::runtime::ThreadPool;
-use omg_core::stream::{score_stream_chunked, Prepare, SlidingWindows, StreamScorer, WindowItems};
-use omg_core::AssertionSet;
+use omg_core::stream::{score_stream_chunked, Prepare, SlidingSpans, StreamScorer, WindowSpan};
+use omg_core::{AssertionId, AssertionSet, Severity};
 
 use crate::Scenario;
 
@@ -43,33 +43,37 @@ pub fn score_scenario<Sc: Scenario>(
 }
 
 /// An incremental scorer over one chunk of a scenario's item stream:
-/// ingests items one at a time over a ring buffer, prepares each
-/// completed window **once**, and checks the prepared assertion set
-/// against the shared artifact. This one type replaces the per-scenario
-/// stream scorers the use cases used to hand-roll.
+/// counts items one at a time through an index-emitting slider, borrows
+/// each completed window **in place** from the caller's item slice (no
+/// item is ever cloned — the slider stores indices, not items), prepares
+/// it once, and checks the prepared assertion set against the shared
+/// artifact through a severity-row buffer reused across every center.
+/// This one type replaces the per-scenario stream scorers the use cases
+/// used to hand-roll.
 struct ScenarioStreamScorer<'a, Sc: Scenario> {
     scenario: &'a Sc,
     set: &'a AssertionSet<Sc::Sample, Sc::Prep>,
     preparer: &'a (dyn Prepare<Sc::Sample, Prepared = Sc::Prep> + 'a),
     items: &'a [Sc::Item],
-    /// Global index of the first item this scorer is fed (chunk start).
+    /// Global index of the first item this scorer is fed (chunk start);
+    /// the slider's spans are relative to it.
     offset: usize,
-    slider: SlidingWindows<Sc::Item>,
+    spans: SlidingSpans,
+    /// The `(id, severity)` row reused across centers.
+    row: Vec<(AssertionId, Severity)>,
 }
 
 impl<Sc: Scenario> ScenarioStreamScorer<'_, Sc> {
-    fn score(&self, w: WindowItems<Sc::Item>) -> (Vec<f64>, f64) {
-        let sample = self.scenario.make_sample(&w.items, w.center);
+    fn score(&mut self, span: WindowSpan) -> (Vec<f64>, f64) {
+        let window = &self.items[self.offset + span.start..self.offset + span.end];
+        let sample = self.scenario.make_sample(window, span.center());
         let prep = self.preparer.prepare(&sample);
-        let severities = self
-            .set
-            .check_all_prepared(&sample, &prep)
-            .iter()
-            .map(|&(_, s)| s.value())
-            .collect();
+        self.set
+            .check_all_prepared_into(&sample, &prep, &mut self.row);
+        let severities = self.row.iter().map(|&(_, s)| s.value()).collect();
         let unc = self
             .scenario
-            .uncertainty(&self.items[self.offset + w.index]);
+            .uncertainty(&self.items[self.offset + span.index]);
         (severities, unc)
     }
 }
@@ -78,23 +82,27 @@ impl<Sc: Scenario> StreamScorer for ScenarioStreamScorer<'_, Sc> {
     type Output = (Vec<f64>, f64);
 
     fn push(&mut self, index: usize) -> Option<(Vec<f64>, f64)> {
-        let ready = self.slider.push(self.items[index].clone());
-        ready.map(|w| self.score(w))
+        debug_assert_eq!(index, self.offset + self.spans.pushed(), "gapless feed");
+        self.spans.push().map(|s| self.score(s))
     }
 
     fn finish(mut self) -> Vec<(Vec<f64>, f64)> {
-        let tail = self.slider.finish();
-        tail.into_iter().map(|w| self.score(w)).collect()
+        // Swap the slider out so `self` stays borrowable for `score`
+        // (`finish` consumes the slider by design).
+        let spans = std::mem::replace(&mut self.spans, SlidingSpans::new(0));
+        spans.finish().map(|s| self.score(s)).collect()
     }
 }
 
 /// Stream-scores a scenario's item stream: the incremental counterpart
 /// of [`score_scenario`], computing identical severities and
-/// uncertainties over a ring buffer with **one** preparation per window
-/// (shared by every assertion in the prepared set) instead of one per
-/// assertion. Chunks of the stream fan out across the pool's workers
-/// with `window_half` items of re-fed margin and merge in stream order —
-/// bit-for-bit equal to the batch path at any thread count.
+/// uncertainties with **zero item copies** (windows are borrowed slices
+/// of `items`, described by an index-emitting slider) and **one**
+/// preparation per window (shared by every assertion in the prepared
+/// set) instead of one per assertion. Chunks of the stream fan out
+/// across the pool's workers with `window_half` items of re-fed margin
+/// and merge in stream order — bit-for-bit equal to the batch path at
+/// any thread count.
 ///
 /// The preparer is a parameter (rather than taken from the scenario) so
 /// callers can wrap it — the conformance suite passes a
@@ -114,7 +122,8 @@ pub fn stream_score_scenario<Sc: Scenario>(
         preparer,
         items,
         offset,
-        slider: SlidingWindows::new(half),
+        spans: SlidingSpans::new(half),
+        row: Vec::with_capacity(set.len()),
     })
     .into_iter()
     .unzip()
@@ -152,6 +161,35 @@ mod tests {
         let (sev, _) = stream_score_scenario(&sc, &set, &probe, &items, &ThreadPool::sequential());
         assert_eq!(sev.len(), items.len());
         assert_eq!(counter.load(Ordering::SeqCst), items.len());
+    }
+
+    /// The zero-copy contract, measured: scoring a stream through either
+    /// driver performs **zero** item clones — at every thread count, and
+    /// at the clamped edges (empty stream, streams shorter than one full
+    /// window, and sizes forcing parallel chunk boundaries) — while
+    /// staying bit-for-bit equal to the batch reference.
+    #[test]
+    fn stream_scoring_performs_zero_item_clones() {
+        use crate::tests_support::CloneProbeScenario;
+        for n in [0usize, 1, 3, 4, 5, 37, 97] {
+            let sc = CloneProbeScenario::new(n);
+            let items = sc.run_model(&ToyModel::default());
+            assert_eq!(sc.item_clones(), 0, "run_model must not clone (n={n})");
+            let want = score_scenario(&sc, &sc.assertion_set(), &items, &ThreadPool::sequential());
+            assert_eq!(sc.item_clones(), 0, "batch driver must not clone (n={n})");
+            let set = sc.prepared_set();
+            let preparer = sc.preparer();
+            for threads in [1, 2, 8] {
+                let got =
+                    stream_score_scenario(&sc, &set, &preparer, &items, &ThreadPool::new(threads));
+                assert_eq!(got, want, "n={n} threads={threads}");
+            }
+            assert_eq!(
+                sc.item_clones(),
+                0,
+                "steady-state streaming must not clone items (n={n})"
+            );
+        }
     }
 
     #[test]

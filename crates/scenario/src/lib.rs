@@ -14,9 +14,11 @@
 //!   clamped window checked with the self-contained assertion set,
 //!   fanned out across a [`ThreadPool`] and merged in stream order.
 //! * [`stream_score_scenario`] — the incremental path: one
-//!   [`omg_core::stream::SlidingWindows`] ring buffer per chunk, one
-//!   [`Prepare`] run per window shared by the whole prepared set,
-//!   bit-for-bit equal to the batch path at any thread count.
+//!   [`omg_core::stream::SlidingSpans`] index slider per chunk emitting
+//!   windows as *borrowed slices* of the item stream (zero item clones,
+//!   one reused severity row), one [`omg_core::stream::Prepare`] run per
+//!   window shared by the whole prepared set, bit-for-bit equal to the
+//!   batch path at any thread count.
 //! * [`ScenarioLearner`] — the [`omg_active::ActiveLearner`] for any
 //!   scenario that trains: score pool (streaming), label the selection,
 //!   retrain, evaluate.

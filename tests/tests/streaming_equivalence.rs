@@ -84,6 +84,29 @@ proptest! {
     }
 }
 
+/// Clamped-edge conformance for the zero-copy window engine: tiny
+/// streams — a single position, and streams shorter than one full
+/// window (`n < 2 * half + 1`, where both clamps apply to every
+/// window) — score identically on the borrowed-window streaming path
+/// and the batch reference, at every thread count (which also crosses
+/// chunk boundaries at sizes comparable to the window).
+#[test]
+fn tiny_streams_score_equal_to_batch_at_the_clamped_edges() {
+    for size in [1usize, 2, 3, 5] {
+        for scenario in all_scenarios(7, size) {
+            let want = scenario.score_batch(&ThreadPool::sequential());
+            for threads in THREADS {
+                assert_eq!(
+                    scenario.score_stream(&ThreadPool::new(threads)),
+                    want,
+                    "{} size={size} threads={threads}",
+                    scenario.name()
+                );
+            }
+        }
+    }
+}
+
 /// The prepare-once invariant, measured through the registry's counting
 /// probe: sequentially, scoring an `n`-position stream runs each
 /// scenario's preparation (tracking, projection, segmentation, grouping)
