@@ -10,8 +10,10 @@
 //!
 //! `<experiment>` is one of the names in
 //! [`omg_bench::experiments::EXPERIMENTS`] (`table1` … `table6`,
-//! `fig3` … `fig9`, `gallery`) or `all` (the default), which regenerates
-//! everything and archives the outputs under `target/experiments/`.
+//! `fig3` … `fig9`, `gallery`, `service` — the multi-tenant soak, which
+//! also archives `BENCH_service.json`) or `all` (the default), which
+//! regenerates everything and archives the outputs under
+//! `target/experiments/`.
 //! `--threads` pins the scoring fan-out width (results are identical at
 //! any setting); `--seed` overrides the default seed of the
 //! seed-parameterized experiments. Anything else — an unknown flag, a

@@ -14,8 +14,9 @@
 //! Unknown or malformed arguments (a typo'd `--thread`, `--stream=yes`)
 //! are rejected with a usage message. `--check-stream-archive` verifies
 //! that every scenario in the runtime registry has its
-//! `BENCH_stream_<name>.json` archived — the CI gate that keeps the
-//! streaming benchmark's coverage honest.
+//! `BENCH_stream_<name>.json` archived **and** that the multi-tenant
+//! soak's `BENCH_service.json` is present — the CI gate that keeps the
+//! streaming and service benchmarks' coverage honest.
 //!
 //! Default mode runs the sequential `Monitor::process` loop, then
 //! `process_batch` at 1, 2, 4, … up to a ceiling of `--threads` workers
@@ -90,20 +91,26 @@ fn write_stream_json(scenario: &str, windows: usize, rows: &[(String, f64)]) {
 /// streaming benchmark").
 fn check_stream_archive() {
     let dir = criterion::bench_output_dir();
-    let missing: Vec<&str> = omg_bench::scenarios::SCENARIO_NAMES
+    let mut missing: Vec<String> = omg_bench::scenarios::SCENARIO_NAMES
         .into_iter()
         .filter(|name| !dir.join(format!("BENCH_stream_{name}.json")).exists())
+        .map(|name| format!("BENCH_stream_{name}.json"))
         .collect();
+    // The multi-tenant soak archive is part of the same contract: a
+    // registered service benchmark cannot silently drop out either.
+    if !dir.join("BENCH_service.json").exists() {
+        missing.push("BENCH_service.json".to_string());
+    }
     if missing.is_empty() {
         println!(
-            "stream bench archive complete: {} scenarios under {}",
+            "stream bench archive complete: {} scenarios + service soak under {}",
             omg_bench::scenarios::SCENARIO_NAMES.len(),
             dir.display()
         );
     } else {
         eprintln!(
-            "error: registered scenarios missing BENCH_stream_<name>.json under {}: {}\n\
-             run `exp_throughput --stream` first",
+            "error: bench archives missing under {}: {}\n\
+             run `exp_throughput --stream` (and `exp service`) first",
             dir.display(),
             missing.join(", ")
         );

@@ -11,6 +11,7 @@ pub mod fig3;
 pub mod fig4;
 pub mod fig5;
 pub mod gallery;
+pub mod service;
 pub mod table1;
 pub mod table2;
 pub mod table3;
@@ -24,9 +25,9 @@ pub fn trial_seeds(n: usize) -> Vec<u64> {
 }
 
 /// The experiment names `exp <name>` accepts, in `exp all` order.
-pub const EXPERIMENTS: [&str; 12] = [
+pub const EXPERIMENTS: [&str; 13] = [
     "table1", "table2", "table3", "fig3", "fig4a", "fig4b", "fig5", "table4", "fig9", "table5",
-    "table6", "gallery",
+    "table6", "gallery", "service",
 ];
 
 /// Whether `name` is an experiment [`run_cli`] accepts (an entry of
@@ -62,6 +63,7 @@ pub fn run_named(name: &str, seed: Option<u64>) -> Option<Vec<(&'static str, Str
             s
         })],
         "gallery" => vec![("gallery", gallery::run(seed.unwrap_or(5)))],
+        "service" => vec![("service", service::run(seed.unwrap_or(7)))],
         _ => return None,
     };
     Some(out)

@@ -9,6 +9,7 @@
 //! `BENCH_stream_<name>.json` archive — no edits to any of them.
 
 use omg_scenario::{DynScenario, Scenario, ScenarioHarness, ScenarioLearner};
+use omg_service::{DynService, ServiceConfig, ServiceHarness};
 
 /// Every registered scenario's name, in registry order — the cheap
 /// (no worlds, no models) form of the registry that
@@ -61,6 +62,57 @@ pub fn all_scenarios(seed: u64, size: usize) -> Vec<Box<dyn DynScenario>> {
     ]
 }
 
+/// One registered scenario wrapped as a multi-tenant
+/// [`omg_service::MonitorService`] at bench/conformance scale — same
+/// worlds, sizes, and shared pretrained models as [`all_scenarios`], so
+/// the service path is measured and conformance-tested against exactly
+/// the scenarios the single-stream suite covers. `None` for an
+/// unregistered name.
+pub fn service_for(
+    name: &str,
+    seed: u64,
+    size: usize,
+    config: ServiceConfig,
+) -> Option<Box<dyn DynService>> {
+    Some(match name {
+        "video" => ServiceHarness::boxed(
+            VideoScenario::night_street(seed, size, 1),
+            video::shared_pretrained_detector().clone(),
+            config,
+        ),
+        "av" => ServiceHarness::boxed(
+            AvScenario::new(seed, av_scenes(size), 1),
+            avx::shared_pretrained_camera().clone(),
+            config,
+        ),
+        "ecg" => {
+            let ecg = EcgScenario::new(seed, 40, size.max(8), 10);
+            let model = ecgx::pretrained_classifier(&ecg, seed ^ 3);
+            ServiceHarness::boxed(ecg, model, config)
+        }
+        "news" => ServiceHarness::boxed(NewsScenario::new(seed, news_scenes(size)), (), config),
+        "highway" => ServiceHarness::boxed(
+            HighwayScenario::highway(seed, size, 1),
+            highway::shared_pretrained_primary().clone(),
+            config,
+        ),
+        _ => return None,
+    })
+}
+
+/// Every registered scenario as a service (the [`service_for`] of each
+/// [`SCENARIO_NAMES`] entry) — what the service conformance suite and
+/// the `exp service` soak benchmark iterate.
+pub fn all_services(seed: u64, size: usize, config: &ServiceConfig) -> Vec<Box<dyn DynService>> {
+    SCENARIO_NAMES
+        .into_iter()
+        .map(|name| {
+            service_for(name, seed, size, config.clone())
+                .expect("SCENARIO_NAMES entries are registered")
+        })
+        .collect()
+}
+
 /// Boxes one scenario at experiment scale with the model its own
 /// [`Scenario::pretrained_model`] hook builds for the trial seed.
 fn standard_entry<Sc>(scenario: Sc, seed: u64) -> Box<dyn DynScenario>
@@ -106,6 +158,22 @@ mod tests {
         );
         for s in &scenarios {
             assert!(!s.is_empty(), "{} built an empty stream", s.name());
+            assert!(
+                !s.assertion_names().is_empty(),
+                "{} has no assertions",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn service_registry_mirrors_the_scenario_registry() {
+        let services = all_services(3, 16, &ServiceConfig::default());
+        let names: Vec<&str> = services.iter().map(|s| s.name()).collect();
+        assert_eq!(names, SCENARIO_NAMES);
+        assert!(service_for("nope", 3, 16, ServiceConfig::default()).is_none());
+        for s in &services {
+            assert!(s.stream_len() > 0, "{} built an empty stream", s.name());
             assert!(
                 !s.assertion_names().is_empty(),
                 "{} has no assertions",

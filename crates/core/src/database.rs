@@ -32,12 +32,34 @@ pub struct Record {
 /// exactly the same shard contents as recording its samples one at a
 /// time, which is what keeps the parallel monitor bit-for-bit equal to
 /// the sequential one.
+///
+/// # Retention
+///
+/// A long-lived monitor records forever, so the database supports an
+/// explicit retention policy: [`AssertionDb::evict_before`] drops the
+/// rows of samples older than a watermark and
+/// [`AssertionDb::retain_recent`] keeps a fixed-size suffix of recent
+/// samples — the memory-flatness lever of the multi-tenant service
+/// layer. Eviction only ever touches rows *below* the watermark: every
+/// query about retained ("live") samples answers exactly as if nothing
+/// had been evicted, and the lifetime counters
+/// ([`AssertionDb::lifetime_len`], [`AssertionDb::lifetime_fire_counts`])
+/// keep the full-history totals regardless (a property test holds both
+/// against a never-evicting model).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct AssertionDb {
     /// `shards[m]` = append log of assertion `m`, in recording order.
     shards: Vec<Vec<(usize, Severity)>>,
     num_records: usize,
     num_samples: usize,
+    /// Retention watermark: rows of samples below this index have been
+    /// evicted (monotonically non-decreasing).
+    evicted_before: usize,
+    /// Rows ever recorded, including evicted ones.
+    lifetime_records: usize,
+    /// `lifetime_fired[m]` = rows of assertion `m` that ever fired,
+    /// including evicted ones.
+    lifetime_fired: Vec<usize>,
 }
 
 impl AssertionDb {
@@ -49,6 +71,7 @@ impl AssertionDb {
     fn shard_mut(&mut self, assertion: AssertionId) -> &mut Vec<(usize, Severity)> {
         if assertion.0 >= self.shards.len() {
             self.shards.resize_with(assertion.0 + 1, Vec::new);
+            self.lifetime_fired.resize(assertion.0 + 1, 0);
         }
         &mut self.shards[assertion.0]
     }
@@ -58,8 +81,12 @@ impl AssertionDb {
     pub fn record_sample(&mut self, sample: usize, outcomes: &[(AssertionId, Severity)]) {
         for &(assertion, severity) in outcomes {
             self.shard_mut(assertion).push((sample, severity));
+            if severity.fired() {
+                self.lifetime_fired[assertion.0] += 1;
+            }
         }
         self.num_records += outcomes.len();
+        self.lifetime_records += outcomes.len();
         self.num_samples = self.num_samples.max(sample + 1);
     }
 
@@ -92,12 +119,67 @@ impl AssertionDb {
                     .enumerate()
                     .map(|(i, row)| (first_sample + i, row[m].1)),
             );
+            self.lifetime_fired[m] += rows.iter().filter(|row| row[m].1.fired()).count();
         }
         self.num_records += rows.len() * dim;
+        self.lifetime_records += rows.len() * dim;
         self.num_samples = self.num_samples.max(first_sample + rows.len());
     }
 
-    /// Total number of rows (including abstentions).
+    /// Drops every row whose sample index is below `min_sample` and
+    /// advances the retention watermark to it; returns the number of
+    /// rows dropped. The watermark is monotonic — re-evicting below it
+    /// is a no-op. Queries over retained samples are unaffected:
+    /// [`AssertionDb::fire_count`], [`AssertionDb::fired_samples`], and
+    /// friends answer exactly as a never-evicting database filtered to
+    /// `sample >= evicted_before()` would, while the lifetime counters
+    /// keep the full-history totals.
+    pub fn evict_before(&mut self, min_sample: usize) -> usize {
+        if min_sample <= self.evicted_before {
+            return 0;
+        }
+        let mut dropped = 0usize;
+        for shard in &mut self.shards {
+            let before = shard.len();
+            shard.retain(|&(sample, _)| sample >= min_sample);
+            dropped += before - shard.len();
+        }
+        self.evicted_before = min_sample;
+        self.num_records -= dropped;
+        dropped
+    }
+
+    /// Retains (at most) the most recent `keep` sample indices, evicting
+    /// the rows of everything older; returns the number of rows dropped.
+    /// This is the per-session record cap of the service layer: calling
+    /// it after every record keeps resident memory flat under unbounded
+    /// traffic.
+    pub fn retain_recent(&mut self, keep: usize) -> usize {
+        self.evict_before(self.num_samples.saturating_sub(keep))
+    }
+
+    /// The retention watermark: rows of samples below this index have
+    /// been evicted. Zero for a database that never evicted.
+    pub fn evicted_before(&self) -> usize {
+        self.evicted_before
+    }
+
+    /// Rows ever recorded, including evicted ones (compare
+    /// [`AssertionDb::len`], which counts retained rows only).
+    pub fn lifetime_len(&self) -> usize {
+        self.lifetime_records
+    }
+
+    /// Full-history fire counts for every assertion dimension, in id
+    /// order — unaffected by eviction (compare
+    /// [`AssertionDb::fire_counts`], which scans retained rows only).
+    pub fn lifetime_fire_counts(&self) -> Vec<usize> {
+        self.lifetime_fired.clone()
+    }
+
+    /// Number of retained rows (including abstentions; excluding evicted
+    /// rows — see [`AssertionDb::lifetime_len`] for the full-history
+    /// count).
     pub fn len(&self) -> usize {
         self.num_records
     }
@@ -196,6 +278,7 @@ impl AssertionDb {
     ///
     /// This matrix is exactly BAL's context input: "Each entry in a
     /// feature vector is the severity score from a model assertion" (§3).
+    /// Evicted samples' rows read as all-abstention.
     pub fn severity_matrix(&self) -> Vec<Vec<f64>> {
         let mut m = vec![vec![0.0; self.shards.len()]; self.num_samples];
         for (a, shard) in self.shards.iter().enumerate() {
@@ -347,5 +430,116 @@ mod tests {
         let mut db = AssertionDb::new();
         db.record_batch(0, &[]);
         assert!(db.is_empty());
+    }
+
+    #[test]
+    fn evict_before_drops_old_rows_and_keeps_lifetime_totals() {
+        let mut db = db_with(&[(0, 0, 1.0), (1, 0, 0.0), (2, 0, 2.0), (3, 1, 1.0)]);
+        assert_eq!(db.lifetime_len(), 4);
+        assert_eq!(db.evict_before(2), 2);
+        assert_eq!(db.evicted_before(), 2);
+        assert_eq!(db.len(), 2, "two retained rows");
+        assert_eq!(db.lifetime_len(), 4, "lifetime total survives eviction");
+        assert_eq!(db.fire_count(AssertionId(0)), 1, "only sample 2 retained");
+        assert_eq!(db.lifetime_fire_counts(), vec![2, 1]);
+        assert_eq!(db.num_samples(), 4, "sample horizon is lifetime");
+        assert_eq!(db.evict_before(1), 0, "watermark is monotonic");
+        assert_eq!(db.evicted_before(), 2);
+    }
+
+    #[test]
+    fn retain_recent_caps_resident_rows() {
+        let mut db = AssertionDb::new();
+        for s in 0..50 {
+            db.record_sample(s, &[(AssertionId(0), Severity::new(s as f64))]);
+            db.retain_recent(8);
+        }
+        assert!(db.len() <= 8, "resident rows stay capped, got {}", db.len());
+        assert_eq!(db.evicted_before(), 42);
+        assert_eq!(db.num_samples(), 50);
+        assert_eq!(db.lifetime_len(), 50);
+        // Retained queries cover exactly the live suffix.
+        let fired: Vec<usize> = db
+            .fired_samples(AssertionId(0))
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(fired, (42..50).collect::<Vec<_>>());
+    }
+
+    /// The naive reference for the eviction property test: a flat log
+    /// that records everything and never evicts.
+    struct NaiveLog {
+        rows: Vec<(usize, usize, Severity)>,
+    }
+
+    impl NaiveLog {
+        fn fired_of(&self, assertion: usize, min_sample: usize) -> Vec<(usize, Severity)> {
+            self.rows
+                .iter()
+                .filter(|&&(s, a, sev)| a == assertion && s >= min_sample && sev.fired())
+                .map(|&(s, _, sev)| (s, sev))
+                .collect()
+        }
+    }
+
+    proptest::proptest! {
+        /// The eviction satellite property: after **any** interleaving of
+        /// record and evict operations, per-assertion fire counts and
+        /// `fired_samples` lookups over live (retained) samples match a
+        /// naive model that never evicted them, and the lifetime counters
+        /// match the naive model's full history.
+        #[test]
+        fn eviction_matches_the_naive_model(
+            ops in proptest::collection::vec((0usize..10, 0usize..12), 1..80)
+        ) {
+            const DIMS: usize = 3;
+            let mut db = AssertionDb::new();
+            let mut naive = NaiveLog { rows: Vec::new() };
+            let mut next_sample = 0usize;
+            for &(kind, value) in &ops {
+                if kind < 7 {
+                    // Record one sample: a dense row whose severities are
+                    // a mix of abstentions and firings derived from
+                    // (sample, value).
+                    let outcomes: Vec<(AssertionId, Severity)> = (0..DIMS)
+                        .map(|a| {
+                            let v = ((next_sample + value + a) % 4) as f64;
+                            (AssertionId(a), Severity::new(v))
+                        })
+                        .collect();
+                    db.record_sample(next_sample, &outcomes);
+                    for &(id, sev) in &outcomes {
+                        naive.rows.push((next_sample, id.0, sev));
+                    }
+                    next_sample += 1;
+                } else if kind < 9 {
+                    db.evict_before(value.min(next_sample));
+                } else {
+                    db.retain_recent(value);
+                }
+                // Invariants hold after every step, not just at the end.
+                let live = db.evicted_before();
+                for a in 0..DIMS.min(db.num_assertions()) {
+                    let id = AssertionId(a);
+                    let want = naive.fired_of(a, live);
+                    proptest::prop_assert_eq!(
+                        db.fired_samples(id).len(), want.len(),
+                        "fired_samples diverged for assertion {} (live >= {})", a, live
+                    );
+                    proptest::prop_assert_eq!(db.fired_samples(id), want);
+                    proptest::prop_assert_eq!(db.fire_count(id), db.fired_samples(id).len());
+                    proptest::prop_assert_eq!(
+                        db.lifetime_fire_counts()[a],
+                        naive.fired_of(a, 0).len(),
+                        "lifetime fire count must ignore eviction"
+                    );
+                }
+                let retained_rows = naive.rows.iter().filter(|&&(s, _, _)| s >= live).count();
+                proptest::prop_assert_eq!(db.len(), retained_rows);
+                proptest::prop_assert_eq!(db.lifetime_len(), naive.rows.len());
+                proptest::prop_assert_eq!(db.num_samples(), next_sample);
+            }
+        }
     }
 }

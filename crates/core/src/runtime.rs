@@ -93,12 +93,37 @@ impl ThreadPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        // Chunks ~4x the worker count balance load without shredding
+        // cache locality; a chunk is never empty.
+        self.map_with_chunk(n, n.div_ceil(self.threads * 4).max(1), f)
+    }
+
+    /// Like [`ThreadPool::map_indexed`], but each work unit is a single
+    /// index: the atomic cursor hands out indices one at a time instead
+    /// of contiguous chunks.
+    ///
+    /// Use this when each index is already a *coarse* unit of work — a
+    /// whole session's backlog, a whole file — where per-item scheduling
+    /// overhead is noise but a fat chunk would serialize several big
+    /// units onto one worker (the per-window fan-out regression that
+    /// motivated per-session work division). The output is still merged
+    /// in index order.
+    pub fn map_indexed_coarse<T, F>(&self, n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.map_with_chunk(n, 1, f)
+    }
+
+    fn map_with_chunk<T, F>(&self, n: usize, chunk: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
         if self.threads == 1 || n < 2 {
             return (0..n).map(f).collect();
         }
-        // Chunks ~4x the worker count balance load without shredding
-        // cache locality; a chunk is never empty.
-        let chunk = n.div_ceil(self.threads * 4).max(1);
         let workers = self.threads.min(n.div_ceil(chunk));
         let cursor = AtomicUsize::new(0);
         let f = &f;
@@ -194,6 +219,27 @@ mod tests {
     fn more_threads_than_items() {
         let pool = ThreadPool::new(16);
         assert_eq!(pool.map_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn coarse_map_preserves_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPool::new(threads);
+            for n in [0, 1, 2, 7, 64] {
+                let got = pool.map_indexed_coarse(n, |i| 5 * i + 2);
+                let want: Vec<usize> = (0..n).map(|i| 5 * i + 2).collect();
+                assert_eq!(got, want, "threads={threads} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_map_runs_every_index_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        let runs: Vec<AtomicUsize> = (0..40).map(|_| AtomicUsize::new(0)).collect();
+        let pool = ThreadPool::new(8);
+        pool.map_indexed_coarse(runs.len(), |i| runs[i].fetch_add(1, Ordering::SeqCst));
+        assert!(runs.iter().all(|r| r.load(Ordering::SeqCst) == 1));
     }
 
     #[test]

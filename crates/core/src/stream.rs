@@ -617,6 +617,10 @@ pub struct StreamMonitor<S, P = ()> {
     next_sample: usize,
     prepares: usize,
     actions: Vec<(Severity, ActionHook<S>)>,
+    /// Optional retention cap: after every commit the database keeps at
+    /// most this many recent sample rows (see
+    /// [`AssertionDb::retain_recent`]). `None` retains everything.
+    retention: Option<usize>,
 }
 
 impl<S: 'static, P: Send + 'static> StreamMonitor<S, P> {
@@ -633,7 +637,24 @@ impl<S: 'static, P: Send + 'static> StreamMonitor<S, P> {
             next_sample: 0,
             prepares: 0,
             actions: Vec::new(),
+            retention: None,
         }
+    }
+
+    /// Caps the database at the `keep` most recent sample rows: after
+    /// every ingest, older rows are evicted (lifetime fire counters
+    /// survive — see [`AssertionDb`]'s retention docs). This is what
+    /// keeps a long-lived monitor's memory flat under unbounded traffic;
+    /// reports and corrective actions are unaffected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is zero.
+    #[must_use]
+    pub fn with_retention(mut self, keep: usize) -> Self {
+        assert!(keep > 0, "retention cap must keep at least one sample");
+        self.retention = Some(keep);
+        self
     }
 
     /// The registered assertions.
@@ -688,6 +709,9 @@ impl<S: 'static, P: Send + 'static> StreamMonitor<S, P> {
         };
         self.db.record_sample(report.sample, &report.outcomes);
         self.next_sample += 1;
+        if let Some(keep) = self.retention {
+            self.db.retain_recent(keep);
+        }
         let max = report.max_severity();
         for (threshold, action) in &mut self.actions {
             if max >= *threshold {
@@ -720,6 +744,9 @@ impl<S: 'static, P: Send + 'static> StreamMonitor<S, P> {
         let first = self.next_sample;
         self.db.record_batch(first, &outcomes);
         self.next_sample += samples.len();
+        if let Some(keep) = self.retention {
+            self.db.retain_recent(keep);
+        }
         let mut reports = Vec::with_capacity(samples.len());
         for (i, outcomes) in outcomes.into_iter().enumerate() {
             let report = SampleReport {
@@ -1007,6 +1034,40 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn abstain_threshold_rejected() {
         StreamMonitor::new(prepared_set(), NoPrep2()).on_severity(Severity::ABSTAIN, |_, _| {});
+    }
+
+    #[test]
+    fn retention_caps_resident_db_without_changing_reports() {
+        let prep = || FnPrepare::new(|xs: &Vec<i64>| xs.iter().sum::<i64>());
+        let mut unbounded = StreamMonitor::new(prepared_set(), prep());
+        let mut capped = StreamMonitor::new(prepared_set(), prep()).with_retention(2);
+        let stream: Vec<Vec<i64>> = (0..20).map(|i| vec![i - 10, 3]).collect();
+        for sample in &stream {
+            assert_eq!(capped.ingest(sample), unbounded.ingest(sample));
+        }
+        assert!(
+            capped.db().len() <= 2 * capped.assertions().len(),
+            "resident rows exceed the cap: {}",
+            capped.db().len()
+        );
+        assert_eq!(capped.db().evicted_before(), 18);
+        // Lifetime statistics still cover the whole stream.
+        assert_eq!(capped.db().lifetime_len(), unbounded.db().len());
+        assert_eq!(
+            capped.db().lifetime_fire_counts(),
+            unbounded.db().fire_counts()
+        );
+        // The batch path applies the same cap.
+        let mut batch = StreamMonitor::new(prepared_set(), prep()).with_retention(2);
+        batch.ingest_batch(&stream, &ThreadPool::new(4));
+        assert_eq!(batch.db().evicted_before(), 18);
+        assert_eq!(batch.db().lifetime_len(), unbounded.db().len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_retention_rejected() {
+        let _ = StreamMonitor::new(prepared_set(), NoPrep2()).with_retention(0);
     }
 
     /// NoPrep over a prepared set needs a preparer with `Prepared = i64`;

@@ -63,18 +63,42 @@ struct ScenarioStreamScorer<'a, Sc: Scenario> {
     row: Vec<(AssertionId, Severity)>,
 }
 
+/// Scores **one** clamped window on the incremental path: builds the
+/// sample, runs the shared preparation exactly once, checks the prepared
+/// set into the caller's reusable `(id, severity)` row, and returns the
+/// dense severity vector plus the uncertainty of `window[center]`.
+///
+/// This is the single scoring kernel behind both
+/// [`stream_score_scenario`] (which feeds it slider-emitted spans) and
+/// the multi-tenant service's per-session shards — sharing it is what
+/// makes the service path bit-for-bit equal to the streaming path *by
+/// construction*, not by coincidence.
+pub fn score_window<Sc: Scenario>(
+    scenario: &Sc,
+    set: &AssertionSet<Sc::Sample, Sc::Prep>,
+    preparer: &(dyn Prepare<Sc::Sample, Prepared = Sc::Prep> + '_),
+    window: &[Sc::Item],
+    center: usize,
+    row: &mut Vec<(AssertionId, Severity)>,
+) -> (Vec<f64>, f64) {
+    let sample = scenario.make_sample(window, center);
+    let prep = preparer.prepare(&sample);
+    set.check_all_prepared_into(&sample, &prep, row);
+    let severities = row.iter().map(|&(_, s)| s.value()).collect();
+    (severities, scenario.uncertainty(&window[center]))
+}
+
 impl<Sc: Scenario> ScenarioStreamScorer<'_, Sc> {
     fn score(&mut self, span: WindowSpan) -> (Vec<f64>, f64) {
         let window = &self.items[self.offset + span.start..self.offset + span.end];
-        let sample = self.scenario.make_sample(window, span.center());
-        let prep = self.preparer.prepare(&sample);
-        self.set
-            .check_all_prepared_into(&sample, &prep, &mut self.row);
-        let severities = self.row.iter().map(|&(_, s)| s.value()).collect();
-        let unc = self
-            .scenario
-            .uncertainty(&self.items[self.offset + span.index]);
-        (severities, unc)
+        score_window(
+            self.scenario,
+            self.set,
+            self.preparer,
+            window,
+            span.center(),
+            &mut self.row,
+        )
     }
 }
 
