@@ -35,7 +35,7 @@ fn main() {
     let set = scenario.assertion_set();
     let (sev, _unc) = score_scenario(&scenario, &set, &items, &omg_bench::runtime());
     for (m, name) in set.names().iter().enumerate() {
-        let fires = sev.iter().filter(|r| r[m] > 0.0).count();
+        let fires = sev.iter_rows().filter(|r| r[m] > 0.0).count();
         println!("[video] {name} fires on {fires}/{} frames", sev.len());
     }
 
@@ -71,7 +71,7 @@ fn main() {
         &ecg.run_model(&clf),
         &omg_bench::runtime(),
     );
-    let fires = sev.iter().filter(|r| r[0] > 0.0).count();
+    let fires = sev.iter_rows().filter(|r| r[0] > 0.0).count();
     println!("[ecg] assertion fires on {fires}/{} windows", sev.len());
     let mut rng = StdRng::seed_from_u64(5);
     let (b, a) = ecgx::ecg_weak_supervision(&ecg, &clf, 600, &mut rng);
@@ -99,7 +99,7 @@ fn main() {
     let set = av.assertion_set();
     let (sev, _) = score_scenario(&av, &set, &av_items, &omg_bench::runtime());
     for (m, name) in set.names().iter().enumerate() {
-        let fires = sev.iter().filter(|r| r[m] > 0.0).count();
+        let fires = sev.iter_rows().filter(|r| r[m] > 0.0).count();
         println!("[av] {name} fires on {fires}/{} samples", sev.len());
     }
     let mut rng = StdRng::seed_from_u64(5);

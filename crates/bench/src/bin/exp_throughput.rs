@@ -8,15 +8,17 @@
 //!
 //! ```sh
 //! cargo run --release -p omg-bench --bin exp_throughput -- \
-//!     [--threads N] [--windows W] [--stream | --check-stream-archive]
+//!     [--threads N] [--windows W] \
+//!     [--stream | --sweep-threads 1,2,4,8 | --check-stream-archive]
 //! ```
 //!
 //! Unknown or malformed arguments (a typo'd `--thread`, `--stream=yes`)
 //! are rejected with a usage message. `--check-stream-archive` verifies
 //! that every scenario in the runtime registry has its
-//! `BENCH_stream_<name>.json` archived **and** that the multi-tenant
-//! soak's `BENCH_service.json` is present — the CI gate that keeps the
-//! streaming and service benchmarks' coverage honest.
+//! `BENCH_stream_<name>.json` **and** `BENCH_scaling_<name>.json`
+//! archived, and that the multi-tenant soak's `BENCH_service.json` is
+//! present — the CI gate that keeps the streaming, scaling, and service
+//! benchmarks' coverage honest.
 //!
 //! Default mode runs the sequential `Monitor::process` loop, then
 //! `process_batch` at 1, 2, 4, … up to a ceiling of `--threads` workers
@@ -24,7 +26,7 @@
 //! parallelism), verifying on every run that the parallel path's reports
 //! and database match the sequential path bit-for-bit. Results print as
 //! a table and land in `BENCH_throughput.json` under the same
-//! `target/bench/` directory the criterion harnesses write to.
+//! committed top-level `benchmarks/` directory the criterion harnesses write to.
 //!
 //! `--stream` mode instead compares the batch scorers (every assertion
 //! re-derives its window preparation) against the streaming scorers (one
@@ -38,6 +40,14 @@
 //! specified at those counts); `--threads` applies to the default mode
 //! only and is rejected alongside `--stream` to avoid silently ignoring
 //! it.
+//!
+//! `--sweep-threads 1,2,4,8` runs the **single-stream scaling curve**:
+//! for every registered scenario, the streaming scorer over one stream
+//! at each listed thread count, asserting bit-for-bit identical
+//! severities on every run and writing one `BENCH_scaling_<scenario>.json`
+//! per scenario — the persistent worker pool's headline artifact
+//! (threads are supposed to *help* a single stream, not just not hurt
+//! it).
 
 use std::time::Instant;
 
@@ -86,15 +96,21 @@ fn write_stream_json(scenario: &str, windows: usize, rows: &[(String, f64)]) {
 }
 
 /// The `--check-stream-archive` mode: verifies every registered
-/// scenario has its `BENCH_stream_<name>.json` archived (the CI gate
-/// behind "a registered scenario cannot silently drop out of the
-/// streaming benchmark").
+/// scenario has its `BENCH_stream_<name>.json` **and** its
+/// `BENCH_scaling_<name>.json` archived (the CI gate behind "a
+/// registered scenario cannot silently drop out of the streaming or
+/// scaling benchmarks").
 fn check_stream_archive() {
     let dir = criterion::bench_output_dir();
     let mut missing: Vec<String> = omg_bench::scenarios::SCENARIO_NAMES
         .into_iter()
-        .filter(|name| !dir.join(format!("BENCH_stream_{name}.json")).exists())
-        .map(|name| format!("BENCH_stream_{name}.json"))
+        .flat_map(|name| {
+            [
+                format!("BENCH_stream_{name}.json"),
+                format!("BENCH_scaling_{name}.json"),
+            ]
+        })
+        .filter(|file| !dir.join(file).exists())
         .collect();
     // The multi-tenant soak archive is part of the same contract: a
     // registered service benchmark cannot silently drop out either.
@@ -103,14 +119,15 @@ fn check_stream_archive() {
     }
     if missing.is_empty() {
         println!(
-            "stream bench archive complete: {} scenarios + service soak under {}",
+            "bench archive complete: {} scenarios (stream + scaling) + service soak under {}",
             omg_bench::scenarios::SCENARIO_NAMES.len(),
             dir.display()
         );
     } else {
         eprintln!(
             "error: bench archives missing under {}: {}\n\
-             run `exp_throughput --stream` (and `exp service`) first",
+             run `exp_throughput --stream`, `exp_throughput --sweep-threads 1,2,4,8`, \
+             and `exp service` first",
             dir.display(),
             missing.join(", ")
         );
@@ -118,42 +135,232 @@ fn check_stream_archive() {
     }
 }
 
+/// Deduplicates a pool ladder by **effective fanout**. `ThreadPool::new`
+/// clamps its fanout to the machine's cores, so ladder entries above
+/// that run instruction-for-instruction identical schedules; measuring
+/// them separately would report scheduler noise as a scaling
+/// difference. Returns `(distinct, measure_of)`: indices of the pools
+/// to actually time, and for each ladder entry the slot in `distinct`
+/// whose measurement it shares.
+fn dedupe_by_fanout(pools: &[ThreadPool]) -> (Vec<usize>, Vec<usize>) {
+    let mut distinct: Vec<usize> = Vec::new();
+    let measure_of = pools
+        .iter()
+        .enumerate()
+        .map(|(i, pool)| {
+            match distinct
+                .iter()
+                .position(|&j| pools[j].fanout() == pool.fanout())
+            {
+                Some(slot) => slot,
+                None => {
+                    distinct.push(i);
+                    distinct.len() - 1
+                }
+            }
+        })
+        .collect();
+    (distinct, measure_of)
+}
+
+/// Amortization factor for sub-50ms passes: scheduler jitter is a
+/// visible fraction of a few-millisecond sample, so batch enough passes
+/// into each timed sample that it spans ~50ms of wall-clock.
+fn inner_passes(est_pass_secs: f64) -> usize {
+    ((0.05 / est_pass_secs).ceil() as usize).clamp(1, 64)
+}
+
 /// Benchmarks one registered scenario's batch scorer against its
 /// streaming scorer over the full stream at each thread count; every
 /// streaming run is asserted bit-for-bit equal to the batch reference.
+///
+/// Timing is paired the same way as [`sweep_scenario`]: the sequential
+/// batch pass and each distinct-fanout streaming pass are measured
+/// round-robin and the quietest whole round is archived, so the
+/// batch-vs-stream comparison is made under one machine-load epoch.
 fn stream_scenario(scenario: &dyn DynScenario, reps: usize) {
     let name = scenario.name();
     let n_windows = scenario.len();
-    let batch = |pool: &ThreadPool| scenario.score_batch(pool).0;
-    let stream = |pool: &ThreadPool| scenario.score_stream(pool).0;
     let sequential = ThreadPool::sequential();
-    let reference = batch(&sequential);
-    let batch_secs = best_secs(reps, || {
-        std::hint::black_box(batch(&sequential));
-    });
-    let batch_wps = n_windows as f64 / batch_secs;
-    println!("{name}: {n_windows} windows (best of {reps}):");
-    println!("  {:<22} {:>12} {:>10}", "path", "windows/sec", "speedup");
-    println!("  {:<22} {:>12.0} {:>9.2}x", "batch x1", batch_wps, 1.0);
-    let mut rows = vec![("batch x1".to_string(), batch_wps)];
-    for threads in STREAM_THREADS {
-        let pool = ThreadPool::new(threads);
-        // Correctness first: identical severities on every run.
+    let reference = scenario.score_batch(&sequential).0;
+    let pools: Vec<ThreadPool> = STREAM_THREADS.iter().map(|&t| ThreadPool::new(t)).collect();
+    let (distinct, measure_of) = dedupe_by_fanout(&pools);
+    // Correctness first (and a warm-up pass per config): identical
+    // severities at every thread count on every benchmark run.
+    let mut est_pass = f64::INFINITY;
+    for (pool, &threads) in pools.iter().zip(STREAM_THREADS.iter()) {
+        let t0 = Instant::now();
         assert_eq!(
-            stream(&pool),
+            scenario.score_stream(pool).0,
             reference,
             "{name}: streaming severities diverged from batch at {threads} threads"
         );
-        let secs = best_secs(reps, || {
-            std::hint::black_box(stream(&pool));
-        });
-        let wps = n_windows as f64 / secs;
+        est_pass = est_pass.min(t0.elapsed().as_secs_f64());
+    }
+    let inner = inner_passes(est_pass);
+    // Round layout: batch first, then one slot per distinct fanout.
+    let mut best_round: Vec<f64> = Vec::new();
+    let mut best_total = f64::INFINITY;
+    for _ in 0..reps {
+        let mut times = Vec::with_capacity(1 + distinct.len());
+        let t0 = Instant::now();
+        for _ in 0..inner {
+            std::hint::black_box(scenario.score_batch(&sequential).0);
+        }
+        times.push(t0.elapsed().as_secs_f64() / inner as f64);
+        for &j in &distinct {
+            let t0 = Instant::now();
+            for _ in 0..inner {
+                std::hint::black_box(scenario.score_stream(&pools[j]).0);
+            }
+            times.push(t0.elapsed().as_secs_f64() / inner as f64);
+        }
+        let total: f64 = times.iter().sum();
+        if total < best_total {
+            best_total = total;
+            best_round = times;
+        }
+    }
+    let batch_wps = n_windows as f64 / best_round[0];
+    println!("{name}: {n_windows} windows (quietest of {reps} rounds):");
+    println!("  {:<22} {:>12} {:>10}", "path", "windows/sec", "speedup");
+    println!("  {:<22} {:>12.0} {:>9.2}x", "batch x1", batch_wps, 1.0);
+    let mut rows = vec![("batch x1".to_string(), batch_wps)];
+    for (&threads, &slot) in STREAM_THREADS.iter().zip(&measure_of) {
+        let wps = n_windows as f64 / best_round[1 + slot];
         let label = format!("stream x{threads}");
         println!("  {:<22} {:>12.0} {:>9.2}x", label, wps, wps / batch_wps);
         rows.push((label, wps));
     }
     println!("  (streaming severities verified bit-for-bit against batch)");
     write_stream_json(name, n_windows, &rows);
+}
+
+/// Parses the `--sweep-threads` value: a non-empty comma-separated
+/// list of positive thread counts (e.g. `1,2,4,8`).
+fn parse_thread_ladder(raw: &str) -> Result<Vec<usize>, String> {
+    let ladder: Vec<usize> = raw
+        .split(',')
+        .map(|part| {
+            part.trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&n| n > 0)
+                .ok_or_else(|| {
+                    format!("--sweep-threads expects positive integers, got {part:?} in {raw:?}")
+                })
+        })
+        .collect::<Result<_, _>>()?;
+    if ladder.is_empty() {
+        return Err("--sweep-threads expects at least one thread count".to_string());
+    }
+    Ok(ladder)
+}
+
+/// Measures one registered scenario's single-stream scaling curve: the
+/// streaming scorer over the whole stream at each ladder thread count,
+/// each run asserted bit-for-bit equal to the sequential batch
+/// reference, archived as `BENCH_scaling_<scenario>.json`.
+///
+/// Two measurement choices keep the curve honest on a loaded or small
+/// machine. First, ladder entries are deduplicated by **effective
+/// fanout**: `ThreadPool::new` clamps its fanout to the machine's
+/// cores, so e.g. `x4` and `x8` on a 2-core host run instruction-for-
+/// instruction identical schedules — measuring them separately would
+/// report scheduler noise as if it were a scaling difference, so they
+/// share one measurement. Second, the distinct configs are timed
+/// **round-robin** (rep 1 of every config, then rep 2, …) and the
+/// quietest whole round is archived, so every point on the curve is
+/// measured under the same machine-load epoch.
+fn sweep_scenario(scenario: &dyn DynScenario, ladder: &[usize], reps: usize) {
+    let name = scenario.name();
+    let n_windows = scenario.len();
+    let reference = scenario.score_batch(&ThreadPool::sequential()).0;
+    let pools: Vec<ThreadPool> = ladder.iter().map(|&t| ThreadPool::new(t)).collect();
+    let (distinct, measure_of) = dedupe_by_fanout(&pools);
+    // Correctness first (and a warm-up pass per config): identical
+    // severities at every thread count on every benchmark run.
+    let mut est_pass = f64::INFINITY;
+    for (pool, &threads) in pools.iter().zip(ladder) {
+        let t0 = Instant::now();
+        assert_eq!(
+            scenario.score_stream(pool).0,
+            reference,
+            "{name}: streaming severities diverged from batch at {threads} threads"
+        );
+        est_pass = est_pass.min(t0.elapsed().as_secs_f64());
+    }
+    let inner = inner_passes(est_pass);
+    // Paired comparison: every pass does the same work, so what the
+    // curve measures is how the runtime spends the same machine. Taking
+    // each config's best pass independently would compare config A
+    // under one load epoch against config B under another; instead,
+    // archive the quietest whole round (smallest summed wall-clock
+    // across the ladder), so all points on the curve share one epoch.
+    let mut best_round: Vec<f64> = Vec::new();
+    let mut best_total = f64::INFINITY;
+    for _ in 0..reps {
+        let times: Vec<f64> = distinct
+            .iter()
+            .map(|&j| {
+                let t0 = Instant::now();
+                for _ in 0..inner {
+                    std::hint::black_box(scenario.score_stream(&pools[j]).0);
+                }
+                t0.elapsed().as_secs_f64() / inner as f64
+            })
+            .collect();
+        let total: f64 = times.iter().sum();
+        if total < best_total {
+            best_total = total;
+            best_round = times;
+        }
+    }
+    println!(
+        "{name}: {n_windows} windows (quietest of {reps} rounds, {} distinct fanout{}):",
+        distinct.len(),
+        if distinct.len() == 1 { "" } else { "s" }
+    );
+    println!("  {:<22} {:>12} {:>10}", "path", "windows/sec", "speedup");
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    let base_wps = n_windows as f64 / best_round[measure_of[0]];
+    for (&threads, &slot) in ladder.iter().zip(&measure_of) {
+        let wps = n_windows as f64 / best_round[slot];
+        let label = format!("stream x{threads}");
+        println!("  {:<22} {:>12.0} {:>9.2}x", label, wps, wps / base_wps);
+        rows.push((label, wps));
+    }
+    println!("  (all runs verified bit-for-bit against the sequential batch reference)");
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(label, wps)| format!("    {{\"id\": \"{label}\", \"windows_per_sec\": {wps:.1}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"scaling_{name}\",\n  \"windows\": {n_windows},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let dir = criterion::bench_output_dir();
+    let path = dir.join(format!("BENCH_scaling_{name}.json"));
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `--sweep-threads` mode: the single-stream scaling curve on every
+/// scenario in the runtime registry, one archive per scenario.
+fn run_sweep_mode(ladder: &[usize], n_windows: usize, reps: usize) {
+    let scenarios = omg_bench::scenarios::all_scenarios(3, n_windows);
+    println!(
+        "== single-stream scaling sweep (threads {ladder:?}), {} registered scenarios ==\n",
+        scenarios.len()
+    );
+    for scenario in &scenarios {
+        sweep_scenario(scenario.as_ref(), ladder, reps);
+    }
 }
 
 /// The `--stream` mode: batch-vs-streaming scorers on every scenario
@@ -174,26 +381,34 @@ fn main() {
     omg_bench::validate_args_or_exit(
         &args,
         &omg_bench::CliSpec {
-            value_flags: &["--threads", "--windows"],
+            value_flags: &["--threads", "--windows", "--sweep-threads"],
             bare_flags: &["--stream", "--check-stream-archive"],
             max_positionals: 0,
         },
-        "exp_throughput [--threads N] [--windows W] [--stream | --check-stream-archive]",
+        "exp_throughput [--threads N] [--windows W] \
+         [--stream | --sweep-threads 1,2,4,8 | --check-stream-archive]",
     );
     // Friendly (exit-2, one-line) value parsing: a typo'd value must not
     // panic with a backtrace.
     let threads_flag = omg_bench::parse_usize_flag_cli(&args, "--threads");
     let windows_flag = omg_bench::parse_usize_flag_cli(&args, "--windows");
+    let sweep_flag = omg_bench::parse_string_flag_cli(&args, "--sweep-threads").map(|raw| {
+        parse_thread_ladder(&raw).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        })
+    });
     if omg_bench::has_flag(&args, "--check-stream-archive") {
         // The archive check runs no benchmark: a co-passed benchmark
         // flag would be silently dropped, so reject it instead.
         if omg_bench::has_flag(&args, "--stream")
             || threads_flag.is_some()
             || windows_flag.is_some()
+            || sweep_flag.is_some()
         {
             eprintln!(
                 "error: --check-stream-archive only verifies the archived \
-                 BENCH_stream_<name>.json files; it takes no other flags"
+                 BENCH_*.json files; it takes no other flags"
             );
             std::process::exit(2);
         }
@@ -213,6 +428,23 @@ fn main() {
     let n_windows = windows_flag.unwrap_or(2000);
     let reps = 3;
 
+    if let Some(ladder) = sweep_flag {
+        // The sweep *is* a thread ladder: a co-passed `--threads` or
+        // `--stream` would conflict with it, so reject both.
+        if threads_flag.is_some() || omg_bench::has_flag(&args, "--stream") {
+            eprintln!(
+                "error: --sweep-threads is its own mode; it takes --windows only \
+                 (the ladder replaces --threads, and --stream runs the fixed 1/2/8 ladder)"
+            );
+            std::process::exit(2);
+        }
+        // Scaling curves compare configs against each other, so they
+        // need more repetitions than a single-config throughput number
+        // for the per-config minima to converge under machine noise.
+        run_sweep_mode(&ladder, n_windows, reps.max(40));
+        return;
+    }
+
     if omg_bench::has_flag(&args, "--stream") {
         if threads_flag.is_some() {
             eprintln!(
@@ -222,7 +454,10 @@ fn main() {
             );
             std::process::exit(2);
         }
-        run_stream_mode(n_windows, reps);
+        // Like the sweep, the stream mode compares configs against each
+        // other (batch vs stream), so give the quietest-round search
+        // more rounds than a single-config throughput number needs.
+        run_stream_mode(n_windows, reps.max(15));
         return;
     }
 

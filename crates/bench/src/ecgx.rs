@@ -278,16 +278,16 @@ mod tests {
         let mlp = pretrained_classifier(&s, 1);
         let items = s.run_model(&mlp);
         let set = s.assertion_set();
-        let (sev, unc) = score_scenario(&s, &set, &items, &ThreadPool::new(2));
+        let (sev, unc) = score_scenario(&s, &set, &items, &ThreadPool::exact(2));
         assert_eq!(
             score_scenario(&s, &set, &items, &ThreadPool::sequential()),
             (sev.clone(), unc.clone()),
             "parallel scoring must match sequential"
         );
         assert_eq!(sev.len(), 300);
-        assert!(sev.iter().all(|r| r.len() == 1));
+        assert!(sev.iter_rows().all(|r| r.len() == 1));
         assert!(unc.iter().all(|&u| (0.0..=1.0).contains(&u)));
-        let fires: f64 = sev.iter().map(|r| r[0]).sum();
+        let fires: f64 = sev.iter_rows().map(|r| r[0]).sum();
         assert!(
             fires > 0.0,
             "an imperfect classifier must oscillate somewhere"
@@ -304,7 +304,13 @@ mod tests {
         let preparer = s.preparer();
         for threads in [1, 2, 8] {
             assert_eq!(
-                stream_score_scenario(&s, &prepared, &preparer, &items, &ThreadPool::new(threads)),
+                stream_score_scenario(
+                    &s,
+                    &prepared,
+                    &preparer,
+                    &items,
+                    &ThreadPool::exact(threads)
+                ),
                 want,
                 "streaming ECG scoring diverged at {threads} threads"
             );

@@ -13,7 +13,7 @@
 //!   many items flow through.
 //!
 //! Results print as a table and land in `BENCH_service.json` under the
-//! same `target/bench/` directory as the other archives (CI's
+//! same committed top-level `benchmarks/` directory as the other archives (CI's
 //! `exp_throughput --check-stream-archive` gate requires it).
 
 use std::time::Instant;
@@ -65,7 +65,7 @@ fn run_rung(seed: u64, sessions: usize, workers: usize) -> Rung {
     let pool = ThreadPool::new(workers);
 
     let mut cursors = vec![0usize; sessions];
-    let mut delivered: Vec<Scores> = vec![(Vec::new(), Vec::new()); sessions];
+    let mut delivered: Vec<Scores> = vec![(omg_core::SeverityMatrix::new(), Vec::new()); sessions];
     let mut drain_ms: Vec<f64> = Vec::new();
     let mut max_resident = 0usize;
     let t0 = Instant::now();
@@ -92,7 +92,7 @@ fn run_rung(seed: u64, sessions: usize, workers: usize) -> Rung {
         max_resident = max_resident.max(svc.resident_records());
         for (s, out) in delivered.iter_mut().enumerate() {
             let (sev, unc) = svc.poll(SessionId(s as u64)).expect("open session");
-            out.0.extend(sev);
+            out.0.append(&sev);
             out.1.extend(unc);
         }
         if !progressed && svc.queued() == 0 {
@@ -101,7 +101,7 @@ fn run_rung(seed: u64, sessions: usize, workers: usize) -> Rung {
     }
     for (s, out) in delivered.iter_mut().enumerate() {
         let (sev, unc) = svc.finish(SessionId(s as u64)).expect("open session");
-        out.0.extend(sev);
+        out.0.append(&sev);
         out.1.extend(unc);
     }
     let secs = t0.elapsed().as_secs_f64();

@@ -253,8 +253,8 @@ mod tests {
         let (sev, unc) = score_scenario(&s, &set, &items, &ThreadPool::sequential());
         assert_eq!(sev.len(), 120);
         assert!(unc.iter().all(|&u| (0.0..=1.0).contains(&u)));
-        let agree: f64 = sev.iter().map(|r| r[0]).sum();
-        let flicker: f64 = sev.iter().map(|r| r[1]).sum();
+        let agree: f64 = sev.iter_rows().map(|r| r[0]).sum();
+        let flicker: f64 = sev.iter_rows().map(|r| r[1]).sum();
         assert!(agree > 0.0, "secondary must confirm missed vehicles");
         assert!(flicker > 0.0, "the noisy primary must flicker somewhere");
     }
@@ -268,7 +268,13 @@ mod tests {
         let preparer = s.preparer();
         for threads in [1, 2, 8] {
             assert_eq!(
-                stream_score_scenario(&s, &prepared, &preparer, &items, &ThreadPool::new(threads)),
+                stream_score_scenario(
+                    &s,
+                    &prepared,
+                    &preparer,
+                    &items,
+                    &ThreadPool::exact(threads)
+                ),
                 want,
                 "streaming highway scoring diverged at {threads} threads"
             );

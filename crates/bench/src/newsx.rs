@@ -200,7 +200,7 @@ mod tests {
         let flagged = flagged_groups(&s, &ThreadPool::sequential());
         assert!(!flagged.is_empty());
         assert_eq!(
-            flagged_groups(&s, &ThreadPool::new(4)),
+            flagged_groups(&s, &ThreadPool::exact(4)),
             flagged,
             "parallel scene checks must merge in scene order"
         );
@@ -219,15 +219,20 @@ mod tests {
         let batch_fired = scenes_fired(&s);
         let want = score_scenario(&s, &s.assertion_set(), &items, &ThreadPool::sequential());
         assert_eq!(
-            want.0.iter().filter(|r| r[0] > 0.0).count(),
+            want.0.iter_rows().filter(|r| r[0] > 0.0).count(),
             batch_fired,
             "generic batch severities must reproduce scenes_fired"
         );
         let prepared = s.prepared_set();
         let preparer = s.preparer();
         for threads in [1, 2, 8] {
-            let got =
-                stream_score_scenario(&s, &prepared, &preparer, &items, &ThreadPool::new(threads));
+            let got = stream_score_scenario(
+                &s,
+                &prepared,
+                &preparer,
+                &items,
+                &ThreadPool::exact(threads),
+            );
             assert_eq!(got, want, "news stream diverges at {threads} threads");
         }
     }

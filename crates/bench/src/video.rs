@@ -418,7 +418,7 @@ mod tests {
         let (sev, unc) = score_scenario(&s, &set, &items, &ThreadPool::sequential());
         assert_eq!(sev.len(), 120);
         assert_eq!(unc.len(), 120);
-        let total_fires: f64 = sev.iter().flat_map(|r| r.iter()).sum();
+        let total_fires: f64 = sev.iter_rows().flat_map(|r| r.iter()).sum();
         assert!(
             total_fires > 0.0,
             "the pretrained night detector must trip assertions"
@@ -426,7 +426,7 @@ mod tests {
         // The fan-out path merges in frame order: identical scores at
         // any thread count.
         for threads in [2, 8] {
-            let (psev, punc) = score_scenario(&s, &set, &items, &ThreadPool::new(threads));
+            let (psev, punc) = score_scenario(&s, &set, &items, &ThreadPool::exact(threads));
             assert_eq!(psev, sev, "severities differ at {threads} threads");
             assert_eq!(punc, unc, "uncertainties differ at {threads} threads");
         }
@@ -480,7 +480,7 @@ mod tests {
                 &stream_set,
                 &preparer,
                 &items,
-                &ThreadPool::new(threads),
+                &ThreadPool::exact(threads),
             );
             assert_eq!(got, want, "stream diverges from batch at {threads} threads");
         }

@@ -1,4 +1,4 @@
-use crate::{AssertionId, Severity};
+use crate::{AssertionId, Severity, SeverityMatrix};
 
 /// One row of the assertion database: an assertion's outcome on a sample.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -124,6 +124,68 @@ impl AssertionDb {
         self.num_records += rows.len() * dim;
         self.lifetime_records += rows.len() * dim;
         self.num_samples = self.num_samples.max(first_sample + rows.len());
+    }
+
+    /// Appends the outcomes of one sample from a **dense columnar row**:
+    /// `values[m]` is the raw severity of `AssertionId(m)` — the shape
+    /// [`crate::AssertionSet::check_all_prepared_values`] produces and a
+    /// [`SeverityMatrix`] row holds.
+    ///
+    /// Identical shard contents to [`AssertionDb::record_sample`] on the
+    /// equivalent `(id, severity)` vector (`Severity::new` round-trips
+    /// every value exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative, NaN, or infinite (the
+    /// [`Severity::new`] contract).
+    pub fn record_row(&mut self, sample: usize, values: &[f64]) {
+        if !values.is_empty() {
+            self.shard_mut(AssertionId(values.len() - 1));
+        }
+        for (m, &v) in values.iter().enumerate() {
+            let severity = Severity::new(v);
+            self.shards[m].push((sample, severity));
+            if severity.fired() {
+                self.lifetime_fired[m] += 1;
+            }
+        }
+        self.num_records += values.len();
+        self.lifetime_records += values.len();
+        self.num_samples = self.num_samples.max(sample + 1);
+    }
+
+    /// Appends a batch of consecutive samples' outcomes from a
+    /// [`SeverityMatrix`]: row `i` of the matrix becomes the dense
+    /// outcome vector of sample `first_sample + i`, appended shard-by-
+    /// shard (columnar). Equivalent to [`AssertionDb::record_row`] per
+    /// row, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any value is negative, NaN, or infinite.
+    pub fn record_matrix(&mut self, first_sample: usize, matrix: &SeverityMatrix) {
+        let (rows, dim) = (matrix.len(), matrix.width());
+        if rows == 0 {
+            return;
+        }
+        if dim > 0 {
+            self.shard_mut(AssertionId(dim - 1));
+        }
+        for m in 0..dim {
+            let shard = &mut self.shards[m];
+            shard.reserve(rows);
+            let mut fired = 0usize;
+            for i in 0..rows {
+                let severity = Severity::new(matrix.row(i)[m]);
+                shard.push((first_sample + i, severity));
+                fired += usize::from(severity.fired());
+            }
+            self.lifetime_fired[m] += fired;
+        }
+        self.num_records += rows * dim;
+        self.lifetime_records += rows * dim;
+        self.num_samples = self.num_samples.max(first_sample + rows);
     }
 
     /// Drops every row whose sample index is below `min_sample` and
@@ -423,6 +485,50 @@ mod tests {
         sequential.record_sample(6, &rows[1]);
         assert_eq!(batched, sequential);
         assert_eq!(batched.num_assertions(), 3);
+    }
+
+    #[test]
+    fn record_row_equals_record_sample() {
+        let rows: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64, (i % 2) as f64]).collect();
+        let mut columnar = AssertionDb::new();
+        let mut classic = AssertionDb::new();
+        for (i, row) in rows.iter().enumerate() {
+            columnar.record_row(i, row);
+            let outcomes: Vec<(AssertionId, Severity)> = row
+                .iter()
+                .enumerate()
+                .map(|(m, &v)| (AssertionId(m), Severity::new(v)))
+                .collect();
+            classic.record_sample(i, &outcomes);
+        }
+        assert_eq!(columnar, classic);
+        // An empty row advances the sample horizon without inventing
+        // assertion dimensions.
+        let mut db = AssertionDb::new();
+        db.record_row(3, &[]);
+        assert_eq!(db.num_assertions(), 0);
+        assert_eq!(db.num_samples(), 4);
+    }
+
+    #[test]
+    fn record_matrix_equals_per_row_recording() {
+        let mut matrix = SeverityMatrix::new();
+        for i in 0..7 {
+            matrix.push_row(&[i as f64, ((i + 1) % 3) as f64, 0.5 * i as f64]);
+        }
+        let mut batched = AssertionDb::new();
+        batched.record_matrix(2, &matrix);
+        let mut sequential = AssertionDb::new();
+        for i in 0..matrix.len() {
+            sequential.record_row(2 + i, matrix.row(i));
+        }
+        assert_eq!(batched, sequential);
+        assert_eq!(batched.len(), 21);
+        assert_eq!(batched.num_samples(), 9);
+        // Empty matrix is a no-op.
+        let mut db = AssertionDb::new();
+        db.record_matrix(0, &SeverityMatrix::new());
+        assert!(db.is_empty());
     }
 
     #[test]

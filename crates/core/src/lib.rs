@@ -31,8 +31,10 @@
 //!   down an autopilot"). `Monitor::process_batch` scores whole batches
 //!   in parallel over a [`runtime::ThreadPool`], bit-for-bit equal to
 //!   the sequential path.
-//! * [`runtime`] — the dependency-free scoped-thread pool behind the
-//!   batch path, with deterministic input-order merging.
+//! * [`runtime`] — the dependency-free **persistent** worker-thread pool
+//!   behind the batch and streaming paths: long-lived workers parked on
+//!   a condvar, jobs (not spawns) per scoring call, deterministic
+//!   input-order merging.
 //! * [`stream`] — the incremental streaming engine: the [`stream::Prepare`]
 //!   shared window-preparation layer (expensive derivations run once per
 //!   window, shared by every assertion via
@@ -71,7 +73,10 @@
 //! assert_eq!(monitor.db().fire_count(id), 1);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the persistent pool's lifetime-erased job cell
+// (see `runtime`) is the one audited exception, opted in via scoped
+// `#[allow(unsafe_code)]`. Everything else in the crate is safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod assertion;
@@ -88,4 +93,4 @@ pub use assertion::{Assertion, FnAssertion};
 pub use database::{AssertionDb, Record};
 pub use monitor::{Monitor, SampleReport};
 pub use registry::{AssertionId, AssertionSet};
-pub use severity::Severity;
+pub use severity::{Severity, SeverityMatrix};

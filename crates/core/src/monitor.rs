@@ -176,13 +176,20 @@ impl<S: 'static> Monitor<S> {
     where
         S: Sync,
     {
-        let outcomes =
+        let matrix =
             crate::stream::score_batch(&self.assertions, &crate::stream::NoPrep, samples, pool);
         let first = self.next_sample;
-        self.db.record_batch(first, &outcomes);
+        self.db.record_matrix(first, &matrix);
         self.next_sample += samples.len();
         let mut reports = Vec::with_capacity(samples.len());
-        for (i, outcomes) in outcomes.into_iter().enumerate() {
+        for (i, row) in matrix.iter_rows().enumerate() {
+            // Severity::new round-trips raw values exactly, so these
+            // outcome rows are bit-for-bit the sequential path's.
+            let outcomes: Vec<(AssertionId, Severity)> = row
+                .iter()
+                .enumerate()
+                .map(|(m, &v)| (AssertionId(m), Severity::new(v)))
+                .collect();
             let report = SampleReport {
                 sample: first + i,
                 outcomes,
@@ -311,7 +318,7 @@ mod tests {
         let seq_reports: Vec<_> = samples.iter().map(|s| seq.process(s)).collect();
         for threads in [1, 2, 8] {
             let mut par = monitor();
-            let par_reports = par.process_batch(&samples, &ThreadPool::new(threads));
+            let par_reports = par.process_batch(&samples, &ThreadPool::exact(threads));
             assert_eq!(par_reports, seq_reports, "threads={threads}");
             assert_eq!(par.db(), seq.db(), "threads={threads}");
             assert_eq!(par.samples_processed(), seq.samples_processed());
@@ -327,14 +334,14 @@ mod tests {
             fired2.lock().unwrap().push(r.sample);
         });
         let samples = vec![-500, 1, -300, 2, -900];
-        m.process_batch(&samples, &ThreadPool::new(4));
+        m.process_batch(&samples, &ThreadPool::exact(4));
         assert_eq!(*fired.lock().unwrap(), vec![0, 2, 4]);
     }
 
     #[test]
     fn process_batch_then_process_continues_the_stream() {
         let mut m = monitor();
-        m.process_batch(&[-1, 2], &ThreadPool::new(2));
+        m.process_batch(&[-1, 2], &ThreadPool::exact(2));
         let r = m.process(&-3);
         assert_eq!(r.sample, 2);
         assert_eq!(m.db().num_samples(), 3);

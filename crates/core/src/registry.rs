@@ -224,6 +224,25 @@ impl<S: 'static, P> AssertionSet<S, P> {
         }));
     }
 
+    /// The columnar form of [`AssertionSet::check_all_prepared_into`]:
+    /// `out` is cleared and refilled with the **raw severity values** in
+    /// assertion-id order — one dense `f64` row ready to push into a
+    /// [`crate::SeverityMatrix`].
+    ///
+    /// The id of position `m` is `AssertionId(m)` by construction, so no
+    /// information is lost relative to the `(id, severity)` row form;
+    /// `Severity::new` round-trips each value exactly.
+    pub fn check_all_prepared_values(&self, sample: &S, prep: &P, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.entries.iter().map(|e| {
+            let severity = match &e.prepared {
+                Some(check) => check(sample, prep),
+                None => e.assertion.check(sample),
+            };
+            severity.value()
+        }));
+    }
+
     /// Runs one assertion on the sample.
     ///
     /// # Panics
@@ -313,6 +332,21 @@ mod tests {
         set.check_all_prepared_into(&5000, &(), &mut row);
         assert_eq!(row, set.check_all_prepared(&5000, &()));
         assert_eq!(row.capacity(), cap, "a refill must not reallocate");
+    }
+
+    #[test]
+    fn check_all_prepared_values_matches_the_row_form() {
+        let set = sample_set();
+        let mut values = Vec::new();
+        for sample in [-5, 0, 5000] {
+            set.check_all_prepared_values(&sample, &(), &mut values);
+            let want: Vec<f64> = set
+                .check_all_prepared(&sample, &())
+                .into_iter()
+                .map(|(_, sev)| sev.value())
+                .collect();
+            assert_eq!(values, want);
+        }
     }
 
     #[test]

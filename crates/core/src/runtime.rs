@@ -1,14 +1,31 @@
-//! A dependency-free scoped-thread runtime for data-parallel assertion
-//! checking.
+//! A dependency-free **persistent** worker-thread runtime for
+//! data-parallel assertion checking.
 //!
 //! The paper's §7 argues assertion monitoring is cheap enough to run
 //! inline with deployment ("can be run … over every model invocation");
 //! scaling that to many streams and large assertion sets means scoring
-//! independent `(sample, assertion)` pairs on every core. [`ThreadPool`]
-//! provides exactly that: a fixed worker count, [`std::thread::scope`]
-//! under the hood (so borrowed data crosses into workers without `Arc` or
-//! `'static` bounds), and **deterministic, input-order merging** of
-//! results.
+//! independent `(sample, assertion)` pairs on every core — *without*
+//! paying a thread spawn per scoring call. [`ThreadPool`] keeps
+//! `threads - 1` long-lived workers parked on a condvar (the calling
+//! thread is always worker 0), hands each `map_indexed` call to them as
+//! a **job** through a lifetime-erased job cell, and merges results with
+//! **deterministic, input-order merging**. Between jobs the workers cost
+//! nothing but a parked thread; a streaming hot loop that scores
+//! thousands of batches re-uses the same workers for all of them (the
+//! engine's zero-respawn probe pins this down).
+//!
+//! # Borrowed data without `'static`
+//!
+//! Jobs borrow the caller's stack: the closure, the atomic chunk cursor,
+//! and the result buffers all live in the `map_indexed` frame, published
+//! to the workers as a type-erased `(data pointer, run function)` pair.
+//! Soundness rests on a strict handshake: a worker may only *join* a job
+//! under the pool mutex (incrementing the in-flight count), and the
+//! submitting call only retracts the job — and only then returns — after
+//! the in-flight count has drained to zero. No worker can observe the
+//! job cell after the frame it points into is gone. This is the one
+//! place in the engine that uses `unsafe`; everything above it is safe
+//! code.
 //!
 //! # Determinism
 //!
@@ -18,6 +35,14 @@
 //! and the merged output is always in index order. Callers that keep
 //! their closures pure therefore get bit-for-bit identical results at any
 //! thread count, which the engine's determinism property tests enforce.
+//!
+//! # Panics
+//!
+//! A panic inside a job closure is caught on whichever thread hit it,
+//! the job is aborted (no new chunks start), and the first panic payload
+//! is re-thrown on the calling thread once every worker has left the
+//! job. The workers themselves survive: the pool remains usable after a
+//! panicked job.
 //!
 //! # Example
 //!
@@ -31,49 +56,198 @@
 //! assert_eq!(squares, ThreadPool::sequential().map_indexed(5, |i| i * i));
 //! ```
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::any::Any;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 
-/// A fixed-size scoped-thread pool.
+/// A type-erased job published to the workers: a pointer to a
+/// stack-resident [`Task`] plus the monomorphized function that runs it.
+#[derive(Clone, Copy)]
+struct Job {
+    data: *const (),
+    run: unsafe fn(*const ()),
+}
+
+// SAFETY: the pointer targets a `Task` pinned in the submitting
+// `map_with_chunk` frame, which provably outlives every dereference: a
+// worker joins a job only under the pool mutex (incrementing
+// `in_flight`), and the submitter retracts the job and returns only
+// after `in_flight` drains to zero. The `Task` itself is `Sync` data
+// (atomics, mutexes, and a `Fn + Sync` closure reference).
+#[allow(unsafe_code)]
+unsafe impl Send for Job {}
+
+/// The condvar-guarded handshake state between the submitter and the
+/// parked workers.
+struct JobState {
+    /// Bumped once per published job so a worker never mistakes a new
+    /// job for one it already ran.
+    generation: u64,
+    /// The currently published job, if any.
+    job: Option<Job>,
+    /// Workers currently inside the job (joined under the mutex, left
+    /// under the mutex).
+    in_flight: usize,
+    /// Set once, on drop: parked workers exit instead of waiting.
+    shutdown: bool,
+}
+
+/// State shared between the pool handle(s) and the worker threads.
+struct Shared {
+    state: Mutex<JobState>,
+    /// Workers park here waiting for the next generation (or shutdown).
+    start: Condvar,
+    /// The submitter parks here waiting for `in_flight` to drain.
+    done: Condvar,
+    /// Lifetime count of worker threads ever spawned — the observable
+    /// behind the zero-respawn probe: it never grows after `new`.
+    spawned: AtomicUsize,
+}
+
+/// Owns the worker join handles; dropping the last pool clone shuts the
+/// workers down and joins them. Kept separate from [`Shared`] because
+/// the workers themselves hold `Arc<Shared>` clones — tying the handles'
+/// lifetime to `Shared` would keep the pool alive forever.
+struct Handles {
+    shared: Arc<Shared>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Drop for Handles {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.start.notify_all();
+        for handle in self.handles.lock().expect("handles poisoned").drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// A fixed-size pool of **persistent** worker threads.
 ///
-/// The pool is a lightweight handle (just a thread count): workers are
-/// spawned per batch inside [`std::thread::scope`], so no threads idle
-/// between batches and no join handles outlive a call. For the batch
-/// sizes the monitor processes (hundreds to millions of windows), spawn
-/// cost is noise next to assertion checking; for tiny batches
-/// [`ThreadPool::map_indexed`] short-circuits to the sequential path.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// `new(threads)` spawns `threads - 1` long-lived workers (the calling
+/// thread always participates as worker 0, so a 1-thread pool spawns
+/// nothing and runs everything inline). Workers park on a condvar
+/// between jobs; every [`ThreadPool::map_indexed`] call is a job
+/// submission, not a spawn — the streaming hot loop re-enters the pool
+/// thousands of times per second without creating a single thread.
+///
+/// Clones share the same workers; the workers shut down and join when
+/// the last clone drops.
 pub struct ThreadPool {
     threads: usize,
+    /// What [`ThreadPool::fanout`] reports: `threads` capped at the
+    /// machine's cores for [`ThreadPool::new`], uncapped for
+    /// [`ThreadPool::exact`].
+    fanout: usize,
+    shared: Arc<Shared>,
+    _handles: Arc<Handles>,
 }
 
 impl ThreadPool {
-    /// Creates a pool with the given worker count.
+    /// Creates a pool with the given worker count, spawning its
+    /// `threads - 1` persistent background workers immediately.
     ///
     /// # Panics
     ///
-    /// Panics if `threads` is zero.
+    /// Panics if `threads` is zero, or if the OS refuses to spawn a
+    /// worker thread.
     pub fn new(threads: usize) -> Self {
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        Self::with_fanout(threads, threads.min(cores))
+    }
+
+    /// [`ThreadPool::new`] without the scoring-fanout cap: `fanout()`
+    /// reports the full `threads` even beyond the machine's cores.
+    /// For tests and probes that must exercise the chunked parallel
+    /// path (margin skipping, range-copy merging, the job handshake)
+    /// deterministically on any host — production callers want
+    /// [`ThreadPool::new`], where oversubscribed fan-out is capped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero, or if the OS refuses to spawn a
+    /// worker thread.
+    pub fn exact(threads: usize) -> Self {
+        Self::with_fanout(threads, threads)
+    }
+
+    fn with_fanout(threads: usize, fanout: usize) -> Self {
         assert!(threads > 0, "thread pool needs at least one thread");
-        Self { threads }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(JobState {
+                generation: 0,
+                job: None,
+                in_flight: 0,
+                shutdown: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+            spawned: AtomicUsize::new(0),
+        });
+        let mut handles = Vec::with_capacity(threads - 1);
+        for w in 1..threads {
+            let worker_shared = Arc::clone(&shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("omg-worker-{w}"))
+                .spawn(move || worker_loop(&worker_shared))
+                .expect("spawn pool worker");
+            shared.spawned.fetch_add(1, Ordering::SeqCst);
+            handles.push(handle);
+        }
+        Self {
+            threads,
+            fanout,
+            _handles: Arc::new(Handles {
+                shared: Arc::clone(&shared),
+                handles: Mutex::new(handles),
+            }),
+            shared,
+        }
     }
 
     /// The single-threaded pool: every `map_indexed` call runs inline on
-    /// the caller's thread. Useful as a default and as the reference
-    /// implementation the parallel path must match bit-for-bit.
+    /// the caller's thread, and no worker threads exist at all. Useful
+    /// as a default and as the reference implementation the parallel
+    /// path must match bit-for-bit.
     pub fn sequential() -> Self {
-        Self { threads: 1 }
+        Self::new(1)
     }
 
     /// A pool sized to the machine's available parallelism (1 if the
     /// runtime cannot tell).
     pub fn available() -> Self {
         let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        Self { threads }
+        Self::new(threads)
     }
 
-    /// The worker count.
+    /// The worker count (including the calling thread).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The worker count worth fanning CPU-bound scoring out to:
+    /// [`ThreadPool::threads`] capped at the machine's available
+    /// parallelism (uncapped for [`ThreadPool::exact`] pools). Scoring
+    /// is pure compute, so oversubscribing cores buys nothing and
+    /// costs context switches; the scoring drivers use this for chunk
+    /// geometry (results are thread-count-invariant either way — the
+    /// cap changes wall-clock only, never output).
+    pub fn fanout(&self) -> usize {
+        self.fanout
+    }
+
+    /// Total worker threads ever spawned by this pool — `threads - 1`
+    /// at construction, and **never again**: repeated scoring calls
+    /// re-use the same parked workers. The engine's zero-respawn probe
+    /// asserts this stays flat across a streaming workload.
+    pub fn spawned_workers(&self) -> usize {
+        self.shared.spawned.load(Ordering::SeqCst)
     }
 
     /// Computes `f(0), f(1), …, f(n - 1)` across the pool's workers and
@@ -86,8 +260,9 @@ impl ThreadPool {
     ///
     /// # Panics
     ///
-    /// Panics if any invocation of `f` panics (the first worker panic is
-    /// propagated after all workers stop picking up new chunks).
+    /// Panics if any invocation of `f` panics (the first panic is
+    /// re-thrown on the calling thread after all workers leave the job;
+    /// the pool itself stays usable).
     pub fn map_indexed<T, F>(&self, n: usize, f: F) -> Vec<T>
     where
         T: Send,
@@ -121,43 +296,193 @@ impl ThreadPool {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        if self.threads == 1 || n < 2 {
+        if self.threads == 1 || n < 2 || n.div_ceil(chunk) < 2 {
             return (0..n).map(f).collect();
         }
-        let workers = self.threads.min(n.div_ceil(chunk));
-        let cursor = AtomicUsize::new(0);
-        let f = &f;
-        let cursor = &cursor;
-        let mut chunks: Vec<(usize, Vec<T>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(move || {
-                        let mut mine = Vec::new();
-                        loop {
-                            let start = cursor.fetch_add(chunk, Ordering::Relaxed);
-                            if start >= n {
-                                break;
-                            }
-                            let end = (start + chunk).min(n);
-                            mine.push((start, (start..end).map(f).collect::<Vec<T>>()));
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| match h.join() {
-                    Ok(chunks) => chunks,
-                    Err(panic) => std::panic::resume_unwind(panic),
-                })
-                .collect()
-        });
-        // Chunks arrive in per-worker completion order; restore global
-        // index order. Starts are distinct, so the sort is total.
+        let n_chunks = n.div_ceil(chunk);
+        let task: Task<T, F> = Task {
+            cursor: AtomicUsize::new(0),
+            n,
+            chunk,
+            f: &f,
+            results: Mutex::new(Vec::with_capacity(n_chunks)),
+            panic: Mutex::new(None),
+            abort: AtomicBool::new(false),
+        };
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            if st.job.is_some() {
+                // The pool is mid-job (a nested or concurrent submission):
+                // run inline rather than corrupting the handshake.
+                drop(st);
+                return (0..n).map(f).collect();
+            }
+            st.generation += 1;
+            st.job = Some(Job {
+                data: (&task as *const Task<'_, T, F>).cast::<()>(),
+                run: run_task::<T, F>,
+            });
+        }
+        self.shared.start.notify_all();
+        // The caller is worker 0: it drains chunks alongside the others
+        // (and, on a busy machine, may well drain them all before a
+        // worker wakes — which is exactly the cheap case).
+        run_chunks(&task);
+        // Retract the job only after every joined worker has left it, so
+        // no worker can observe `task` after this frame unwinds.
+        {
+            let mut st = self.shared.state.lock().expect("pool state poisoned");
+            while st.in_flight > 0 {
+                st = self.shared.done.wait(st).expect("pool state poisoned");
+            }
+            st.job = None;
+        }
+        if let Some(payload) = task.panic.lock().expect("panic slot poisoned").take() {
+            std::panic::resume_unwind(payload);
+        }
+        // Chunks arrive in completion order; restore global index order.
+        // Starts are distinct, so the sort is total.
+        let mut chunks = task.results.into_inner().expect("results poisoned");
         chunks.sort_unstable_by_key(|&(start, _)| start);
         debug_assert_eq!(chunks.iter().map(|(_, c)| c.len()).sum::<usize>(), n);
         chunks.into_iter().flat_map(|(_, c)| c).collect()
+    }
+}
+
+/// The stack-resident state of one job, shared (borrowed) by every
+/// thread that runs it.
+struct Task<'f, T, F> {
+    /// Next unclaimed index (chunks are `[cursor, cursor + chunk)`).
+    cursor: AtomicUsize,
+    n: usize,
+    chunk: usize,
+    f: &'f F,
+    /// Completed `(start, items)` chunks, in completion order.
+    results: Mutex<Vec<(usize, Vec<T>)>>,
+    /// The first caught panic payload, re-thrown by the submitter.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Set on the first panic: no new chunks start.
+    abort: AtomicBool,
+}
+
+/// Monomorphized job entry point: recovers the concrete [`Task`] from
+/// the erased pointer and drains chunks.
+#[allow(unsafe_code)]
+unsafe fn run_task<T, F>(data: *const ())
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    // SAFETY: `data` was created from a `&Task<T, F>` by the submitter
+    // using exactly these type parameters, and the in-flight handshake
+    // (see `Job`) keeps that task alive for the duration of this call.
+    let task = unsafe { &*data.cast::<Task<'_, T, F>>() };
+    run_chunks(task);
+}
+
+/// Claims and runs chunks until the cursor is exhausted (or the job
+/// aborts after a panic). Shared by the submitting thread and the
+/// workers, so both participate in the same self-scheduled queue.
+fn run_chunks<T, F>(task: &Task<'_, T, F>)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    loop {
+        if task.abort.load(Ordering::Relaxed) {
+            break;
+        }
+        let start = task.cursor.fetch_add(task.chunk, Ordering::Relaxed);
+        if start >= task.n {
+            break;
+        }
+        let end = (start + task.chunk).min(task.n);
+        let f = task.f;
+        match std::panic::catch_unwind(AssertUnwindSafe(|| (start..end).map(f).collect::<Vec<T>>()))
+        {
+            Ok(items) => task
+                .results
+                .lock()
+                .expect("results poisoned")
+                .push((start, items)),
+            Err(payload) => {
+                task.abort.store(true, Ordering::Relaxed);
+                let mut slot = task.panic.lock().expect("panic slot poisoned");
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// What each persistent worker runs: park until a new job generation is
+/// published, join it, drain chunks, leave it, park again — until
+/// shutdown.
+#[allow(unsafe_code)]
+fn worker_loop(shared: &Shared) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("pool state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.generation != seen {
+                    seen = st.generation;
+                    if let Some(job) = st.job {
+                        // Join the job under the mutex: from here the
+                        // submitter is obligated to wait for us.
+                        st.in_flight += 1;
+                        break job;
+                    }
+                    // The job was already retracted; nothing to do.
+                }
+                st = shared.start.wait(st).expect("pool state poisoned");
+            }
+        };
+        // SAFETY: joined under the mutex above, so the submitter keeps
+        // the task alive until we report back.
+        unsafe { (job.run)(job.data) };
+        let mut st = shared.state.lock().expect("pool state poisoned");
+        st.in_flight -= 1;
+        if st.in_flight == 0 {
+            // Only the submitter ever waits on `done`.
+            shared.done.notify_all();
+        }
+    }
+}
+
+impl Clone for ThreadPool {
+    fn clone(&self) -> Self {
+        Self {
+            threads: self.threads,
+            fanout: self.fanout,
+            shared: Arc::clone(&self.shared),
+            _handles: Arc::clone(&self._handles),
+        }
+    }
+}
+
+/// Pools compare by worker count: two pools of the same size are
+/// interchangeable (their outputs are bit-for-bit identical for pure
+/// closures), whether or not they share workers.
+impl PartialEq for ThreadPool {
+    fn eq(&self, other: &Self) -> bool {
+        self.threads == other.threads
+    }
+}
+
+impl Eq for ThreadPool {}
+
+impl std::fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadPool")
+            .field("threads", &self.threads)
+            .field("spawned_workers", &self.spawned_workers())
+            .finish()
     }
 }
 
@@ -182,6 +507,7 @@ mod tests {
         assert_eq!(ThreadPool::sequential().threads(), 1);
         assert_eq!(ThreadPool::default(), ThreadPool::sequential());
         assert!(ThreadPool::available().threads() >= 1);
+        assert_eq!(ThreadPool::sequential().spawned_workers(), 0);
     }
 
     #[test]
@@ -235,7 +561,6 @@ mod tests {
 
     #[test]
     fn coarse_map_runs_every_index_exactly_once() {
-        use std::sync::atomic::AtomicUsize;
         let runs: Vec<AtomicUsize> = (0..40).map(|_| AtomicUsize::new(0)).collect();
         let pool = ThreadPool::new(8);
         pool.map_indexed_coarse(runs.len(), |i| runs[i].fetch_add(1, Ordering::SeqCst));
@@ -245,13 +570,86 @@ mod tests {
     #[test]
     fn worker_panic_propagates() {
         let pool = ThreadPool::new(2);
-        let result = std::panic::catch_unwind(|| {
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             pool.map_indexed(8, |i| {
                 assert!(i != 5, "boom at 5");
                 i
             })
-        });
+        }));
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_job() {
+        // The persistent-pool contract: a panicking job is aborted and
+        // re-thrown, but the parked workers survive and the next job on
+        // the *same* pool runs normally — no respawn, no deadlock.
+        let pool = ThreadPool::new(4);
+        for round in 0..3 {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.map_indexed(64, |i| {
+                    assert!(i != 40, "boom at 40 (round {round})");
+                    i
+                })
+            }));
+            assert!(result.is_err(), "round {round} must propagate the panic");
+            let got = pool.map_indexed(64, |i| i * 2);
+            assert_eq!(got, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        }
+        assert_eq!(pool.spawned_workers(), 3, "no worker was ever respawned");
+    }
+
+    #[test]
+    fn workers_join_cleanly_on_drop() {
+        // Dropping the pool (and every clone) must shut the parked
+        // workers down and join them without deadlock — including right
+        // after jobs, after a panicked job, and for a never-used pool.
+        let pool = ThreadPool::new(4);
+        pool.map_indexed(100, |i| i);
+        let clone = pool.clone();
+        drop(pool);
+        // The clone still works: workers only shut down with the last
+        // handle.
+        assert_eq!(clone.map_indexed(5, |i| i + 1), vec![1, 2, 3, 4, 5]);
+        drop(clone);
+
+        let panicked = ThreadPool::new(3);
+        let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            panicked.map_indexed(32, |i| {
+                assert!(i != 30);
+                i
+            })
+        }));
+        drop(panicked);
+
+        drop(ThreadPool::new(5));
+    }
+
+    #[test]
+    fn workers_are_spawned_once_and_reused() {
+        let pool = ThreadPool::new(4);
+        assert_eq!(pool.spawned_workers(), 3);
+        for _ in 0..50 {
+            let _ = pool.map_indexed(257, |i| i as u64 * 3);
+        }
+        assert_eq!(
+            pool.spawned_workers(),
+            3,
+            "map_indexed must submit jobs, not spawn threads"
+        );
+    }
+
+    #[test]
+    fn nested_submission_runs_inline() {
+        // A closure that re-enters the same pool must not corrupt the
+        // job handshake: the nested call runs inline and stays correct.
+        let pool = ThreadPool::new(2);
+        let pool2 = pool.clone();
+        let got = pool.map_indexed(6, move |i| {
+            pool2.map_indexed(4, |j| i * j).iter().sum::<usize>()
+        });
+        let want: Vec<usize> = (0..6).map(|i| (0..4).map(|j| i * j).sum()).collect();
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -39,7 +39,7 @@
 //! threads across all deployed scenarios.
 
 use crate::runtime::ThreadPool;
-use crate::{AssertionDb, AssertionId, AssertionSet, SampleReport, Severity};
+use crate::{AssertionDb, AssertionId, AssertionSet, SampleReport, Severity, SeverityMatrix};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -454,9 +454,60 @@ impl<T> TailWindows<T> {
     }
 }
 
+/// Fills `n` severity rows (plus one auxiliary `f64` per row) across the
+/// pool's workers, merging into one contiguous [`SeverityMatrix`] and
+/// auxiliary vector **in index order**.
+///
+/// `fill(i, row)` must refill `row` with index `i`'s dense severity
+/// values and return its auxiliary value (an uncertainty, typically);
+/// each worker reuses one row buffer across its whole chunk, so the
+/// single-thread path runs allocation-free over a flat buffer and the
+/// parallel path merges chunk-local matrices by disjoint range-copy
+/// ([`SeverityMatrix::append`]) — no `Vec<Vec<_>>` stitching. For a pure
+/// `fill` the result is bit-for-bit identical at any thread count.
+///
+/// This is the columnar scoring core shared by [`score_batch`] and the
+/// scenario batch drivers.
+pub fn score_rows_chunked<F>(
+    n: usize,
+    width: usize,
+    pool: &ThreadPool,
+    fill: F,
+) -> (SeverityMatrix, Vec<f64>)
+where
+    F: Fn(usize, &mut Vec<f64>) -> f64 + Sync,
+{
+    let fill_range = |lo: usize, hi: usize| {
+        let mut matrix = SeverityMatrix::with_capacity(hi - lo, width);
+        let mut aux = Vec::with_capacity(hi - lo);
+        let mut row = Vec::with_capacity(width);
+        for i in lo..hi {
+            aux.push(fill(i, &mut row));
+            matrix.push_row(&row);
+        }
+        (matrix, aux)
+    };
+    let threads = pool.fanout();
+    if threads == 1 || n < 2 {
+        return fill_range(0, n);
+    }
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let parts = pool.map_indexed(n.div_ceil(chunk), |k| {
+        fill_range(k * chunk, ((k + 1) * chunk).min(n))
+    });
+    let mut matrix = SeverityMatrix::with_capacity(n, width);
+    let mut aux = Vec::with_capacity(n);
+    for (part_matrix, part_aux) in &parts {
+        matrix.append(part_matrix);
+        aux.extend_from_slice(part_aux);
+    }
+    (matrix, aux)
+}
+
 /// Scores every sample of a batch across the pool's workers — prepare
 /// once per sample, then every assertion via the set's prepared path —
-/// and merges the dense outcome rows **in sample order**.
+/// into a columnar [`SeverityMatrix`]: row `i` is sample `i`'s dense
+/// severity vector in assertion-id order, merged **in sample order**.
 ///
 /// This is the shared scoring core of [`crate::Monitor::process_batch`]
 /// (with [`NoPrep`]) and [`StreamMonitor::ingest_batch`]; for pure
@@ -467,15 +518,17 @@ pub fn score_batch<S, P>(
     preparer: &(dyn Prepare<S, Prepared = P> + '_),
     samples: &[S],
     pool: &ThreadPool,
-) -> Vec<Vec<(AssertionId, Severity)>>
+) -> SeverityMatrix
 where
     S: Sync + 'static,
     P: Send,
 {
-    pool.map_indexed(samples.len(), |i| {
+    score_rows_chunked(samples.len(), set.len(), pool, |i, row| {
         let prep = preparer.prepare(&samples[i]);
-        set.check_all_prepared(&samples[i], &prep)
+        set.check_all_prepared_values(&samples[i], &prep, row);
+        0.0
     })
+    .0
 }
 
 /// An incremental scorer over a stream of indexed items: ingesting item
@@ -529,14 +582,16 @@ where
     if n == 0 {
         return Vec::new();
     }
-    // One worker needs no chunking: a single pure stream, zero re-fed
-    // margin, exactly one preparation per window. Parallel runs use the
-    // pool's self-scheduler geometry (~4 chunks per worker) to balance
-    // load without shredding window-overlap locality.
-    let chunk = if pool.threads() == 1 {
+    // One *effective* worker needs no chunking: a single pure stream,
+    // zero re-fed margin, exactly one preparation per window. Parallel
+    // runs use the pool's self-scheduler geometry (~4 chunks per
+    // worker, capped at the machine's cores) to balance load without
+    // shredding window-overlap locality.
+    let threads = pool.fanout();
+    let chunk = if threads == 1 {
         n
     } else {
-        n.div_ceil(pool.threads() * 4).max(1)
+        n.div_ceil(threads * 4).max(1)
     };
     let n_chunks = n.div_ceil(chunk);
     pool.map_indexed(n_chunks, |k| {
@@ -573,6 +628,135 @@ where
     .into_iter()
     .flatten()
     .collect()
+}
+
+/// An incremental scorer that emits **columnar severity rows** instead
+/// of owned per-center values — the allocation-free counterpart of
+/// [`StreamScorer`] behind [`score_stream_rows`].
+///
+/// A completed center's severities land in the scorer's reusable row
+/// buffer ([`RowStreamScorer::row`]) and its uncertainty is the `push`
+/// return value; the driver copies the row straight into a
+/// [`SeverityMatrix`]. [`RowStreamScorer::push_skipped`] advances the
+/// window state *without scoring* — the driver uses it for the re-fed
+/// left margin of a parallel chunk, whose completed centers belong to
+/// the neighbouring chunk, so margin windows cost window bookkeeping
+/// only, never a preparation or an assertion check.
+pub trait RowStreamScorer {
+    /// Ingests stream item `index`; if the window centered `half` items
+    /// back completed, scores it — leaving its severity row in
+    /// [`RowStreamScorer::row`] — and returns its uncertainty.
+    fn push(&mut self, index: usize) -> Option<f64>;
+
+    /// Ingests stream item `index` **without scoring**: window state
+    /// advances exactly as in `push`, but any completed center is
+    /// discarded unscored. Returns whether a center completed.
+    fn push_skipped(&mut self, index: usize) -> bool;
+
+    /// The severity row of the most recently scored center (valid after
+    /// a `push` or `flush` that returned `Some`).
+    fn row(&self) -> &[f64];
+
+    /// At end-of-stream, scores the next right-edge-clamped tail center
+    /// — leaving its severity row in [`RowStreamScorer::row`] — and
+    /// returns its uncertainty; `None` once the tail is exhausted. No
+    /// `push` may follow the first `flush`.
+    fn flush(&mut self) -> Option<f64>;
+
+    /// Discards the next tail center **without scoring** (the tail
+    /// counterpart of [`RowStreamScorer::push_skipped`]); returns
+    /// whether a center remained.
+    fn flush_skipped(&mut self) -> bool;
+}
+
+/// Runs an incremental [`RowStreamScorer`] over a length-`n` stream of
+/// sliding windows (context radius `half`, `width` assertions) across
+/// the pool's workers, collecting severities columnar: a
+/// [`SeverityMatrix`] row plus one uncertainty per center, **in center
+/// order**, bit-for-bit identical at any thread count.
+///
+/// Chunking matches [`score_stream_chunked`]: one worker streams the
+/// whole thing as a single pure pass; parallel runs split centers into
+/// contiguous chunks with `half` items of margin re-fed on each side.
+/// The margins go through [`RowStreamScorer::push_skipped`], so a
+/// margin center never pays preparation or assertion checks, and each
+/// chunk stops feeding as soon as its own centers are all scored.
+/// Chunk-local matrices merge by contiguous range-copy.
+///
+/// # Panics
+///
+/// Panics if a chunk's scorer does not emit exactly one row per center
+/// (a [`RowStreamScorer`] contract violation).
+pub fn score_stream_rows<Sc, F>(
+    n: usize,
+    half: usize,
+    width: usize,
+    pool: &ThreadPool,
+    make_scorer: F,
+) -> (SeverityMatrix, Vec<f64>)
+where
+    Sc: RowStreamScorer,
+    F: Fn(usize) -> Sc + Sync,
+{
+    if n == 0 {
+        return (SeverityMatrix::with_capacity(0, width), Vec::new());
+    }
+    let threads = pool.fanout();
+    let chunk = if threads == 1 {
+        n
+    } else {
+        n.div_ceil(threads * 4).max(1)
+    };
+    let score_chunk = |k: usize| {
+        let c0 = k * chunk;
+        let c1 = ((k + 1) * chunk).min(n);
+        let feed_start = c0.saturating_sub(half);
+        let feed_end = (c1 + half).min(n);
+        // The re-fed margins' centers belong to neighbouring chunks:
+        // skip the first `skip` completions unscored, collect `want`,
+        // then stop feeding — the right margin is never even pushed.
+        let skip = c0 - feed_start;
+        let want = c1 - c0;
+        let mut scorer = make_scorer(feed_start);
+        let mut matrix = SeverityMatrix::with_capacity(want, width);
+        let mut unc = Vec::with_capacity(want);
+        let mut skipped = 0usize;
+        for i in feed_start..feed_end {
+            if matrix.len() == want {
+                break;
+            }
+            if skipped < skip {
+                skipped += usize::from(scorer.push_skipped(i));
+            } else if let Some(u) = scorer.push(i) {
+                matrix.push_row(scorer.row());
+                unc.push(u);
+            }
+        }
+        // End-of-stream tail: the driver *pulls* exactly the centers it
+        // needs, so right-margin tail centers are never scored at all.
+        while matrix.len() < want {
+            if skipped < skip {
+                assert!(scorer.flush_skipped(), "chunk must emit one row per center");
+                skipped += 1;
+            } else {
+                let u = scorer.flush().expect("chunk must emit one row per center");
+                matrix.push_row(scorer.row());
+                unc.push(u);
+            }
+        }
+        (matrix, unc)
+    };
+    if threads == 1 {
+        return score_chunk(0);
+    }
+    let parts = pool.map_indexed(n.div_ceil(chunk), score_chunk);
+    let mut matrix = SeverityMatrix::with_capacity(n, width);
+    let mut unc = Vec::with_capacity(n);
+    for (part_matrix, part_unc) in &parts {
+        matrix.append(part_matrix);
+        unc.extend_from_slice(part_unc);
+    }
+    (matrix, unc)
 }
 
 /// A corrective action hook (see [`crate::Monitor::on_severity`]).
@@ -739,16 +923,24 @@ impl<S: 'static, P: Send + 'static> StreamMonitor<S, P> {
     where
         S: Sync,
     {
-        let outcomes = score_batch(&self.assertions, self.preparer.as_ref(), samples, pool);
+        let matrix = score_batch(&self.assertions, self.preparer.as_ref(), samples, pool);
         self.prepares += samples.len();
         let first = self.next_sample;
-        self.db.record_batch(first, &outcomes);
+        self.db.record_matrix(first, &matrix);
         self.next_sample += samples.len();
         if let Some(keep) = self.retention {
             self.db.retain_recent(keep);
         }
         let mut reports = Vec::with_capacity(samples.len());
-        for (i, outcomes) in outcomes.into_iter().enumerate() {
+        for (i, row) in matrix.iter_rows().enumerate() {
+            // Severity::new round-trips each raw value exactly, so the
+            // reconstructed outcome rows are bit-for-bit what the
+            // sequential per-sample path produces.
+            let outcomes: Vec<(AssertionId, Severity)> = row
+                .iter()
+                .enumerate()
+                .map(|(m, &v)| (AssertionId(m), Severity::new(v)))
+                .collect();
             let report = SampleReport {
                 sample: first + i,
                 outcomes,
@@ -994,7 +1186,7 @@ mod tests {
                 prepared_set(),
                 FnPrepare::new(|xs: &Vec<i64>| xs.iter().sum::<i64>()),
             );
-            let reports = batch.ingest_batch(&samples, &ThreadPool::new(threads));
+            let reports = batch.ingest_batch(&samples, &ThreadPool::exact(threads));
             assert_eq!(reports, want, "threads={threads}");
             assert_eq!(batch.db(), reference.db(), "threads={threads}");
             assert_eq!(batch.prepare_count(), samples.len());
@@ -1010,7 +1202,7 @@ mod tests {
         );
         let mut m = StreamMonitor::new(prepared_set(), probe);
         let samples = samples();
-        m.ingest_batch(&samples, &ThreadPool::new(4));
+        m.ingest_batch(&samples, &ThreadPool::exact(4));
         m.ingest(&samples[0]);
         assert_eq!(counter.load(Ordering::SeqCst), samples.len() + 1);
     }
@@ -1026,7 +1218,7 @@ mod tests {
         m.on_severity(Severity::new(1.5), move |_, r: &SampleReport| {
             fired2.lock().unwrap().push(r.sample);
         });
-        m.ingest_batch(&samples(), &ThreadPool::new(4));
+        m.ingest_batch(&samples(), &ThreadPool::exact(4));
         assert_eq!(*fired.lock().unwrap(), vec![2, 4]);
     }
 
@@ -1059,7 +1251,7 @@ mod tests {
         );
         // The batch path applies the same cap.
         let mut batch = StreamMonitor::new(prepared_set(), prep()).with_retention(2);
-        batch.ingest_batch(&stream, &ThreadPool::new(4));
+        batch.ingest_batch(&stream, &ThreadPool::exact(4));
         assert_eq!(batch.db().evicted_before(), 18);
         assert_eq!(batch.db().lifetime_len(), unbounded.db().len());
     }
@@ -1135,16 +1327,17 @@ mod tests {
                 })
                 .collect();
             for threads in [1, 2, 8] {
-                let got =
-                    score_stream_chunked(n, half, &ThreadPool::new(threads), |offset| SumScorer {
+                let got = score_stream_chunked(n, half, &ThreadPool::exact(threads), |offset| {
+                    SumScorer {
                         data: &data,
                         offset,
                         spans: SlidingSpans::new(half),
-                    });
+                    }
+                });
                 assert_eq!(got, want, "half={half} threads={threads}");
             }
         }
-        let empty = score_stream_chunked(0, 2, &ThreadPool::new(4), |offset| SumScorer {
+        let empty = score_stream_chunked(0, 2, &ThreadPool::exact(4), |offset| SumScorer {
             data: &data,
             offset,
             spans: SlidingSpans::new(2),
@@ -1158,12 +1351,183 @@ mod tests {
         let preparer = FnPrepare::new(|xs: &Vec<i64>| xs.iter().sum::<i64>());
         let samples = samples();
         let want = score_batch(&set, &preparer, &samples, &ThreadPool::sequential());
+        assert_eq!(want.len(), samples.len());
+        assert_eq!(want.width(), set.len());
         for threads in [2, 8] {
             assert_eq!(
-                score_batch(&set, &preparer, &samples, &ThreadPool::new(threads)),
+                score_batch(&set, &preparer, &samples, &ThreadPool::exact(threads)),
                 want,
                 "threads={threads}"
             );
         }
+        // The matrix rows are exactly the per-sample prepared checks.
+        for (i, s) in samples.iter().enumerate() {
+            let prep: i64 = s.iter().sum();
+            let row: Vec<f64> = set
+                .check_all_prepared(s, &prep)
+                .into_iter()
+                .map(|(_, sev)| sev.value())
+                .collect();
+            assert_eq!(want.row(i), row.as_slice());
+        }
+    }
+
+    #[test]
+    fn score_rows_chunked_is_thread_count_invariant() {
+        let fill = |i: usize, row: &mut Vec<f64>| {
+            row.clear();
+            row.extend([(i % 7) as f64, (i * 3 % 5) as f64]);
+            i as f64 * 0.5
+        };
+        let want = score_rows_chunked(137, 2, &ThreadPool::sequential(), fill);
+        assert_eq!(want.0.len(), 137);
+        assert_eq!(want.1.len(), 137);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                score_rows_chunked(137, 2, &ThreadPool::exact(threads), fill),
+                want,
+                "threads={threads}"
+            );
+        }
+        let (empty, unc) = score_rows_chunked(0, 2, &ThreadPool::exact(4), fill);
+        assert!(empty.is_empty() && unc.is_empty());
+    }
+
+    /// The row-emitting counterpart of `SumScorer`: window sum in a
+    /// 1-wide severity row, window length as the uncertainty. Counts its
+    /// scored (not skipped) centers so tests can assert margins are
+    /// never scored.
+    struct SumRowScorer<'a> {
+        data: &'a [i64],
+        offset: usize,
+        spans: Option<SlidingSpans>,
+        tail: std::vec::IntoIter<WindowSpan>,
+        row: Vec<f64>,
+        scored: &'a AtomicUsize,
+    }
+
+    impl<'a> SumRowScorer<'a> {
+        fn new(data: &'a [i64], offset: usize, half: usize, scored: &'a AtomicUsize) -> Self {
+            Self {
+                data,
+                offset,
+                spans: Some(SlidingSpans::new(half)),
+                tail: Vec::new().into_iter(),
+                row: Vec::new(),
+                scored,
+            }
+        }
+
+        fn score(&mut self, s: WindowSpan) -> f64 {
+            self.scored.fetch_add(1, Ordering::Relaxed);
+            let window = &self.data[self.offset + s.start..self.offset + s.end];
+            self.row.clear();
+            self.row.push(window.iter().sum::<i64>() as f64);
+            window.len() as f64
+        }
+
+        fn next_tail(&mut self) -> Option<WindowSpan> {
+            if let Some(spans) = self.spans.take() {
+                self.tail = spans.finish().collect::<Vec<_>>().into_iter();
+            }
+            self.tail.next()
+        }
+    }
+
+    impl RowStreamScorer for SumRowScorer<'_> {
+        fn push(&mut self, index: usize) -> Option<f64> {
+            let spans = self.spans.as_mut().expect("push after flush");
+            debug_assert_eq!(index, self.offset + spans.pushed());
+            spans.push().map(|s| self.score(s))
+        }
+
+        fn push_skipped(&mut self, index: usize) -> bool {
+            let spans = self.spans.as_mut().expect("push after flush");
+            debug_assert_eq!(index, self.offset + spans.pushed());
+            spans.push().is_some()
+        }
+
+        fn row(&self) -> &[f64] {
+            &self.row
+        }
+
+        fn flush(&mut self) -> Option<f64> {
+            self.next_tail().map(|s| self.score(s))
+        }
+
+        fn flush_skipped(&mut self) -> bool {
+            self.next_tail().is_some()
+        }
+    }
+
+    #[test]
+    fn row_stream_scoring_matches_batch_and_never_scores_margins() {
+        let data: Vec<i64> = (0..97).map(|i| (i * 31 % 17) - 8).collect();
+        let n = data.len();
+        for half in [0usize, 1, 2, 5] {
+            let mut want = SeverityMatrix::with_capacity(n, 1);
+            let mut want_unc = Vec::with_capacity(n);
+            for c in 0..n {
+                let lo = c.saturating_sub(half);
+                let hi = (c + half + 1).min(n);
+                want.push_row(&[data[lo..hi].iter().sum::<i64>() as f64]);
+                want_unc.push((hi - lo) as f64);
+            }
+            for threads in [1, 2, 8] {
+                let scored = AtomicUsize::new(0);
+                let got = score_stream_rows(n, half, 1, &ThreadPool::exact(threads), |offset| {
+                    SumRowScorer::new(&data, offset, half, &scored)
+                });
+                assert_eq!(got.0, want, "half={half} threads={threads}");
+                assert_eq!(got.1, want_unc, "half={half} threads={threads}");
+                // Margin centers go through push_skipped: every center is
+                // scored exactly once no matter how many chunks re-feed
+                // its window's items.
+                assert_eq!(
+                    scored.load(Ordering::Relaxed),
+                    n,
+                    "half={half} threads={threads}: margins must not be scored"
+                );
+            }
+        }
+        let scored = AtomicUsize::new(0);
+        let (matrix, unc) = score_stream_rows(0, 2, 1, &ThreadPool::exact(4), |offset| {
+            SumRowScorer::new(&data, offset, 2, &scored)
+        });
+        assert!(matrix.is_empty() && unc.is_empty());
+    }
+
+    /// The zero-respawn probe of the persistent runtime: a streaming hot
+    /// loop that re-enters the scoring drivers repeatedly must never
+    /// create a thread beyond the pool's initial workers.
+    #[test]
+    fn repeated_stream_scoring_never_respawns_workers() {
+        let data: Vec<i64> = (0..500).map(|i| (i % 13) as i64 - 6).collect();
+        let pool = ThreadPool::exact(4);
+        assert_eq!(pool.spawned_workers(), 3, "workers spawn at construction");
+        let want = score_stream_chunked(data.len(), 2, &ThreadPool::sequential(), |offset| {
+            SumScorer {
+                data: &data,
+                offset,
+                spans: SlidingSpans::new(2),
+            }
+        });
+        for _ in 0..25 {
+            let got = score_stream_chunked(data.len(), 2, &pool, |offset| SumScorer {
+                data: &data,
+                offset,
+                spans: SlidingSpans::new(2),
+            });
+            assert_eq!(got, want);
+            let scored = AtomicUsize::new(0);
+            let _ = score_stream_rows(data.len(), 2, 1, &pool, |offset| {
+                SumRowScorer::new(&data, offset, 2, &scored)
+            });
+        }
+        assert_eq!(
+            pool.spawned_workers(),
+            3,
+            "stream scoring must submit jobs to parked workers, not spawn"
+        );
     }
 }

@@ -1,15 +1,18 @@
 //! The generic scoring drivers every scenario runs through.
 //!
 //! Both paths return, per stream position, the dense per-assertion
-//! severity vector and the model uncertainty — the inputs the selection
-//! strategies consume — and both are deterministic, input-order merged,
-//! and bit-for-bit identical to each other at any thread count (the
-//! registry-driven conformance suite enforces this for every registered
-//! scenario).
+//! severity row — collected **columnar**, as one contiguous
+//! [`SeverityMatrix`] — and the model uncertainty: the inputs the
+//! selection strategies consume. Both are deterministic, input-order
+//! merged, and bit-for-bit identical to each other at any thread count
+//! (the registry-driven conformance suite enforces this for every
+//! registered scenario).
 
 use omg_core::runtime::ThreadPool;
-use omg_core::stream::{score_stream_chunked, Prepare, SlidingSpans, StreamScorer, WindowSpan};
-use omg_core::{AssertionId, AssertionSet, Severity};
+use omg_core::stream::{
+    score_rows_chunked, score_stream_rows, Prepare, RowStreamScorer, SlidingSpans, WindowSpan,
+};
+use omg_core::{AssertionSet, SeverityMatrix};
 
 use crate::Scenario;
 
@@ -17,29 +20,25 @@ use crate::Scenario;
 /// window of `window_half` items of context becomes a sample checked
 /// with the **self-contained** assertion set (each assertion re-derives
 /// what it needs — the reference semantics, and what the paper's Python
-/// implementation does). Work fans out across the pool's workers and
-/// merges in stream order.
+/// implementation does). Work fans out across the pool's workers, each
+/// chunk filling a contiguous severity block, and merges in stream order
+/// by range-copy.
 pub fn score_scenario<Sc: Scenario>(
     scenario: &Sc,
     set: &AssertionSet<Sc::Sample>,
     items: &[Sc::Item],
     pool: &ThreadPool,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
+) -> (SeverityMatrix, Vec<f64>) {
     let half = scenario.window_half();
     let n = items.len();
-    pool.map_indexed(n, |i| {
+    score_rows_chunked(n, set.len(), pool, |i, row| {
         let lo = i.saturating_sub(half);
         let hi = (i + half + 1).min(n);
         let sample = scenario.make_sample(&items[lo..hi], i - lo);
-        let severities: Vec<f64> = set
-            .check_all(&sample)
-            .iter()
-            .map(|&(_, s)| s.value())
-            .collect();
-        (severities, scenario.uncertainty(&items[i]))
+        row.clear();
+        row.extend(set.check_all(&sample).iter().map(|&(_, s)| s.value()));
+        scenario.uncertainty(&items[i])
     })
-    .into_iter()
-    .unzip()
 }
 
 /// An incremental scorer over one chunk of a scenario's item stream:
@@ -47,9 +46,11 @@ pub fn score_scenario<Sc: Scenario>(
 /// each completed window **in place** from the caller's item slice (no
 /// item is ever cloned — the slider stores indices, not items), prepares
 /// it once, and checks the prepared assertion set against the shared
-/// artifact through a severity-row buffer reused across every center.
-/// This one type replaces the per-scenario stream scorers the use cases
-/// used to hand-roll.
+/// artifact into a dense severity-row buffer reused across every center.
+/// Margin centers of a parallel chunk go through the skipped path —
+/// window bookkeeping only, no preparation, no checks. This one type
+/// replaces the per-scenario stream scorers the use cases used to
+/// hand-roll.
 struct ScenarioStreamScorer<'a, Sc: Scenario> {
     scenario: &'a Sc,
     set: &'a AssertionSet<Sc::Sample, Sc::Prep>,
@@ -58,15 +59,20 @@ struct ScenarioStreamScorer<'a, Sc: Scenario> {
     /// Global index of the first item this scorer is fed (chunk start);
     /// the slider's spans are relative to it.
     offset: usize,
-    spans: SlidingSpans,
-    /// The `(id, severity)` row reused across centers.
-    row: Vec<(AssertionId, Severity)>,
+    /// `Some` while the stream is still being pushed; taken by the first
+    /// tail flush (the slider's `finish` consumes it by design).
+    spans: Option<SlidingSpans>,
+    /// Right-edge-clamped tail spans, materialized at the first flush.
+    tail: std::vec::IntoIter<WindowSpan>,
+    /// The dense severity row reused across centers.
+    row: Vec<f64>,
 }
 
 /// Scores **one** clamped window on the incremental path: builds the
 /// sample, runs the shared preparation exactly once, checks the prepared
-/// set into the caller's reusable `(id, severity)` row, and returns the
-/// dense severity vector plus the uncertainty of `window[center]`.
+/// set into the caller's reusable dense severity row (raw values in
+/// assertion-id order — a [`SeverityMatrix`] row), and returns the
+/// uncertainty of `window[center]`.
 ///
 /// This is the single scoring kernel behind both
 /// [`stream_score_scenario`] (which feeds it slider-emitted spans) and
@@ -79,17 +85,16 @@ pub fn score_window<Sc: Scenario>(
     preparer: &(dyn Prepare<Sc::Sample, Prepared = Sc::Prep> + '_),
     window: &[Sc::Item],
     center: usize,
-    row: &mut Vec<(AssertionId, Severity)>,
-) -> (Vec<f64>, f64) {
+    values: &mut Vec<f64>,
+) -> f64 {
     let sample = scenario.make_sample(window, center);
     let prep = preparer.prepare(&sample);
-    set.check_all_prepared_into(&sample, &prep, row);
-    let severities = row.iter().map(|&(_, s)| s.value()).collect();
-    (severities, scenario.uncertainty(&window[center]))
+    set.check_all_prepared_values(&sample, &prep, values);
+    scenario.uncertainty(&window[center])
 }
 
 impl<Sc: Scenario> ScenarioStreamScorer<'_, Sc> {
-    fn score(&mut self, span: WindowSpan) -> (Vec<f64>, f64) {
+    fn score(&mut self, span: WindowSpan) -> f64 {
         let window = &self.items[self.offset + span.start..self.offset + span.end];
         score_window(
             self.scenario,
@@ -100,21 +105,38 @@ impl<Sc: Scenario> ScenarioStreamScorer<'_, Sc> {
             &mut self.row,
         )
     }
+
+    fn next_tail(&mut self) -> Option<WindowSpan> {
+        if let Some(spans) = self.spans.take() {
+            self.tail = spans.finish().collect::<Vec<_>>().into_iter();
+        }
+        self.tail.next()
+    }
 }
 
-impl<Sc: Scenario> StreamScorer for ScenarioStreamScorer<'_, Sc> {
-    type Output = (Vec<f64>, f64);
-
-    fn push(&mut self, index: usize) -> Option<(Vec<f64>, f64)> {
-        debug_assert_eq!(index, self.offset + self.spans.pushed(), "gapless feed");
-        self.spans.push().map(|s| self.score(s))
+impl<Sc: Scenario> RowStreamScorer for ScenarioStreamScorer<'_, Sc> {
+    fn push(&mut self, index: usize) -> Option<f64> {
+        let spans = self.spans.as_mut().expect("push after flush");
+        debug_assert_eq!(index, self.offset + spans.pushed(), "gapless feed");
+        spans.push().map(|s| self.score(s))
     }
 
-    fn finish(mut self) -> Vec<(Vec<f64>, f64)> {
-        // Swap the slider out so `self` stays borrowable for `score`
-        // (`finish` consumes the slider by design).
-        let spans = std::mem::replace(&mut self.spans, SlidingSpans::new(0));
-        spans.finish().map(|s| self.score(s)).collect()
+    fn push_skipped(&mut self, index: usize) -> bool {
+        let spans = self.spans.as_mut().expect("push after flush");
+        debug_assert_eq!(index, self.offset + spans.pushed(), "gapless feed");
+        spans.push().is_some()
+    }
+
+    fn row(&self) -> &[f64] {
+        &self.row
+    }
+
+    fn flush(&mut self) -> Option<f64> {
+        self.next_tail().map(|s| self.score(s))
+    }
+
+    fn flush_skipped(&mut self) -> bool {
+        self.next_tail().is_some()
     }
 }
 
@@ -124,9 +146,10 @@ impl<Sc: Scenario> StreamScorer for ScenarioStreamScorer<'_, Sc> {
 /// of `items`, described by an index-emitting slider) and **one**
 /// preparation per window (shared by every assertion in the prepared
 /// set) instead of one per assertion. Chunks of the stream fan out
-/// across the pool's workers with `window_half` items of re-fed margin
-/// and merge in stream order — bit-for-bit equal to the batch path at
-/// any thread count.
+/// across the persistent pool's workers with `window_half` items of
+/// re-fed margin — margin centers are never scored, only counted — and
+/// chunk-local severity blocks merge in stream order by range-copy:
+/// bit-for-bit equal to the batch path at any thread count.
 ///
 /// The preparer is a parameter (rather than taken from the scenario) so
 /// callers can wrap it — the conformance suite passes a
@@ -138,19 +161,20 @@ pub fn stream_score_scenario<Sc: Scenario>(
     preparer: &(dyn Prepare<Sc::Sample, Prepared = Sc::Prep> + '_),
     items: &[Sc::Item],
     pool: &ThreadPool,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
+) -> (SeverityMatrix, Vec<f64>) {
     let half = scenario.window_half();
-    score_stream_chunked(items.len(), half, pool, |offset| ScenarioStreamScorer {
-        scenario,
-        set,
-        preparer,
-        items,
-        offset,
-        spans: SlidingSpans::new(half),
-        row: Vec::with_capacity(set.len()),
+    score_stream_rows(items.len(), half, set.len(), pool, |offset| {
+        ScenarioStreamScorer {
+            scenario,
+            set,
+            preparer,
+            items,
+            offset,
+            spans: Some(SlidingSpans::new(half)),
+            tail: Vec::new().into_iter(),
+            row: Vec::with_capacity(set.len()),
+        }
     })
-    .into_iter()
-    .unzip()
 }
 
 #[cfg(test)]
@@ -170,7 +194,7 @@ mod tests {
         let preparer = sc.preparer();
         for threads in [1, 2, 8] {
             let got =
-                stream_score_scenario(&sc, &set, &preparer, &items, &ThreadPool::new(threads));
+                stream_score_scenario(&sc, &set, &preparer, &items, &ThreadPool::exact(threads));
             assert_eq!(got, want, "threads={threads}");
         }
     }
@@ -185,6 +209,28 @@ mod tests {
         let (sev, _) = stream_score_scenario(&sc, &set, &probe, &items, &ThreadPool::sequential());
         assert_eq!(sev.len(), items.len());
         assert_eq!(counter.load(Ordering::SeqCst), items.len());
+    }
+
+    /// Parallel streaming must prepare each *owned* center exactly once
+    /// too: re-fed chunk margins go through the skipped path, which does
+    /// pure window arithmetic — no preparation, no assertion checks.
+    #[test]
+    fn parallel_streaming_never_prepares_margin_centers() {
+        let sc = ToyScenario::new(97);
+        let items = sc.run_model(&ToyModel::default());
+        for threads in [2, 8] {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let probe = CountingPrepare::new(sc.preparer(), counter.clone());
+            let set = sc.prepared_set();
+            let (sev, _) =
+                stream_score_scenario(&sc, &set, &probe, &items, &ThreadPool::exact(threads));
+            assert_eq!(sev.len(), items.len());
+            assert_eq!(
+                counter.load(Ordering::SeqCst),
+                items.len(),
+                "threads={threads}: margin centers must not be prepared"
+            );
+        }
     }
 
     /// The zero-copy contract, measured: scoring a stream through either
@@ -204,8 +250,13 @@ mod tests {
             let set = sc.prepared_set();
             let preparer = sc.preparer();
             for threads in [1, 2, 8] {
-                let got =
-                    stream_score_scenario(&sc, &set, &preparer, &items, &ThreadPool::new(threads));
+                let got = stream_score_scenario(
+                    &sc,
+                    &set,
+                    &preparer,
+                    &items,
+                    &ThreadPool::exact(threads),
+                );
                 assert_eq!(got, want, "n={n} threads={threads}");
             }
             assert_eq!(
@@ -225,7 +276,8 @@ mod tests {
         assert!(sev.is_empty() && unc.is_empty());
         let set = sc.prepared_set();
         let preparer = sc.preparer();
-        let (ssev, sunc) = stream_score_scenario(&sc, &set, &preparer, &items, &ThreadPool::new(4));
+        let (ssev, sunc) =
+            stream_score_scenario(&sc, &set, &preparer, &items, &ThreadPool::exact(4));
         assert!(ssev.is_empty() && sunc.is_empty());
     }
 }

@@ -9,9 +9,10 @@ use rand::rngs::StdRng;
 
 use crate::{score_scenario, stream_score_scenario, Scenario, ScenarioLearner};
 
-/// Per-position severity vectors plus per-position uncertainties — the
+/// Per-position severity rows (one contiguous columnar
+/// [`omg_core::SeverityMatrix`]) plus per-position uncertainties — the
 /// dense output of both scoring paths.
-pub type Scores = (Vec<Vec<f64>>, Vec<f64>);
+pub type Scores = (omg_core::SeverityMatrix, Vec<f64>);
 
 /// The type-erased runtime face of a registered scenario: what the
 /// scenario registry hands to binaries, benches, and the conformance
@@ -202,7 +203,7 @@ mod tests {
         assert_eq!(h.assertion_names(), vec!["negative-sum", "large-center"]);
         let want = h.score_batch(&ThreadPool::sequential());
         for threads in [1, 2, 8] {
-            assert_eq!(h.score_stream(&ThreadPool::new(threads)), want);
+            assert_eq!(h.score_stream(&ThreadPool::exact(threads)), want);
         }
         let (scores, prepares) = h.score_stream_counting(&ThreadPool::sequential());
         assert_eq!(scores, want);

@@ -112,7 +112,11 @@ impl<Sc: Scenario> ActiveLearner for ScenarioLearner<Sc> {
             &items,
             &self.runtime,
         );
-        let severities = self.unlabeled.iter().map(|&i| sev[i].clone()).collect();
+        let severities = self
+            .unlabeled
+            .iter()
+            .map(|&i| sev.row(i).to_vec())
+            .collect();
         let uncertainties = self.unlabeled.iter().map(|&i| unc[i]).collect();
         CandidatePool::new(severities, uncertainties).expect("consistent pool")
     }

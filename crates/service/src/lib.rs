@@ -146,13 +146,13 @@ mod tests {
     #[test]
     fn interleaved_sessions_match_independent_sequential_runs() {
         for workers in [1, 2, 8] {
-            let pool = ThreadPool::new(workers);
+            let pool = ThreadPool::exact(workers);
             let svc = harness(40, ServiceConfig::default().with_retention(3));
             // Three sessions over different slices of the stream,
             // ingested round-robin with drains interleaved.
             let slices = [(0usize, 40usize), (0, 17), (11, 23)];
             let mut cursors = [0usize; 3];
-            let mut delivered: Vec<Scores> = vec![(Vec::new(), Vec::new()); 3];
+            let mut delivered: Vec<Scores> = vec![(omg_core::SeverityMatrix::new(), Vec::new()); 3];
             loop {
                 let mut progressed = false;
                 for (s, &(start, len)) in slices.iter().enumerate() {
@@ -169,7 +169,7 @@ mod tests {
                 // Poll mid-stream: delivery must compose.
                 for (s, out) in delivered.iter_mut().enumerate() {
                     let (sev, unc) = svc.poll(SessionId(s as u64)).expect("open session");
-                    out.0.extend(sev);
+                    out.0.append(&sev);
                     out.1.extend(unc);
                 }
                 if !progressed {
@@ -178,7 +178,7 @@ mod tests {
             }
             for (s, &(start, len)) in slices.iter().enumerate() {
                 let (sev, unc) = svc.finish(SessionId(s as u64)).expect("open session");
-                delivered[s].0.extend(sev);
+                delivered[s].0.append(&sev);
                 delivered[s].1.extend(unc);
                 let want = svc.sequential_reference(start, len);
                 assert_eq!(
@@ -212,13 +212,13 @@ mod tests {
         assert_eq!(svc.accepted(), 3);
         // Resume: a drain frees the queue, the rejected item goes
         // through on retry, and everything scores in order.
-        svc.drain(&ThreadPool::new(2));
+        svc.drain(&ThreadPool::exact(2));
         assert_eq!(svc.queued(), 0, "drained to empty");
         for position in 3..6 {
             svc.try_ingest_position(session, position)
                 .expect("freed capacity");
         }
-        svc.drain(&ThreadPool::new(2));
+        svc.drain(&ThreadPool::exact(2));
         let got = svc.finish(session).expect("open session");
         assert_eq!(got, svc.sequential_reference(0, 6), "no gap, no reorder");
     }
@@ -235,7 +235,7 @@ mod tests {
                 .with_queue_capacity(16)
                 .with_retention(keep),
         );
-        let pool = ThreadPool::new(2);
+        let pool = ThreadPool::exact(2);
         let assertions = svc.assertion_names().len();
         let sessions = 3u64;
         let mut max_resident = 0usize;

@@ -29,7 +29,7 @@ use std::sync::{Arc, Mutex};
 
 use omg_core::runtime::ThreadPool;
 use omg_core::stream::{Prepare, SlidingWindows};
-use omg_core::{AssertionDb, AssertionId, AssertionSet, Severity};
+use omg_core::{AssertionDb, AssertionSet, SeverityMatrix};
 use omg_scenario::{score_window, Scenario, Scores};
 
 use crate::SyncMap;
@@ -139,12 +139,12 @@ struct SessionShard<Sc: Scenario> {
     windows: SlidingWindows<Sc::Item>,
     /// The session's assertion database (optionally retention-capped).
     db: AssertionDb,
-    /// Scored severity rows not yet delivered to a `poll`.
-    out_severities: Vec<Vec<f64>>,
+    /// Scored severity rows not yet delivered to a `poll`, columnar.
+    out_severities: SeverityMatrix,
     /// Scored uncertainties not yet delivered to a `poll`.
     out_uncertainties: Vec<f64>,
-    /// The reusable `(id, severity)` row for `score_window`.
-    row: Vec<(AssertionId, Severity)>,
+    /// The reusable dense severity row for `score_window`.
+    values: Vec<f64>,
     /// Drain-clock value of the last ingest (drives idle eviction).
     last_active: u64,
     /// Items accepted over the session's lifetime.
@@ -159,9 +159,9 @@ impl<Sc: Scenario> SessionShard<Sc> {
             queue: VecDeque::new(),
             windows: SlidingWindows::new(half),
             db: AssertionDb::new(),
-            out_severities: Vec::new(),
+            out_severities: SeverityMatrix::new(),
             out_uncertainties: Vec::new(),
-            row: Vec::new(),
+            values: Vec::new(),
             last_active: now,
             accepted: 0,
             scored: 0,
@@ -307,19 +307,19 @@ impl<Sc: Scenario> MonitorService<Sc> {
             db,
             out_severities,
             out_uncertainties,
-            row,
+            values,
             scored,
             ..
         } = shard;
         let mut emitted = 0usize;
         while let Some(item) = queue.pop_front() {
             if let Some(w) = windows.push(item) {
-                let (sev, unc) = score_window(scenario, set, preparer, w.items, w.center, row);
-                db.record_sample(w.index, row);
+                let unc = score_window(scenario, set, preparer, w.items, w.center, values);
+                db.record_row(w.index, values);
                 if let Some(keep) = retained {
                     db.retain_recent(keep);
                 }
-                out_severities.push(sev);
+                out_severities.push_row(values);
                 out_uncertainties.push(unc);
                 emitted += 1;
             }
@@ -389,23 +389,23 @@ impl<Sc: Scenario> MonitorService<Sc> {
             db,
             out_severities,
             out_uncertainties,
-            row,
+            values,
             ..
         } = &mut *shard;
         while let Some(w) = tail.next() {
-            let (sev, unc) = score_window(
+            let unc = score_window(
                 &*self.scenario,
                 &self.set,
                 self.preparer.as_ref(),
                 w.items,
                 w.center,
-                row,
+                values,
             );
-            db.record_sample(w.index, row);
+            db.record_row(w.index, values);
             if let Some(keep) = retained {
                 db.retain_recent(keep);
             }
-            out_severities.push(sev);
+            out_severities.push_row(values);
             out_uncertainties.push(unc);
             emitted += 1;
         }

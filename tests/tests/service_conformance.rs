@@ -19,6 +19,7 @@
 
 use omg_bench::scenarios::{all_services, service_for};
 use omg_core::runtime::ThreadPool;
+use omg_core::SeverityMatrix;
 use omg_service::{DynService, ServiceConfig, SessionId};
 use proptest::prelude::*;
 
@@ -44,8 +45,8 @@ fn assert_sessions_conform(
     label: &str,
 ) {
     let mut cursors = vec![0usize; slices.len()];
-    let mut delivered: Vec<(Vec<Vec<f64>>, Vec<f64>)> =
-        vec![(Vec::new(), Vec::new()); slices.len()];
+    let mut delivered: Vec<(SeverityMatrix, Vec<f64>)> =
+        vec![(SeverityMatrix::new(), Vec::new()); slices.len()];
     loop {
         let mut progressed = false;
         for (s, &(start, len)) in slices.iter().enumerate() {
@@ -69,7 +70,7 @@ fn assert_sessions_conform(
         svc.drain(pool);
         for (s, out) in delivered.iter_mut().enumerate() {
             let (sev, unc) = svc.poll(SessionId(s as u64)).expect("open session");
-            out.0.extend(sev);
+            out.0.append(&sev);
             out.1.extend(unc);
         }
         if !progressed && svc.queued() == 0 {
@@ -78,7 +79,7 @@ fn assert_sessions_conform(
     }
     for (s, &(start, len)) in slices.iter().enumerate() {
         let (sev, unc) = svc.finish(SessionId(s as u64)).expect("open session");
-        delivered[s].0.extend(sev);
+        delivered[s].0.append(&sev);
         delivered[s].1.extend(unc);
         assert_eq!(
             delivered[s],
@@ -102,7 +103,7 @@ proptest! {
             .with_queue_capacity(8)
             .with_retention(4);
         for workers in WORKERS {
-            let pool = ThreadPool::new(workers);
+            let pool = ThreadPool::exact(workers);
             for svc in all_services(seed, size, &config) {
                 let slices = session_slices(svc.stream_len());
                 assert_sessions_conform(
@@ -124,7 +125,7 @@ proptest! {
 fn tiny_and_empty_sessions_conform() {
     let config = ServiceConfig::default().with_queue_capacity(4);
     for svc in all_services(7, 8, &config) {
-        let pool = ThreadPool::new(2);
+        let pool = ThreadPool::exact(2);
         let one = SessionId(0);
         let empty = SessionId(1);
         svc.try_ingest_position(one, 0).expect("capacity");
@@ -132,7 +133,7 @@ fn tiny_and_empty_sessions_conform() {
         svc.drain(&pool);
         let mut got = svc.poll(one).expect("open session");
         let (sev, unc) = svc.finish(one).expect("open session");
-        got.0.extend(sev);
+        got.0.append(&sev);
         got.1.extend(unc);
         assert_eq!(
             got,
@@ -163,7 +164,7 @@ fn every_accepted_item_is_scored_exactly_once() {
             .with_retention(4),
     )
     .expect("video is registered");
-    let pool = ThreadPool::new(2);
+    let pool = ThreadPool::exact(2);
     let slices = session_slices(svc.stream_len());
     assert_sessions_conform(svc.as_ref(), &slices, &pool, 4, "video accounting");
     let total: usize = slices.iter().map(|&(_, len)| len).sum();

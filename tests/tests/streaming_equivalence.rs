@@ -39,7 +39,7 @@ proptest! {
             let want = scenario.score_batch(&ThreadPool::sequential());
             prop_assert_eq!(want.0.len(), scenario.len(), "{}: one row per position", scenario.name());
             for threads in THREADS {
-                let got = scenario.score_stream(&ThreadPool::new(threads));
+                let got = scenario.score_stream(&ThreadPool::exact(threads));
                 prop_assert_eq!(
                     &got, &want,
                     "{} stream != batch (seed={}, size={}, threads={})",
@@ -77,7 +77,7 @@ proptest! {
                 video_prepared_assertion_set(FLICKER_T),
                 VideoPrepare::new(FLICKER_T),
             );
-            let reports = batch.ingest_batch(&windows, &ThreadPool::new(threads));
+            let reports = batch.ingest_batch(&windows, &ThreadPool::exact(threads));
             prop_assert_eq!(&reports, &want, "ingest_batch diverged at {} threads", threads);
             prop_assert_eq!(batch.db(), reference.db());
         }
@@ -97,7 +97,7 @@ fn tiny_streams_score_equal_to_batch_at_the_clamped_edges() {
             let want = scenario.score_batch(&ThreadPool::sequential());
             for threads in THREADS {
                 assert_eq!(
-                    scenario.score_stream(&ThreadPool::new(threads)),
+                    scenario.score_stream(&ThreadPool::exact(threads)),
                     want,
                     "{} size={size} threads={threads}",
                     scenario.name()
@@ -133,7 +133,7 @@ fn parallel_streaming_overhead_is_bounded_by_chunk_margins() {
     let threads = 4;
     for scenario in all_scenarios(13, 80) {
         let n = scenario.len();
-        let ((sev, _), prepares) = scenario.score_stream_counting(&ThreadPool::new(threads));
+        let ((sev, _), prepares) = scenario.score_stream_counting(&ThreadPool::exact(threads));
         assert_eq!(sev.len(), n);
         let chunk = n.div_ceil(threads * 4).max(1);
         let n_chunks = n.div_ceil(chunk);

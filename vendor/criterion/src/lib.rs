@@ -15,9 +15,9 @@
 //! Two extensions the real criterion does differently:
 //!
 //! * **Machine-readable output** — every benchmark's mean/min lands in
-//!   `target/bench/BENCH_<target>.json` (written by [`criterion_main!`]
-//!   via [`write_json_report`]), so CI can archive the repo's perf
-//!   trajectory per commit.
+//!   the committed top-level `benchmarks/BENCH_<target>.json` (written
+//!   by [`criterion_main!`] via [`write_json_report`]), so the repo's
+//!   perf trajectory is archived per commit.
 //! * **Smoke mode** — the `OMG_BENCH_SAMPLES` environment variable
 //!   overrides every benchmark's sample count (e.g. `1` in CI, where the
 //!   goal is catching bench bit-rot and emitting the JSON, not stable
@@ -88,33 +88,30 @@ fn render_json(bench: &str, results: &[BenchResult]) -> String {
     )
 }
 
-/// The workspace `target/` directory: `CARGO_TARGET_DIR` if set, else
-/// `target/` under the nearest ancestor holding a `Cargo.lock` (bench
-/// binaries run with the package directory as CWD), else `./target`.
-fn target_dir() -> PathBuf {
-    if let Ok(dir) = std::env::var("CARGO_TARGET_DIR") {
-        return PathBuf::from(dir);
-    }
+/// The workspace root: the nearest ancestor holding a `Cargo.lock`
+/// (bench binaries run with the package directory as CWD), else `.`.
+fn workspace_root() -> PathBuf {
     let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     for dir in cwd.ancestors() {
         if dir.join("Cargo.lock").is_file() {
-            return dir.join("target");
+            return dir.to_path_buf();
         }
     }
-    PathBuf::from("target")
+    PathBuf::from(".")
 }
 
-/// The directory machine-readable bench results land in:
-/// `<target>/bench`, where `<target>` honors `CARGO_TARGET_DIR` and
-/// otherwise resolves against the nearest workspace root. Exposed so
+/// The directory machine-readable bench results land in: the
+/// **committed** top-level `benchmarks/` directory at the workspace
+/// root (not under `target/`, which is gitignored — the archives are
+/// the repo's perf trajectory and travel with the commit). Exposed so
 /// non-criterion measurement binaries (e.g. `exp_throughput`) write
 /// their JSON next to the harness outputs.
 pub fn bench_output_dir() -> PathBuf {
-    target_dir().join("bench")
+    workspace_root().join("benchmarks")
 }
 
 /// Writes every benchmark result recorded so far to
-/// `target/bench/BENCH_<bench>.json` (mean/min nanoseconds per
+/// `benchmarks/BENCH_<bench>.json` (mean/min nanoseconds per
 /// benchmark). Called by [`criterion_main!`] with the bench target's
 /// crate name; a failure to write is reported but does not fail the
 /// bench run.
@@ -326,7 +323,7 @@ macro_rules! criterion_group {
 }
 
 /// Generates a `main` that runs each group, then writes the bench
-/// target's JSON report (`target/bench/BENCH_<crate>.json`).
+/// target's JSON report (`benchmarks/BENCH_<crate>.json`).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
