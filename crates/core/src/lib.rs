@@ -87,6 +87,7 @@ mod registry;
 pub mod runtime;
 mod severity;
 pub mod stream;
+pub mod sync;
 pub mod taxonomy;
 
 pub use assertion::{Assertion, FnAssertion};

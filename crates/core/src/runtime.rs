@@ -27,6 +27,13 @@
 //! place in the engine that uses `unsafe`; everything above it is safe
 //! code.
 //!
+//! The handshake is not just argued — it is **model checked**: the pool
+//! is written against the [`crate::sync`] facade, and under
+//! `--cfg omg_model` the `omg-verify` crate explores every interleaving
+//! of this exact source (publish, join, drain, retract, shutdown)
+//! within a preemption bound, with seeded mutations proving each
+//! invariant check can actually fire. See `DESIGN.md` §"Verification".
+//!
 //! # Determinism
 //!
 //! [`ThreadPool::map_indexed`] self-schedules contiguous index chunks
@@ -56,11 +63,12 @@
 //! assert_eq!(squares, ThreadPool::sequential().map_indexed(5, |i| i * i));
 //! ```
 
+use crate::sync::thread::{self, JoinHandle};
+use crate::sync::{job_cell, mutation_enabled, AtomicBool, AtomicUsize, Condvar, Mutex};
 use std::any::Any;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
 
 /// A type-erased job published to the workers: a pointer to a
 /// stack-resident [`Task`] plus the monomorphized function that runs it.
@@ -112,7 +120,7 @@ struct Shared {
 /// lifetime to `Shared` would keep the pool alive forever.
 struct Handles {
     shared: Arc<Shared>,
-    handles: Mutex<Vec<JoinHandle<()>>>,
+    handles: Mutex<Vec<JoinHandle>>,
 }
 
 impl Drop for Handles {
@@ -121,7 +129,12 @@ impl Drop for Handles {
             let mut st = self.shared.state.lock().expect("pool state poisoned");
             st.shutdown = true;
         }
-        self.shared.start.notify_all();
+        // Mutation skip-shutdown-notify: set the flag but never wake
+        // the parked workers — the model checker must report the join
+        // below deadlocking on a stranded worker.
+        if !mutation_enabled("skip-shutdown-notify") {
+            self.shared.start.notify_all();
+        }
         for handle in self.handles.lock().expect("handles poisoned").drain(..) {
             let _ = handle.join();
         }
@@ -158,7 +171,7 @@ impl ThreadPool {
     /// Panics if `threads` is zero, or if the OS refuses to spawn a
     /// worker thread.
     pub fn new(threads: usize) -> Self {
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cores = thread::available_parallelism();
         Self::with_fanout(threads, threads.min(cores))
     }
 
@@ -193,10 +206,9 @@ impl ThreadPool {
         let mut handles = Vec::with_capacity(threads - 1);
         for w in 1..threads {
             let worker_shared = Arc::clone(&shared);
-            let handle = std::thread::Builder::new()
-                .name(format!("omg-worker-{w}"))
-                .spawn(move || worker_loop(&worker_shared))
-                .expect("spawn pool worker");
+            let handle = thread::spawn_named(format!("omg-worker-{w}"), move || {
+                worker_loop(&worker_shared)
+            });
             shared.spawned.fetch_add(1, Ordering::SeqCst);
             handles.push(handle);
         }
@@ -222,8 +234,7 @@ impl ThreadPool {
     /// A pool sized to the machine's available parallelism (1 if the
     /// runtime cannot tell).
     pub fn available() -> Self {
-        let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        Self::new(threads)
+        Self::new(thread::available_parallelism())
     }
 
     /// The worker count (including the calling thread).
@@ -309,6 +320,11 @@ impl ThreadPool {
             panic: Mutex::new(None),
             abort: AtomicBool::new(false),
         };
+        let task_ptr = std::ptr::from_ref(&task).cast::<()>();
+        // Model-only canary (zero-sized no-op in production): this
+        // frame must not die — by return *or* unwind — while the job
+        // is published or a worker is inside it.
+        let _frame = job_cell::frame_guard(task_ptr);
         {
             let mut st = self.shared.state.lock().expect("pool state poisoned");
             if st.job.is_some() {
@@ -319,23 +335,39 @@ impl ThreadPool {
             }
             st.generation += 1;
             st.job = Some(Job {
-                data: (&task as *const Task<'_, T, F>).cast::<()>(),
+                data: task_ptr,
                 run: run_task::<T, F>,
             });
+            job_cell::publish(task_ptr);
         }
         self.shared.start.notify_all();
         // The caller is worker 0: it drains chunks alongside the others
         // (and, on a busy machine, may well drain them all before a
         // worker wakes — which is exactly the cheap case).
         run_chunks(&task);
+        // Mutation rethrow-before-drain: re-throw the panic while
+        // workers may still be in the job — the frame canary must
+        // report the drain violation as this frame unwinds.
+        if mutation_enabled("rethrow-before-drain") {
+            if let Some(payload) = task.panic.lock().expect("panic slot poisoned").take() {
+                std::panic::resume_unwind(payload);
+            }
+        }
         // Retract the job only after every joined worker has left it, so
         // no worker can observe `task` after this frame unwinds.
         {
             let mut st = self.shared.state.lock().expect("pool state poisoned");
             while st.in_flight > 0 {
+                // Mutation skip-drain-wait: retract without waiting for
+                // the in-flight workers — the model checker must catch
+                // the resulting use-after-retract / drain violation.
+                if mutation_enabled("skip-drain-wait") {
+                    break;
+                }
                 st = self.shared.done.wait(st).expect("pool state poisoned");
             }
             st.job = None;
+            job_cell::retract(task_ptr);
         }
         if let Some(payload) = task.panic.lock().expect("panic slot poisoned").take() {
             std::panic::resume_unwind(payload);
@@ -366,18 +398,27 @@ struct Task<'f, T, F> {
 }
 
 /// Monomorphized job entry point: recovers the concrete [`Task`] from
-/// the erased pointer and drains chunks.
+/// the erased pointer and drains chunks. The `unsafe fn` contract is
+/// the pool's drain handshake: callers must have joined the job under
+/// the pool mutex so the submitter is obligated to keep `data`'s
+/// target alive until they leave.
 #[allow(unsafe_code)]
 unsafe fn run_task<T, F>(data: *const ())
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    // Model hook (no-op in production): fail the schedule if this
+    // worker is entering a retracted cell, and count it as inside the
+    // frame until the matching `exit` below.
+    job_cell::enter(data, "run_task");
     // SAFETY: `data` was created from a `&Task<T, F>` by the submitter
     // using exactly these type parameters, and the in-flight handshake
-    // (see `Job`) keeps that task alive for the duration of this call.
+    // (see `Job`) keeps that task alive for the duration of this call —
+    // the property the model checker exhausts schedules against.
     let task = unsafe { &*data.cast::<Task<'_, T, F>>() };
     run_chunks(task);
+    job_cell::exit(data);
 }
 
 /// Claims and runs chunks until the cursor is exhausted (or the job
@@ -388,11 +429,32 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let task_ptr = std::ptr::from_ref(task).cast::<()>();
     loop {
+        // Model hook (no-op in production): every trip through the
+        // claim loop re-checks that the job has not been retracted out
+        // from under this thread.
+        job_cell::assert_live(task_ptr, "run_chunks");
+        // Relaxed: advisory abort flag — a stale `false` only costs one
+        // extra chunk of already-doomed work; the panic payload itself
+        // travels through the `panic` mutex. (Audited: see omg-lint's
+        // relaxed-orderings ledger.)
         if task.abort.load(Ordering::Relaxed) {
             break;
         }
-        let start = task.cursor.fetch_add(task.chunk, Ordering::Relaxed);
+        // Relaxed: chunk claims need the RMW's atomicity, not ordering —
+        // claimed indices are data-independent, and all result/panic
+        // data transfers are mutex-protected. (Audited: see omg-lint's
+        // relaxed-orderings ledger.)
+        let start = if mutation_enabled("torn-cursor-claim") {
+            // Mutation: tear the claim into a load + store, the classic
+            // lost-update race — some schedule runs a chunk twice.
+            let seen = task.cursor.load(Ordering::Relaxed);
+            task.cursor.store(seen + task.chunk, Ordering::Relaxed);
+            seen
+        } else {
+            task.cursor.fetch_add(task.chunk, Ordering::Relaxed)
+        };
         if start >= task.n {
             break;
         }
@@ -406,6 +468,8 @@ where
                 .expect("results poisoned")
                 .push((start, items)),
             Err(payload) => {
+                // Relaxed: see the abort load above — advisory only.
+                // (Audited: see omg-lint's relaxed-orderings ledger.)
                 task.abort.store(true, Ordering::Relaxed);
                 let mut slot = task.panic.lock().expect("panic slot poisoned");
                 if slot.is_none() {
@@ -420,7 +484,6 @@ where
 /// What each persistent worker runs: park until a new job generation is
 /// published, join it, drain chunks, leave it, park again — until
 /// shutdown.
-#[allow(unsafe_code)]
 fn worker_loop(shared: &Shared) {
     let mut seen = 0u64;
     loop {
@@ -443,12 +506,18 @@ fn worker_loop(shared: &Shared) {
                 st = shared.start.wait(st).expect("pool state poisoned");
             }
         };
+        #[allow(unsafe_code)]
         // SAFETY: joined under the mutex above, so the submitter keeps
         // the task alive until we report back.
-        unsafe { (job.run)(job.data) };
+        unsafe {
+            (job.run)(job.data)
+        };
         let mut st = shared.state.lock().expect("pool state poisoned");
         st.in_flight -= 1;
-        if st.in_flight == 0 {
+        // Mutation skip-done-notify: leave without waking the draining
+        // submitter — the model checker must report the lost wakeup as
+        // a deadlock.
+        if st.in_flight == 0 && !mutation_enabled("skip-done-notify") {
             // Only the submitter ever waits on `done`.
             shared.done.notify_all();
         }
@@ -658,5 +727,73 @@ mod tests {
         let pool = ThreadPool::new(2);
         let doubled = pool.map_indexed(data.len(), |i| data[i] * 2);
         assert_eq!(doubled, vec![20, 40, 60, 80]);
+    }
+
+    #[test]
+    fn one_thread_pool_is_fully_inline() {
+        // threads == 1 must never publish a job: no workers exist to
+        // run one, and the inline path must cover every size.
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.spawned_workers(), 0);
+        for n in [0, 1, 2, 3, 100] {
+            let got = pool.map_indexed(n, |i| i * 7);
+            assert_eq!(got, (0..n).map(|i| i * 7).collect::<Vec<_>>(), "n={n}");
+        }
+        assert_eq!(pool.map_indexed_coarse(3, |i| i), vec![0, 1, 2]);
+        assert_eq!(pool.spawned_workers(), 0, "inline path must stay inline");
+    }
+
+    #[test]
+    fn empty_map_on_parallel_pool_publishes_nothing() {
+        let pool = ThreadPool::exact(4);
+        assert_eq!(pool.map_indexed(0, |i| i), Vec::<usize>::new());
+        assert_eq!(
+            pool.map_indexed_coarse(0, |_| unreachable!() as usize),
+            Vec::<usize>::new()
+        );
+    }
+
+    #[test]
+    fn drop_immediately_after_panicked_job() {
+        // The hardest drop ordering: the very first job panics, and the
+        // pool is dropped with no intervening successful job — shutdown
+        // must still join every worker.
+        let pool = ThreadPool::exact(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indexed_coarse(8, |i| {
+                assert!(i != 3, "boom at 3");
+                i
+            })
+        }));
+        assert!(result.is_err());
+        drop(pool);
+    }
+
+    #[test]
+    fn nested_map_indexed_from_a_job_closure() {
+        // Two levels of nesting from inside a running job: every inner
+        // call sees the cell occupied and runs inline, at any depth.
+        let pool = ThreadPool::new(3);
+        let inner = pool.clone();
+        let got = pool.map_indexed(4, move |i| {
+            let innermost = inner.clone();
+            inner
+                .map_indexed(3, move |j| {
+                    innermost
+                        .map_indexed(2, |k| i + j + k)
+                        .iter()
+                        .sum::<usize>()
+                })
+                .iter()
+                .sum::<usize>()
+        });
+        let want: Vec<usize> = (0..4)
+            .map(|i| {
+                (0..3)
+                    .map(|j| (0..2).map(|k| i + j + k).sum::<usize>())
+                    .sum()
+            })
+            .collect();
+        assert_eq!(got, want);
     }
 }

@@ -1,0 +1,679 @@
+//! `omg-lint` — the workspace invariant linter, gated in CI.
+//!
+//! Four **lexical** rules, each an invariant the engine's design
+//! arguments lean on but the compiler cannot state:
+//!
+//! 1. **`unsafe` allowlist** — the `unsafe` keyword may appear only in
+//!    the worker pool's job cell (`crates/core/src/runtime.rs`), and
+//!    every `unsafe {` block / `unsafe impl` there must carry a
+//!    `// SAFETY:` comment just above it. Likewise
+//!    `#[allow(unsafe_code)]` opt-ins may appear only there.
+//! 2. **No ad-hoc threads** — `std::thread` spawn/scope/Builder may be
+//!    named only by the thread facade (`crates/core/src/sync.rs`) and
+//!    the model scheduler (`crates/verify/src/sched.rs`); everything
+//!    else must go through the pool so concurrency stays in the one
+//!    model-checked place.
+//! 3. **No hash containers on scoring paths** — scoring output must be
+//!    bit-for-bit deterministic, so `HashMap`/`HashSet` (iteration
+//!    order is randomized across builds) are banned from the scoring
+//!    crates except for audited keyed-access-only uses, pinned by
+//!    count so any new use forces a re-audit.
+//! 4. **Audited `Ordering::Relaxed` ledger** — every `Relaxed` site in
+//!    the workspace must be accounted for in [`RELAXED_LEDGER`] with a
+//!    justification; a new site (or a removed one) fails the build
+//!    until the ledger is re-audited.
+//!
+//! The scanner strips comments and string literals first (so prose —
+//! and this linter's own pattern strings — never trip a rule) and
+//! skips everything from a file's first `#[cfg(test)]` line onward
+//! (the repo convention keeps test modules at the end of the file;
+//! tests may spawn scoped threads and build throwaway hash maps).
+//! `vendor/` is excluded: those are third-party compatibility shims,
+//! not engine code.
+//!
+//! Run as `cargo run -p omg-lint` from the workspace root; exits
+//! non-zero on any violation. The rule configs below are the audit
+//! ledgers themselves — changing an allowlist is a reviewable diff.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Files allowed to contain the `unsafe` keyword (and
+/// `#[allow(unsafe_code)]`), with the audit rationale.
+const UNSAFE_ALLOWED: &[(&str, &str)] = &[(
+    "crates/core/src/runtime.rs",
+    "the pool's lifetime-erased job cell; the handshake is model-checked by omg-verify",
+)];
+
+/// Substrings that mean "creating OS threads outside the facade".
+const SPAWN_PATTERNS: &[&str] = &[
+    "std::thread::spawn",
+    "std::thread::scope",
+    "std::thread::Builder",
+    "use std::thread",
+];
+
+/// Files allowed to touch `std::thread` directly.
+const SPAWN_ALLOWED: &[(&str, &str)] = &[
+    (
+        "crates/core/src/sync.rs",
+        "the production half of the thread facade the pool is written against",
+    ),
+    (
+        "crates/verify/src/sched.rs",
+        "model threads are real OS threads driven one-at-a-time by the scheduler",
+    ),
+];
+
+/// Directory prefixes whose (non-test) code is a scoring path: output
+/// must be bit-for-bit deterministic, so hash-ordered containers are
+/// banned except for the audited uses below.
+const HASH_SCOPE: &[&str] = &[
+    "crates/core/src",
+    "crates/active/src",
+    "crates/service/src",
+    "crates/scenario/src",
+    "crates/domains/src",
+];
+
+/// Audited keyed-access-only hash uses on scoring paths: (file, number
+/// of mentioning lines, rationale). A count drift fails until
+/// re-audited.
+const HASH_ALLOWED: &[(&str, usize, &str)] = &[(
+    "crates/active/src/ccmab.rs",
+    3,
+    "per-cell bandit stats: get/entry/len only, never iterated — selection order comes from the explicit candidate list",
+)];
+
+/// The audited `Ordering::Relaxed` ledger: (file, site count,
+/// rationale). Every other file must use SeqCst (or stronger
+/// reasoning — and then land here).
+const RELAXED_LEDGER: &[(&str, usize, &str)] = &[
+    (
+        "crates/core/src/runtime.rs",
+        5,
+        "job abort flag (advisory; payload travels through a mutex) and chunk-cursor claims \
+         (the RMW's atomicity suffices: claimed indices are data-independent and results \
+         move through mutexes) — plus the seeded torn-claim mutation's load/store pair, \
+         compiled out of production call sites",
+    ),
+    (
+        "crates/service/src/service.rs",
+        9,
+        "monotonic accepted/scored counters and the idle-eviction logical clock: \
+         single-word freshness hints, never used to order other memory",
+    ),
+];
+
+/// Source roots scanned relative to the workspace root.
+const SCAN_ROOTS: &[&str] = &["crates", "examples", "tests"];
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line, or 0 for whole-file (count-drift) findings.
+    pub line: usize,
+    /// Which rule fired.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Strips `//` comments, nested `/* */` comments, string literals
+/// (plain and raw), and char literals, preserving line structure so
+/// line numbers survive. Lifetimes (`'a`) are left alone.
+fn strip_source(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == b'\n' {
+                            out.push(b'\n');
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'r' if i + 1 < bytes.len() && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#') => {
+                // Possible raw string: r"…" or r#"…"# (any # depth).
+                let start = i;
+                let mut j = i + 1;
+                let mut hashes = 0;
+                while j < bytes.len() && bytes[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < bytes.len() && bytes[j] == b'"' {
+                    j += 1;
+                    'scan: while j < bytes.len() {
+                        if bytes[j] == b'"' {
+                            let mut k = 0;
+                            while k < hashes && j + 1 + k < bytes.len() && bytes[j + 1 + k] == b'#'
+                            {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'scan;
+                            }
+                        }
+                        if bytes[j] == b'\n' {
+                            out.push(b'\n');
+                        }
+                        j += 1;
+                    }
+                    i = j;
+                } else {
+                    out.push(bytes[start]);
+                    i += 1;
+                }
+            }
+            b'"' => {
+                i += 1;
+                while i < bytes.len() {
+                    match bytes[i] {
+                        b'\\' => i += 2,
+                        b'"' => {
+                            i += 1;
+                            break;
+                        }
+                        b'\n' => {
+                            out.push(b'\n');
+                            i += 1;
+                        }
+                        _ => i += 1,
+                    }
+                }
+            }
+            b'\'' => {
+                // Char literal ('x', '\n', '\u{…}') vs lifetime ('a).
+                let rest = &bytes[i + 1..];
+                let is_char = matches!(rest, [b'\\', ..] | [_, b'\'', ..]);
+                if is_char {
+                    i += 1;
+                    if i < bytes.len() && bytes[i] == b'\\' {
+                        i += 2;
+                        while i < bytes.len() && bytes[i] != b'\'' {
+                            i += 1;
+                        }
+                        i += 1;
+                    } else {
+                        i += 2; // the char and its closing quote
+                    }
+                } else {
+                    out.push(b'\'');
+                    i += 1;
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// True when `needle` occurs in `hay` with word boundaries on both
+/// sides (so `unsafe` never matches `unsafe_code`).
+fn has_word(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = at + needle.len();
+        let after_ok = after >= hay.len()
+            || !hay[after..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + needle.len();
+    }
+    false
+}
+
+/// `unsafe {` or `unsafe impl` on a (stripped) line — the forms that
+/// demand a `// SAFETY:` comment.
+fn unsafe_needs_safety(stripped: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = stripped[from..].find("unsafe") {
+        let at = from + pos;
+        let tail = stripped[at + "unsafe".len()..].trim_start();
+        if tail.starts_with('{') || tail.starts_with("impl") {
+            return true;
+        }
+        from = at + "unsafe".len();
+    }
+    false
+}
+
+/// How many lines above an `unsafe` site the `// SAFETY:` comment may
+/// *start* (multi-line SAFETY comments, attributes, and continuation
+/// lines in between are fine).
+const SAFETY_LOOKBACK: usize = 10;
+
+fn lookup<'a>(table: &'a [(&str, &str)], file: &str) -> Option<&'a str> {
+    table.iter().find(|(f, _)| *f == file).map(|(_, why)| *why)
+}
+
+fn lookup_counted<'a>(table: &'a [(&str, usize, &str)], file: &str) -> Option<(usize, &'a str)> {
+    table
+        .iter()
+        .find(|(f, _, _)| *f == file)
+        .map(|(_, n, why)| (*n, *why))
+}
+
+/// Scans one file's source text. `file` is the workspace-relative
+/// path with `/` separators; `raw` is the file contents.
+pub fn scan_source(file: &str, raw: &str, out: &mut Vec<Violation>) {
+    let stripped = strip_source(raw);
+    let raw_lines: Vec<&str> = raw.lines().collect();
+    let mut relaxed_count = 0usize;
+    let mut hash_count = 0usize;
+    let in_hash_scope = HASH_SCOPE.iter().any(|p| file.starts_with(p));
+
+    for (idx, line) in stripped.lines().enumerate() {
+        if line.contains("#[cfg(test)]") {
+            break; // repo convention: the test module ends the file
+        }
+        let lineno = idx + 1;
+
+        // Rule 1: the unsafe allowlist.
+        if has_word(line, "unsafe") {
+            if let Some(_why) = lookup(UNSAFE_ALLOWED, file) {
+                if unsafe_needs_safety(line) {
+                    let start = idx.saturating_sub(SAFETY_LOOKBACK);
+                    let documented = raw_lines[start..idx].iter().any(|l| l.contains("SAFETY:"));
+                    if !documented {
+                        out.push(Violation {
+                            file: file.to_string(),
+                            line: lineno,
+                            rule: "undocumented-unsafe",
+                            message: format!(
+                                "`unsafe` block/impl without a `// SAFETY:` comment within \
+                                 the {SAFETY_LOOKBACK} lines above"
+                            ),
+                        });
+                    }
+                }
+            } else {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: "unsafe-outside-allowlist",
+                    message: "`unsafe` is confined to the pool's job cell \
+                              (crates/core/src/runtime.rs); write safe code or extend the \
+                              audited allowlist in omg-lint"
+                        .to_string(),
+                });
+            }
+        }
+        if line.contains("allow(unsafe_code)") && lookup(UNSAFE_ALLOWED, file).is_none() {
+            out.push(Violation {
+                file: file.to_string(),
+                line: lineno,
+                rule: "unsafe-outside-allowlist",
+                message: "`#[allow(unsafe_code)]` outside the audited allowlist".to_string(),
+            });
+        }
+
+        // Rule 2: no ad-hoc thread creation.
+        if SPAWN_PATTERNS.iter().any(|p| line.contains(p)) && lookup(SPAWN_ALLOWED, file).is_none()
+        {
+            out.push(Violation {
+                file: file.to_string(),
+                line: lineno,
+                rule: "ad-hoc-thread",
+                message: "direct std::thread use outside the facade; go through \
+                          omg_core::runtime::ThreadPool (or omg_core::sync::thread) so the \
+                          concurrency stays model-checked"
+                    .to_string(),
+            });
+        }
+
+        // Rule 3: hash containers on scoring paths (counted below).
+        if in_hash_scope && (line.contains("HashMap") || line.contains("HashSet")) {
+            hash_count += 1;
+            if lookup_counted(HASH_ALLOWED, file).is_none() {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: "hash-on-scoring-path",
+                    message: "HashMap/HashSet on a scoring path: iteration order is \
+                              randomized, which breaks bit-for-bit determinism — use \
+                              Vec/BTreeMap, or audit a keyed-access-only use in omg-lint"
+                        .to_string(),
+                });
+            }
+        }
+
+        // Rule 4: the Relaxed ledger (counted below).
+        if line.contains("Ordering::Relaxed") {
+            relaxed_count += 1;
+        }
+    }
+
+    if let Some((expected, _)) = lookup_counted(HASH_ALLOWED, file) {
+        if hash_count != expected {
+            out.push(Violation {
+                file: file.to_string(),
+                line: 0,
+                rule: "hash-on-scoring-path",
+                message: format!(
+                    "audited hash-container line count drifted: ledger says {expected}, \
+                     found {hash_count} — re-audit (keyed access only, no iteration) and \
+                     update omg-lint's HASH_ALLOWED"
+                ),
+            });
+        }
+    }
+    match lookup_counted(RELAXED_LEDGER, file) {
+        Some((expected, _)) if relaxed_count != expected => out.push(Violation {
+            file: file.to_string(),
+            line: 0,
+            rule: "unaudited-relaxed",
+            message: format!(
+                "Ordering::Relaxed site count drifted: ledger says {expected}, found \
+                 {relaxed_count} — re-audit the orderings and update omg-lint's \
+                 RELAXED_LEDGER"
+            ),
+        }),
+        None if relaxed_count > 0 => out.push(Violation {
+            file: file.to_string(),
+            line: 0,
+            rule: "unaudited-relaxed",
+            message: format!(
+                "{relaxed_count} Ordering::Relaxed site(s) in a file absent from \
+                 omg-lint's RELAXED_LEDGER — justify them there or use SeqCst"
+            ),
+        }),
+        _ => {}
+    }
+}
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == ".git" || name == "vendor" || name == "fixtures" {
+                continue;
+            }
+            walk(&path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// What a workspace scan covered and found.
+#[derive(Debug)]
+pub struct Summary {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Every rule violation found, in path order.
+    pub violations: Vec<Violation>,
+}
+
+/// Scans the workspace rooted at `root` (must contain `Cargo.toml`).
+///
+/// # Errors
+///
+/// Returns any I/O error from walking or reading the source tree.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Summary> {
+    let mut files = Vec::new();
+    for sub in SCAN_ROOTS {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk(&dir, &mut files)?;
+        }
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for path in &files {
+        let raw = std::fs::read_to_string(path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        scan_source(&rel, &raw, &mut violations);
+    }
+    Ok(Summary {
+        files_scanned: files.len(),
+        violations,
+    })
+}
+
+/// CLI entry; scans the current directory as the workspace root and
+/// returns the process exit code (0 clean, 1 violations, 2 usage/I-O).
+pub fn run_cli() -> i32 {
+    let root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    if !root.join("Cargo.toml").exists() {
+        eprintln!("omg-lint: run from the workspace root (no Cargo.toml here)");
+        return 2;
+    }
+    match scan_workspace(&root) {
+        Ok(summary) => {
+            for v in &summary.violations {
+                println!("{v}");
+            }
+            if summary.violations.is_empty() {
+                println!(
+                    "omg-lint: clean ({} files; rules: unsafe allowlist, thread facade, \
+                     scoring-path hash ban, Relaxed ledger)",
+                    summary.files_scanned
+                );
+                0
+            } else {
+                println!(
+                    "omg-lint: {} violation(s) in {} files scanned",
+                    summary.violations.len(),
+                    summary.files_scanned
+                );
+                1
+            }
+        }
+        Err(err) => {
+            eprintln!("omg-lint: scan failed: {err}");
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_one(file: &str, src: &str) -> Vec<Violation> {
+        let mut out = Vec::new();
+        scan_source(file, src, &mut out);
+        out
+    }
+
+    fn rules(v: &[Violation]) -> Vec<&'static str> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    /// Count of violations of one rule (fixture files standing in for
+    /// ledgered paths also trip the count-drift checks, so the single-
+    /// rule tests filter to the rule under test).
+    fn count_rule(v: &[Violation], rule: &str) -> usize {
+        v.iter().filter(|x| x.rule == rule).count()
+    }
+
+    // ---- each rule fires on its fixture --------------------------------
+
+    #[test]
+    fn unsafe_outside_allowlist_fires() {
+        let fixture = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let got = scan_one("crates/core/src/monitor.rs", fixture);
+        assert_eq!(rules(&got), vec!["unsafe-outside-allowlist"]);
+        assert_eq!(got[0].line, 2);
+    }
+
+    #[test]
+    fn allow_unsafe_attr_outside_allowlist_fires() {
+        let fixture = "#[allow(unsafe_code)]\nmod m {}\n";
+        let got = scan_one("crates/eval/src/lib.rs", fixture);
+        assert_eq!(rules(&got), vec!["unsafe-outside-allowlist"]);
+    }
+
+    #[test]
+    fn undocumented_unsafe_in_allowed_file_fires() {
+        let fixture = "fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
+        let got = scan_one("crates/core/src/runtime.rs", fixture);
+        assert_eq!(count_rule(&got, "undocumented-unsafe"), 1);
+    }
+
+    #[test]
+    fn documented_unsafe_in_allowed_file_is_clean() {
+        let fixture = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller keeps p alive.\n    unsafe { *p }\n}\n";
+        let got = scan_one("crates/core/src/runtime.rs", fixture);
+        assert_eq!(count_rule(&got, "undocumented-unsafe"), 0);
+        assert_eq!(count_rule(&got, "unsafe-outside-allowlist"), 0);
+    }
+
+    #[test]
+    fn safety_comment_survives_an_attribute_in_between() {
+        let fixture = "// SAFETY: the pointer is pinned by the handshake.\n#[allow(unsafe_code)]\nunsafe impl Send for J {}\n";
+        let got = scan_one("crates/core/src/runtime.rs", fixture);
+        assert_eq!(count_rule(&got, "undocumented-unsafe"), 0);
+    }
+
+    #[test]
+    fn ad_hoc_thread_fires() {
+        let fixture = "pub fn go() {\n    std::thread::spawn(|| {});\n}\n";
+        let got = scan_one("crates/service/src/service.rs", fixture);
+        assert_eq!(count_rule(&got, "ad-hoc-thread"), 1);
+        let fixture2 = "use std::thread;\n";
+        let got2 = scan_one("crates/core/src/stream.rs", fixture2);
+        assert_eq!(rules(&got2), vec!["ad-hoc-thread"]);
+    }
+
+    #[test]
+    fn facade_files_may_touch_std_thread() {
+        let fixture = "pub fn s() { std::thread::Builder::new(); }\n";
+        assert!(scan_one("crates/core/src/sync.rs", fixture).is_empty());
+        assert!(scan_one("crates/verify/src/sched.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn hash_on_scoring_path_fires() {
+        let fixture = "use std::collections::HashMap;\n";
+        let got = scan_one("crates/core/src/registry.rs", fixture);
+        assert_eq!(rules(&got), vec!["hash-on-scoring-path"]);
+        // …but not outside the scoring scope.
+        assert!(scan_one("crates/bench/src/lib.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn audited_hash_count_drift_fires() {
+        // ccmab.rs is audited for exactly 3 mentioning lines; 1 drifts.
+        let fixture = "use std::collections::HashMap;\n";
+        let got = scan_one("crates/active/src/ccmab.rs", fixture);
+        assert_eq!(rules(&got), vec!["hash-on-scoring-path"]);
+        assert!(got[0].message.contains("drifted"), "{}", got[0].message);
+    }
+
+    #[test]
+    fn unaudited_relaxed_fires() {
+        let fixture = "fn f(c: &std::sync::atomic::AtomicUsize) -> usize {\n    c.load(std::sync::atomic::Ordering::Relaxed)\n}\n";
+        let got = scan_one("crates/core/src/severity.rs", fixture);
+        assert_eq!(rules(&got), vec!["unaudited-relaxed"]);
+    }
+
+    #[test]
+    fn relaxed_ledger_count_drift_fires() {
+        let fixture = "fn f(c: &A) { c.load(Ordering::Relaxed); }\n";
+        let got = scan_one("crates/service/src/service.rs", fixture);
+        assert_eq!(rules(&got), vec!["unaudited-relaxed"]);
+        assert!(got[0].message.contains("drifted"), "{}", got[0].message);
+    }
+
+    // ---- the stripper keeps prose and strings from tripping rules ------
+
+    #[test]
+    fn comments_strings_and_tests_do_not_trip_rules() {
+        let fixture = concat!(
+            "//! Docs may say unsafe and std::thread::spawn and HashMap freely.\n",
+            "/* block comments too: Ordering::Relaxed */\n",
+            "const P: &str = \"std::thread::spawn is banned\";\n",
+            "const R: &str = r#\"unsafe { HashMap }\"#;\n",
+            "fn lifetimes<'a>(x: &'a u8) -> &'a u8 { x }\n",
+            "#[cfg(test)]\n",
+            "mod tests {\n",
+            "    use std::collections::HashSet;\n",
+            "    fn t() { std::thread::scope(|_| {}); }\n",
+            "}\n",
+        );
+        assert!(scan_one("crates/core/src/database.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn word_boundaries_respect_unsafe_code_attr() {
+        let fixture = "#![deny(unsafe_code)]\n";
+        assert!(scan_one("crates/core/src/lib.rs", fixture).is_empty());
+    }
+
+    // ---- the real workspace is clean ------------------------------------
+
+    #[test]
+    fn workspace_is_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let summary = scan_workspace(root).expect("scan");
+        assert!(
+            summary.files_scanned > 30,
+            "scan must cover the workspace, saw {}",
+            summary.files_scanned
+        );
+        let rendered: Vec<String> = summary.violations.iter().map(|v| v.to_string()).collect();
+        assert!(
+            rendered.is_empty(),
+            "workspace violations:\n{}",
+            rendered.join("\n")
+        );
+    }
+}

@@ -1,0 +1,3 @@
+fn main() {
+    std::process::exit(omg_lint::run_cli());
+}

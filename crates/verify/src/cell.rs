@@ -1,0 +1,63 @@
+//! The job-cell **liveness registry**: turns the pool's
+//! use-after-retract hazard into a deterministic model failure.
+//!
+//! The production pool publishes a type-erased pointer to a
+//! stack-resident `Task` and retracts it before the frame dies; the
+//! soundness claim is that no worker touches the pointer after the
+//! retract. Under the model, the pool's publish/retract sites and the
+//! workers' dereference sites (all no-ops in production builds — see
+//! `omg_core::sync::job_cell`) report here: a dereference of a
+//! retracted cell fails the execution with the exact schedule, instead
+//! of being actual undefined behaviour that may or may not crash.
+
+use crate::sched::with_exec;
+
+/// Registers `ptr` as a live published job cell. Re-publishing an
+/// address (a later job reusing the same stack slot) revives it.
+pub fn publish(ptr: *const ()) {
+    with_exec(|e| e.job_publish(ptr as usize));
+}
+
+/// Marks `ptr` retracted: any subsequent [`assert_live`] on it fails
+/// the execution.
+pub fn retract(ptr: *const ()) {
+    with_exec(|e| e.job_retract(ptr as usize));
+}
+
+/// Checks that `ptr` has not been retracted; `what` names the
+/// dereference site in the failure report.
+pub fn assert_live(ptr: *const (), what: &'static str) {
+    with_exec(|e| e.job_assert_live(ptr as usize, what));
+}
+
+/// A worker entering the job behind `ptr` (checks liveness first).
+/// Pairs with [`exit`]; the counts feed the [`frame_guard`] check.
+pub fn enter(ptr: *const (), what: &'static str) {
+    with_exec(|e| e.job_enter(ptr as usize, what));
+}
+
+/// The matching exit for [`enter`].
+pub fn exit(ptr: *const ()) {
+    with_exec(|e| e.job_exit(ptr as usize));
+}
+
+/// Canary armed by the submitter for the lifetime of the frame that
+/// owns the job cell: dropping it (return or unwind) fails the
+/// execution if the job is still published or a worker is still inside
+/// it — and *parks the submitter inside the dying frame*, so the stack
+/// memory workers point into stays alive even on the failing schedule.
+#[derive(Debug)]
+pub struct FrameGuard {
+    ptr: usize,
+}
+
+impl Drop for FrameGuard {
+    fn drop(&mut self) {
+        with_exec(|e| e.job_frame_check(self.ptr));
+    }
+}
+
+/// Arms a [`FrameGuard`] for the job cell at `ptr`.
+pub fn frame_guard(ptr: *const ()) -> FrameGuard {
+    FrameGuard { ptr: ptr as usize }
+}

@@ -1,0 +1,86 @@
+//! `omg-verify` — a dependency-free, loom-style **interleaving model
+//! checker** for the one concurrent protocol in the engine: the
+//! worker-pool job cell in `omg_core::runtime`.
+//!
+//! The paper's thesis is that assertions catch the systematic failures
+//! that spot-checking misses; this crate applies the same standard to
+//! the monitor's own runtime. The pool publishes borrowed stack frames
+//! to worker threads through a lifetime-erased `unsafe` job cell, and
+//! its soundness argument ("no worker can observe the job after the
+//! frame is gone") used to live in a doc comment. Here it becomes a
+//! checked artifact: the *production* pool code — compiled with
+//! `--cfg omg_model` so its primitives route through the model types in
+//! [`sync`] and [`thread`] (see `omg_core::sync`) — is executed under a
+//! DFS scheduler that explores **every** interleaving of its visible
+//! operations within a preemption bound, and replays the exact failing
+//! schedule when an invariant breaks.
+//!
+//! # How it works
+//!
+//! * [`model`] / [`model_with`] run a closure once per schedule. Model
+//!   threads are real OS threads, but a token-passing scheduler lets
+//!   exactly **one** run at a time; every visible operation (atomic
+//!   access, mutex acquire/release, condvar wait/notify, spawn, join)
+//!   is a *choice point* where the scheduler may switch threads.
+//! * The scheduler explores choice points depth-first with **bounded
+//!   preemptions** (switching away from a thread that could have
+//!   continued costs one preemption; switches at blocking points are
+//!   free). Small bounds explore the practically relevant interleavings
+//!   exhaustively — empirically almost all concurrency bugs manifest
+//!   within two preemptions — while keeping runs to seconds.
+//! * On a failure (invariant assertion, deadlock, livelock, job-cell
+//!   use-after-retract, or an uncaught panic on a model thread) the
+//!   checker reports the executed schedule — the exact sequence of
+//!   `thread × operation` steps — so the interleaving can be replayed
+//!   by reading it.
+//! * [`cell`] is the job-cell **liveness registry**: the pool's
+//!   publish/retract sites and the workers' dereference sites (no-ops
+//!   in production builds) report here under the model, turning a
+//!   use-after-retract — the memory-unsafety the handshake exists to
+//!   prevent — into a deterministic, schedule-attributed failure.
+//! * [`Config::mutation`] drives the **seeded-mutation** methodology:
+//!   the pool carries model-only switches that each disable one leg of
+//!   the handshake (delete the drain wait, drop a notify, tear the
+//!   cursor claim, …). The model suite proves the checker *catches
+//!   every one* — evidence the invariants are live, not vacuous.
+//!
+//! # Scope
+//!
+//! The checker explores sequentially consistent interleavings (like
+//! CHESS; unlike loom it does not model C11 weak memory). The pool's
+//! `Relaxed` orderings are therefore audited by hand against the model's
+//! findings — see the audited-orderings list consumed by `omg-lint` —
+//! with the mutex/condvar handshake, not the relaxed atomics, carrying
+//! every cross-thread data transfer.
+//!
+//! # Example
+//!
+//! ```
+//! use omg_verify::{model, sync::AtomicUsize};
+//! use std::sync::atomic::Ordering;
+//! use std::sync::Arc;
+//!
+//! let report = model(|| {
+//!     let counter = Arc::new(AtomicUsize::new(0));
+//!     let c2 = Arc::clone(&counter);
+//!     let handle = omg_verify::thread::spawn(move || {
+//!         c2.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     counter.fetch_add(1, Ordering::SeqCst);
+//!     handle.join().unwrap();
+//!     assert_eq!(counter.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.exhausted, "every interleaving explored");
+//! assert!(report.iterations >= 2, "the fetch_adds do interleave");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod mutations;
+mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::{model, model_with, Config, Report};

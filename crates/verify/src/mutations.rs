@@ -1,0 +1,25 @@
+//! Seeded-mutation switch: proves the checker's invariants are live.
+//!
+//! A model checker that always passes is indistinguishable from one
+//! that checks nothing. The pool therefore carries model-only mutation
+//! points (see `omg_core::runtime`), each of which disables one leg of
+//! the handshake when its name matches [`crate::Config::mutation`] —
+//! delete the drain wait, drop the done-notify, tear the cursor claim,
+//! re-throw a panic before the drain, skip the shutdown notify. The
+//! model suite runs
+//! every invariant once against the real code (must pass exhaustively)
+//! and once per mutation (the checker must report a failure), so a
+//! regression that silently weakens the checker breaks the suite.
+
+use crate::sched::{in_model, with_exec};
+
+/// True when the named mutation is enabled for the current model
+/// execution. Outside a model run (and always in production builds,
+/// where the call sites compile to a constant `false`) this returns
+/// `false`.
+pub fn enabled(name: &str) -> bool {
+    if !in_model() {
+        return false;
+    }
+    with_exec(|e| e.cfg.mutation == Some(name))
+}

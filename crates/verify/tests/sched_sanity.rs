@@ -1,0 +1,196 @@
+//! Sanity suite for the model checker itself (no `--cfg omg_model`
+//! needed: this exercises the scheduler and model primitives directly,
+//! not the pool). Two halves:
+//!
+//! * correct protocols must pass *exhaustively* (every interleaving
+//!   within the preemption bound explored, none failing), and
+//! * classic broken protocols — a torn read-modify-write, an ABBA
+//!   deadlock, a wait with no notify — must be *caught*, proving the
+//!   checker can see the failure classes the pool suite relies on.
+
+use omg_verify::sync::{AtomicUsize, Condvar, Mutex};
+use omg_verify::{model, model_with, thread, Config};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Runs `f` under the checker expecting a failure; returns the failure
+/// message the harness panicked with.
+fn must_fail(cfg: Config, f: impl Fn() + Send + Sync + 'static) -> String {
+    let result = std::panic::catch_unwind(AssertUnwindSafe(|| model_with(cfg, f)));
+    let payload = result.expect_err("model checking should have caught a failure");
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else {
+        panic!("non-string model failure payload");
+    }
+}
+
+#[test]
+fn single_thread_is_one_schedule() {
+    let report = model(|| {
+        let m = Mutex::new(5);
+        *m.lock().expect("never poisoned") += 1;
+        assert_eq!(m.into_inner().expect("never poisoned"), 6);
+    });
+    assert!(report.exhausted);
+    assert_eq!(report.iterations, 1, "no concurrency, no alternatives");
+}
+
+#[test]
+fn atomic_rmw_counter_is_correct_under_all_interleavings() {
+    let report = model(|| {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        counter.fetch_add(1, Ordering::SeqCst);
+        t.join().expect("worker finished");
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.exhausted);
+    assert!(
+        report.iterations > 1,
+        "the two fetch_adds interleave: {report}"
+    );
+}
+
+#[test]
+fn mutex_guarded_increments_are_correct_under_all_interleavings() {
+    let report = model(|| {
+        let m = Arc::new(Mutex::new(0usize));
+        let m2 = Arc::clone(&m);
+        let t = thread::spawn(move || {
+            let mut g = m2.lock().expect("never poisoned");
+            let v = *g;
+            *g = v + 1;
+        });
+        {
+            let mut g = m.lock().expect("never poisoned");
+            let v = *g;
+            *g = v + 1;
+        }
+        t.join().expect("worker finished");
+        assert_eq!(*m.lock().expect("never poisoned"), 2);
+    });
+    assert!(report.exhausted);
+    assert!(report.iterations > 1);
+}
+
+#[test]
+fn torn_load_store_increment_is_caught() {
+    // The classic lost update: load + store instead of fetch_add. Some
+    // interleaving within two preemptions loses one increment, and the
+    // final assert must flag it.
+    let msg = must_fail(Config::default(), || {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        let t = thread::spawn(move || {
+            let v = c2.load(Ordering::SeqCst);
+            c2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = counter.load(Ordering::SeqCst);
+        counter.store(v + 1, Ordering::SeqCst);
+        t.join().expect("worker finished");
+        assert_eq!(counter.load(Ordering::SeqCst), 2, "lost update");
+    });
+    assert!(msg.contains("model checking failed"), "got: {msg}");
+    assert!(msg.contains("lost update"), "got: {msg}");
+}
+
+#[test]
+fn abba_deadlock_is_caught_with_schedule() {
+    let msg = must_fail(Config::default(), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let ga = a.lock().expect("never poisoned");
+        let t = thread::spawn(move || {
+            let _gb = b2.lock().expect("never poisoned");
+            let _ga = a2.lock().expect("never poisoned");
+        });
+        let _gb = b.lock().expect("never poisoned");
+        drop(ga);
+        t.join().expect("worker finished");
+    });
+    assert!(msg.contains("deadlock"), "got: {msg}");
+    assert!(
+        msg.contains("schedule"),
+        "failure must carry its schedule: {msg}"
+    );
+}
+
+#[test]
+fn wait_without_notify_is_caught_as_deadlock() {
+    let msg = must_fail(Config::default(), || {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock().expect("never poisoned");
+            while !*g {
+                g = cv.wait(g).expect("never poisoned");
+            }
+        });
+        // Nobody ever sets the flag or notifies: the waiter is stuck
+        // and so is this join.
+        t.join().expect("worker finished");
+    });
+    assert!(msg.contains("deadlock"), "got: {msg}");
+}
+
+#[test]
+fn condvar_handshake_passes_exhaustively() {
+    let report = model(|| {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let t = thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock().expect("never poisoned");
+            while !*g {
+                g = cv.wait(g).expect("never poisoned");
+            }
+        });
+        {
+            let (m, cv) = &*state;
+            *m.lock().expect("never poisoned") = true;
+            cv.notify_all();
+        }
+        t.join().expect("worker finished");
+    });
+    assert!(report.exhausted);
+    assert!(
+        report.iterations > 2,
+        "notify-before-wait and wait-before-notify both explored: {report}"
+    );
+}
+
+#[test]
+fn preemption_bound_zero_still_runs_blocking_switches() {
+    // With zero preemptions allowed, only blocking switches happen;
+    // the handshake still completes (no spurious "deadlock").
+    let report = model_with(
+        Config {
+            preemption_bound: 0,
+            ..Config::default()
+        },
+        || {
+            let m = Arc::new(Mutex::new(0usize));
+            let m2 = Arc::clone(&m);
+            let t = thread::spawn(move || {
+                *m2.lock().expect("never poisoned") += 1;
+            });
+            *m.lock().expect("never poisoned") += 1;
+            t.join().expect("worker finished");
+            assert_eq!(*m.lock().expect("never poisoned"), 2);
+        },
+    );
+    assert!(report.exhausted);
+    assert_eq!(
+        report.iterations, 1,
+        "zero preemptions leaves only the default schedule"
+    );
+}
