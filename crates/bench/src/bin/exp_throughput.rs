@@ -9,16 +9,27 @@
 //! ```sh
 //! cargo run --release -p omg-bench --bin exp_throughput -- \
 //!     [--threads N] [--windows W] \
-//!     [--stream | --sweep-threads 1,2,4,8 | --check-stream-archive]
+//!     [--stream | --sweep-threads 1,2,4,8 | --crowded | --check-stream-archive]
 //! ```
 //!
 //! Unknown or malformed arguments (a typo'd `--thread`, `--stream=yes`)
 //! are rejected with a usage message. `--check-stream-archive` verifies
 //! that every scenario in the runtime registry has its
 //! `BENCH_stream_<name>.json` **and** `BENCH_scaling_<name>.json`
-//! archived, and that the multi-tenant soak's `BENCH_service.json` is
-//! present — the CI gate that keeps the streaming, scaling, and service
-//! benchmarks' coverage honest.
+//! archived, that the multi-tenant soak's `BENCH_service.json` is
+//! present, and that `BENCH_crowded.json` is present **and shows the
+//! indexed matchers beating the O(n²) reference at 1000 boxes/frame** —
+//! the CI gate that keeps the streaming, scaling, service, and
+//! asymptotic benchmarks' coverage honest.
+//!
+//! `--crowded` runs the asymptotic matcher benchmark: clutter-heavy
+//! windows at 100/300/1000 boxes per frame through the full video
+//! assertion set (tracker association inside `flicker`, duplicate
+//! triples inside `multibox`) under both matcher backends — the
+//! grid-indexed default and the preserved O(n²) reference
+//! (`omg_geom::reference`) — asserting bit-for-bit identical severities
+//! on every run and archiving both timing curves as
+//! `BENCH_crowded.json`.
 //!
 //! Default mode runs the sequential `Monitor::process` loop, then
 //! `process_batch` at 1, 2, 4, … up to a ceiling of `--threads` workers
@@ -95,11 +106,45 @@ fn write_stream_json(scenario: &str, windows: usize, rows: &[(String, f64)]) {
     }
 }
 
+/// Extracts one row's `windows_per_sec` from an archived benchmark JSON
+/// by its `id` (the archives are written by this binary in a fixed
+/// format, so a lexical scan is exact).
+fn archived_rate(json: &str, id: &str) -> Option<f64> {
+    let marker = format!("\"id\": \"{id}\", \"windows_per_sec\": ");
+    let start = json.find(&marker)? + marker.len();
+    let rest = &json[start..];
+    let end = rest.find(['}', ','])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Validates the archived `BENCH_crowded.json`: both backends' rows must
+/// be present at the densest sweep point, and the indexed matchers must
+/// actually beat the O(n²) reference there — the asymptotic win is a
+/// gated contract, not a claim.
+fn check_crowded_archive(dir: &std::path::Path) -> Result<(), String> {
+    let path = dir.join("BENCH_crowded.json");
+    let json = std::fs::read_to_string(&path)
+        .map_err(|e| format!("could not read {}: {e}", path.display()))?;
+    let densest = omg_bench::crowd::CROWD_SIZES[omg_bench::crowd::CROWD_SIZES.len() - 1];
+    let indexed = archived_rate(&json, &format!("indexed x{densest}"))
+        .ok_or_else(|| format!("BENCH_crowded.json has no 'indexed x{densest}' row"))?;
+    let reference = archived_rate(&json, &format!("reference x{densest}"))
+        .ok_or_else(|| format!("BENCH_crowded.json has no 'reference x{densest}' row"))?;
+    if indexed <= reference {
+        return Err(format!(
+            "BENCH_crowded.json shows the indexed matchers NOT beating the O(n²) \
+             reference at {densest} boxes/frame ({indexed:.1} vs {reference:.1} windows/sec)"
+        ));
+    }
+    Ok(())
+}
+
 /// The `--check-stream-archive` mode: verifies every registered
 /// scenario has its `BENCH_stream_<name>.json` **and** its
 /// `BENCH_scaling_<name>.json` archived (the CI gate behind "a
 /// registered scenario cannot silently drop out of the streaming or
-/// scaling benchmarks").
+/// scaling benchmarks"), plus the service soak and crowded-matcher
+/// archives.
 fn check_stream_archive() {
     let dir = criterion::bench_output_dir();
     let mut missing: Vec<String> = omg_bench::scenarios::SCENARIO_NAMES
@@ -117,9 +162,20 @@ fn check_stream_archive() {
     if !dir.join("BENCH_service.json").exists() {
         missing.push("BENCH_service.json".to_string());
     }
+    // The crowded-matcher archive is content-checked, not just
+    // presence-checked: it must record the indexed matchers beating the
+    // reference at the densest sweep point.
+    if let Err(e) = check_crowded_archive(&dir) {
+        eprintln!(
+            "error: {e}\nrun `exp_throughput --crowded` first (and investigate if \
+             the indexed matchers regressed)"
+        );
+        std::process::exit(1);
+    }
     if missing.is_empty() {
         println!(
-            "bench archive complete: {} scenarios (stream + scaling) + service soak under {}",
+            "bench archive complete: {} scenarios (stream + scaling) + service soak \
+             + crowded matchers under {}",
             omg_bench::scenarios::SCENARIO_NAMES.len(),
             dir.display()
         );
@@ -132,6 +188,100 @@ fn check_stream_archive() {
             missing.join(", ")
         );
         std::process::exit(1);
+    }
+}
+
+/// The `--crowded` mode: the asymptotic matcher benchmark. For each
+/// density on the [`omg_bench::crowd::CROWD_SIZES`] ladder, scores
+/// `n_windows` clutter-heavy windows through the full video assertion
+/// set under both matcher backends, asserts the severities are
+/// bit-for-bit identical, and archives both timing curves as
+/// `BENCH_crowded.json`.
+///
+/// Timing is paired like the other modes: each round times the indexed
+/// pass then the reference pass back-to-back, and the quietest whole
+/// round per density is archived, so the comparison is made under one
+/// machine-load epoch.
+fn run_crowded_mode(n_windows: usize, reps: usize) {
+    use omg_geom::matchers::{with_backend, MatchBackend};
+    let set = video_assertion_set(FLICKER_T);
+    println!(
+        "== crowded-scene matchers: grid-indexed vs O(n²) reference, \
+         {n_windows} windows per density ==\n"
+    );
+    let mut rows: Vec<(String, f64)> = Vec::new();
+    for &size in &omg_bench::crowd::CROWD_SIZES {
+        let windows = omg_bench::crowd::crowd_windows(size, n_windows, 3);
+        let score = || -> Vec<_> { windows.iter().map(|w| set.check_all(w)).collect() };
+        // Correctness first (and a warm-up pass per backend): identical
+        // severities through the full assertion set on every run.
+        let t0 = Instant::now();
+        let indexed_sev = with_backend(MatchBackend::Indexed, score);
+        let est_pass = t0.elapsed().as_secs_f64();
+        let reference_sev = with_backend(MatchBackend::Reference, score);
+        assert_eq!(
+            indexed_sev, reference_sev,
+            "indexed severities diverged from the O(n²) reference at {size} boxes/frame"
+        );
+        let inner = inner_passes(est_pass);
+        let mut best_round = [f64::INFINITY; 2];
+        let mut best_total = f64::INFINITY;
+        for _ in 0..reps {
+            let mut times = [0.0f64; 2];
+            for (slot, backend) in [MatchBackend::Indexed, MatchBackend::Reference]
+                .into_iter()
+                .enumerate()
+            {
+                let t0 = Instant::now();
+                with_backend(backend, || {
+                    for _ in 0..inner {
+                        std::hint::black_box(score());
+                    }
+                });
+                times[slot] = t0.elapsed().as_secs_f64() / inner as f64;
+            }
+            let total: f64 = times.iter().sum();
+            if total < best_total {
+                best_total = total;
+                best_round = times;
+            }
+        }
+        let indexed_wps = n_windows as f64 / best_round[0];
+        let reference_wps = n_windows as f64 / best_round[1];
+        println!("{size} boxes/frame (quietest of {reps} rounds):");
+        println!("  {:<22} {:>12} {:>10}", "path", "windows/sec", "speedup");
+        println!(
+            "  {:<22} {:>12.1} {:>9.2}x",
+            format!("reference x{size}"),
+            reference_wps,
+            1.0
+        );
+        println!(
+            "  {:<22} {:>12.1} {:>9.2}x",
+            format!("indexed x{size}"),
+            indexed_wps,
+            indexed_wps / reference_wps
+        );
+        rows.push((format!("indexed x{size}"), indexed_wps));
+        rows.push((format!("reference x{size}"), reference_wps));
+    }
+    println!("  (severities verified bit-for-bit across backends at every density)");
+    let json_rows: Vec<String> = rows
+        .iter()
+        .map(|(label, wps)| format!("    {{\"id\": \"{label}\", \"windows_per_sec\": {wps:.1}}}"))
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"crowded\",\n  \"windows\": {n_windows},\n  \"results\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    let dir = criterion::bench_output_dir();
+    let path = dir.join("BENCH_crowded.json");
+    match std::fs::create_dir_all(&dir).and_then(|()| std::fs::write(&path, json)) {
+        Ok(()) => println!("  wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
     }
 }
 
@@ -382,11 +532,11 @@ fn main() {
         &args,
         &omg_bench::CliSpec {
             value_flags: &["--threads", "--windows", "--sweep-threads"],
-            bare_flags: &["--stream", "--check-stream-archive"],
+            bare_flags: &["--stream", "--crowded", "--check-stream-archive"],
             max_positionals: 0,
         },
         "exp_throughput [--threads N] [--windows W] \
-         [--stream | --sweep-threads 1,2,4,8 | --check-stream-archive]",
+         [--stream | --sweep-threads 1,2,4,8 | --crowded | --check-stream-archive]",
     );
     // Friendly (exit-2, one-line) value parsing: a typo'd value must not
     // panic with a backtrace.
@@ -402,6 +552,7 @@ fn main() {
         // The archive check runs no benchmark: a co-passed benchmark
         // flag would be silently dropped, so reject it instead.
         if omg_bench::has_flag(&args, "--stream")
+            || omg_bench::has_flag(&args, "--crowded")
             || threads_flag.is_some()
             || windows_flag.is_some()
             || sweep_flag.is_some()
@@ -427,6 +578,25 @@ fn main() {
         .unwrap_or_else(|| ThreadPool::available().threads());
     let n_windows = windows_flag.unwrap_or(2000);
     let reps = 3;
+
+    if omg_bench::has_flag(&args, "--crowded") {
+        // The crowded benchmark compares matcher backends, not thread
+        // counts: it is single-threaded by construction, so a co-passed
+        // `--threads`, `--stream`, or ladder conflicts with it.
+        if threads_flag.is_some() || omg_bench::has_flag(&args, "--stream") || sweep_flag.is_some()
+        {
+            eprintln!(
+                "error: --crowded is its own mode; it takes --windows only \
+                 (it compares matcher backends, not thread counts)"
+            );
+            std::process::exit(2);
+        }
+        // Fewer windows than the thread benchmarks: each window carries
+        // up to 1000 boxes/frame, and the O(n²) reference pass is the
+        // slow side being measured.
+        run_crowded_mode(windows_flag.unwrap_or(12), reps.max(5));
+        return;
+    }
 
     if let Some(ladder) = sweep_flag {
         // The sweep *is* a thread ladder: a co-passed `--threads` or

@@ -1,0 +1,85 @@
+//! Crowded-scene benchmark plumbing: the clutter-heavy windows behind
+//! `exp_throughput --crowded` and `benchmarks/BENCH_crowded.json`.
+//!
+//! [`omg_sim::crowd::CrowdWorld`] generates frames with an exact box
+//! count; this module packages them as the [`VideoWindow`]s the video
+//! assertion set consumes, so the benchmark exercises the real
+//! matcher-bound code paths (tracker association inside `flicker`,
+//! duplicate triples inside `multibox`) at 100/300/1000 boxes per frame
+//! under both matcher backends.
+
+use omg_domains::{VideoFrame, VideoWindow};
+use omg_sim::crowd::{CrowdConfig, CrowdWorld};
+
+/// The boxes-per-frame ladder the crowded benchmark sweeps.
+pub const CROWD_SIZES: [usize; 3] = [100, 300, 1000];
+
+/// Frames per crowded window (center frame in the middle).
+pub const CROWD_WINDOW_FRAMES: usize = 3;
+
+/// Builds `n_windows` consecutive clutter-heavy windows with exactly
+/// `boxes_per_frame` boxes on every frame, deterministic per seed.
+pub fn crowd_windows(boxes_per_frame: usize, n_windows: usize, seed: u64) -> Vec<VideoWindow> {
+    let mut world = CrowdWorld::new(CrowdConfig::clutter_heavy(boxes_per_frame), seed);
+    let frames = world.steps(n_windows * CROWD_WINDOW_FRAMES);
+    let fps = 10.0;
+    frames
+        .chunks(CROWD_WINDOW_FRAMES)
+        .map(|chunk| {
+            let vf: Vec<VideoFrame> = chunk
+                .iter()
+                .enumerate()
+                .map(|(fi, dets)| {
+                    // Window-local indices/times: each window stands alone,
+                    // exactly like the sliding night-street windows.
+                    VideoFrame {
+                        index: fi as u64,
+                        time: fi as f64 / fps,
+                        dets: dets.clone(),
+                    }
+                })
+                .collect();
+            VideoWindow::new(vf, CROWD_WINDOW_FRAMES / 2)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::video::FLICKER_T;
+    use omg_domains::video_assertion_set;
+    use omg_geom::matchers::{with_backend, MatchBackend};
+
+    #[test]
+    fn windows_have_exact_density() {
+        let windows = crowd_windows(100, 4, 3);
+        assert_eq!(windows.len(), 4);
+        for w in &windows {
+            assert_eq!(w.frames.len(), CROWD_WINDOW_FRAMES);
+            for f in &w.frames {
+                assert_eq!(f.dets.len(), 100);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(crowd_windows(50, 2, 9), crowd_windows(50, 2, 9));
+        assert_ne!(crowd_windows(50, 2, 9), crowd_windows(50, 2, 10));
+    }
+
+    #[test]
+    fn video_set_severities_match_across_backends() {
+        // The full video assertion set over crowded windows — the exact
+        // computation the benchmark times — must be bit-for-bit
+        // identical under both matcher backends. Dense enough to clear
+        // the INDEX_MIN cutoff so the grid path really runs.
+        let windows = crowd_windows(200, 2, 3);
+        let set = video_assertion_set(FLICKER_T);
+        let score = || -> Vec<_> { windows.iter().map(|w| set.check_all(w)).collect() };
+        let indexed = with_backend(MatchBackend::Indexed, score);
+        let reference = with_backend(MatchBackend::Reference, score);
+        assert_eq!(indexed, reference);
+    }
+}

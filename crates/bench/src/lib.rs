@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod avx;
+pub mod crowd;
 pub mod ecgx;
 pub mod experiments;
 pub mod highway;

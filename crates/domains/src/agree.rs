@@ -11,7 +11,7 @@
 
 use omg_core::{FnAssertion, Severity};
 
-use crate::helpers::no_overlap;
+use crate::helpers::count_no_overlap;
 use crate::AvFrame;
 
 /// IoU below which a projected LIDAR box counts as unmatched.
@@ -33,11 +33,7 @@ pub fn project_lidar(frame: &AvFrame) -> Vec<omg_geom::BBox2D> {
 /// of `agree`, shared by the reference and prepared paths.
 pub fn agree_severity(frame: &AvFrame, projected: &[omg_geom::BBox2D]) -> Severity {
     let camera_boxes: Vec<_> = frame.camera_dets.iter().map(|d| d.bbox).collect();
-    let failures = projected
-        .iter()
-        .filter(|p| no_overlap(p, camera_boxes.iter(), AGREE_IOU))
-        .count();
-    Severity::from_count(failures)
+    Severity::from_count(count_no_overlap(projected, &camera_boxes, AGREE_IOU))
 }
 
 /// Builds the `agree` assertion.

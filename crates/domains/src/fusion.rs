@@ -24,7 +24,7 @@ use omg_core::stream::Prepare;
 use omg_core::{AssertionSet, FnAssertion, Severity};
 use omg_eval::ScoredBox;
 
-use crate::helpers::{no_overlap, track_window, VideoTrackSpec};
+use crate::helpers::{count_no_overlap, track_window, VideoTrackSpec};
 use crate::{flicker, VideoFrame, VideoWindow};
 
 /// IoU at or above which a secondary box counts as confirmed by a
@@ -99,12 +99,12 @@ pub fn primary_view(window: &FusionWindow) -> VideoWindow {
 /// prepared paths.
 pub fn fusion_agree_severity(frame: &FusionFrame) -> Severity {
     let primary_boxes: Vec<_> = frame.primary.iter().map(|d| d.bbox).collect();
-    let misses = frame
-        .secondary
-        .iter()
-        .filter(|s| no_overlap(&s.bbox, primary_boxes.iter(), FUSION_IOU))
-        .count();
-    Severity::from_count(misses)
+    let secondary_boxes: Vec<_> = frame.secondary.iter().map(|s| s.bbox).collect();
+    Severity::from_count(count_no_overlap(
+        &secondary_boxes,
+        &primary_boxes,
+        FUSION_IOU,
+    ))
 }
 
 /// Builds the `fusion-agree` assertion (cross-sensor agreement on the

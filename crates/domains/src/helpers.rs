@@ -85,26 +85,12 @@ pub fn track_window(window: &VideoWindow) -> ConsistencyWindow<TrackedBox> {
 // BEGIN HELPER overlap_triples
 /// Counts triples of same-class boxes that pairwise overlap above the
 /// IoU threshold — the paper's `multibox` condition ("three boxes highly
-/// overlap", Figure 7).
+/// overlap", Figure 7). Delegates to the spatial matcher in `omg-geom`
+/// (grid-indexed in crowded frames, pairwise otherwise).
 pub fn overlap_triples(dets: &[ScoredBox], iou_threshold: f64) -> usize {
-    let n = dets.len();
-    let mut triples = 0;
-    for i in 0..n {
-        for j in (i + 1)..n {
-            if dets[i].class != dets[j].class || dets[i].bbox.iou(&dets[j].bbox) < iou_threshold {
-                continue;
-            }
-            for k in (j + 1)..n {
-                if dets[k].class == dets[i].class
-                    && dets[i].bbox.iou(&dets[k].bbox) >= iou_threshold
-                    && dets[j].bbox.iou(&dets[k].bbox) >= iou_threshold
-                {
-                    triples += 1;
-                }
-            }
-        }
-    }
-    triples
+    let boxes: Vec<BBox2D> = dets.iter().map(|d| d.bbox).collect();
+    let classes: Vec<usize> = dets.iter().map(|d| d.class).collect();
+    omg_geom::matchers::overlap_triples(&boxes, &classes, iou_threshold)
 }
 // END HELPER overlap_triples
 
@@ -116,9 +102,16 @@ pub fn no_overlap<'a, I>(bbox: &BBox2D, others: I, iou_threshold: f64) -> bool
 where
     I: IntoIterator<Item = &'a BBox2D>,
 {
-    others
-        .into_iter()
-        .all(|other| bbox.iou(other) < iou_threshold)
+    let targets: Vec<BBox2D> = others.into_iter().copied().collect();
+    count_no_overlap(std::slice::from_ref(bbox), &targets, iou_threshold) == 1
+}
+
+/// Counts the `queries` that overlap none of `targets` at or above the
+/// threshold — the batch form of `no_overlap` the agreement assertions
+/// use, so a crowded frame is one indexed lookup instead of an O(n²)
+/// scan.
+pub fn count_no_overlap(queries: &[BBox2D], targets: &[BBox2D], iou_threshold: f64) -> usize {
+    omg_geom::matchers::count_unmatched(queries, targets, iou_threshold)
 }
 // END HELPER no_overlap
 

@@ -97,6 +97,17 @@ impl BBox2D {
         ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
     }
 
+    /// Whether the two boxes intersect at all (touching edges count).
+    ///
+    /// This is the cheap fast-reject every matcher runs before the area
+    /// math: four comparisons, no arithmetic. Disjoint pairs — the vast
+    /// majority in a crowded scene — never reach [`BBox2D::iou`]'s
+    /// multiply/divide path.
+    #[inline]
+    pub fn intersects(&self, other: &BBox2D) -> bool {
+        self.x1 <= other.x2 && other.x1 <= self.x2 && self.y1 <= other.y2 && other.y1 <= self.y2
+    }
+
     /// Intersection box of `self` and `other`, or `None` if they are
     /// disjoint (touching edges count as an empty, `None` intersection only
     /// when the overlap has zero area on both axes is still returned as a
@@ -124,6 +135,9 @@ impl BBox2D {
     /// themselves; this matches the convention used by detection benchmarks
     /// where zero-area boxes can never match anything.
     pub fn iou(&self, other: &BBox2D) -> f64 {
+        if !self.intersects(other) {
+            return 0.0;
+        }
         let inter = self.intersection_area(other);
         let union = self.area() + other.area() - inter;
         if union <= 0.0 {
@@ -258,6 +272,26 @@ mod tests {
         let b = bb(1.0, 1.0, 1.0, 1.0);
         assert_eq!(b.area(), 0.0);
         assert_eq!(b.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn intersects_matches_intersection_some() {
+        let a = bb(0.0, 0.0, 10.0, 10.0);
+        assert!(a.intersects(&bb(5.0, 5.0, 15.0, 15.0)));
+        assert!(
+            a.intersects(&bb(10.0, 0.0, 20.0, 10.0)),
+            "touching edges intersect"
+        );
+        assert!(
+            a.intersects(&bb(3.0, 3.0, 4.0, 4.0)),
+            "containment intersects"
+        );
+        assert!(!a.intersects(&bb(10.01, 0.0, 20.0, 10.0)));
+        assert!(!a.intersects(&bb(0.0, -5.0, 10.0, -0.01)));
+        // Degenerate boxes still intersect anything covering their point.
+        let point = bb(5.0, 5.0, 5.0, 5.0);
+        assert!(a.intersects(&point));
+        assert!(point.intersects(&a));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-use crate::{GeomError, Vec3};
+use crate::{BBox2D, GeomError, Vec3};
 
 /// An oriented 3D bounding box: center, size, and yaw about the up (Z) axis.
 ///
@@ -110,6 +110,16 @@ impl BBox3D {
     /// boxes (an approximation that ignores yaw, adequate for the mostly
     /// axis-aligned traffic the AV simulator generates).
     pub fn iou_bev_aabb(&self, other: &BBox3D) -> f64 {
+        // Fast reject before the corner math: each footprint lies inside
+        // the disk of half-diagonal radius around its center, so centers
+        // strictly farther apart than the radii sum cannot overlap.
+        let ra = (self.size.x * self.size.x + self.size.y * self.size.y).sqrt() / 2.0;
+        let rb = (other.size.x * other.size.x + other.size.y * other.size.y).sqrt() / 2.0;
+        let dx = self.center.x - other.center.x;
+        let dy = self.center.y - other.center.y;
+        if dx * dx + dy * dy > (ra + rb) * (ra + rb) {
+            return 0.0;
+        }
         let fp = |b: &BBox3D| {
             let cs = b.corners();
             let xs = cs.iter().map(|c| c.x);
@@ -139,6 +149,23 @@ impl BBox3D {
     /// Distance between box centers.
     pub fn center_distance(&self, other: &BBox3D) -> f64 {
         self.center.distance(&other.center)
+    }
+
+    /// The axis-aligned bird's-eye-view footprint: the tightest 2D box
+    /// (world X × Y) containing all eight corners. This is the AABB the
+    /// BEV spatial index files 3D boxes under, and the same footprint
+    /// [`BBox3D::iou_bev_aabb`] intersects.
+    pub fn footprint_aabb(&self) -> BBox2D {
+        let cs = self.corners();
+        let (mut x1, mut y1) = (f64::INFINITY, f64::INFINITY);
+        let (mut x2, mut y2) = (f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for c in cs {
+            x1 = x1.min(c.x);
+            y1 = y1.min(c.y);
+            x2 = x2.max(c.x);
+            y2 = y2.max(c.y);
+        }
+        BBox2D::new(x1, y1, x2, y2).expect("corner extrema are finite and ordered")
     }
 }
 
@@ -207,6 +234,36 @@ mod tests {
         let a = boxed(0.0, 0.0, 4.0, 2.0);
         let b = boxed(2.0, 0.0, 4.0, 2.0);
         assert!((a.iou_bev_aabb(&b) - 4.0 / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn footprint_aabb_matches_corner_extent() {
+        let b = boxed(10.0, 20.0, 4.0, 2.0);
+        let fp = b.footprint_aabb();
+        assert_eq!(
+            (fp.x1(), fp.y1(), fp.x2(), fp.y2()),
+            (8.0, 19.0, 12.0, 21.0)
+        );
+        // Rotated 90°: the long axis swings onto Y.
+        let r = BBox3D::new(
+            Vec3::new(10.0, 20.0, 1.0),
+            Vec3::new(4.0, 2.0, 2.0),
+            std::f64::consts::FRAC_PI_2,
+        )
+        .unwrap()
+        .footprint_aabb();
+        assert!((r.width() - 2.0).abs() < 1e-9);
+        assert!((r.height() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bev_fast_reject_agrees_with_footprint_overlap() {
+        // Just inside / outside the half-diagonal reject radius.
+        let a = boxed(0.0, 0.0, 4.0, 2.0);
+        let near = boxed(4.1, 0.0, 4.0, 2.0); // footprints disjoint, centers close
+        assert_eq!(a.iou_bev_aabb(&near), 0.0);
+        let overlapping = boxed(3.0, 0.0, 4.0, 2.0);
+        assert!(a.iou_bev_aabb(&overlapping) > 0.0);
     }
 
     #[test]

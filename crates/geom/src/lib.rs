@@ -15,6 +15,13 @@
 //!   ("projects the 3D boxes onto the 2D camera plane to check for
 //!   consistency", §2.2).
 //! * [`nms`] — non-maximum suppression over scored boxes.
+//! * [`grid`] — uniform spatial grid indexes ([`grid::GridIndex2D`],
+//!   [`grid::BevGridIndex`]) that make box matching sub-quadratic.
+//! * [`matchers`] — the indexed matchers every assertion routes through
+//!   (NMS, association pairs, overlap triples, agreement counts), with a
+//!   process-wide [`matchers::MatchBackend`] toggle.
+//! * [`reference`] — the preserved O(n²) pairwise scans: equivalence
+//!   oracle, benchmark baseline, and small-input fallback.
 //!
 //! # Example
 //!
@@ -34,7 +41,10 @@ mod box2d;
 mod box3d;
 mod camera;
 mod error;
+pub mod grid;
+pub mod matchers;
 pub mod nms;
+pub mod reference;
 mod vec3;
 
 pub use box2d::BBox2D;

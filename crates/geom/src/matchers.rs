@@ -1,0 +1,427 @@
+//! Indexed box matchers and the backend toggle.
+//!
+//! Every pairwise matcher in the workspace — NMS, tracker association,
+//! duplicate-cluster detection, fusion agreement — routes through this
+//! module. Each matcher has two implementations producing **bit-for-bit
+//! identical** output:
+//!
+//! * an *indexed* path (default) that builds a [`GridIndex2D`] and only
+//!   scores candidate pairs whose AABBs intersect — near-linear in
+//!   crowded scenes;
+//! * the O(n²) *reference* path in [`crate::reference`].
+//!
+//! # Why candidate lookup is exact, not approximate
+//!
+//! A pair can only match when its IoU clears a positive threshold, and
+//! positive IoU requires intersecting AABBs — exactly the pairs the grid
+//! returns (see [`crate::grid`]). The indexed matchers therefore compute
+//! the very same IoU values on the very same surviving pairs, in the
+//! same deterministic order, as the reference scans. When that argument
+//! does not hold — a zero or negative threshold, where even disjoint
+//! pairs "match" — the matchers detect it and fall back to the
+//! reference automatically.
+//!
+//! # The backend toggle
+//!
+//! [`set_backend`] / [`with_backend`] switch the whole process between
+//! the two paths. This exists for verification and benchmarking: the
+//! equivalence suite runs entire scenario engines under both backends
+//! and asserts identical severities, and `exp_throughput --crowded`
+//! records both timing curves. Production code never needs to touch it.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+use crate::grid::GridIndex2D;
+use crate::{reference, BBox2D};
+
+/// Below this many boxes the matchers skip the grid and run the
+/// reference scan directly: building an index costs more than the IoU
+/// calls it would save. On the crowded benchmark the crossover sits
+/// between 100 and 300 boxes per frame (`exp_throughput --crowded`), so
+/// 128 keeps every measured density at least as fast as the reference.
+/// (Both paths are exact, so this is purely a performance cutoff.)
+pub const INDEX_MIN: usize = 128;
+
+/// Which matcher implementation the process is using.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatchBackend {
+    /// Spatial-grid candidate lookup (the default).
+    Indexed,
+    /// The O(n²) pairwise scans in [`crate::reference`].
+    Reference,
+}
+
+/// Process-global backend flag; `false` = indexed (the default).
+static USE_REFERENCE: AtomicBool = AtomicBool::new(false);
+
+/// Serializes [`with_backend`] sections so concurrent equivalence tests
+/// cannot observe each other's toggles.
+static BACKEND_GUARD: Mutex<()> = Mutex::new(());
+
+/// The currently selected matcher backend.
+pub fn backend() -> MatchBackend {
+    if USE_REFERENCE.load(Ordering::SeqCst) {
+        MatchBackend::Reference
+    } else {
+        MatchBackend::Indexed
+    }
+}
+
+/// Selects the matcher backend process-wide.
+///
+/// Prefer [`with_backend`] in tests — it scopes and restores the
+/// setting, and serializes against other togglers.
+pub fn set_backend(b: MatchBackend) {
+    USE_REFERENCE.store(b == MatchBackend::Reference, Ordering::SeqCst);
+}
+
+/// Runs `f` with the given backend selected, restoring the previous
+/// backend afterwards (also on panic). Sections are serialized by a
+/// global lock so parallel tests toggling backends cannot interleave;
+/// worker threads spawned inside `f` observe the selected backend.
+///
+/// Not reentrant: calling `with_backend` inside `f` deadlocks.
+pub fn with_backend<R>(b: MatchBackend, f: impl FnOnce() -> R) -> R {
+    let _guard = BACKEND_GUARD.lock().unwrap_or_else(|e| e.into_inner());
+    struct Restore(MatchBackend);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            set_backend(self.0);
+        }
+    }
+    let _restore = Restore(backend());
+    set_backend(b);
+    f()
+}
+
+/// Whether the indexed path may be used for a matcher whose predicate is
+/// `iou >= thr` (`strict = false`) or `iou > thr` (`strict = true`):
+/// matching must imply a positive-area intersection, or grid candidate
+/// lookup would miss "matching" disjoint pairs. NaN thresholds fail both
+/// conditions and fall back to the reference.
+fn threshold_indexable(thr: f64, strict: bool) -> bool {
+    if strict {
+        thr >= 0.0
+    } else {
+        thr > 0.0
+    }
+}
+
+/// Greedy NMS over scored boxes; see [`crate::nms::nms_indices`] for the
+/// contract. Dispatches between the grid-indexed path and
+/// [`reference::nms_indices`] by backend, input size, and threshold.
+///
+/// # Panics
+///
+/// Panics if `boxes` and `scores` have different lengths.
+pub fn nms_indices(boxes: &[BBox2D], scores: &[f64], iou_threshold: f64) -> Vec<usize> {
+    assert_eq!(
+        boxes.len(),
+        scores.len(),
+        "boxes and scores must be the same length"
+    );
+    if backend() == MatchBackend::Reference
+        || boxes.len() < INDEX_MIN
+        || !threshold_indexable(iou_threshold, true)
+    {
+        return reference::nms_indices(boxes, scores, iou_threshold);
+    }
+    let grid = GridIndex2D::build(boxes);
+    let mut kept_flag = vec![false; boxes.len()];
+    let mut kept: Vec<usize> = Vec::new();
+    let mut cands: Vec<usize> = Vec::new();
+    for i in reference::score_order(scores) {
+        grid.candidates_overlapping(&boxes[i], &mut cands);
+        let suppressed = cands
+            .iter()
+            .any(|&k| kept_flag[k] && boxes[k].iou(&boxes[i]) > iou_threshold);
+        if !suppressed {
+            kept_flag[i] = true;
+            kept.push(i);
+        }
+    }
+    kept
+}
+
+/// Class-aware greedy NMS; see [`crate::nms::nms_indices_per_class`].
+///
+/// # Panics
+///
+/// Panics if the three slices have different lengths.
+pub fn nms_indices_per_class(
+    boxes: &[BBox2D],
+    scores: &[f64],
+    classes: &[usize],
+    iou_threshold: f64,
+) -> Vec<usize> {
+    assert_eq!(
+        boxes.len(),
+        scores.len(),
+        "boxes and scores must be the same length"
+    );
+    assert_eq!(
+        boxes.len(),
+        classes.len(),
+        "boxes and classes must be the same length"
+    );
+    if backend() == MatchBackend::Reference
+        || boxes.len() < INDEX_MIN
+        || !threshold_indexable(iou_threshold, true)
+    {
+        return reference::nms_indices_per_class(boxes, scores, classes, iou_threshold);
+    }
+    let grid = GridIndex2D::build(boxes);
+    let mut kept_flag = vec![false; boxes.len()];
+    let mut kept: Vec<usize> = Vec::new();
+    let mut cands: Vec<usize> = Vec::new();
+    for i in reference::score_order(scores) {
+        grid.candidates_overlapping(&boxes[i], &mut cands);
+        let suppressed = cands.iter().any(|&k| {
+            kept_flag[k] && classes[k] == classes[i] && boxes[k].iou(&boxes[i]) > iou_threshold
+        });
+        if !suppressed {
+            kept_flag[i] = true;
+            kept.push(i);
+        }
+    }
+    kept
+}
+
+/// All `(iou, anchor_idx, query_idx)` pairs with IoU at or above
+/// `iou_threshold`, sorted by ascending `(anchor_idx, query_idx)` —
+/// identical to [`reference::iou_pairs`] in content *and* order (the
+/// grid returns candidates in ascending index order). The tracker's
+/// greedy detection-to-track association consumes this.
+pub fn iou_pairs(
+    anchors: &[BBox2D],
+    queries: &[BBox2D],
+    iou_threshold: f64,
+) -> Vec<(f64, usize, usize)> {
+    if backend() == MatchBackend::Reference
+        || anchors.len() * queries.len() < INDEX_MIN * INDEX_MIN
+        || !threshold_indexable(iou_threshold, false)
+    {
+        return reference::iou_pairs(anchors, queries, iou_threshold);
+    }
+    let grid = GridIndex2D::build(queries);
+    let mut pairs = Vec::new();
+    let mut cands: Vec<usize> = Vec::new();
+    for (ai, a) in anchors.iter().enumerate() {
+        grid.candidates_overlapping(a, &mut cands);
+        for &qi in &cands {
+            let iou = a.iou(&queries[qi]);
+            if iou >= iou_threshold {
+                pairs.push((iou, ai, qi));
+            }
+        }
+    }
+    pairs
+}
+
+/// Counts triples `i < j < k` of same-class boxes that pairwise overlap
+/// at or above `iou_threshold` (the `multibox` duplicate-cluster
+/// condition); identical to [`reference::overlap_triples`].
+///
+/// # Panics
+///
+/// Panics if `boxes` and `classes` have different lengths.
+pub fn overlap_triples(boxes: &[BBox2D], classes: &[usize], iou_threshold: f64) -> usize {
+    assert_eq!(
+        boxes.len(),
+        classes.len(),
+        "boxes and classes must be the same length"
+    );
+    if backend() == MatchBackend::Reference
+        || boxes.len() < INDEX_MIN
+        || !threshold_indexable(iou_threshold, false)
+    {
+        return reference::overlap_triples(boxes, classes, iou_threshold);
+    }
+    let grid = GridIndex2D::build(boxes);
+    let mut triples = 0;
+    let mut cands: Vec<usize> = Vec::new();
+    let mut nbrs: Vec<usize> = Vec::new();
+    for i in 0..boxes.len() {
+        grid.candidates_overlapping(&boxes[i], &mut cands);
+        // Neighbors of i with a larger index: each triple is counted
+        // exactly once, anchored at its smallest member.
+        nbrs.clear();
+        for &j in &cands {
+            if j > i && classes[j] == classes[i] && boxes[i].iou(&boxes[j]) >= iou_threshold {
+                nbrs.push(j);
+            }
+        }
+        for (a, &j) in nbrs.iter().enumerate() {
+            for &k in &nbrs[a + 1..] {
+                if boxes[j].iou(&boxes[k]) >= iou_threshold {
+                    triples += 1;
+                }
+            }
+        }
+    }
+    triples
+}
+
+/// Counts the queries that overlap **no** target at or above
+/// `iou_threshold` (the `no_overlap` sensor-agreement predicate over a
+/// batch); identical to [`reference::count_unmatched`].
+pub fn count_unmatched(queries: &[BBox2D], targets: &[BBox2D], iou_threshold: f64) -> usize {
+    if backend() == MatchBackend::Reference
+        || queries.len() * targets.len() < INDEX_MIN * INDEX_MIN
+        || !threshold_indexable(iou_threshold, false)
+    {
+        return reference::count_unmatched(queries, targets, iou_threshold);
+    }
+    let grid = GridIndex2D::build(targets);
+    let mut cands: Vec<usize> = Vec::new();
+    let mut unmatched = 0;
+    for q in queries {
+        grid.candidates_overlapping(q, &mut cands);
+        if cands.iter().all(|&t| q.iou(&targets[t]) < iou_threshold) {
+            unmatched += 1;
+        }
+    }
+    unmatched
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic scene generator (tiny LCG; geom has no dev-deps).
+    fn scene(seed: u64, n: usize, span: f64, size: f64) -> Vec<BBox2D> {
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n)
+            .map(|_| {
+                let x = next() * span;
+                let y = next() * span;
+                let w = size * (0.5 + next());
+                let h = size * (0.5 + next());
+                BBox2D::new(x, y, x + w, y + h).unwrap()
+            })
+            .collect()
+    }
+
+    fn scores_for(boxes: &[BBox2D], seed: u64) -> Vec<f64> {
+        (0..boxes.len())
+            .map(|i| ((i as u64).wrapping_mul(seed) % 1000) as f64 / 1000.0)
+            .collect()
+    }
+
+    #[test]
+    fn backend_toggle_roundtrip() {
+        assert_eq!(backend(), MatchBackend::Indexed);
+        let got = with_backend(MatchBackend::Reference, backend);
+        assert_eq!(got, MatchBackend::Reference);
+        assert_eq!(backend(), MatchBackend::Indexed, "restored after scope");
+    }
+
+    #[test]
+    fn indexed_matchers_match_reference_on_crowded_scene() {
+        let boxes = scene(7, 300, 500.0, 20.0);
+        let scores = scores_for(&boxes, 13);
+        let classes: Vec<usize> = (0..boxes.len()).map(|i| i % 3).collect();
+        let others = scene(8, 250, 500.0, 20.0);
+
+        assert_eq!(
+            nms_indices(&boxes, &scores, 0.5),
+            reference::nms_indices(&boxes, &scores, 0.5)
+        );
+        assert_eq!(
+            nms_indices_per_class(&boxes, &scores, &classes, 0.5),
+            reference::nms_indices_per_class(&boxes, &scores, &classes, 0.5)
+        );
+        assert_eq!(
+            iou_pairs(&boxes, &others, 0.1),
+            reference::iou_pairs(&boxes, &others, 0.1)
+        );
+        assert_eq!(
+            overlap_triples(&boxes, &classes, 0.3),
+            reference::overlap_triples(&boxes, &classes, 0.3)
+        );
+        assert_eq!(
+            count_unmatched(&boxes, &others, 0.1),
+            reference::count_unmatched(&boxes, &others, 0.1)
+        );
+    }
+
+    #[test]
+    fn degenerate_thresholds_fall_back_to_reference() {
+        // iou >= 0.0 matches even disjoint pairs; the indexed path must
+        // not be used, and results must still agree with the reference.
+        // Sized above INDEX_MIN so the threshold guard (not the size
+        // cutoff) is what forces the fallback.
+        let a = scene(1, 150, 300.0, 10.0);
+        let b = scene(2, 150, 300.0, 10.0);
+        assert_eq!(
+            iou_pairs(&a, &b, 0.0).len(),
+            a.len() * b.len(),
+            "zero threshold keeps every pair"
+        );
+        assert_eq!(count_unmatched(&a, &b, 0.0), 0);
+        assert_eq!(
+            nms_indices(&a, &scores_for(&a, 3), -1.0),
+            reference::nms_indices(&a, &scores_for(&a, 3), -1.0)
+        );
+        assert_eq!(
+            iou_pairs(&a, &b, f64::NAN),
+            reference::iou_pairs(&a, &b, f64::NAN)
+        );
+    }
+
+    #[test]
+    fn reference_backend_forces_pairwise_path() {
+        let boxes = scene(5, 200, 400.0, 15.0);
+        let scores = scores_for(&boxes, 17);
+        let indexed = nms_indices(&boxes, &scores, 0.5);
+        let via_reference = with_backend(MatchBackend::Reference, || {
+            nms_indices(&boxes, &scores, 0.5)
+        });
+        assert_eq!(indexed, via_reference);
+    }
+
+    #[test]
+    fn all_identical_boxes_agree() {
+        // Above INDEX_MIN so the indexed path runs with every box in
+        // the same handful of cells.
+        let boxes = vec![BBox2D::new(0.0, 0.0, 10.0, 10.0).unwrap(); 150];
+        let scores = scores_for(&boxes, 11);
+        let classes = vec![0usize; 150];
+        assert_eq!(
+            nms_indices(&boxes, &scores, 0.5),
+            reference::nms_indices(&boxes, &scores, 0.5)
+        );
+        assert_eq!(
+            overlap_triples(&boxes, &classes, 0.3),
+            reference::overlap_triples(&boxes, &classes, 0.3)
+        );
+        // C(150, 3) identical-box triples.
+        assert_eq!(overlap_triples(&boxes, &classes, 0.3), 551_300);
+    }
+
+    #[test]
+    fn zero_area_boxes_agree() {
+        let mut boxes = scene(9, 160, 200.0, 12.0);
+        for i in 0..40 {
+            let p = f64::from(i) * 3.0;
+            boxes.push(BBox2D::new(p, p, p, p).unwrap());
+        }
+        let scores = scores_for(&boxes, 19);
+        let classes = vec![0usize; boxes.len()];
+        assert_eq!(
+            nms_indices(&boxes, &scores, 0.5),
+            reference::nms_indices(&boxes, &scores, 0.5)
+        );
+        assert_eq!(
+            overlap_triples(&boxes, &classes, 0.3),
+            reference::overlap_triples(&boxes, &classes, 0.3)
+        );
+    }
+}

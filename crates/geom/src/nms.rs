@@ -5,42 +5,25 @@
 //! in `omg-sim` uses this, and the paper's `multibox` assertion is precisely
 //! a check for clusters that *survive* NMS when they should not ("three
 //! boxes highly overlap", §5.1).
+//!
+//! Both entry points dispatch through [`crate::matchers`]: crowded inputs
+//! take the grid-indexed path, tiny or degenerate ones the O(n²) scan in
+//! [`crate::reference`] — with bit-for-bit identical results either way.
 
-use crate::BBox2D;
+use crate::{matchers, BBox2D};
 
 /// Indices of the boxes kept by greedy non-maximum suppression.
 ///
-/// Boxes are processed in descending `scores` order; a box is suppressed if
-/// its IoU with an already-kept box exceeds `iou_threshold`. Returned
-/// indices refer to the input slice and are sorted by descending score.
+/// Boxes are processed in descending `scores` order (NaN-safe total order,
+/// ties broken by index); a box is suppressed if its IoU with an
+/// already-kept box exceeds `iou_threshold`. Returned indices refer to the
+/// input slice and are sorted by descending score.
 ///
 /// # Panics
 ///
 /// Panics if `boxes` and `scores` have different lengths.
 pub fn nms_indices(boxes: &[BBox2D], scores: &[f64], iou_threshold: f64) -> Vec<usize> {
-    assert_eq!(
-        boxes.len(),
-        scores.len(),
-        "boxes and scores must be the same length"
-    );
-    let mut order: Vec<usize> = (0..boxes.len()).collect();
-    // Descending by score; ties broken by index for determinism.
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    let mut kept: Vec<usize> = Vec::new();
-    for &i in &order {
-        let suppressed = kept
-            .iter()
-            .any(|&k| boxes[k].iou(&boxes[i]) > iou_threshold);
-        if !suppressed {
-            kept.push(i);
-        }
-    }
-    kept
+    matchers::nms_indices(boxes, scores, iou_threshold)
 }
 
 /// Class-aware NMS: suppression only happens within the same class label.
@@ -54,25 +37,7 @@ pub fn nms_indices_per_class(
     classes: &[usize],
     iou_threshold: f64,
 ) -> Vec<usize> {
-    assert_eq!(boxes.len(), scores.len());
-    assert_eq!(boxes.len(), classes.len());
-    let mut order: Vec<usize> = (0..boxes.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
-    let mut kept: Vec<usize> = Vec::new();
-    for &i in &order {
-        let suppressed = kept
-            .iter()
-            .any(|&k| classes[k] == classes[i] && boxes[k].iou(&boxes[i]) > iou_threshold);
-        if !suppressed {
-            kept.push(i);
-        }
-    }
-    kept
+    matchers::nms_indices_per_class(boxes, scores, classes, iou_threshold)
 }
 
 #[cfg(test)]
@@ -132,6 +97,16 @@ mod tests {
     }
 
     #[test]
+    fn nan_scores_are_deterministic() {
+        // NaN sorts like an infinite score under total order: the NaN box
+        // wins the cluster, deterministically, instead of depending on an
+        // unspecified comparator.
+        let boxes = vec![bb(0.0, 0.0, 10.0), bb(0.5, 0.5, 10.0)];
+        let kept = nms_indices(&boxes, &[0.9, f64::NAN], 0.5);
+        assert_eq!(kept, vec![1]);
+    }
+
+    #[test]
     #[should_panic(expected = "same length")]
     fn mismatched_lengths_panic() {
         nms_indices(&[bb(0.0, 0.0, 1.0)], &[0.5, 0.6], 0.5);
@@ -140,5 +115,26 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(nms_indices(&[], &[], 0.5).is_empty());
+    }
+
+    #[test]
+    fn crowded_input_exercises_indexed_path() {
+        // Enough boxes to clear the INDEX_MIN cutoff; indexed and
+        // reference must agree exactly.
+        let boxes: Vec<BBox2D> = (0..192)
+            .map(|i| bb(f64::from(i % 12) * 8.0, f64::from(i / 12) * 8.0, 10.0))
+            .collect();
+        let scores: Vec<f64> = (0..192)
+            .map(|i| f64::from((i * 37) % 192) / 192.0)
+            .collect();
+        let classes: Vec<usize> = (0..192).map(|i| i % 4).collect();
+        assert_eq!(
+            nms_indices(&boxes, &scores, 0.3),
+            crate::reference::nms_indices(&boxes, &scores, 0.3)
+        );
+        assert_eq!(
+            nms_indices_per_class(&boxes, &scores, &classes, 0.3),
+            crate::reference::nms_indices_per_class(&boxes, &scores, &classes, 0.3)
+        );
     }
 }

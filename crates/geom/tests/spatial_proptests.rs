@@ -1,0 +1,316 @@
+//! Property tests for the spatial grid index and the indexed matchers.
+//!
+//! A crowded-scene strategy (dense duplicate clusters + uniform clutter)
+//! drives every public matcher — NMS, association pairs, duplicate
+//! triples, agreement counting — and asserts bit-for-bit equality with
+//! the O(n²) reference scans; a fixed ladder covers sizes 0/1/2/100/1000
+//! deterministically; adversarial shapes (all-identical boxes, zero-area
+//! boxes, giant boxes straddling many cells) get their own generators;
+//! and the grid's candidate/radius/nearest queries are checked against
+//! brute force.
+
+use omg_geom::grid::GridIndex2D;
+use omg_geom::{matchers, reference, BBox2D};
+use proptest::prelude::*;
+
+/// A generated crowded scene: boxes plus the per-box scores and classes
+/// the matchers consume.
+#[derive(Debug, Clone)]
+struct Scene {
+    boxes: Vec<BBox2D>,
+    scores: Vec<f64>,
+    classes: Vec<usize>,
+}
+
+/// Dense clusters + uniform clutter, up to `max_boxes` boxes: a few
+/// cluster anchors, and each box either piles onto an anchor (the
+/// duplicate pattern) or lands anywhere in the scene.
+fn crowded_scene(max_boxes: usize) -> impl Strategy<Value = Scene> {
+    (
+        proptest::collection::vec((0.0f64..900.0, 0.0f64..500.0), 1..6),
+        proptest::collection::vec(
+            (
+                any::<u64>(),
+                any::<bool>(),
+                -9.0f64..9.0,
+                -9.0f64..9.0,
+                12.0f64..70.0,
+                10.0f64..55.0,
+                0usize..3,
+                0.0f64..1.0,
+            ),
+            0..max_boxes + 1,
+        ),
+    )
+        .prop_map(|(anchors, specs)| {
+            let mut scene = Scene {
+                boxes: Vec::new(),
+                scores: Vec::new(),
+                classes: Vec::new(),
+            };
+            for (which, clustered, dx, dy, w, h, class, score) in specs {
+                let (cx, cy) = if clustered {
+                    let (ax, ay) = anchors[which as usize % anchors.len()];
+                    (ax + dx, ay + dy)
+                } else {
+                    // Reuse the offsets as uniform clutter coordinates.
+                    ((dx + 9.0) * 50.0, (dy + 9.0) * 28.0)
+                };
+                scene
+                    .boxes
+                    .push(BBox2D::new(cx, cy, cx + w, cy + h).unwrap());
+                scene.scores.push(score);
+                scene.classes.push(class);
+            }
+            scene
+        })
+}
+
+/// Asserts every public matcher equals its reference twin on `scene`
+/// (with `others` as the second side of the two-set matchers).
+fn assert_matchers_equal_reference(scene: &Scene, others: &[BBox2D], thr: f64) {
+    let Scene {
+        boxes,
+        scores,
+        classes,
+    } = scene;
+    assert_eq!(
+        matchers::nms_indices(boxes, scores, thr),
+        reference::nms_indices(boxes, scores, thr),
+        "nms_indices diverged (n={}, thr={thr})",
+        boxes.len()
+    );
+    assert_eq!(
+        matchers::nms_indices_per_class(boxes, scores, classes, thr),
+        reference::nms_indices_per_class(boxes, scores, classes, thr),
+        "nms_indices_per_class diverged (n={}, thr={thr})",
+        boxes.len()
+    );
+    assert_eq!(
+        matchers::iou_pairs(boxes, others, thr),
+        reference::iou_pairs(boxes, others, thr),
+        "iou_pairs diverged (n={}, m={}, thr={thr})",
+        boxes.len(),
+        others.len()
+    );
+    assert_eq!(
+        matchers::overlap_triples(boxes, classes, thr),
+        reference::overlap_triples(boxes, classes, thr),
+        "overlap_triples diverged (n={}, thr={thr})",
+        boxes.len()
+    );
+    assert_eq!(
+        matchers::count_unmatched(boxes, others, thr),
+        reference::count_unmatched(boxes, others, thr),
+        "count_unmatched diverged (n={}, m={}, thr={thr})",
+        boxes.len(),
+        others.len()
+    );
+}
+
+/// Deterministic crowded scene for the fixed size ladder (tiny LCG so
+/// the 1000-box case needs no proptest machinery): 40% of boxes in
+/// 5-box clusters, the rest clutter.
+fn lcg_scene(seed: u64, n: usize) -> Scene {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let mut scene = Scene {
+        boxes: Vec::new(),
+        scores: Vec::new(),
+        classes: Vec::new(),
+    };
+    while scene.boxes.len() < n {
+        let in_cluster = scene.boxes.len() < (n * 2) / 5;
+        let members = if in_cluster {
+            5.min(n - scene.boxes.len())
+        } else {
+            1
+        };
+        let ax = next() * 1200.0;
+        let ay = next() * 700.0;
+        let class = (next() * 3.0) as usize;
+        for _ in 0..members {
+            let x = ax + next() * 12.0;
+            let y = ay + next() * 12.0;
+            let w = 20.0 + next() * 60.0;
+            let h = 15.0 + next() * 50.0;
+            scene.boxes.push(BBox2D::new(x, y, x + w, y + h).unwrap());
+            scene.scores.push(next());
+            scene.classes.push(class);
+        }
+    }
+    scene
+}
+
+/// The fixed size ladder from the issue: 0, 1, 2 (edge cases), 100
+/// (below the index cutoff — dispatch must fall back), 1000 (well above
+/// it — the grid path runs for every matcher).
+#[test]
+fn size_ladder_agrees_with_reference() {
+    for n in [0usize, 1, 2, 100, 1000] {
+        let scene = lcg_scene(n as u64 + 1, n);
+        let others = lcg_scene(n as u64 + 101, n).boxes;
+        for thr in [0.3, 0.5] {
+            assert_matchers_equal_reference(&scene, &others, thr);
+        }
+    }
+}
+
+proptest! {
+    /// The headline property: on arbitrary crowded scenes and
+    /// thresholds, indexed == reference for all five matchers. Sizes
+    /// reach past `INDEX_MIN` so the grid path itself is exercised.
+    #[test]
+    fn crowded_scenes_agree_with_reference(
+        scene in crowded_scene(160),
+        others in crowded_scene(150),
+        thr in 0.05f64..0.9,
+    ) {
+        assert_matchers_equal_reference(&scene, &others.boxes, thr);
+    }
+
+    /// Adversarial: every box identical, all in the same few cells.
+    /// (Triples are covered by a deterministic 150-box unit test in
+    /// `matchers` — C(n,3) blows up the reference under proptest.)
+    #[test]
+    fn all_identical_boxes_agree_at_any_count(
+        n in 0usize..150,
+        x in -50.0f64..400.0,
+        y in -50.0f64..400.0,
+        s in 0.5f64..80.0,
+        thr in 0.05f64..0.9,
+    ) {
+        let boxes = vec![BBox2D::new(x, y, x + s, y + s).unwrap(); n];
+        let scores: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37) % 1.0).collect();
+        prop_assert_eq!(
+            matchers::nms_indices(&boxes, &scores, thr),
+            reference::nms_indices(&boxes, &scores, thr)
+        );
+        prop_assert_eq!(
+            matchers::iou_pairs(&boxes, &boxes, thr),
+            reference::iou_pairs(&boxes, &boxes, thr)
+        );
+        prop_assert_eq!(
+            matchers::count_unmatched(&boxes, &boxes, thr),
+            reference::count_unmatched(&boxes, &boxes, thr)
+        );
+    }
+
+    /// Adversarial: zero-area (point) boxes mixed into a real scene.
+    /// Degenerate boxes have IoU 0 with everything, so they survive NMS
+    /// and never match — on both paths.
+    #[test]
+    fn zero_area_boxes_mixed_in_agree(
+        mut scene in crowded_scene(140),
+        points in proptest::collection::vec((0.0f64..900.0, 0.0f64..500.0), 1..30),
+        thr in 0.05f64..0.9,
+    ) {
+        for (px, py) in points {
+            scene.boxes.push(BBox2D::new(px, py, px, py).unwrap());
+            scene.scores.push(0.9);
+            scene.classes.push(0);
+        }
+        let others = scene.boxes.clone();
+        assert_matchers_equal_reference(&scene, &others, thr);
+    }
+
+    /// Adversarial: giant boxes straddling most of the grid's cells on
+    /// top of a crowded scene.
+    #[test]
+    fn giant_boxes_straddling_many_cells_agree(
+        mut scene in crowded_scene(140),
+        giants in proptest::collection::vec(
+            (-100.0f64..100.0, -100.0f64..100.0, 500.0f64..1200.0, 350.0f64..800.0),
+            1..5,
+        ),
+        thr in 0.05f64..0.9,
+    ) {
+        for (x, y, w, h) in giants {
+            scene.boxes.push(BBox2D::new(x, y, x + w, y + h).unwrap());
+            scene.scores.push(0.5);
+            scene.classes.push(1);
+        }
+        let others = scene.boxes.clone();
+        assert_matchers_equal_reference(&scene, &others, thr);
+    }
+
+    /// The grid's core contract: `candidates_overlapping` returns
+    /// exactly the AABB-intersecting boxes, ascending, no duplicates.
+    #[test]
+    fn grid_candidates_are_exactly_the_intersecting_set(
+        scene in crowded_scene(120),
+        qx in -150.0f64..1000.0,
+        qy in -150.0f64..600.0,
+        qw in 0.0f64..500.0,
+        qh in 0.0f64..400.0,
+    ) {
+        prop_assume!(!scene.boxes.is_empty());
+        let grid = GridIndex2D::build(&scene.boxes);
+        let query = BBox2D::new(qx, qy, qx + qw, qy + qh).unwrap();
+        let mut got = Vec::new();
+        grid.candidates_overlapping(&query, &mut got);
+        let want: Vec<usize> = scene
+            .boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.intersects(&query))
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `within_radius` equals the brute-force center-in-disk scan.
+    #[test]
+    fn grid_radius_query_matches_brute_force(
+        scene in crowded_scene(120),
+        cx in -100.0f64..1000.0,
+        cy in -100.0f64..600.0,
+        r in 0.0f64..400.0,
+    ) {
+        prop_assume!(!scene.boxes.is_empty());
+        let grid = GridIndex2D::build(&scene.boxes);
+        let mut got = Vec::new();
+        grid.within_radius(cx, cy, r, &mut got);
+        let want: Vec<usize> = scene
+            .boxes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| {
+                let (bx, by) = b.center();
+                (bx - cx).powi(2) + (by - cy).powi(2) <= r * r
+            })
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+
+    /// `nearest` equals the brute-force sort by `(distance², id)`.
+    #[test]
+    fn grid_nearest_matches_brute_force(
+        scene in crowded_scene(120),
+        cx in -100.0f64..1000.0,
+        cy in -100.0f64..600.0,
+        k in 0usize..20,
+    ) {
+        prop_assume!(!scene.boxes.is_empty());
+        let grid = GridIndex2D::build(&scene.boxes);
+        let got = grid.nearest(cx, cy, k);
+        let mut by_dist: Vec<(f64, usize)> = scene
+            .boxes
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let (bx, by) = b.center();
+                ((bx - cx).powi(2) + (by - cy).powi(2), i)
+            })
+            .collect();
+        by_dist.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let want: Vec<usize> = by_dist.into_iter().take(k).map(|(_, i)| i).collect();
+        prop_assert_eq!(got, want);
+    }
+}

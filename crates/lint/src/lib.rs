@@ -1,6 +1,6 @@
 //! `omg-lint` — the workspace invariant linter, gated in CI.
 //!
-//! Four **lexical** rules, each an invariant the engine's design
+//! Five **lexical** rules, each an invariant the engine's design
 //! arguments lean on but the compiler cannot state:
 //!
 //! 1. **`unsafe` allowlist** — the `unsafe` keyword may appear only in
@@ -22,6 +22,12 @@
 //!    the workspace must be accounted for in [`RELAXED_LEDGER`] with a
 //!    justification; a new site (or a removed one) fails the build
 //!    until the ledger is re-audited.
+//! 5. **Pairwise IoU confined to geom** — direct `.iou(` /
+//!    `.iou_bev_aabb(` calls belong in `crates/geom/` (where the
+//!    grid-indexed matchers and their O(n²) reference live); everywhere
+//!    else must route matching through `omg_geom::matchers`, except the
+//!    count-pinned small-`n` uses in [`IOU_ALLOWED`]. This keeps every
+//!    matching loop on the sub-quadratic, equivalence-tested path.
 //!
 //! The scanner strips comments and string literals first (so prose —
 //! and this linter's own pattern strings — never trip a rule) and
@@ -102,6 +108,34 @@ const RELAXED_LEDGER: &[(&str, usize, &str)] = &[
         9,
         "monotonic accepted/scored counters and the idle-eviction logical clock: \
          single-word freshness hints, never used to order other memory",
+    ),
+];
+
+/// Directory prefix whose files may call IoU primitives directly: the
+/// geometry crate owns the grid-indexed matchers, their O(n²)
+/// reference, and the equivalence proofs between them.
+const IOU_HOME: &str = "crates/geom/";
+
+/// Substrings that mean "scoring box overlap directly" (the indexed
+/// `matchers::*` entry points do not match these patterns).
+const IOU_PATTERNS: &[&str] = &[".iou(", ".iou_bev_aabb("];
+
+/// Audited direct-IoU call sites outside geom: (file, number of
+/// mentioning lines, rationale). Every use must be bounded by something
+/// other than scene density; anything O(boxes²) belongs behind
+/// `omg_geom::matchers`. A count drift fails until re-audited.
+const IOU_ALLOWED: &[(&str, usize, &str)] = &[
+    (
+        "crates/domains/src/weak.rs",
+        2,
+        "weak labeler's best-overlap lookup and duplicate vote over one frame's \
+         proposals: bounded by the proposal budget, not scene density",
+    ),
+    (
+        "crates/eval/src/detection.rs",
+        1,
+        "detection-to-ground-truth matching in the evaluator: the loop is the \
+         mAP definition and per-image ground truth stays small",
     ),
 ];
 
@@ -306,7 +340,9 @@ pub fn scan_source(file: &str, raw: &str, out: &mut Vec<Violation>) {
     let raw_lines: Vec<&str> = raw.lines().collect();
     let mut relaxed_count = 0usize;
     let mut hash_count = 0usize;
+    let mut iou_count = 0usize;
     let in_hash_scope = HASH_SCOPE.iter().any(|p| file.starts_with(p));
+    let in_iou_scope = !file.starts_with(IOU_HOME);
 
     for (idx, line) in stripped.lines().enumerate() {
         if line.contains("#[cfg(test)]") {
@@ -387,6 +423,22 @@ pub fn scan_source(file: &str, raw: &str, out: &mut Vec<Violation>) {
         if line.contains("Ordering::Relaxed") {
             relaxed_count += 1;
         }
+
+        // Rule 5: pairwise IoU confined to geom (counted below).
+        if in_iou_scope && IOU_PATTERNS.iter().any(|p| line.contains(p)) {
+            iou_count += 1;
+            if lookup_counted(IOU_ALLOWED, file).is_none() {
+                out.push(Violation {
+                    file: file.to_string(),
+                    line: lineno,
+                    rule: "pairwise-iou-outside-geom",
+                    message: "direct IoU call outside omg-geom: route matching through \
+                              omg_geom::matchers (grid-indexed, reference-equivalent), or \
+                              audit a bounded small-n use in omg-lint's IOU_ALLOWED"
+                        .to_string(),
+                });
+            }
+        }
     }
 
     if let Some((expected, _)) = lookup_counted(HASH_ALLOWED, file) {
@@ -399,6 +451,20 @@ pub fn scan_source(file: &str, raw: &str, out: &mut Vec<Violation>) {
                     "audited hash-container line count drifted: ledger says {expected}, \
                      found {hash_count} — re-audit (keyed access only, no iteration) and \
                      update omg-lint's HASH_ALLOWED"
+                ),
+            });
+        }
+    }
+    if let Some((expected, _)) = lookup_counted(IOU_ALLOWED, file) {
+        if iou_count != expected {
+            out.push(Violation {
+                file: file.to_string(),
+                line: 0,
+                rule: "pairwise-iou-outside-geom",
+                message: format!(
+                    "audited direct-IoU line count drifted: ledger says {expected}, found \
+                     {iou_count} — re-audit (bounded small-n only, never O(boxes²)) and \
+                     update omg-lint's IOU_ALLOWED"
                 ),
             });
         }
@@ -500,7 +566,7 @@ pub fn run_cli() -> i32 {
             if summary.violations.is_empty() {
                 println!(
                     "omg-lint: clean ({} files; rules: unsafe allowlist, thread facade, \
-                     scoring-path hash ban, Relaxed ledger)",
+                     scoring-path hash ban, Relaxed ledger, IoU confinement)",
                     summary.files_scanned
                 );
                 0
@@ -627,6 +693,43 @@ mod tests {
         let fixture = "fn f(c: &A) { c.load(Ordering::Relaxed); }\n";
         let got = scan_one("crates/service/src/service.rs", fixture);
         assert_eq!(rules(&got), vec!["unaudited-relaxed"]);
+        assert!(got[0].message.contains("drifted"), "{}", got[0].message);
+    }
+
+    #[test]
+    fn pairwise_iou_outside_geom_fires() {
+        let fixture = "fn worst(a: &[B], b: &[B]) -> f64 {\n    a[0].bbox.iou(&b[0].bbox)\n}\n";
+        let got = scan_one("crates/track/src/tracker.rs", fixture);
+        assert_eq!(rules(&got), vec!["pairwise-iou-outside-geom"]);
+        assert_eq!(got[0].line, 2);
+        // The BEV variant is confined too.
+        let bev = "fn f(a: &B3, b: &B3) -> f64 { a.iou_bev_aabb(b) }\n";
+        assert_eq!(
+            rules(&scan_one("crates/domains/src/fusion.rs", bev)),
+            vec!["pairwise-iou-outside-geom"]
+        );
+    }
+
+    #[test]
+    fn iou_inside_geom_is_clean() {
+        let fixture = "fn f(a: &BBox2D, b: &BBox2D) -> f64 { a.iou(b) }\n";
+        assert!(scan_one("crates/geom/src/reference.rs", fixture).is_empty());
+        assert!(scan_one("crates/geom/tests/spatial_proptests.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn indexed_matcher_calls_do_not_trip_the_iou_rule() {
+        let fixture = "fn f(a: &[BBox2D], b: &[BBox2D]) -> Vec<(f64, usize, usize)> {\n    omg_geom::matchers::iou_pairs(a, b, 0.5)\n}\n";
+        assert!(scan_one("crates/track/src/tracker.rs", fixture).is_empty());
+    }
+
+    #[test]
+    fn audited_iou_count_drift_fires() {
+        // detection.rs is audited for exactly 1 mentioning line; 2 drift.
+        let fixture =
+            "fn f(a: &B, b: &B) -> f64 {\n    a.bbox.iou(&b.bbox);\n    b.bbox.iou(&a.bbox)\n}\n";
+        let got = scan_one("crates/eval/src/detection.rs", fixture);
+        assert_eq!(rules(&got), vec!["pairwise-iou-outside-geom"]);
         assert!(got[0].message.contains("drifted"), "{}", got[0].message);
     }
 

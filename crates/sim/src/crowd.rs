@@ -1,0 +1,267 @@
+//! A clutter-heavy crowded-scene generator for asymptotic benchmarks.
+//!
+//! The night-street world ([`crate::traffic`]) tops out at a few dozen
+//! boxes per frame — realistic for one camera, but useless for measuring
+//! how the matchers *scale*. This world generates frames with an exact,
+//! configurable box count (hundreds to thousands), mixing dense
+//! duplicate clusters (the `multibox` trigger) with uniform clutter, and
+//! keeps every object persistent frame-to-frame so detection-to-track
+//! association has real work to do. It is the workload behind
+//! `exp_throughput --crowded` and `benchmarks/BENCH_crowded.json`.
+
+use omg_eval::ScoredBox;
+use omg_geom::BBox2D;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::derive_rng;
+
+/// Configuration of a [`CrowdWorld`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrowdConfig {
+    /// Image width in pixels.
+    pub width: f64,
+    /// Image height in pixels.
+    pub height: f64,
+    /// Exact number of boxes emitted per frame.
+    pub boxes_per_frame: usize,
+    /// Fraction of boxes that live in dense duplicate clusters (the rest
+    /// are uniform clutter).
+    pub cluster_fraction: f64,
+    /// Boxes per dense cluster.
+    pub cluster_size: usize,
+    /// Number of distinct class labels.
+    pub num_classes: usize,
+}
+
+impl CrowdConfig {
+    /// The clutter-heavy benchmark configuration: a 1280×720 frame with
+    /// the requested density, 40% of boxes in 5-box duplicate clusters.
+    pub fn clutter_heavy(boxes_per_frame: usize) -> Self {
+        Self {
+            width: 1280.0,
+            height: 720.0,
+            boxes_per_frame,
+            cluster_fraction: 0.4,
+            cluster_size: 5,
+            num_classes: 3,
+        }
+    }
+}
+
+/// One persistent simulated object.
+#[derive(Debug, Clone)]
+struct CrowdObject {
+    /// Cluster anchor this object belongs to (clutter objects have their
+    /// own private anchor).
+    anchor: usize,
+    /// Offset from the anchor, pixels.
+    dx: f64,
+    dy: f64,
+    w: f64,
+    h: f64,
+    class: usize,
+    score: f64,
+}
+
+/// The evolving crowded scene. Call [`CrowdWorld::step`] once per frame.
+///
+/// Objects never enter or leave: every frame holds exactly
+/// `boxes_per_frame` boxes, anchors drift horizontally (wrapping at the
+/// frame edge) and every box jitters slightly, so consecutive frames are
+/// associable but not identical. Deterministic per `(config, seed)`.
+#[derive(Debug, Clone)]
+pub struct CrowdWorld {
+    config: CrowdConfig,
+    rng: StdRng,
+    objects: Vec<CrowdObject>,
+    /// Per-anchor `(x, y, vx)` state.
+    anchors: Vec<(f64, f64, f64)>,
+    frame: u64,
+}
+
+impl CrowdWorld {
+    /// Creates a world; all randomness derives from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config has non-positive dimensions, a cluster size
+    /// below 2, no classes, or a cluster fraction outside `[0, 1]`.
+    pub fn new(config: CrowdConfig, seed: u64) -> Self {
+        assert!(
+            config.width > 0.0 && config.height > 0.0,
+            "frame dimensions must be positive"
+        );
+        assert!(config.cluster_size >= 2, "clusters need at least 2 boxes");
+        assert!(config.num_classes > 0, "need at least one class");
+        assert!(
+            (0.0..=1.0).contains(&config.cluster_fraction),
+            "cluster fraction must be in [0, 1]"
+        );
+        let mut rng = derive_rng(seed, 0xC80);
+        let mut anchors: Vec<(f64, f64, f64)> = Vec::new();
+        let mut objects: Vec<CrowdObject> = Vec::new();
+        let new_anchor = |rng: &mut StdRng, anchors: &mut Vec<(f64, f64, f64)>| {
+            anchors.push((
+                rng.gen_range(0.0..config.width),
+                rng.gen_range(0.0..config.height * 0.9),
+                rng.gen_range(-6.0..6.0),
+            ));
+            anchors.len() - 1
+        };
+        let clustered = ((config.boxes_per_frame as f64) * config.cluster_fraction) as usize;
+        while objects.len() < config.boxes_per_frame {
+            let in_cluster = objects.len() < clustered;
+            let members = if in_cluster {
+                config
+                    .cluster_size
+                    .min(config.boxes_per_frame - objects.len())
+            } else {
+                1
+            };
+            let anchor = new_anchor(&mut rng, &mut anchors);
+            let class = rng.gen_range(0..config.num_classes);
+            let w = rng.gen_range(30.0..90.0);
+            let h = rng.gen_range(25.0..70.0);
+            for _ in 0..members {
+                // Cluster members sit nearly on top of each other (the
+                // multibox duplicate pattern); clutter sits alone.
+                let spread = if in_cluster { 6.0 } else { 0.0 };
+                objects.push(CrowdObject {
+                    anchor,
+                    dx: rng.gen_range(-1.0..1.0) * spread,
+                    dy: rng.gen_range(-1.0..1.0) * spread,
+                    w: w * rng.gen_range(0.92..1.08),
+                    h: h * rng.gen_range(0.92..1.08),
+                    class,
+                    score: rng.gen_range(0.3..1.0),
+                });
+            }
+        }
+        Self {
+            config,
+            rng,
+            objects,
+            anchors,
+            frame: 0,
+        }
+    }
+
+    /// The world's configuration.
+    pub fn config(&self) -> &CrowdConfig {
+        &self.config
+    }
+
+    /// Advances one frame and returns its detections (always exactly
+    /// `boxes_per_frame` of them, in stable object order).
+    pub fn step(&mut self) -> Vec<ScoredBox> {
+        let (w, h) = (self.config.width, self.config.height);
+        for a in &mut self.anchors {
+            a.0 = (a.0 + a.2).rem_euclid(w);
+        }
+        let dets = self
+            .objects
+            .iter()
+            .map(|o| {
+                let (ax, ay, _) = self.anchors[o.anchor];
+                let jx = self.rng.gen_range(-1.5..1.5);
+                let jy = self.rng.gen_range(-1.5..1.5);
+                let cx = (ax + o.dx + jx).clamp(0.0, w);
+                let cy = (ay + o.dy + jy).clamp(0.0, h);
+                ScoredBox {
+                    bbox: BBox2D::from_center(cx, cy, o.w, o.h).expect("valid crowd box"),
+                    class: o.class,
+                    score: o.score,
+                }
+            })
+            .collect();
+        self.frame += 1;
+        dets
+    }
+
+    /// Generates the next `n` frames.
+    pub fn steps(&mut self, n: usize) -> Vec<Vec<ScoredBox>> {
+        (0..n).map(|_| self.step()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_box_count_every_frame() {
+        for n in [1, 2, 100, 997] {
+            let mut w = CrowdWorld::new(CrowdConfig::clutter_heavy(n), 1);
+            for frame in w.steps(3) {
+                assert_eq!(frame.len(), n);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = CrowdWorld::new(CrowdConfig::clutter_heavy(200), 7).steps(5);
+        let b = CrowdWorld::new(CrowdConfig::clutter_heavy(200), 7).steps(5);
+        assert_eq!(a, b);
+        let c = CrowdWorld::new(CrowdConfig::clutter_heavy(200), 8).steps(5);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn clusters_actually_overlap() {
+        // The clustered share of the frame must contain heavily
+        // overlapping same-class boxes — otherwise the benchmark would
+        // not exercise the multibox matcher.
+        let mut w = CrowdWorld::new(CrowdConfig::clutter_heavy(300), 3);
+        let frame = w.step();
+        let overlapping = frame
+            .iter()
+            .enumerate()
+            .flat_map(|(i, a)| frame[i + 1..].iter().map(move |b| (a, b)))
+            .filter(|(a, b)| a.class == b.class && a.bbox.iou(&b.bbox) >= 0.3)
+            .count();
+        assert!(overlapping >= 100, "only {overlapping} overlapping pairs");
+    }
+
+    #[test]
+    fn frames_are_associable() {
+        // Consecutive frames of the same object overlap strongly: the
+        // tracker can follow the crowd.
+        let mut w = CrowdWorld::new(CrowdConfig::clutter_heavy(150), 5);
+        let f0 = w.step();
+        let f1 = w.step();
+        let mut carried = 0;
+        for (a, b) in f0.iter().zip(&f1) {
+            if a.bbox.iou(&b.bbox) >= 0.5 {
+                carried += 1;
+            }
+        }
+        assert!(
+            carried > 100,
+            "only {carried}/150 objects track across frames"
+        );
+    }
+
+    #[test]
+    fn boxes_stay_near_the_frame() {
+        let mut w = CrowdWorld::new(CrowdConfig::clutter_heavy(100), 2);
+        for frame in w.steps(10) {
+            for d in frame {
+                let (cx, cy) = d.bbox.center();
+                assert!((-1.0..=1281.0).contains(&cx));
+                assert!((-1.0..=721.0).contains(&cy));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cluster")]
+    fn tiny_clusters_rejected() {
+        let cfg = CrowdConfig {
+            cluster_size: 1,
+            ..CrowdConfig::clutter_heavy(10)
+        };
+        CrowdWorld::new(cfg, 1);
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`news`] — scene-cut TV news with hosts carrying identity, gender,
 //!   and hair-colour attributes, and classifiers with transient
 //!   within-scene identity swaps.
+//! * [`crowd`] — a clutter-heavy crowded-scene generator with an exact,
+//!   configurable box count per frame (hundreds to thousands), the
+//!   workload behind the `BENCH_crowded` asymptotic benchmark.
 //! * [`labeler`] — a simulated human labeling service with per-track and
 //!   per-frame classification errors (no localization errors), calibrated
 //!   to the paper's Appendix E.
@@ -37,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod av;
+pub mod crowd;
 pub mod detector;
 pub mod ecg;
 pub mod labeler;

@@ -70,24 +70,19 @@ impl IouTracker {
             frame.saturating_sub(t.last_frame()) <= self.max_age
         });
 
-        // Build all candidate (iou, track_pos, det_idx) pairs and match
-        // greedily by descending IoU.
-        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
-        for (ti, id) in self.live.iter().enumerate() {
-            let last_box = self.tracks[id].latest().bbox;
-            for (di, det) in detections.iter().enumerate() {
-                let iou = last_box.iou(&det.bbox);
-                if iou >= self.iou_threshold {
-                    pairs.push((iou, ti, di));
-                }
-            }
-        }
-        pairs.sort_by(|a, b| {
-            b.0.partial_cmp(&a.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-                .then(a.2.cmp(&b.2))
-        });
+        // Candidate (iou, track_pos, det_idx) pairs via the spatial
+        // matcher (grid-indexed in crowded frames, pairwise otherwise),
+        // matched greedily by descending IoU. The sort is a total order:
+        // `total_cmp` on the IoU keeps it NaN-safe and deterministic,
+        // with (track_pos, det_idx) breaking exact ties.
+        let track_boxes: Vec<omg_geom::BBox2D> = self
+            .live
+            .iter()
+            .map(|id| self.tracks[id].latest().bbox)
+            .collect();
+        let det_boxes: Vec<omg_geom::BBox2D> = detections.iter().map(|d| d.bbox).collect();
+        let mut pairs = omg_geom::matchers::iou_pairs(&track_boxes, &det_boxes, self.iou_threshold);
+        pairs.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
 
         let mut track_taken = vec![false; self.live.len()];
         let mut det_assignment: Vec<Option<TrackId>> = vec![None; detections.len()];
@@ -254,5 +249,46 @@ mod tests {
     #[should_panic(expected = "iou threshold")]
     fn zero_threshold_rejected() {
         IouTracker::new(0.0, 2);
+    }
+
+    #[test]
+    fn tie_breaking_is_deterministic() {
+        // Two tracks with *identical* last boxes compete for one
+        // detection: the greedy matcher's total-order sort must always
+        // hand it to the earlier live track, every run. (Regression test
+        // for the old `partial_cmp(..).unwrap_or(Equal)` sort, whose
+        // tie behavior was an accident of sort stability.)
+        for _ in 0..10 {
+            let mut tr = IouTracker::new(0.3, 2);
+            let ids = tr.update(0, &[obs(0.0, 0.0), obs(0.0, 0.0)]);
+            let ids2 = tr.update(1, &[obs(0.0, 0.0)]);
+            assert_eq!(ids2[0], ids[0], "exact tie goes to the first live track");
+        }
+    }
+
+    #[test]
+    fn crowded_frame_matches_reference_association() {
+        // A frame dense enough to clear the indexed-matcher cutoff must
+        // associate identically under both backends.
+        use omg_geom::matchers::{with_backend, MatchBackend};
+        let frame0: Vec<Observation> = (0..140)
+            .map(|i| obs(f64::from(i % 8) * 15.0, f64::from(i / 8) * 15.0))
+            .collect();
+        let frame1: Vec<Observation> = frame0
+            .iter()
+            .map(|o| Observation {
+                bbox: o.bbox.translated(1.0, 0.5),
+                ..*o
+            })
+            .collect();
+        let run = || {
+            let mut tr = IouTracker::new(0.3, 2);
+            tr.update(0, &frame0);
+            tr.update(1, &frame1)
+        };
+        let indexed = with_backend(MatchBackend::Indexed, run);
+        let reference = with_backend(MatchBackend::Reference, run);
+        assert_eq!(indexed, reference);
+        assert_eq!(indexed.len(), 140);
     }
 }
