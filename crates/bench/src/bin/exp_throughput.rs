@@ -20,7 +20,11 @@
 //! present, and that `BENCH_crowded.json` is present **and shows the
 //! indexed matchers beating the O(n²) reference at 1000 boxes/frame** —
 //! the CI gate that keeps the streaming, scaling, service, and
-//! asymptotic benchmarks' coverage honest.
+//! asymptotic benchmarks' coverage honest. On noisy shared runners the
+//! relative-timing half of that gate can be softened with
+//! `OMG_CROWDED_GATE_MARGIN` (e.g. `0.8` requires indexed ≥ 0.8× the
+//! reference rate); unset, the strict indexed > reference contract
+//! applies.
 //!
 //! `--crowded` runs the asymptotic matcher benchmark: clutter-heavy
 //! windows at 100/300/1000 boxes per frame through the full video
@@ -119,9 +123,14 @@ fn archived_rate(json: &str, id: &str) -> Option<f64> {
 
 /// Validates the archived `BENCH_crowded.json`: both backends' rows must
 /// be present at the densest sweep point, and the indexed matchers must
-/// actually beat the O(n²) reference there — the asymptotic win is a
-/// gated contract, not a claim.
-fn check_crowded_archive(dir: &std::path::Path) -> Result<(), String> {
+/// clear `margin` × the O(n²) reference rate there — the asymptotic win
+/// is a gated contract, not a claim. Local runs use the strict default
+/// margin 1.0 (indexed must actually beat the reference); CI relaxes it
+/// via `OMG_CROWDED_GATE_MARGIN` because a loaded shared runner can
+/// flake a strict relative-timing assertion even when the true margin
+/// is ~2×, while a genuine regression to O(n²) lands far below any
+/// sane soft margin.
+fn check_crowded_archive(dir: &std::path::Path, margin: f64) -> Result<(), String> {
     let path = dir.join("BENCH_crowded.json");
     let json = std::fs::read_to_string(&path)
         .map_err(|e| format!("could not read {}: {e}", path.display()))?;
@@ -130,13 +139,30 @@ fn check_crowded_archive(dir: &std::path::Path) -> Result<(), String> {
         .ok_or_else(|| format!("BENCH_crowded.json has no 'indexed x{densest}' row"))?;
     let reference = archived_rate(&json, &format!("reference x{densest}"))
         .ok_or_else(|| format!("BENCH_crowded.json has no 'reference x{densest}' row"))?;
-    if indexed <= reference {
+    if indexed <= reference * margin {
         return Err(format!(
-            "BENCH_crowded.json shows the indexed matchers NOT beating the O(n²) \
+            "BENCH_crowded.json shows the indexed matchers below {margin:.2}x the O(n²) \
              reference at {densest} boxes/frame ({indexed:.1} vs {reference:.1} windows/sec)"
         ));
     }
     Ok(())
+}
+
+/// The crowded-gate margin from `OMG_CROWDED_GATE_MARGIN`: 1.0 (strict)
+/// when unset, exit-2 on garbage or a non-positive / >1 value (a margin
+/// above 1 would demand *more* than beating the reference — certainly a
+/// typo).
+fn crowded_gate_margin() -> f64 {
+    match std::env::var("OMG_CROWDED_GATE_MARGIN") {
+        Err(_) => 1.0,
+        Ok(raw) => match raw.trim().parse::<f64>() {
+            Ok(m) if m.is_finite() && m > 0.0 && m <= 1.0 => m,
+            _ => {
+                eprintln!("error: OMG_CROWDED_GATE_MARGIN must be a number in (0, 1], got {raw:?}");
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 /// The `--check-stream-archive` mode: verifies every registered
@@ -164,8 +190,9 @@ fn check_stream_archive() {
     }
     // The crowded-matcher archive is content-checked, not just
     // presence-checked: it must record the indexed matchers beating the
-    // reference at the densest sweep point.
-    if let Err(e) = check_crowded_archive(&dir) {
+    // reference at the densest sweep point (softened by
+    // OMG_CROWDED_GATE_MARGIN on noisy shared runners).
+    if let Err(e) = check_crowded_archive(&dir, crowded_gate_margin()) {
         eprintln!(
             "error: {e}\nrun `exp_throughput --crowded` first (and investigate if \
              the indexed matchers regressed)"

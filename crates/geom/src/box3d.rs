@@ -110,14 +110,28 @@ impl BBox3D {
     /// boxes (an approximation that ignores yaw, adequate for the mostly
     /// axis-aligned traffic the AV simulator generates).
     pub fn iou_bev_aabb(&self, other: &BBox3D) -> f64 {
-        // Fast reject before the corner math: each footprint lies inside
-        // the disk of half-diagonal radius around its center, so centers
-        // strictly farther apart than the radii sum cannot overlap.
-        let ra = (self.size.x * self.size.x + self.size.y * self.size.y).sqrt() / 2.0;
-        let rb = (other.size.x * other.size.x + other.size.y * other.size.y).sqrt() / 2.0;
-        let dx = self.center.x - other.center.x;
-        let dy = self.center.y - other.center.y;
-        if dx * dx + dy * dy > (ra + rb) * (ra + rb) {
+        // Fast reject before the corner math, per axis against the
+        // footprint AABB half-extents: a box yawed by `yaw` has an
+        // axis-aligned footprint of half-width (|sx·cos| + |sy·sin|)/2
+        // and half-height (|sx·sin| + |sy·cos|)/2 — the same extents the
+        // corner fold below recovers, so the comparison is against the
+        // quantity the IoU is actually computed over (a radius-based
+        // reject is unsound here: the footprint AABB of a yawed box
+        // extends beyond the rotated rectangle's half-diagonal disk).
+        // The relative margin keeps the reject conservative against
+        // ulp-level rounding differences from the corner-derived
+        // extents: a false accept falls through to the exact math, a
+        // false reject would change results.
+        let (sin_a, cos_a) = self.yaw.sin_cos();
+        let (sin_b, cos_b) = other.yaw.sin_cos();
+        let hxa = ((self.size.x * cos_a).abs() + (self.size.y * sin_a).abs()) / 2.0;
+        let hya = ((self.size.x * sin_a).abs() + (self.size.y * cos_a).abs()) / 2.0;
+        let hxb = ((other.size.x * cos_b).abs() + (other.size.y * sin_b).abs()) / 2.0;
+        let hyb = ((other.size.x * sin_b).abs() + (other.size.y * cos_b).abs()) / 2.0;
+        let dx = (self.center.x - other.center.x).abs();
+        let dy = (self.center.y - other.center.y).abs();
+        const MARGIN: f64 = 1.0 + 1e-9;
+        if dx > (hxa + hxb) * MARGIN || dy > (hya + hyb) * MARGIN {
             return 0.0;
         }
         let fp = |b: &BBox3D| {
@@ -256,14 +270,82 @@ mod tests {
         assert!((r.height() - 4.0).abs() < 1e-9);
     }
 
+    /// IoU of the two footprint AABBs with no fast path at all — the
+    /// quantity `iou_bev_aabb` must reproduce.
+    fn brute_footprint_iou(a: &BBox3D, b: &BBox3D) -> f64 {
+        let fa = a.footprint_aabb();
+        let fb = b.footprint_aabb();
+        let iw = (fa.x2().min(fb.x2()) - fa.x1().max(fb.x1())).max(0.0);
+        let ih = (fa.y2().min(fb.y2()) - fa.y1().max(fb.y1())).max(0.0);
+        let inter = iw * ih;
+        let union = fa.width() * fa.height() + fb.width() * fb.height() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
     #[test]
     fn bev_fast_reject_agrees_with_footprint_overlap() {
-        // Just inside / outside the half-diagonal reject radius.
+        // Just inside / outside the axis-aligned reject extents.
         let a = boxed(0.0, 0.0, 4.0, 2.0);
         let near = boxed(4.1, 0.0, 4.0, 2.0); // footprints disjoint, centers close
         assert_eq!(a.iou_bev_aabb(&near), 0.0);
         let overlapping = boxed(3.0, 0.0, 4.0, 2.0);
         assert!(a.iou_bev_aabb(&overlapping) > 0.0);
+    }
+
+    #[test]
+    fn bev_fast_reject_sound_for_yawed_boxes() {
+        // Regression: two 2×2 boxes at 45° yaw, centers (0,0) and
+        // (2.7, 2.7). Their footprint AABBs are 2√2 wide, overlapping by
+        // 2√2 − 2.7 ≈ 0.128 per axis — but both centers lie inside each
+        // other's half-diagonal disk complement, so a radius-based
+        // reject returned 0.0 here and silently changed BEV matching.
+        let mk = |cx: f64, cy: f64| {
+            BBox3D::new(
+                Vec3::new(cx, cy, 1.0),
+                Vec3::new(2.0, 2.0, 2.0),
+                std::f64::consts::FRAC_PI_4,
+            )
+            .unwrap()
+        };
+        let a = mk(0.0, 0.0);
+        let b = mk(2.7, 2.7);
+        let iou = a.iou_bev_aabb(&b);
+        assert!(iou > 0.0, "yawed overlap must not be fast-rejected");
+        assert!((iou - brute_footprint_iou(&a, &b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bev_iou_matches_bruteforce_across_yaws_and_offsets() {
+        // Sweep yaw pairs and center offsets around the reject boundary:
+        // the fast path must never disagree with the no-fast-path
+        // footprint IoU (in particular, every positive-IoU pair must
+        // survive the reject).
+        let yaws = [0.0, 0.3, std::f64::consts::FRAC_PI_4, 1.2, -0.7];
+        let mut overlapping = 0u32;
+        for &ya in &yaws {
+            for &yb in &yaws {
+                for step in 0..40 {
+                    let d = f64::from(step) * 0.15;
+                    let a = BBox3D::new(Vec3::ZERO, Vec3::new(4.0, 2.0, 2.0), ya).unwrap();
+                    let b = BBox3D::new(Vec3::new(d, d * 0.5, 0.0), Vec3::new(3.0, 1.5, 2.0), yb)
+                        .unwrap();
+                    let brute = brute_footprint_iou(&a, &b);
+                    assert!(
+                        (a.iou_bev_aabb(&b) - brute).abs() < 1e-12,
+                        "yaws ({ya}, {yb}), offset {d}: fast {} vs brute {brute}",
+                        a.iou_bev_aabb(&b)
+                    );
+                    if brute > 0.0 {
+                        overlapping += 1;
+                    }
+                }
+            }
+        }
+        assert!(overlapping > 100, "sweep must exercise overlapping pairs");
     }
 
     #[test]

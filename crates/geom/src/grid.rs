@@ -87,20 +87,31 @@ impl GridIndex2D {
             cell.is_finite() && cell > 0.0,
             "grid cell size must be finite and positive, got {cell}"
         );
-        let nx = Self::axis_cells(bounds.width(), cell);
-        let ny = Self::axis_cells(bounds.height(), cell);
-        let (nx, ny, cell) = if nx.saturating_mul(ny) > MAX_CELLS {
-            // Scale the cell up until the grid fits the memory cap.
-            let scale = ((nx * ny) as f64 / MAX_CELLS as f64).sqrt();
-            let cell = cell * scale.max(1.0) * 1.001;
-            (
-                Self::axis_cells(bounds.width(), cell),
-                Self::axis_cells(bounds.height(), cell),
-                cell,
-            )
-        } else {
-            (nx, ny, cell)
-        };
+        let mut cell = cell;
+        let mut nx = Self::axis_cells(bounds.width(), cell);
+        let mut ny = Self::axis_cells(bounds.height(), cell);
+        // Scale the cell up until the grid fits the memory cap. A single
+        // pass is not enough: rescaling by sqrt(overshoot) assumes both
+        // axes shrink with the cell, but a thin-strip bounds clamps one
+        // axis at a single cell, leaving the other to absorb the whole
+        // reduction — so recompute and re-scale until the product fits.
+        // The product (and its f64 image for the scale) stays saturated
+        // so extreme finite extents cannot overflow the multiply.
+        // Terminates: the cell grows by at least 0.1% per iteration, and
+        // once it exceeds the larger bounds span the grid is 1×1.
+        while nx.saturating_mul(ny) > MAX_CELLS {
+            let over = nx.saturating_mul(ny) as f64 / MAX_CELLS as f64;
+            // With an axis already collapsed to one cell the shrink is
+            // linear in the other axis, not split across both.
+            let scale = if nx == 1 || ny == 1 {
+                over
+            } else {
+                over.sqrt()
+            };
+            cell *= scale.max(1.0) * 1.001;
+            nx = Self::axis_cells(bounds.width(), cell);
+            ny = Self::axis_cells(bounds.height(), cell);
+        }
         Self {
             x0: bounds.x1(),
             y0: bounds.y1(),
@@ -151,11 +162,11 @@ impl GridIndex2D {
         grid
     }
 
+    /// Number of cells along an axis for `span` world units.
     fn axis_cells(span: f64, cell: f64) -> usize {
         ((span / cell).ceil() as usize).max(1)
     }
 
-    /// Number of cells along an axis for `span` world units.
     /// The cell edge length actually in use (after any memory clamping).
     pub fn cell_size(&self) -> f64 {
         self.cell
@@ -488,6 +499,42 @@ mod tests {
         let mut out = Vec::new();
         grid.candidates_overlapping(&boxes[0], &mut out);
         assert_eq!(out.len(), 51, "the huge box overlaps everything");
+    }
+
+    #[test]
+    fn anisotropic_extent_is_memory_bounded() {
+        // A thin strip: ny clamps to one cell, so the whole reduction
+        // must land on the x axis. The single-pass sqrt clamp left this
+        // at ~sqrt(nx·MAX_CELLS) cells — a GB-scale allocation.
+        let boxes: Vec<BBox2D> = (0..128)
+            .map(|i| {
+                let x = f64::from(i) * 1e16;
+                BBox2D::new(x, 0.0, x + 0.5, 0.5).unwrap()
+            })
+            .collect();
+        let grid = GridIndex2D::build(&boxes);
+        let (nx, ny) = grid.dims();
+        assert!(
+            nx.saturating_mul(ny) <= super::MAX_CELLS,
+            "thin strip must respect the cap, got {nx}x{ny}"
+        );
+        // The boxes are pairwise disjoint: each query finds itself only.
+        let mut out = Vec::new();
+        for (i, q) in boxes.iter().enumerate() {
+            grid.candidates_overlapping(q, &mut out);
+            assert_eq!(out, vec![i]);
+        }
+    }
+
+    #[test]
+    fn extreme_bounds_do_not_overflow_cell_count() {
+        // Both axes saturate their cell counts at usize::MAX before the
+        // clamp; re-multiplying them unsaturated overflowed (debug
+        // panic, release wrap). The clamp must stay saturated and still
+        // land under the cap.
+        let grid = GridIndex2D::new(BBox2D::new(0.0, 0.0, 1e300, 1e300).unwrap(), 1e-300);
+        let (nx, ny) = grid.dims();
+        assert!(nx.saturating_mul(ny) <= super::MAX_CELLS);
     }
 
     #[test]

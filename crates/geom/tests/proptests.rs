@@ -89,6 +89,16 @@ proptest! {
     }
 
     #[test]
+    fn bev_iou_equals_footprint_aabb_iou(a in arb_box3d(), b in arb_box3d()) {
+        // iou_bev_aabb is by definition the IoU of the two corner-derived
+        // footprint AABBs, so its fast reject must never disagree with
+        // the footprint math at any yaw (a radius-based reject once
+        // zeroed yawed near-overlaps here).
+        let expected = a.footprint_aabb().iou(&b.footprint_aabb());
+        prop_assert!((a.iou_bev_aabb(&b) - expected).abs() < 1e-12);
+    }
+
+    #[test]
     fn box3d_corners_preserve_volume_extent(b in arb_box3d()) {
         // The diagonal of the corner cloud must equal the box diagonal.
         let cs = b.corners();
