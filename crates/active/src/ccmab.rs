@@ -101,11 +101,7 @@ impl CcMab {
         // Highest estimated reward first among the explored (the greedy
         // marginal-gain step: with a modular reward surrogate the marginal
         // gain of an arm is its cell's mean reward).
-        explored.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        explored.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         let mut out: Vec<usize> = underexplored.into_iter().map(|(i, _)| i).collect();
         out.extend(explored.into_iter().map(|(i, _)| i));
         out.truncate(budget);
@@ -231,5 +227,15 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_dim_rejected() {
         CcMab::new(0, 3);
+    }
+
+    #[test]
+    fn equal_reward_cells_rank_by_arm_index() {
+        let mut mab = CcMab::new(1, 2);
+        mab.update(&[0.1], 0.5);
+        mab.update(&[0.9], 0.5);
+        // Both cells are explored (one pull beats K(1) = ln 2) with tied
+        // means: the greedy ordering must fall back to arm index.
+        assert_eq!(mab.select(&[vec![0.9], vec![0.1]], 2), vec![0, 1]);
     }
 }

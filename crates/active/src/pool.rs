@@ -124,16 +124,20 @@ impl CandidatePool {
 
     /// Severity of assertion `m` on candidate `i`.
     pub fn severity(&self, i: usize, m: usize) -> f64 {
+        // PANIC: documented accessor contract — i and m come from
+        // 0..len() / 0..num_assertions(), the pool's own id spaces.
         self.severities[i][m]
     }
 
     /// The full severity vector (context) of candidate `i`.
     pub fn context(&self, i: usize) -> &[f64] {
+        // PANIC: same candidate-id contract as severity().
         &self.severities[i]
     }
 
     /// Model uncertainty of candidate `i`.
     pub fn uncertainty(&self, i: usize) -> f64 {
+        // PANIC: same candidate-id contract as severity().
         self.uncertainties[i]
     }
 

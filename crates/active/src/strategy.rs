@@ -44,12 +44,7 @@ pub trait SelectionStrategy: Send + Sync {
 /// Sorts candidate indices by descending score, breaking ties by earlier
 /// index (the deterministic order every score-ranked path shares).
 fn sort_by_score_desc<F: Fn(usize) -> f64>(order: &mut [usize], score: F) {
-    order.sort_by(|&a, &b| {
-        score(b)
-            .partial_cmp(&score(a))
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| score(b).total_cmp(&score(a)).then(a.cmp(&b)));
 }
 
 /// Samples `k` distinct indices uniformly from `candidates` (excluding
@@ -260,8 +255,7 @@ impl BalStrategy {
         // Ascending severity: rank weight = position + 1.
         avail.sort_by(|&a, &b| {
             pool.severity(a, m)
-                .partial_cmp(&pool.severity(b, m))
-                .unwrap_or(std::cmp::Ordering::Equal)
+                .total_cmp(&pool.severity(b, m))
                 .then(a.cmp(&b))
         });
         let total: f64 = (1..=avail.len()).map(|r| r as f64).sum();
@@ -316,7 +310,8 @@ impl SelectionStrategy for BalStrategy {
     fn score(&self, pool: &CandidatePool, candidate: usize) -> f64 {
         pool.context(candidate)
             .iter()
-            .fold(0.0f64, |a, &b| a.max(b))
+            .copied()
+            .fold(0.0f64, omg_core::float::fmax)
     }
 
     fn select(&mut self, pool: &CandidatePool, budget: usize, rng: &mut StdRng) -> Vec<usize> {
@@ -677,5 +672,30 @@ mod tests {
     #[should_panic(expected = "epsilon")]
     fn bad_epsilon_rejected() {
         BalStrategy::new(FallbackPolicy::Random).with_epsilon(1.5);
+    }
+
+    #[test]
+    fn score_sort_is_total_and_breaks_ties_by_index() {
+        let scores = [1.0, f64::NAN, 1.0, 2.0];
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        sort_by_score_desc(&mut order, |i| scores[i]);
+        // +NaN sorts above every real under the total order (a poisoned
+        // score surfaces first instead of shuffling the ranking), and
+        // the 1.0 tie resolves by index.
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn bal_score_keeps_nan_severity_visible() {
+        let p = CandidatePool::new(
+            vec![vec![0.2, f64::NAN], vec![f64::NAN, 0.2]],
+            vec![0.0, 0.0],
+        )
+        .unwrap();
+        let s = BalStrategy::new(FallbackPolicy::Random);
+        // The fmax fold must not drop a NaN severity at either position
+        // (f64::max would, making the score depend on assertion order).
+        assert!(s.score(&p, 0).is_nan());
+        assert!(s.score(&p, 1).is_nan());
     }
 }

@@ -172,6 +172,7 @@ impl Scenario for AvScenario {
     }
 
     fn make_sample(&self, items: &[AvFrame], center: usize) -> AvFrame {
+        // PANIC: the drivers pass center < items.len() by contract.
         items[center].clone()
     }
 

@@ -146,6 +146,8 @@ pub fn env_threads() -> Result<Option<usize>, ThreadsError> {
 pub fn threads() -> usize {
     *THREADS.get_or_init(|| match env_threads() {
         Ok(n) => n.unwrap_or(1),
+        // PANIC: documented — a garbage OMG_THREADS is a startup
+        // config error; binaries validate it before scoring starts.
         Err(e) => panic!("{e}"),
     })
 }

@@ -157,6 +157,7 @@ impl Scenario for NewsScenario {
     }
 
     fn make_sample(&self, items: &[NewsScene], center: usize) -> NewsScene {
+        // PANIC: the drivers pass center < items.len() by contract.
         items[center].clone()
     }
 

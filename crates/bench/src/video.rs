@@ -251,6 +251,7 @@ impl Scenario for VideoScenario {
     }
 
     fn item_errors(&self, assertion: &str, items: &[VideoItem], center: usize) -> Vec<FoundError> {
+        // PANIC: item_errors receives a center inside `items`.
         match assertion {
             "multibox" => duplicate_errors(&items[center].dets, center),
             "appear" => clutter_errors(&items[center].dets, center),
@@ -279,7 +280,7 @@ pub(crate) fn duplicate_errors(dets: &[Detection], frame: usize) -> Vec<FoundErr
                 .iter()
                 .filter(|o| o.track_id() == track)
                 .map(|o| o.scored.score)
-                .fold(0.0f64, f64::max);
+                .fold(0.0f64, omg_core::float::fmax);
             FoundError {
                 confidence: cluster_max,
                 frame,
@@ -307,6 +308,7 @@ fn flicker_miss_errors(items: &[VideoItem], center: usize) -> Vec<FoundError> {
         return Vec::new();
     }
     let detected_conf = |item_idx: usize, track: u64| -> Option<f64> {
+        // PANIC: called only with center±1, bounds-checked above.
         items[item_idx]
             .dets
             .iter()
@@ -316,6 +318,7 @@ fn flicker_miss_errors(items: &[VideoItem], center: usize) -> Vec<FoundError> {
             })
     };
     let mut errors = Vec::new();
+    // PANIC: center + 1 < items.len() was checked at entry.
     for signal in items[center].gt.signals.iter().filter(|s| !s.is_clutter()) {
         if detected_conf(center, signal.track_id).is_some() {
             continue;
@@ -594,5 +597,32 @@ mod tests {
         }
         let confs = all_confidences(&items);
         assert!(!confs.is_empty());
+    }
+
+    #[test]
+    fn duplicate_cluster_confidence_ignores_detection_order() {
+        use omg_eval::ScoredBox;
+        use omg_geom::BBox2D;
+        let bb = BBox2D::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        let dup = |score: f64| Detection {
+            scored: ScoredBox {
+                bbox: bb,
+                class: 0,
+                score,
+            },
+            provenance: Provenance::Duplicate {
+                track_id: 7,
+                true_class: 0,
+            },
+        };
+        let mut dets = vec![dup(0.3), dup(0.9), dup(0.6)];
+        let fwd = duplicate_errors(&dets, 4);
+        dets.reverse();
+        let rev = duplicate_errors(&dets, 4);
+        // One cluster; its confidence is the fmax fold over member
+        // scores, identical whichever way the detections are iterated.
+        assert_eq!(fwd.len(), 1);
+        assert_eq!(fwd[0].confidence, 0.9);
+        assert_eq!(fwd[0].confidence.to_bits(), rev[0].confidence.to_bits());
     }
 }

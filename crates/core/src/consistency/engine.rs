@@ -143,6 +143,8 @@ impl<P: ConsistencySpec> ConsistencyEngine<P> {
         for (id, positions) in occurrences {
             let mut per_key: PerKey = BTreeMap::new();
             for &(ti, oi) in positions {
+                // PANIC: occurrences was built by enumerating this same
+                // window, so (ti, oi) addresses an existing output.
                 let out = &window.outputs_at(ti)[oi];
                 for (key, value) in self.spec.attrs(out) {
                     per_key.entry(key).or_default().push(((ti, oi), value));
@@ -156,6 +158,7 @@ impl<P: ConsistencySpec> ConsistencyEngine<P> {
                 if counts.len() <= 1 {
                     continue;
                 }
+                // PANIC: counts.len() > 1 was checked just above.
                 let majority = counts
                     .iter()
                     .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(a.0)))
@@ -179,6 +182,7 @@ impl<P: ConsistencySpec> ConsistencyEngine<P> {
     /// Presence vector of one identifier across the window's invocations.
     pub(super) fn presence(window_len: usize, positions: &[(usize, usize)]) -> Vec<bool> {
         let mut present = vec![false; window_len];
+        // PANIC: positions index invocations of a window of window_len.
         for &(ti, _) in positions {
             present[ti] = true;
         }
@@ -191,6 +195,7 @@ impl<P: ConsistencySpec> ConsistencyEngine<P> {
         occurrences: &BTreeMap<P::Id, Vec<(usize, usize)>>,
         violations: &mut Vec<Violation<P::Id>>,
     ) {
+        // PANIC: check() only dispatches here when the threshold is set.
         let t_thresh = self.temporal_threshold.expect("checked by caller");
         for (id, positions) in occurrences {
             let present = Self::presence(window.len(), positions);
@@ -198,6 +203,7 @@ impl<P: ConsistencySpec> ConsistencyEngine<P> {
             // run, so "two transitions within T" is equivalent to "an
             // interior run shorter than T". The run's state tells flicker
             // gaps (absent) apart from spurious blips (present).
+            // PANIC: interior_runs returns positions inside `present`.
             for (start, end) in interior_runs(&present) {
                 let first = window.time(start);
                 let second = window.time(end + 1);
@@ -223,6 +229,7 @@ pub(super) fn interior_runs(xs: &[bool]) -> Vec<(usize, usize)> {
         return runs;
     }
     let mut start = 0;
+    // PANIC: xs[i] is guarded by the i == n short-circuit; start < n.
     for i in 1..=n {
         if i == n || xs[i] != xs[start] {
             if start > 0 && i < n {

@@ -53,6 +53,7 @@ impl<O> ConsistencyWindow<O> {
     ///
     /// Panics if `i` is out of range.
     pub fn time(&self, i: usize) -> f64 {
+        // PANIC: documented accessor contract — i < len().
         self.times[i]
     }
 
@@ -67,6 +68,7 @@ impl<O> ConsistencyWindow<O> {
     ///
     /// Panics if `i` is out of range.
     pub fn outputs_at(&self, i: usize) -> &[O] {
+        // PANIC: documented accessor contract — i < len().
         &self.outputs[i]
     }
 

@@ -73,6 +73,7 @@ impl AssertionDb {
             self.shards.resize_with(assertion.0 + 1, Vec::new);
             self.lifetime_fired.resize(assertion.0 + 1, 0);
         }
+        // PANIC: the resize above guarantees the slot exists.
         &mut self.shards[assertion.0]
     }
 
@@ -143,6 +144,8 @@ impl AssertionDb {
         if !values.is_empty() {
             self.shard_mut(AssertionId(values.len() - 1));
         }
+        // PANIC: shard_mut above grew both vectors to values.len(),
+        // and m < values.len().
         for (m, &v) in values.iter().enumerate() {
             let severity = Severity::new(v);
             self.shards[m].push((sample, severity));
@@ -325,11 +328,7 @@ impl AssertionDb {
     /// (ties broken by earlier sample).
     pub fn top_by_severity(&self, assertion: AssertionId, k: usize) -> Vec<(usize, Severity)> {
         let mut fired = self.fired_samples(assertion);
-        fired.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        fired.sort_by(|a, b| b.1.value().total_cmp(&a.1.value()).then(a.0.cmp(&b.0)));
         fired.truncate(k);
         fired
     }

@@ -1,0 +1,106 @@
+//! NaN-total float ordering helpers shared by every scoring path.
+//!
+//! The replication invariants (stream==batch, indexed==reference,
+//! service==sequential, all bit-for-bit) only hold if every float
+//! comparison in the workspace resolves the same way on every run and
+//! at every thread count. `PartialOrd` on floats cannot promise that:
+//! `partial_cmp` returns `None` for NaN (so `unwrap_or(Equal)` silently
+//! turns a poisoned score into an arbitrary tie-break), and
+//! `f64::max`/`f64::min` *drop* NaN operands, so a reduction's result
+//! depends on where in the fold the NaN appeared.
+//!
+//! These helpers build everything on [`f64::total_cmp`] (IEEE 754
+//! `totalOrder`): `-NaN < -inf < … < -0.0 < +0.0 < … < +inf < +NaN`.
+//! On NaN-free data they agree with the usual order (and [`fmax`] /
+//! [`fmin`] agree with `f64::max`/`f64::min`, except that they resolve
+//! the `±0.0` tie deterministically — `fmax` prefers `+0.0`, `fmin`
+//! prefers `-0.0` — where std may return either operand); with NaN
+//! present they stay deterministic instead of order-sensitive. The linter's
+//! `float-order-on-hot-path` rule (see `omg-lint --explain`) pins the
+//! hot path to these forms.
+
+use std::cmp::Ordering;
+
+/// The shared total order on `f64`: a plain re-export of
+/// [`f64::total_cmp`] in function form, so call sites can pass it by
+/// name (`sort_by(total_order)`).
+#[inline]
+#[must_use]
+pub fn total_order(a: &f64, b: &f64) -> Ordering {
+    a.total_cmp(b)
+}
+
+/// Total-order maximum: the greater operand under [`f64::total_cmp`].
+///
+/// Unlike `f64::max`, never drops a NaN (`+NaN` sorts above `+inf`),
+/// so folds are order-independent and a poisoned input stays visible
+/// in the output instead of vanishing on some thread interleavings.
+#[inline]
+#[must_use]
+pub fn fmax(a: f64, b: f64) -> f64 {
+    if a.total_cmp(&b) == Ordering::Less {
+        b
+    } else {
+        a
+    }
+}
+
+/// Total-order minimum: the lesser operand under [`f64::total_cmp`].
+#[inline]
+#[must_use]
+pub fn fmin(a: f64, b: f64) -> f64 {
+    if a.total_cmp(&b) == Ordering::Greater {
+        b
+    } else {
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agrees_with_std_on_nan_free_data() {
+        let xs = [-3.5, -0.0, 0.0, 1.25, 7e9, f64::INFINITY, f64::NEG_INFINITY];
+        for &a in &xs {
+            for &b in &xs {
+                if a == 0.0 && b == 0.0 {
+                    // std max/min may return either signed zero; the
+                    // total order resolves the tie deterministically:
+                    // fmax prefers +0.0, fmin prefers -0.0.
+                    let pos = 0.0f64.to_bits();
+                    let neg = (-0.0f64).to_bits();
+                    let has_pos = a.to_bits() == pos || b.to_bits() == pos;
+                    let has_neg = a.to_bits() == neg || b.to_bits() == neg;
+                    let expect_max = if has_pos { pos } else { neg };
+                    let expect_min = if has_neg { neg } else { pos };
+                    assert_eq!(fmax(a, b).to_bits(), expect_max, "fmax({a}, {b})");
+                    assert_eq!(fmin(a, b).to_bits(), expect_min, "fmin({a}, {b})");
+                } else {
+                    assert_eq!(fmax(a, b).to_bits(), a.max(b).to_bits(), "fmax({a}, {b})");
+                    assert_eq!(fmin(a, b).to_bits(), a.min(b).to_bits(), "fmin({a}, {b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_is_never_dropped_and_folds_are_order_independent() {
+        let xs = [1.0, f64::NAN, 3.0, 2.0];
+        let fwd = xs.iter().copied().fold(f64::NEG_INFINITY, fmax);
+        let rev = xs.iter().rev().copied().fold(f64::NEG_INFINITY, fmax);
+        assert_eq!(fwd.to_bits(), rev.to_bits());
+        assert!(fwd.is_nan(), "a poisoned score must stay visible");
+        // std's max is order-sensitive here — exactly the hazard:
+        assert_eq!(xs.iter().copied().fold(f64::NEG_INFINITY, f64::max), 3.0);
+    }
+
+    #[test]
+    fn total_order_is_total_on_nan() {
+        let mut v = [2.0, f64::NAN, -1.0, 0.5];
+        v.sort_by(total_order);
+        assert_eq!(&v[..3], &[-1.0, 0.5, 2.0]);
+        assert!(v[3].is_nan());
+    }
+}

@@ -82,6 +82,7 @@
 mod assertion;
 pub mod consistency;
 mod database;
+pub mod float;
 mod monitor;
 mod registry;
 pub mod runtime;

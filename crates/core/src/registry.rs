@@ -141,6 +141,7 @@ impl<S: 'static, P> AssertionSet<S, P> {
     ///
     /// Panics if `id` is not from this set.
     pub fn name(&self, id: AssertionId) -> &str {
+        // PANIC: documented contract — ids are minted by this set.
         self.entries[id.0].assertion.name()
     }
 

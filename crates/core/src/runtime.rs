@@ -325,6 +325,8 @@ impl ThreadPool {
         // frame must not die — by return *or* unwind — while the job
         // is published or a worker is inside it.
         let _frame = job_cell::frame_guard(task_ptr);
+        // PANIC: a poisoned pool lock means a worker already panicked;
+        // propagating beats running the handshake on corrupt state.
         {
             let mut st = self.shared.state.lock().expect("pool state poisoned");
             if st.job.is_some() {
@@ -349,12 +351,15 @@ impl ThreadPool {
         // workers may still be in the job — the frame canary must
         // report the drain violation as this frame unwinds.
         if mutation_enabled("rethrow-before-drain") {
+            // PANIC: poisoning here implies a panic already in flight.
             if let Some(payload) = task.panic.lock().expect("panic slot poisoned").take() {
                 std::panic::resume_unwind(payload);
             }
         }
         // Retract the job only after every joined worker has left it, so
         // no worker can observe `task` after this frame unwinds.
+        // PANIC: poisoned pool state means a worker panicked outside
+        // catch_unwind; the pool invariants are gone, so propagate.
         {
             let mut st = self.shared.state.lock().expect("pool state poisoned");
             while st.in_flight > 0 {
@@ -364,11 +369,14 @@ impl ThreadPool {
                 if mutation_enabled("skip-drain-wait") {
                     break;
                 }
+                // PANIC: condvar wait re-acquires the poisoned lock.
                 st = self.shared.done.wait(st).expect("pool state poisoned");
             }
             st.job = None;
             job_cell::retract(task_ptr);
         }
+        // PANIC: both slots are poisoned only if a thread panicked while
+        // holding them, and this path's job is to re-throw that panic.
         if let Some(payload) = task.panic.lock().expect("panic slot poisoned").take() {
             std::panic::resume_unwind(payload);
         }
@@ -460,6 +468,8 @@ where
         }
         let end = (start + task.chunk).min(task.n);
         let f = task.f;
+        // PANIC: results-lock poisoning implies another worker panicked
+        // holding it; the job is already doomed, so propagate.
         match std::panic::catch_unwind(AssertUnwindSafe(|| (start..end).map(f).collect::<Vec<T>>()))
         {
             Ok(items) => task
@@ -470,6 +480,7 @@ where
             Err(payload) => {
                 // Relaxed: see the abort load above — advisory only.
                 // (Audited: see omg-lint's relaxed-orderings ledger.)
+                // PANIC: same poisoning argument for the panic slot.
                 task.abort.store(true, Ordering::Relaxed);
                 let mut slot = task.panic.lock().expect("panic slot poisoned");
                 if slot.is_none() {
@@ -488,6 +499,8 @@ fn worker_loop(shared: &Shared) {
     let mut seen = 0u64;
     loop {
         let job = {
+            // PANIC: poisoned pool state means another thread panicked
+            // mid-handshake; a worker cannot recover it, so propagate.
             let mut st = shared.state.lock().expect("pool state poisoned");
             loop {
                 if st.shutdown {
@@ -503,6 +516,7 @@ fn worker_loop(shared: &Shared) {
                     }
                     // The job was already retracted; nothing to do.
                 }
+                // PANIC: condvar wait re-acquires the poisoned lock.
                 st = shared.start.wait(st).expect("pool state poisoned");
             }
         };
@@ -512,6 +526,7 @@ fn worker_loop(shared: &Shared) {
         unsafe {
             (job.run)(job.data)
         };
+        // PANIC: same poisoning argument when leaving the job.
         let mut st = shared.state.lock().expect("pool state poisoned");
         st.in_flight -= 1;
         // Mutation skip-done-notify: leave without waking the draining

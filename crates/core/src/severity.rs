@@ -178,6 +178,7 @@ impl SeverityMatrix {
     /// Panics if `i` is out of range.
     pub fn row(&self, i: usize) -> &[f64] {
         assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
+        // PANIC: i + 1 <= rows, so the slice stays inside values.
         &self.values[i * self.width..(i + 1) * self.width]
     }
 

@@ -361,6 +361,8 @@ impl<T> SlidingWindows<T> {
     /// Borrows the window a span describes from the mirror buffer.
     fn window(&self, span: WindowSpan) -> Window<'_, T> {
         debug_assert!(span.start >= self.base, "window start was compacted away");
+        // PANIC: the slider compacts only positions no emitted span can
+        // still reference, so span bounds stay inside the mirror buffer.
         Window {
             items: &self.buf[span.start - self.base..span.end - self.base],
             center: span.center(),
@@ -436,6 +438,7 @@ impl<T> TailWindows<T> {
     #[allow(clippy::should_implement_trait)] // lending: Item borrows self
     pub fn next(&mut self) -> Option<Window<'_, T>> {
         let span = self.tail.next()?;
+        // PANIC: same compaction invariant as Slider::window.
         Some(Window {
             items: &self.buf[span.start - self.base..span.end - self.base],
             center: span.center(),
@@ -739,6 +742,8 @@ where
                 assert!(scorer.flush_skipped(), "chunk must emit one row per center");
                 skipped += 1;
             } else {
+                // PANIC: the loop bound is the accepted-center count,
+                // and flush yields exactly one row per accepted center.
                 let u = scorer.flush().expect("chunk must emit one row per center");
                 matrix.push_row(scorer.row());
                 unc.push(u);

@@ -43,6 +43,8 @@ pub mod thread {
     where
         F: FnOnce() + Send + 'static,
     {
+        // PANIC: OS thread-spawn failure at pool startup is fatal by
+        // design — there is no degraded mode without workers.
         std::thread::Builder::new()
             .name(name)
             .spawn(f)

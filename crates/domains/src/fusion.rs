@@ -64,6 +64,7 @@ impl FusionWindow {
     pub fn new(frames: Vec<FusionFrame>, center: usize) -> Self {
         assert!(!frames.is_empty(), "window needs at least one frame");
         assert!(center < frames.len(), "center out of range");
+        // PANIC: windows(2) yields exactly-two-element slices.
         for w in frames.windows(2) {
             assert!(
                 w[1].time > w[0].time,
@@ -75,6 +76,7 @@ impl FusionWindow {
 
     /// The frame the window is centered on.
     pub fn center_frame(&self) -> &FusionFrame {
+        // PANIC: center < frames.len() was asserted in new().
         &self.frames[self.center]
     }
 }

@@ -61,7 +61,7 @@ fn signal_near<'a>(signals: &'a [ObjectSignal], bbox: &BBox2D) -> Option<&'a Obj
         .iter()
         .map(|s| (s, s.bbox.iou(bbox)))
         .filter(|&(_, iou)| iou >= 0.1)
-        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
         .map(|(s, _)| s)
 }
 
@@ -369,5 +369,21 @@ mod tests {
         half.push(0.0, vec![tb(0.0)]);
         half.push(1.0, vec![]);
         assert!(interpolate_track_box(&half, &1, 1).is_none());
+    }
+
+    #[test]
+    fn signal_near_breaks_equal_overlap_ties_by_last_candidate() {
+        let bbox = omg_geom::BBox2D::new(0.0, 0.0, 10.0, 10.0).unwrap();
+        let sig = |id: u64| ObjectSignal {
+            track_id: id,
+            true_class: 0,
+            bbox,
+            appearance: vec![],
+            quality: 1.0,
+        };
+        // Equal IoU: `max_by` keeps the last maximal candidate, so the
+        // winner is a function of input order alone, never float noise.
+        assert_eq!(signal_near(&[sig(1), sig(2)], &bbox).unwrap().track_id, 2);
+        assert_eq!(signal_near(&[sig(2), sig(1)], &bbox).unwrap().track_id, 1);
     }
 }

@@ -50,6 +50,7 @@ impl VideoWindow {
     pub fn new(frames: Vec<VideoFrame>, center: usize) -> Self {
         assert!(!frames.is_empty(), "window needs at least one frame");
         assert!(center < frames.len(), "center out of range");
+        // PANIC: windows(2) yields exactly-two-element slices.
         for w in frames.windows(2) {
             assert!(
                 w[1].time > w[0].time,
@@ -61,6 +62,7 @@ impl VideoWindow {
 
     /// The frame the window is centered on.
     pub fn center_frame(&self) -> &VideoFrame {
+        // PANIC: center < frames.len() was asserted in new().
         &self.frames[self.center]
     }
 
@@ -98,6 +100,7 @@ impl EcgWindow {
         assert_eq!(times.len(), preds.len(), "times/preds length mismatch");
         assert!(!times.is_empty(), "window needs at least one prediction");
         assert!(center < times.len(), "center out of range");
+        // PANIC: windows(2) yields exactly-two-element slices.
         for w in times.windows(2) {
             assert!(w[1] > w[0], "timestamps must be strictly increasing");
         }

@@ -30,7 +30,7 @@ pub fn average_precision(records: &[(f64, bool)], n_gt: usize) -> f64 {
 /// just its area (C-INTERMEDIATE).
 pub fn pr_curve(records: &[(f64, bool)], n_gt: usize) -> Vec<PrPoint> {
     let mut sorted: Vec<(f64, bool)> = records.to_vec();
-    sorted.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut out = Vec::with_capacity(sorted.len());
@@ -56,6 +56,7 @@ fn area_under_envelope(curve: &[PrPoint]) -> f64 {
     }
     // Envelope: precision at recall r is max precision at recall >= r.
     let mut env: Vec<PrPoint> = curve.to_vec();
+    // PANIC: i + 1 <= len - 1 by the saturating_sub'd range bound.
     for i in (0..env.len().saturating_sub(1)).rev() {
         env[i].precision = env[i].precision.max(env[i + 1].precision);
     }
@@ -142,5 +143,17 @@ mod tests {
         let recs = vec![(0.9, true), (0.5, false), (0.4, true), (0.2, false)];
         let ap = average_precision(&recs, 4);
         assert!((0.0..=1.0).contains(&ap));
+    }
+
+    #[test]
+    fn nan_scores_sort_first_and_never_panic() {
+        let recs = [(f64::NAN, false), (0.5, true)];
+        let fwd = pr_curve(&recs, 1);
+        let rev = pr_curve(&[recs[1], recs[0]], 1);
+        // +NaN is the greatest confidence under the total order, so the
+        // poisoned record leads the curve in either input order.
+        assert_eq!(fwd, rev);
+        assert_eq!(fwd[0].precision, 0.0);
+        assert_eq!(fwd[1].recall, 1.0);
     }
 }

@@ -66,6 +66,7 @@ impl ConfusionMatrix {
     /// Panics if either index is out of range.
     pub fn record(&mut self, actual: usize, predicted: usize) {
         assert!(actual < self.n && predicted < self.n, "class out of range");
+        // PANIC: in bounds by the assert; counts holds n * n.
         self.counts[actual * self.n + predicted] += 1;
     }
 
@@ -84,6 +85,7 @@ impl ConfusionMatrix {
 
     /// Count of observations with the given actual and predicted classes.
     pub fn count(&self, actual: usize, predicted: usize) -> u64 {
+        // PANIC: documented accessor contract — classes < n.
         self.counts[actual * self.n + predicted]
     }
 

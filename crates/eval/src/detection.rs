@@ -61,13 +61,7 @@ pub struct FrameMatch {
 /// of PASCAL-VOC/COCO-style evaluation.
 pub fn match_frame(dets: &[ScoredBox], gts: &[GtBox], iou_threshold: f64) -> FrameMatch {
     let mut order: Vec<usize> = (0..dets.len()).collect();
-    order.sort_by(|&a, &b| {
-        dets[b]
-            .score
-            .partial_cmp(&dets[a].score)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| dets[b].score.total_cmp(&dets[a].score).then(a.cmp(&b)));
     let mut gt_taken = vec![false; gts.len()];
     let mut outcomes = vec![MatchOutcome::FalsePositive; dets.len()];
     for &di in &order {
@@ -326,5 +320,18 @@ mod tests {
             noisy.add_frame(&[d, det(x, 100.0, 10.0, 0, 0.95)], &[g]);
         }
         assert!(noisy.map() < clean.map());
+    }
+
+    #[test]
+    fn equal_score_detections_match_in_index_order() {
+        let m = match_frame(
+            &[det(0.0, 0.0, 10.0, 0, 0.7), det(0.0, 0.0, 10.0, 0, 0.7)],
+            &[gt(0.0, 0.0, 10.0, 0)],
+            0.5,
+        );
+        // Tied confidences visit earlier detections first, so detection
+        // 0 always claims the box and detection 1 is the duplicate.
+        assert_eq!(m.outcomes[0], MatchOutcome::TruePositive { gt_index: 0 });
+        assert_eq!(m.outcomes[1], MatchOutcome::FalsePositive);
     }
 }

@@ -47,7 +47,7 @@ pub fn quantile(xs: &[f64], q: f64) -> f64 {
     assert!(!xs.is_empty(), "quantile of empty slice");
     assert!((0.0..=1.0).contains(&q), "quantile level must be in [0,1]");
     let mut sorted: Vec<f64> = xs.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    sorted.sort_by(omg_core::float::total_order);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
     let hi = pos.ceil() as usize;
@@ -221,5 +221,18 @@ mod tests {
         let a = bootstrap_mean_ci(&xs, 100, 0.1, 0.9, 5);
         let b = bootstrap_mean_ci(&xs, 100, 0.1, 0.9, 5);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantile_is_deterministic_with_nan_present() {
+        let xs = [2.0, f64::NAN, 1.0];
+        let ys = [f64::NAN, 1.0, 2.0];
+        // NaN sorts above every real under the total order: lower
+        // quantiles stay NaN-free and identical for any input order,
+        // and the poison surfaces only at the top.
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 0.5), 2.0);
+        assert_eq!(quantile(&ys, 0.5), 2.0);
+        assert!(quantile(&ys, 1.0).is_nan());
     }
 }

@@ -139,10 +139,10 @@ impl BBox3D {
             let xs = cs.iter().map(|c| c.x);
             let ys = cs.iter().map(|c| c.y);
             (
-                xs.clone().fold(f64::INFINITY, f64::min),
-                ys.clone().fold(f64::INFINITY, f64::min),
-                xs.fold(f64::NEG_INFINITY, f64::max),
-                ys.fold(f64::NEG_INFINITY, f64::max),
+                xs.clone().fold(f64::INFINITY, omg_core::float::fmin),
+                ys.clone().fold(f64::INFINITY, omg_core::float::fmin),
+                xs.fold(f64::NEG_INFINITY, omg_core::float::fmax),
+                ys.fold(f64::NEG_INFINITY, omg_core::float::fmax),
             )
         };
         let (ax1, ay1, ax2, ay2) = fp(self);
@@ -179,6 +179,7 @@ impl BBox3D {
             x2 = x2.max(c.x);
             y2 = y2.max(c.y);
         }
+        // PANIC: min/max over the eight finite corners are ordered.
         BBox2D::new(x1, y1, x2, y2).expect("corner extrema are finite and ordered")
     }
 }
@@ -359,5 +360,16 @@ mod tests {
         let a = boxed(0.0, 0.0, 1.0, 1.0);
         let b = boxed(3.0, 4.0, 1.0, 1.0);
         assert_eq!(a.center_distance(&b), 5.0);
+    }
+
+    #[test]
+    fn yawed_footprint_iou_is_symmetric_to_the_bit() {
+        let a = BBox3D::new(Vec3::new(0.0, 0.0, 1.0), Vec3::new(4.0, 2.0, 2.0), 0.7).unwrap();
+        let b = BBox3D::new(Vec3::new(1.0, 0.5, 1.0), Vec3::new(3.0, 2.0, 2.0), -0.4).unwrap();
+        let ab = a.iou_bev_aabb(&b);
+        assert!(ab > 0.0 && ab < 1.0, "boxes overlap partially: {ab}");
+        // The corner folds are total-order reductions, so operand order
+        // cannot perturb the footprint bounds even in the last bit.
+        assert_eq!(ab.to_bits(), b.iou_bev_aabb(&a).to_bits());
     }
 }

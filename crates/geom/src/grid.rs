@@ -131,6 +131,7 @@ impl GridIndex2D {
     /// without letting one outlier box dictate the resolution.
     pub fn build(boxes: &[BBox2D]) -> Self {
         let Some(first) = boxes.first() else {
+            // PANIC: constant unit box; the constructor cannot reject it.
             return Self::new(
                 BBox2D::new(0.0, 0.0, 1.0, 1.0).expect("unit bounds are valid"),
                 1.0,
@@ -142,6 +143,8 @@ impl GridIndex2D {
             .fold(*first, |acc, b| acc.union_bounds(b));
         let mut extents: Vec<f64> = boxes.iter().map(|b| b.width().max(b.height())).collect();
         extents.sort_by(f64::total_cmp);
+        // PANIC: boxes (hence extents) is non-empty here — the empty
+        // case returned above — so len/2 < len.
         let median = extents[extents.len() / 2];
         // Degenerate inputs (all zero-area boxes) fall back to carving
         // the bounds into ~sqrt(n) cells per axis.
@@ -193,6 +196,7 @@ impl GridIndex2D {
     ///
     /// Panics if `id` is out of range.
     pub fn get(&self, id: usize) -> &BBox2D {
+        // PANIC: documented contract — callers pass insertion ids.
         &self.boxes[id]
     }
 
@@ -221,6 +225,8 @@ impl GridIndex2D {
         let id = self.boxes.len() as u32;
         self.boxes.push(bbox);
         let (cx1, cy1, cx2, cy2) = self.cell_range(&bbox);
+        // PANIC: cell_range clamps to cx < nx, cy < ny, and cells has
+        // nx * ny slots.
         for cy in cy1..=cy2 {
             for cx in cx1..=cx2 {
                 self.cells[cy * self.nx + cx].push(id);
@@ -240,6 +246,8 @@ impl GridIndex2D {
         // insertion order), so a single-cell query is already sorted and
         // duplicate-free — the common case for queries no larger than a
         // cell, worth skipping the sort for.
+        // PANIC: cell_range clamps to the grid dims, and bucket ids are
+        // indices of `boxes` by construction (filed in insert/build).
         if cx1 == cx2 && cy1 == cy2 {
             for &id in &self.cells[cy1 * self.nx + cx1] {
                 if self.boxes[id as usize].intersects(query) {
@@ -248,6 +256,7 @@ impl GridIndex2D {
             }
             return;
         }
+        // PANIC: same clamped-range / filed-id argument.
         for cy in cy1..=cy2 {
             for cx in cx1..=cx2 {
                 for &id in &self.cells[cy * self.nx + cx] {

@@ -131,6 +131,9 @@ pub fn nms_indices(boxes: &[BBox2D], scores: &[f64], iou_threshold: f64) -> Vec<
     let mut kept_flag = vec![false; boxes.len()];
     let mut kept: Vec<usize> = Vec::new();
     let mut cands: Vec<usize> = Vec::new();
+    // PANIC: every subscript below is an index from score_order (a
+    // permutation of 0..len) or from GridIndex2D built over these same
+    // boxes, so it is structurally in bounds.
     for i in reference::score_order(scores) {
         grid.candidates_overlapping(&boxes[i], &mut cands);
         let suppressed = cands
@@ -175,6 +178,9 @@ pub fn nms_indices_per_class(
     let mut kept_flag = vec![false; boxes.len()];
     let mut kept: Vec<usize> = Vec::new();
     let mut cands: Vec<usize> = Vec::new();
+    // PANIC: indices come from score_order (permutation of 0..len) and
+    // GridIndex2D over these boxes; `classes` length is asserted equal
+    // above, so all subscripts are in bounds.
     for i in reference::score_order(scores) {
         grid.candidates_overlapping(&boxes[i], &mut cands);
         let suppressed = cands.iter().any(|&k| {
@@ -210,6 +216,7 @@ pub fn iou_pairs(
     for (ai, a) in anchors.iter().enumerate() {
         grid.candidates_overlapping(a, &mut cands);
         for &qi in &cands {
+            // PANIC: qi comes from GridIndex2D built over `queries`.
             let iou = a.iou(&queries[qi]);
             if iou >= iou_threshold {
                 pairs.push((iou, ai, qi));
@@ -242,6 +249,8 @@ pub fn overlap_triples(boxes: &[BBox2D], classes: &[usize], iou_threshold: f64) 
     let mut triples = 0;
     let mut cands: Vec<usize> = Vec::new();
     let mut nbrs: Vec<usize> = Vec::new();
+    // PANIC: i ranges over 0..boxes.len(), j comes from GridIndex2D
+    // over these boxes, and `classes` length is asserted equal above.
     for i in 0..boxes.len() {
         grid.candidates_overlapping(&boxes[i], &mut cands);
         // Neighbors of i with a larger index: each triple is counted
@@ -252,6 +261,8 @@ pub fn overlap_triples(boxes: &[BBox2D], classes: &[usize], iou_threshold: f64) 
                 nbrs.push(j);
             }
         }
+        // PANIC: nbrs holds grid indices; a < nbrs.len() so the range
+        // slice and the j/k subscripts are in bounds.
         for (a, &j) in nbrs.iter().enumerate() {
             for &k in &nbrs[a + 1..] {
                 if boxes[j].iou(&boxes[k]) >= iou_threshold {
@@ -278,6 +289,7 @@ pub fn count_unmatched(queries: &[BBox2D], targets: &[BBox2D], iou_threshold: f6
     let mut unmatched = 0;
     for q in queries {
         grid.candidates_overlapping(q, &mut cands);
+        // PANIC: t comes from GridIndex2D built over `targets`.
         if cands.iter().all(|&t| q.iou(&targets[t]) < iou_threshold) {
             unmatched += 1;
         }

@@ -30,6 +30,7 @@ use crate::BBox2D;
 /// is what makes their outputs comparable bit for bit.
 pub fn score_order(scores: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
+    // PANIC: a and b are drawn from 0..scores.len() just above.
     order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     order
 }
@@ -49,6 +50,8 @@ pub fn nms_indices(boxes: &[BBox2D], scores: &[f64], iou_threshold: f64) -> Vec<
         "boxes and scores must be the same length"
     );
     let mut kept: Vec<usize> = Vec::new();
+    // PANIC: i and k come from score_order, a permutation of 0..len;
+    // boxes/scores lengths are asserted equal above.
     for i in score_order(scores) {
         let suppressed = kept
             .iter()
@@ -83,6 +86,8 @@ pub fn nms_indices_per_class(
         "boxes and classes must be the same length"
     );
     let mut kept: Vec<usize> = Vec::new();
+    // PANIC: i and k come from score_order, a permutation of 0..len;
+    // boxes/scores/classes lengths are asserted equal above.
     for i in score_order(scores) {
         let suppressed = kept
             .iter()
@@ -132,11 +137,14 @@ pub fn overlap_triples(boxes: &[BBox2D], classes: &[usize], iou_threshold: f64) 
     );
     let n = boxes.len();
     let mut triples = 0;
+    // PANIC: i, j, k all range inside 0..n = boxes.len(), and the
+    // classes length is asserted equal above.
     for i in 0..n {
         for j in (i + 1)..n {
             if classes[i] != classes[j] || boxes[i].iou(&boxes[j]) < iou_threshold {
                 continue;
             }
+            // PANIC: k < n = boxes.len() = classes.len().
             for k in (j + 1)..n {
                 if classes[k] == classes[i]
                     && boxes[i].iou(&boxes[k]) >= iou_threshold

@@ -93,6 +93,7 @@ impl Matrix {
     /// Panics on out-of-range indices.
     pub fn get(&self, r: usize, c: usize) -> f64 {
         assert!(r < self.rows && c < self.cols, "index out of range");
+        // PANIC: in bounds by the assert; data holds rows * cols.
         self.data[r * self.cols + c]
     }
 
@@ -109,6 +110,7 @@ impl Matrix {
     /// Borrow of row `r` as a slice.
     pub fn row(&self, r: usize) -> &[f64] {
         assert!(r < self.rows);
+        // PANIC: r + 1 <= rows, so the slice stays inside data.
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 

@@ -99,7 +99,7 @@ impl SoftmaxRegression {
         let p = self.predict_proba(x);
         p.iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -275,5 +275,19 @@ mod tests {
     #[should_panic(expected = "at least two classes")]
     fn single_class_rejected() {
         SoftmaxRegression::new(1, 1, 0.1);
+    }
+
+    #[test]
+    fn predict_resolves_probability_ties_deterministically() {
+        let m = SoftmaxRegression::new(3, 4, 0.1);
+        // Untrained logits are all zero — a 4-way tie. `max_by` under
+        // the total order keeps the last maximal class; pin it so a
+        // refactor to an order-sensitive rule fails here.
+        assert_eq!(m.predict(&[1.0, -1.0, 0.5]), 3);
+        // A poisoned feature poisons every probability identically, and
+        // the all-NaN tie resolves the same way instead of panicking.
+        let x = [f64::NAN, 0.0, 0.0];
+        assert!(m.predict_proba(&x).iter().all(|v| v.is_nan()));
+        assert_eq!(m.predict(&x), 3);
     }
 }

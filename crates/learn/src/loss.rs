@@ -18,7 +18,10 @@ pub fn softmax(logits: &[f64]) -> Vec<f64> {
 /// Panics if `values` is empty.
 pub fn softmax_in_place(values: &mut [f64]) {
     assert!(!values.is_empty(), "softmax of empty slice");
-    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let max = values
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, omg_core::float::fmax);
     let mut sum = 0.0;
     for v in values.iter_mut() {
         *v = (*v - max).exp();
@@ -99,5 +102,17 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn cross_entropy_bad_target() {
         cross_entropy(&[0.5, 0.5], 2);
+    }
+
+    #[test]
+    fn softmax_keeps_nan_visible_in_any_order() {
+        let mut a = [0.0, f64::NAN];
+        let mut b = [f64::NAN, 0.0];
+        softmax_in_place(&mut a);
+        softmax_in_place(&mut b);
+        // The fmax reduction never drops the NaN operand, so a poisoned
+        // logit poisons the distribution instead of passing as a
+        // confident class — regardless of where in the slice it sits.
+        assert!(a.iter().chain(&b).all(|v| v.is_nan()));
     }
 }

@@ -141,7 +141,7 @@ impl Mlp {
         let p = self.predict_proba(x);
         p.iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .unwrap_or(0)
     }
@@ -402,5 +402,25 @@ mod tests {
             },
             &mut rng,
         );
+    }
+
+    #[test]
+    fn predict_stays_total_when_probabilities_poison() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new(
+            MlpConfig {
+                input_dim: 3,
+                hidden: vec![],
+                classes: 3,
+                lr: 0.1,
+            },
+            &mut rng,
+        );
+        let x = [f64::NAN, 0.0, 1.0];
+        // A NaN feature must poison the whole distribution (fmax in the
+        // softmax never drops it) and argmax must stay total: same
+        // class on every call, no panic.
+        assert!(m.predict_proba(&x).iter().all(|v| v.is_nan()));
+        assert_eq!(m.predict(&x), m.predict(&x));
     }
 }

@@ -16,7 +16,10 @@
 /// Panics if `probs` is empty.
 pub fn least_confidence(probs: &[f64]) -> f64 {
     assert!(!probs.is_empty(), "empty probability vector");
-    1.0 - probs.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+    1.0 - probs
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, omg_core::float::fmax)
 }
 
 /// Margin uncertainty: `1 - (p(best) - p(second best))`.
@@ -105,5 +108,13 @@ mod tests {
     #[should_panic(expected = "two classes")]
     fn margin_single_class_panics() {
         margin(&[1.0]);
+    }
+
+    #[test]
+    fn least_confidence_surfaces_nan_in_any_position() {
+        // f64::max would drop the NaN (answer 0.1); fmax keeps it
+        // visible wherever it appears in the fold.
+        assert!(least_confidence(&[0.4, f64::NAN, 0.9]).is_nan());
+        assert!(least_confidence(&[f64::NAN, 0.9, 0.4]).is_nan());
     }
 }

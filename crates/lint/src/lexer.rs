@@ -1,0 +1,559 @@
+//! A single-pass Rust token lexer.
+//!
+//! This replaces the PR-8 "strip comments and strings, then substring
+//! match" scanner. Working on spanned tokens instead of stripped text
+//! kills two whole failure classes at once:
+//!
+//! * **word-boundary false positives** — `unsafe_code` can never match
+//!   a rule looking for the `unsafe` token, because identifiers are
+//!   single tokens;
+//! * **literal blind spots** — raw strings (`r#"…"#`), nested block
+//!   comments, and byte/char literals containing `//` or `"` are lexed
+//!   as single tokens, so they can neither *mask* the rest of a file
+//!   (the old stripper treated `b'"'` as opening a string) nor *fake* a
+//!   violation from prose.
+//!
+//! The lexer is deliberately small: it recognizes exactly the token
+//! shapes the rules and the call-graph extractor need (identifiers,
+//! lifetimes, the literal family, comments, and a handful of multi-byte
+//! operators). It does not validate Rust — on garbage input it still
+//! produces *some* token stream and never panics, which is all a linter
+//! needs.
+
+/// What kind of token a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifiers *and* keywords (`unwrap`, `fn`, `r#match`).
+    Ident,
+    /// `'a`, `'static`, `'_` — the quote plus the name.
+    Lifetime,
+    /// Integer literal (`42`, `0xff_u32`).
+    Int,
+    /// Float literal (`1.0`, `1e-9`, `2f64`).
+    Float,
+    /// `"…"` and `c"…"` string literals.
+    Str,
+    /// `r"…"` / `r#"…"#` raw strings (any hash depth).
+    RawStr,
+    /// `b"…"` / `br#"…"#` byte strings.
+    ByteStr,
+    /// `'x'`, `'\n'`, `'\u{1F600}'` char literals.
+    Char,
+    /// `b'x'` byte literals.
+    Byte,
+    /// Operators and punctuation; a small set is lexed multi-byte
+    /// (`::`, `->`, `==`, `..`, …) so the rules can match sequences.
+    Punct,
+    /// `// …` line comments (incl. docs) and nested `/* … */` blocks.
+    Comment,
+}
+
+/// One spanned token: byte range into the source plus the 1-based line
+/// the token starts on.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text, borrowed from the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Multi-byte operators, longest first so maximal munch is a linear
+/// scan. `<<`/`>>` are deliberately absent: keeping every angle bracket
+/// a single token makes generic-depth tracking in the item extractor
+/// trivial, and no rule needs shift operators.
+const PUNCTS: &[&str] = &[
+    "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "..", "+=", "-=", "*=",
+    "/=", "%=", "^=", "&=", "|=",
+];
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    i: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl<'a> Lexer<'a> {
+    fn at(&self, k: usize) -> u8 {
+        *self.src.get(self.i + k).unwrap_or(&0)
+    }
+
+    fn bump_lines(&mut self, from: usize, to: usize) {
+        self.line += self.src[from..to.min(self.src.len())]
+            .iter()
+            .filter(|&&b| b == b'\n')
+            .count() as u32;
+    }
+
+    fn push(&mut self, kind: TokKind, start: usize, end: usize, line: u32) {
+        self.toks.push(Tok {
+            kind,
+            start,
+            end,
+            line,
+        });
+    }
+
+    /// Consumes `"…"` starting at the opening quote; returns the index
+    /// just past the closing quote (or EOF).
+    fn quoted(&self, mut j: usize) -> usize {
+        debug_assert_eq!(self.src[j], b'"');
+        j += 1;
+        while j < self.src.len() {
+            match self.src[j] {
+                b'\\' => j += 2,
+                b'"' => return j + 1,
+                _ => j += 1,
+            }
+        }
+        j
+    }
+
+    /// Consumes `#…#"…"#…#` raw-string bodies: `j` points at the first
+    /// `#` or the `"`. Returns the index just past the closing quote and
+    /// hashes, or `None` if this is not a raw string opener after all.
+    fn raw_quoted(&self, mut j: usize) -> Option<usize> {
+        let mut hashes = 0usize;
+        while self.at(j - self.i) == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if self.at(j - self.i) != b'"' {
+            return None;
+        }
+        j += 1;
+        while j < self.src.len() {
+            if self.src[j] == b'"' {
+                let mut k = 0;
+                while k < hashes && *self.src.get(j + 1 + k).unwrap_or(&0) == b'#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return Some(j + 1 + hashes);
+                }
+            }
+            j += 1;
+        }
+        Some(j)
+    }
+
+    /// Consumes `'…'` char-literal bodies starting just past the opening
+    /// quote; returns the index past the closing quote.
+    fn char_body(&self, mut j: usize) -> usize {
+        if *self.src.get(j).unwrap_or(&0) == b'\\' {
+            j += 2; // the backslash and the escaped byte (or `u`)
+            while j < self.src.len() && self.src[j] != b'\'' {
+                j += 1;
+            }
+            return (j + 1).min(self.src.len());
+        }
+        // A plain char: one (possibly multi-byte) char then the quote.
+        j += 1;
+        while j < self.src.len() && self.src[j] >= 0x80 {
+            j += 1;
+        }
+        if j < self.src.len() && self.src[j] == b'\'' {
+            j + 1
+        } else {
+            j
+        }
+    }
+
+    fn number(&self, mut j: usize) -> (usize, bool) {
+        let mut float = false;
+        if self.src[j] == b'0' && matches!(*self.src.get(j + 1).unwrap_or(&0), b'x' | b'o' | b'b') {
+            j += 2;
+            while j < self.src.len() && (self.src[j].is_ascii_alphanumeric() || self.src[j] == b'_')
+            {
+                j += 1;
+            }
+            return (j, false);
+        }
+        while j < self.src.len() && (self.src[j].is_ascii_digit() || self.src[j] == b'_') {
+            j += 1;
+        }
+        // A decimal point only if followed by a digit (`1..n` stays a
+        // range, `1.max(2)` stays a method call).
+        if j + 1 < self.src.len() && self.src[j] == b'.' && self.src[j + 1].is_ascii_digit() {
+            float = true;
+            j += 1;
+            while j < self.src.len() && (self.src[j].is_ascii_digit() || self.src[j] == b'_') {
+                j += 1;
+            }
+        }
+        // Exponent.
+        if j < self.src.len() && matches!(self.src[j], b'e' | b'E') {
+            let mut k = j + 1;
+            if k < self.src.len() && matches!(self.src[k], b'+' | b'-') {
+                k += 1;
+            }
+            if k < self.src.len() && self.src[k].is_ascii_digit() {
+                float = true;
+                j = k;
+                while j < self.src.len() && (self.src[j].is_ascii_digit() || self.src[j] == b'_') {
+                    j += 1;
+                }
+            }
+        }
+        // Type suffix (`f64`, `u32`, …).
+        if j < self.src.len() && is_ident_start(self.src[j]) {
+            let suffix_start = j;
+            while j < self.src.len() && is_ident_continue(self.src[j]) {
+                j += 1;
+            }
+            if self.src[suffix_start] == b'f' {
+                float = true;
+            }
+        }
+        (j, float)
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while self.i < self.src.len() {
+            let start = self.i;
+            let line = self.line;
+            let b = self.src[self.i];
+
+            // Whitespace.
+            if b.is_ascii_whitespace() {
+                if b == b'\n' {
+                    self.line += 1;
+                }
+                self.i += 1;
+                continue;
+            }
+
+            // Comments.
+            if b == b'/' && self.at(1) == b'/' {
+                let mut j = self.i;
+                while j < self.src.len() && self.src[j] != b'\n' {
+                    j += 1;
+                }
+                self.push(TokKind::Comment, start, j, line);
+                self.i = j;
+                continue;
+            }
+            if b == b'/' && self.at(1) == b'*' {
+                let mut depth = 1usize;
+                let mut j = self.i + 2;
+                while j < self.src.len() && depth > 0 {
+                    if self.src[j] == b'/' && *self.src.get(j + 1).unwrap_or(&0) == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if self.src[j] == b'*' && *self.src.get(j + 1).unwrap_or(&0) == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                self.bump_lines(start, j);
+                self.push(TokKind::Comment, start, j, line);
+                self.i = j;
+                continue;
+            }
+
+            // Raw strings / raw identifiers: r"…", r#"…"#, r#ident.
+            if b == b'r' && matches!(self.at(1), b'"' | b'#') {
+                if let Some(end) = self.raw_quoted(self.i + 1) {
+                    self.bump_lines(start, end);
+                    self.push(TokKind::RawStr, start, end, line);
+                    self.i = end;
+                    continue;
+                }
+                if self.at(1) == b'#' && is_ident_start(self.at(2)) {
+                    let mut j = self.i + 2;
+                    while j < self.src.len() && is_ident_continue(self.src[j]) {
+                        j += 1;
+                    }
+                    self.push(TokKind::Ident, start, j, line);
+                    self.i = j;
+                    continue;
+                }
+            }
+
+            // Byte strings and byte literals: b"…", br#"…"#, b'x'.
+            if b == b'b' {
+                if self.at(1) == b'"' {
+                    let end = self.quoted(self.i + 1);
+                    self.bump_lines(start, end);
+                    self.push(TokKind::ByteStr, start, end, line);
+                    self.i = end;
+                    continue;
+                }
+                if self.at(1) == b'r' && matches!(self.at(2), b'"' | b'#') {
+                    if let Some(end) = self.raw_quoted(self.i + 2) {
+                        self.bump_lines(start, end);
+                        self.push(TokKind::ByteStr, start, end, line);
+                        self.i = end;
+                        continue;
+                    }
+                }
+                if self.at(1) == b'\'' {
+                    let end = self.char_body(self.i + 2);
+                    self.push(TokKind::Byte, start, end, line);
+                    self.i = end;
+                    continue;
+                }
+            }
+
+            // C strings: c"…", cr#"…"#.
+            if b == b'c' {
+                if self.at(1) == b'"' {
+                    let end = self.quoted(self.i + 1);
+                    self.bump_lines(start, end);
+                    self.push(TokKind::Str, start, end, line);
+                    self.i = end;
+                    continue;
+                }
+                if self.at(1) == b'r' && matches!(self.at(2), b'"' | b'#') {
+                    if let Some(end) = self.raw_quoted(self.i + 2) {
+                        self.bump_lines(start, end);
+                        self.push(TokKind::RawStr, start, end, line);
+                        self.i = end;
+                        continue;
+                    }
+                }
+            }
+
+            // Plain strings.
+            if b == b'"' {
+                let end = self.quoted(self.i);
+                self.bump_lines(start, end);
+                self.push(TokKind::Str, start, end, line);
+                self.i = end;
+                continue;
+            }
+
+            // Char literal vs lifetime.
+            if b == b'\'' {
+                let n1 = self.at(1);
+                if n1 == b'\\' {
+                    let end = self.char_body(self.i + 1);
+                    self.push(TokKind::Char, start, end, line);
+                    self.i = end;
+                    continue;
+                }
+                // `'x'` (any single char, incl. one that could start a
+                // lifetime: `'a'` is a char, `'a ` is a lifetime).
+                if n1 != 0 && n1 != b'\'' {
+                    let end = self.char_body(self.i + 1);
+                    if end > self.i + 2
+                        && self.src[end - 1] == b'\''
+                        && end == self.i + n_len(n1) + 2
+                    {
+                        self.push(TokKind::Char, start, end, line);
+                        self.i = end;
+                        continue;
+                    }
+                }
+                if is_ident_start(n1) {
+                    let mut j = self.i + 1;
+                    while j < self.src.len() && is_ident_continue(self.src[j]) {
+                        j += 1;
+                    }
+                    self.push(TokKind::Lifetime, start, j, line);
+                    self.i = j;
+                    continue;
+                }
+                self.push(TokKind::Punct, start, self.i + 1, line);
+                self.i += 1;
+                continue;
+            }
+
+            // Identifiers / keywords.
+            if is_ident_start(b) {
+                let mut j = self.i + 1;
+                while j < self.src.len() && is_ident_continue(self.src[j]) {
+                    j += 1;
+                }
+                self.push(TokKind::Ident, start, j, line);
+                self.i = j;
+                continue;
+            }
+
+            // Numbers.
+            if b.is_ascii_digit() {
+                let (end, float) = self.number(self.i);
+                self.push(
+                    if float { TokKind::Float } else { TokKind::Int },
+                    start,
+                    end,
+                    line,
+                );
+                self.i = end;
+                continue;
+            }
+
+            // Multi-byte operators, then single punctuation.
+            let rest = &self.src[self.i..];
+            if let Some(p) = PUNCTS.iter().find(|p| rest.starts_with(p.as_bytes())) {
+                self.push(TokKind::Punct, start, start + p.len(), line);
+                self.i += p.len();
+                continue;
+            }
+            self.push(TokKind::Punct, start, self.i + 1, line);
+            self.i += 1;
+        }
+        self.toks
+    }
+}
+
+/// Byte length of the char starting with byte `b` (for `'…'`
+/// disambiguation — multi-byte UTF-8 chars in char literals).
+fn n_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+/// Lexes `src` into spanned tokens (comments included as
+/// [`TokKind::Comment`] tokens; whitespace dropped). Never panics.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        src: src.as_bytes(),
+        i: 0,
+        line: 1,
+        toks: Vec::new(),
+    }
+    .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds_and_text(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_keywords_and_puncts() {
+        let got = kinds_and_text("fn foo_1(x: &u8) -> u8 { *x }");
+        assert_eq!(got[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(got[1], (TokKind::Ident, "foo_1".into()));
+        assert!(got.contains(&(TokKind::Punct, "->".into())));
+    }
+
+    #[test]
+    fn raw_strings_are_single_tokens_any_hash_depth() {
+        for src in [
+            "r\"unsafe { }\"",
+            "r#\"a \" b // unsafe\"#",
+            "r##\"nested \"# still inside\"##",
+        ] {
+            let toks = lex(src);
+            assert_eq!(toks.len(), 1, "{src}");
+            assert_eq!(toks[0].kind, TokKind::RawStr);
+            assert_eq!(toks[0].end, src.len());
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let got = kinds_and_text("let r#match = 1;");
+        assert_eq!(got[1], (TokKind::Ident, "r#match".into()));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_depth() {
+        let src = "/* outer /* inner */ still outer */ unsafe";
+        let got = kinds_and_text(src);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, TokKind::Comment);
+        assert_eq!(got[1], (TokKind::Ident, "unsafe".into()));
+    }
+
+    #[test]
+    fn byte_and_char_literals_containing_quotes_and_slashes() {
+        // The old stripper treated `b'"'` as `b` + char-open + string-open,
+        // swallowing the rest of the line. The lexer must keep sync.
+        let got = kinds_and_text("let a = b'\"'; let b = '/'; let c = '\\''; done");
+        assert!(got.contains(&(TokKind::Byte, "b'\"'".into())));
+        assert!(got.contains(&(TokKind::Char, "'/'".into())));
+        assert!(got.contains(&(TokKind::Char, "'\\''".into())));
+        assert_eq!(got.last().unwrap(), &(TokKind::Ident, "done".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let got = kinds_and_text("fn f<'a>(x: &'a u8, y: &'static str, z: &'_ u8) {}");
+        let lifetimes: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static", "'_"]);
+        // …while `'a'` really is a char:
+        assert_eq!(kinds_and_text("'a'")[0], (TokKind::Char, "'a'".into()));
+    }
+
+    #[test]
+    fn numbers_classify_float_vs_int() {
+        let got = kinds_and_text("1 1.0 1e-9 2f64 0x1f 1..2 1.max(2)");
+        assert_eq!(got[0], (TokKind::Int, "1".into()));
+        assert_eq!(got[1], (TokKind::Float, "1.0".into()));
+        assert_eq!(got[2], (TokKind::Float, "1e-9".into()));
+        assert_eq!(got[3], (TokKind::Float, "2f64".into()));
+        assert_eq!(got[4], (TokKind::Int, "0x1f".into()));
+        // Ranges and method calls on ints keep their `.` tokens.
+        assert_eq!(got[5], (TokKind::Int, "1".into()));
+        assert_eq!(got[6], (TokKind::Punct, "..".into()));
+        assert!(got.contains(&(TokKind::Ident, "max".into())));
+    }
+
+    #[test]
+    fn byte_strings_and_c_strings() {
+        let got = kinds_and_text(r##"b"//not a comment" br#"raw "bytes""# c"c-str""##);
+        assert_eq!(got[0].0, TokKind::ByteStr);
+        assert_eq!(got[1].0, TokKind::ByteStr);
+        assert_eq!(got[2].0, TokKind::Str);
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb \"s\ntr\" c";
+        let toks = lex(src);
+        let find = |name: &str| toks.iter().find(|t| t.text(src) == name).unwrap().line;
+        assert_eq!(find("a"), 1);
+        assert_eq!(find("b"), 4);
+        assert_eq!(find("c"), 5);
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        for src in [
+            "'",
+            "r#",
+            "b'",
+            "\"unterminated",
+            "/* open",
+            "r##\"open",
+            "'\\",
+        ] {
+            let _ = lex(src);
+        }
+    }
+}

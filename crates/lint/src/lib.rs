@@ -1,497 +1,104 @@
 //! `omg-lint` — the workspace invariant linter, gated in CI.
 //!
-//! Five **lexical** rules, each an invariant the engine's design
-//! arguments lean on but the compiler cannot state:
+//! Second generation: instead of stripping comments/strings with an
+//! ad-hoc scanner and matching substrings, the linter now lexes every
+//! source file into spanned Rust tokens ([`lexer`]), extracts function
+//! definitions with `impl`/`trait` attribution ([`items`]), and builds
+//! a name-based call graph ([`graph`]) so two rules can reason about
+//! **reachability from the scoring hot path** rather than file paths:
 //!
-//! 1. **`unsafe` allowlist** — the `unsafe` keyword may appear only in
-//!    the worker pool's job cell (`crates/core/src/runtime.rs`), and
-//!    every `unsafe {` block / `unsafe impl` there must carry a
-//!    `// SAFETY:` comment just above it. Likewise
-//!    `#[allow(unsafe_code)]` opt-ins may appear only there.
-//! 2. **No ad-hoc threads** — `std::thread` spawn/scope/Builder may be
-//!    named only by the thread facade (`crates/core/src/sync.rs`) and
-//!    the model scheduler (`crates/verify/src/sched.rs`); everything
-//!    else must go through the pool so concurrency stays in the one
-//!    model-checked place.
-//! 3. **No hash containers on scoring paths** — scoring output must be
-//!    bit-for-bit deterministic, so `HashMap`/`HashSet` (iteration
-//!    order is randomized across builds) are banned from the scoring
-//!    crates except for audited keyed-access-only uses, pinned by
-//!    count so any new use forces a re-audit.
-//! 4. **Audited `Ordering::Relaxed` ledger** — every `Relaxed` site in
-//!    the workspace must be accounted for in [`RELAXED_LEDGER`] with a
-//!    justification; a new site (or a removed one) fails the build
-//!    until the ledger is re-audited.
-//! 5. **Pairwise IoU confined to geom** — direct `.iou(` /
-//!    `.iou_bev_aabb(` calls belong in `crates/geom/` (where the
-//!    grid-indexed matchers and their O(n²) reference live); everywhere
-//!    else must route matching through `omg_geom::matchers`, except the
-//!    count-pinned small-`n` uses in [`IOU_ALLOWED`]. This keeps every
-//!    matching loop on the sub-quadratic, equivalence-tested path.
+//! - **`panic-on-hot-path`** — no function transitively reachable from
+//!   the hot-path roots (`score_window`, the `omg_geom::matchers`
+//!   entry points, `ThreadPool::map_indexed{,_coarse}`, the stream
+//!   drivers, and the assertion factories) may contain
+//!   `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/`unimplemented!`
+//!   or a slice/array index, except sites justified by a `// PANIC:`
+//!   comment and pinned, per file, in `rules::PANIC_ALLOWED`.
+//! - **`float-order-on-hot-path`** — on the same reachable set, float
+//!   ordering must be NaN-total and thread-count-independent: no
+//!   `partial_cmp`, no `f64::max`/`f64::min` reduction chains, no
+//!   `==`/`!=` against float literals; route comparisons through
+//!   `total_cmp`, `omg_geom`'s `score_order`, or
+//!   `omg_core::float::{fmax, fmin}`. Exceptions carry `// FLOAT:`
+//!   justifications pinned in `rules::FLOAT_ALLOWED`.
 //!
-//! The scanner strips comments and string literals first (so prose —
-//! and this linter's own pattern strings — never trip a rule) and
-//! skips everything from a file's first `#[cfg(test)]` line onward
-//! (the repo convention keeps test modules at the end of the file;
-//! tests may spawn scoped threads and build throwaway hash maps).
-//! `vendor/` is excluded: those are third-party compatibility shims,
-//! not engine code.
+//! The call graph is an over-approximation built from identifier
+//! references: narrowing (by `Type::`, `Self::`, method position) only
+//! happens when the tokens justify it, and unresolvable references
+//! keep every same-named candidate — so for workspace-internal code a
+//! function the rules treat as unreachable really is unreachable. The
+//! one indirection tokens cannot see through — closures invoked via a
+//! stored field, as `FnAssertion::check` does — is closed by rooting
+//! the assertion factories that build those closures.
 //!
-//! Run as `cargo run -p omg-lint` from the workspace root; exits
-//! non-zero on any violation. The rule configs below are the audit
-//! ledgers themselves — changing an allowlist is a reviewable diff.
+//! The five first-generation lexical rules ride on the same token
+//! stream (which killed the word-boundary and string-masking false
+//! positives the old stripper had): the `unsafe` allowlist, the thread
+//! facade, the scoring-path hash ban, the `Ordering::Relaxed` ledger,
+//! and IoU confinement to `omg_geom`. See [`rules`] for the ledgers —
+//! each is count-pinned so any drift fails CI until re-audited.
+//!
+//! Run `cargo run -p omg-lint` from the workspace root; `--json`
+//! emits the machine-readable report CI archives, `--explain <rule>`
+//! prints a rule's rationale. Exits 0 clean, 1 on violations, 2 on
+//! usage or I/O errors.
 
-use std::fmt;
+pub mod graph;
+pub mod items;
+pub mod json;
+pub mod lexer;
+pub mod rules;
+
+use items::FileModel;
 use std::path::{Path, PathBuf};
 
-/// Files allowed to contain the `unsafe` keyword (and
-/// `#[allow(unsafe_code)]`), with the audit rationale.
-const UNSAFE_ALLOWED: &[(&str, &str)] = &[(
-    "crates/core/src/runtime.rs",
-    "the pool's lifetime-erased job cell; the handshake is model-checked by omg-verify",
-)];
+pub use rules::Violation;
 
-/// Substrings that mean "creating OS threads outside the facade".
-const SPAWN_PATTERNS: &[&str] = &[
-    "std::thread::spawn",
-    "std::thread::scope",
-    "std::thread::Builder",
-    "use std::thread",
-];
+/// One source file handed to [`analyze`]: workspace-relative path
+/// (with `/` separators) plus contents.
+pub struct SourceFile {
+    pub path: String,
+    pub text: String,
+}
 
-/// Files allowed to touch `std::thread` directly.
-const SPAWN_ALLOWED: &[(&str, &str)] = &[
-    (
-        "crates/core/src/sync.rs",
-        "the production half of the thread facade the pool is written against",
-    ),
-    (
-        "crates/verify/src/sched.rs",
-        "model threads are real OS threads driven one-at-a-time by the scheduler",
-    ),
-];
+/// What a workspace scan covered and found.
+#[derive(Debug)]
+pub struct Summary {
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Functions reachable from the hot-path roots in the call graph.
+    pub reachable_fns: usize,
+    /// Every rule violation found, ordered by (file, line, rule).
+    pub violations: Vec<Violation>,
+    /// The scanned workspace-relative paths (for coverage checks).
+    pub files: Vec<String>,
+}
 
-/// Directory prefixes whose (non-test) code is a scoring path: output
-/// must be bit-for-bit deterministic, so hash-ordered containers are
-/// banned except for the audited uses below.
-const HASH_SCOPE: &[&str] = &[
-    "crates/core/src",
-    "crates/active/src",
-    "crates/service/src",
-    "crates/scenario/src",
-    "crates/domains/src",
-];
+/// Runs every rule over the given sources.
+pub fn analyze(files: Vec<SourceFile>) -> Summary {
+    let models: Vec<FileModel> = files
+        .into_iter()
+        .map(|s| FileModel::new(s.path, s.text))
+        .collect();
+    let mut violations = Vec::new();
+    for m in &models {
+        rules::lexical(m, &mut violations);
+    }
+    let reachable_fns = rules::graph_pass(&models, &mut violations);
+    violations
+        .sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Summary {
+        files_scanned: models.len(),
+        reachable_fns,
+        violations,
+        files: models.iter().map(|m| m.path.clone()).collect(),
+    }
+}
 
-/// Audited keyed-access-only hash uses on scoring paths: (file, number
-/// of mentioning lines, rationale). A count drift fails until
-/// re-audited.
-const HASH_ALLOWED: &[(&str, usize, &str)] = &[(
-    "crates/active/src/ccmab.rs",
-    3,
-    "per-cell bandit stats: get/entry/len only, never iterated — selection order comes from the explicit candidate list",
-)];
-
-/// The audited `Ordering::Relaxed` ledger: (file, site count,
-/// rationale). Every other file must use SeqCst (or stronger
-/// reasoning — and then land here).
-const RELAXED_LEDGER: &[(&str, usize, &str)] = &[
-    (
-        "crates/core/src/runtime.rs",
-        5,
-        "job abort flag (advisory; payload travels through a mutex) and chunk-cursor claims \
-         (the RMW's atomicity suffices: claimed indices are data-independent and results \
-         move through mutexes) — plus the seeded torn-claim mutation's load/store pair, \
-         compiled out of production call sites",
-    ),
-    (
-        "crates/service/src/service.rs",
-        9,
-        "monotonic accepted/scored counters and the idle-eviction logical clock: \
-         single-word freshness hints, never used to order other memory",
-    ),
-];
-
-/// Directory prefix whose files may call IoU primitives directly: the
-/// geometry crate owns the grid-indexed matchers, their O(n²)
-/// reference, and the equivalence proofs between them.
-const IOU_HOME: &str = "crates/geom/";
-
-/// Substrings that mean "scoring box overlap directly" (the indexed
-/// `matchers::*` entry points do not match these patterns).
-const IOU_PATTERNS: &[&str] = &[".iou(", ".iou_bev_aabb("];
-
-/// Audited direct-IoU call sites outside geom: (file, number of
-/// mentioning lines, rationale). Every use must be bounded by something
-/// other than scene density; anything O(boxes²) belongs behind
-/// `omg_geom::matchers`. A count drift fails until re-audited.
-const IOU_ALLOWED: &[(&str, usize, &str)] = &[
-    (
-        "crates/domains/src/weak.rs",
-        2,
-        "weak labeler's best-overlap lookup and duplicate vote over one frame's \
-         proposals: bounded by the proposal budget, not scene density",
-    ),
-    (
-        "crates/eval/src/detection.rs",
-        1,
-        "detection-to-ground-truth matching in the evaluator: the loop is the \
-         mAP definition and per-image ground truth stays small",
-    ),
-];
-
-/// Source roots scanned relative to the workspace root.
+/// Source roots scanned relative to the workspace root. `crates/`
+/// recursion covers `src/`, `benches/`, and `src/bin/` alike;
+/// `vendor/` and fixture directories are skipped by the walker.
 const SCAN_ROOTS: &[&str] = &["crates", "examples", "tests"];
-
-/// One rule violation at a source location.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Violation {
-    /// Workspace-relative path.
-    pub file: String,
-    /// 1-based line, or 0 for whole-file (count-drift) findings.
-    pub line: usize,
-    /// Which rule fired.
-    pub rule: &'static str,
-    /// Human-readable explanation.
-    pub message: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.file, self.line, self.rule, self.message
-        )
-    }
-}
-
-/// Strips `//` comments, nested `/* */` comments, string literals
-/// (plain and raw), and char literals, preserving line structure so
-/// line numbers survive. Lifetimes (`'a`) are left alone.
-fn strip_source(text: &str) -> String {
-    let bytes = text.as_bytes();
-    let mut out = Vec::with_capacity(bytes.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                while i < bytes.len() && bytes[i] != b'\n' {
-                    i += 1;
-                }
-            }
-            b'/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
-                let mut depth = 1;
-                i += 2;
-                while i < bytes.len() && depth > 0 {
-                    if bytes[i] == b'/' && i + 1 < bytes.len() && bytes[i + 1] == b'*' {
-                        depth += 1;
-                        i += 2;
-                    } else if bytes[i] == b'*' && i + 1 < bytes.len() && bytes[i + 1] == b'/' {
-                        depth -= 1;
-                        i += 2;
-                    } else {
-                        if bytes[i] == b'\n' {
-                            out.push(b'\n');
-                        }
-                        i += 1;
-                    }
-                }
-            }
-            b'r' if i + 1 < bytes.len() && (bytes[i + 1] == b'"' || bytes[i + 1] == b'#') => {
-                // Possible raw string: r"…" or r#"…"# (any # depth).
-                let start = i;
-                let mut j = i + 1;
-                let mut hashes = 0;
-                while j < bytes.len() && bytes[j] == b'#' {
-                    hashes += 1;
-                    j += 1;
-                }
-                if j < bytes.len() && bytes[j] == b'"' {
-                    j += 1;
-                    'scan: while j < bytes.len() {
-                        if bytes[j] == b'"' {
-                            let mut k = 0;
-                            while k < hashes && j + 1 + k < bytes.len() && bytes[j + 1 + k] == b'#'
-                            {
-                                k += 1;
-                            }
-                            if k == hashes {
-                                j += 1 + hashes;
-                                break 'scan;
-                            }
-                        }
-                        if bytes[j] == b'\n' {
-                            out.push(b'\n');
-                        }
-                        j += 1;
-                    }
-                    i = j;
-                } else {
-                    out.push(bytes[start]);
-                    i += 1;
-                }
-            }
-            b'"' => {
-                i += 1;
-                while i < bytes.len() {
-                    match bytes[i] {
-                        b'\\' => i += 2,
-                        b'"' => {
-                            i += 1;
-                            break;
-                        }
-                        b'\n' => {
-                            out.push(b'\n');
-                            i += 1;
-                        }
-                        _ => i += 1,
-                    }
-                }
-            }
-            b'\'' => {
-                // Char literal ('x', '\n', '\u{…}') vs lifetime ('a).
-                let rest = &bytes[i + 1..];
-                let is_char = matches!(rest, [b'\\', ..] | [_, b'\'', ..]);
-                if is_char {
-                    i += 1;
-                    if i < bytes.len() && bytes[i] == b'\\' {
-                        i += 2;
-                        while i < bytes.len() && bytes[i] != b'\'' {
-                            i += 1;
-                        }
-                        i += 1;
-                    } else {
-                        i += 2; // the char and its closing quote
-                    }
-                } else {
-                    out.push(b'\'');
-                    i += 1;
-                }
-            }
-            b => {
-                out.push(b);
-                i += 1;
-            }
-        }
-    }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-/// True when `needle` occurs in `hay` with word boundaries on both
-/// sides (so `unsafe` never matches `unsafe_code`).
-fn has_word(hay: &str, needle: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(needle) {
-        let at = from + pos;
-        let before_ok = at == 0
-            || !hay[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = at + needle.len();
-        let after_ok = after >= hay.len()
-            || !hay[after..]
-                .chars()
-                .next()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        from = at + needle.len();
-    }
-    false
-}
-
-/// `unsafe {` or `unsafe impl` on a (stripped) line — the forms that
-/// demand a `// SAFETY:` comment.
-fn unsafe_needs_safety(stripped: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = stripped[from..].find("unsafe") {
-        let at = from + pos;
-        let tail = stripped[at + "unsafe".len()..].trim_start();
-        if tail.starts_with('{') || tail.starts_with("impl") {
-            return true;
-        }
-        from = at + "unsafe".len();
-    }
-    false
-}
-
-/// How many lines above an `unsafe` site the `// SAFETY:` comment may
-/// *start* (multi-line SAFETY comments, attributes, and continuation
-/// lines in between are fine).
-const SAFETY_LOOKBACK: usize = 10;
-
-fn lookup<'a>(table: &'a [(&str, &str)], file: &str) -> Option<&'a str> {
-    table.iter().find(|(f, _)| *f == file).map(|(_, why)| *why)
-}
-
-fn lookup_counted<'a>(table: &'a [(&str, usize, &str)], file: &str) -> Option<(usize, &'a str)> {
-    table
-        .iter()
-        .find(|(f, _, _)| *f == file)
-        .map(|(_, n, why)| (*n, *why))
-}
-
-/// Scans one file's source text. `file` is the workspace-relative
-/// path with `/` separators; `raw` is the file contents.
-pub fn scan_source(file: &str, raw: &str, out: &mut Vec<Violation>) {
-    let stripped = strip_source(raw);
-    let raw_lines: Vec<&str> = raw.lines().collect();
-    let mut relaxed_count = 0usize;
-    let mut hash_count = 0usize;
-    let mut iou_count = 0usize;
-    let in_hash_scope = HASH_SCOPE.iter().any(|p| file.starts_with(p));
-    let in_iou_scope = !file.starts_with(IOU_HOME);
-
-    for (idx, line) in stripped.lines().enumerate() {
-        if line.contains("#[cfg(test)]") {
-            break; // repo convention: the test module ends the file
-        }
-        let lineno = idx + 1;
-
-        // Rule 1: the unsafe allowlist.
-        if has_word(line, "unsafe") {
-            if let Some(_why) = lookup(UNSAFE_ALLOWED, file) {
-                if unsafe_needs_safety(line) {
-                    let start = idx.saturating_sub(SAFETY_LOOKBACK);
-                    let documented = raw_lines[start..idx].iter().any(|l| l.contains("SAFETY:"));
-                    if !documented {
-                        out.push(Violation {
-                            file: file.to_string(),
-                            line: lineno,
-                            rule: "undocumented-unsafe",
-                            message: format!(
-                                "`unsafe` block/impl without a `// SAFETY:` comment within \
-                                 the {SAFETY_LOOKBACK} lines above"
-                            ),
-                        });
-                    }
-                }
-            } else {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line: lineno,
-                    rule: "unsafe-outside-allowlist",
-                    message: "`unsafe` is confined to the pool's job cell \
-                              (crates/core/src/runtime.rs); write safe code or extend the \
-                              audited allowlist in omg-lint"
-                        .to_string(),
-                });
-            }
-        }
-        if line.contains("allow(unsafe_code)") && lookup(UNSAFE_ALLOWED, file).is_none() {
-            out.push(Violation {
-                file: file.to_string(),
-                line: lineno,
-                rule: "unsafe-outside-allowlist",
-                message: "`#[allow(unsafe_code)]` outside the audited allowlist".to_string(),
-            });
-        }
-
-        // Rule 2: no ad-hoc thread creation.
-        if SPAWN_PATTERNS.iter().any(|p| line.contains(p)) && lookup(SPAWN_ALLOWED, file).is_none()
-        {
-            out.push(Violation {
-                file: file.to_string(),
-                line: lineno,
-                rule: "ad-hoc-thread",
-                message: "direct std::thread use outside the facade; go through \
-                          omg_core::runtime::ThreadPool (or omg_core::sync::thread) so the \
-                          concurrency stays model-checked"
-                    .to_string(),
-            });
-        }
-
-        // Rule 3: hash containers on scoring paths (counted below).
-        if in_hash_scope && (line.contains("HashMap") || line.contains("HashSet")) {
-            hash_count += 1;
-            if lookup_counted(HASH_ALLOWED, file).is_none() {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line: lineno,
-                    rule: "hash-on-scoring-path",
-                    message: "HashMap/HashSet on a scoring path: iteration order is \
-                              randomized, which breaks bit-for-bit determinism — use \
-                              Vec/BTreeMap, or audit a keyed-access-only use in omg-lint"
-                        .to_string(),
-                });
-            }
-        }
-
-        // Rule 4: the Relaxed ledger (counted below).
-        if line.contains("Ordering::Relaxed") {
-            relaxed_count += 1;
-        }
-
-        // Rule 5: pairwise IoU confined to geom (counted below).
-        if in_iou_scope && IOU_PATTERNS.iter().any(|p| line.contains(p)) {
-            iou_count += 1;
-            if lookup_counted(IOU_ALLOWED, file).is_none() {
-                out.push(Violation {
-                    file: file.to_string(),
-                    line: lineno,
-                    rule: "pairwise-iou-outside-geom",
-                    message: "direct IoU call outside omg-geom: route matching through \
-                              omg_geom::matchers (grid-indexed, reference-equivalent), or \
-                              audit a bounded small-n use in omg-lint's IOU_ALLOWED"
-                        .to_string(),
-                });
-            }
-        }
-    }
-
-    if let Some((expected, _)) = lookup_counted(HASH_ALLOWED, file) {
-        if hash_count != expected {
-            out.push(Violation {
-                file: file.to_string(),
-                line: 0,
-                rule: "hash-on-scoring-path",
-                message: format!(
-                    "audited hash-container line count drifted: ledger says {expected}, \
-                     found {hash_count} — re-audit (keyed access only, no iteration) and \
-                     update omg-lint's HASH_ALLOWED"
-                ),
-            });
-        }
-    }
-    if let Some((expected, _)) = lookup_counted(IOU_ALLOWED, file) {
-        if iou_count != expected {
-            out.push(Violation {
-                file: file.to_string(),
-                line: 0,
-                rule: "pairwise-iou-outside-geom",
-                message: format!(
-                    "audited direct-IoU line count drifted: ledger says {expected}, found \
-                     {iou_count} — re-audit (bounded small-n only, never O(boxes²)) and \
-                     update omg-lint's IOU_ALLOWED"
-                ),
-            });
-        }
-    }
-    match lookup_counted(RELAXED_LEDGER, file) {
-        Some((expected, _)) if relaxed_count != expected => out.push(Violation {
-            file: file.to_string(),
-            line: 0,
-            rule: "unaudited-relaxed",
-            message: format!(
-                "Ordering::Relaxed site count drifted: ledger says {expected}, found \
-                 {relaxed_count} — re-audit the orderings and update omg-lint's \
-                 RELAXED_LEDGER"
-            ),
-        }),
-        None if relaxed_count > 0 => out.push(Violation {
-            file: file.to_string(),
-            line: 0,
-            rule: "unaudited-relaxed",
-            message: format!(
-                "{relaxed_count} Ordering::Relaxed site(s) in a file absent from \
-                 omg-lint's RELAXED_LEDGER — justify them there or use SeqCst"
-            ),
-        }),
-        _ => {}
-    }
-}
 
 fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
     for entry in std::fs::read_dir(dir)? {
@@ -511,48 +118,158 @@ fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// What a workspace scan covered and found.
-#[derive(Debug)]
-pub struct Summary {
-    /// Number of `.rs` files scanned.
-    pub files_scanned: usize,
-    /// Every rule violation found, in path order.
-    pub violations: Vec<Violation>,
-}
-
 /// Scans the workspace rooted at `root` (must contain `Cargo.toml`).
 ///
 /// # Errors
 ///
 /// Returns any I/O error from walking or reading the source tree.
 pub fn scan_workspace(root: &Path) -> std::io::Result<Summary> {
-    let mut files = Vec::new();
+    let mut paths = Vec::new();
     for sub in SCAN_ROOTS {
         let dir = root.join(sub);
         if dir.is_dir() {
-            walk(&dir, &mut files)?;
+            walk(&dir, &mut paths)?;
         }
     }
-    files.sort();
-    let mut violations = Vec::new();
-    for path in &files {
-        let raw = std::fs::read_to_string(path)?;
+    paths.sort();
+    let mut files = Vec::with_capacity(paths.len());
+    for path in &paths {
+        let text = std::fs::read_to_string(path)?;
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        scan_source(&rel, &raw, &mut violations);
+        files.push(SourceFile { path: rel, text });
     }
-    Ok(Summary {
-        files_scanned: files.len(),
-        violations,
-    })
+    Ok(analyze(files))
 }
 
-/// CLI entry; scans the current directory as the workspace root and
-/// returns the process exit code (0 clean, 1 violations, 2 usage/I-O).
-pub fn run_cli() -> i32 {
+/// The rule catalog: every rule name the linter can emit, with the
+/// rationale `--explain` prints.
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "unsafe-outside-allowlist",
+        "The `unsafe` keyword (and `#[allow(unsafe_code)]`) may appear only in the \
+         worker pool's lifetime-erased job cell (crates/core/src/runtime.rs), whose \
+         handshake is model-checked by omg-verify. Everywhere else, write safe code or \
+         extend the audited UNSAFE_ALLOWED table in omg-lint — a reviewable diff.",
+    ),
+    (
+        "undocumented-unsafe",
+        "Inside the allowlisted file, every `unsafe {` block and `unsafe impl` must \
+         carry a `// SAFETY:` comment starting within the 10 lines above it, so the \
+         proof obligation is stated next to the code that discharges it.",
+    ),
+    (
+        "ad-hoc-thread",
+        "std::thread spawn/scope/Builder may be named only by the thread facade \
+         (crates/core/src/sync.rs) and the model scheduler (crates/verify/src/sched.rs). \
+         Everything else goes through omg_core::runtime::ThreadPool so all concurrency \
+         stays in the one model-checked place.",
+    ),
+    (
+        "hash-on-scoring-path",
+        "Scoring output must be bit-for-bit deterministic, and HashMap/HashSet \
+         iteration order is randomized across builds. The scoring crates may not use \
+         them except for count-pinned keyed-access-only uses in HASH_ALLOWED; any new \
+         mention drifts the count and forces a re-audit.",
+    ),
+    (
+        "unaudited-relaxed",
+        "Every Ordering::Relaxed site in the workspace must be justified in \
+         RELAXED_LEDGER with a memory-ordering argument; the per-file site count is \
+         pinned so a new site (or a removed one) fails until the ledger is re-audited.",
+    ),
+    (
+        "pairwise-iou-outside-geom",
+        "Direct `.iou(` / `.iou_bev_aabb(` calls belong in crates/geom/, where the \
+         grid-indexed matchers and their O(n^2) reference live; everywhere else routes \
+         matching through omg_geom::matchers, except the count-pinned bounded small-n \
+         uses in IOU_ALLOWED. This keeps every matching loop on the sub-quadratic, \
+         equivalence-tested path.",
+    ),
+    (
+        "panic-on-hot-path",
+        "No function transitively reachable from the hot-path roots (score_window, \
+         omg_geom::matchers::*, ThreadPool::map_indexed{,_coarse}, the stream drivers, \
+         the assertion factories) may contain .unwrap()/.expect(), \
+         panic!/unreachable!/todo!/unimplemented!, or a slice/array index: a panicking \
+         monitor is a silently absent monitor. Either restructure (Result/Option, \
+         iterators, get()), or justify the site with a `// PANIC:` comment within 10 \
+         lines and pin the per-file justified count in PANIC_ALLOWED. The call graph \
+         over-approximates: unresolvable calls stay reachable, so a clean pass is \
+         meaningful.",
+    ),
+    (
+        "float-order-on-hot-path",
+        "On the hot-path reachable set, float ordering must be NaN-total and \
+         thread-count-independent so scores are bit-for-bit reproducible at any pool \
+         width: no partial_cmp (ties/NaN resolve arbitrarily), no f64::max / f64::min \
+         reduction chains (they drop NaN and encode fold order), no ==/!= against \
+         float literals. Use total_cmp, omg_geom's score_order, or \
+         omg_core::float::{fmax,fmin}; justified exceptions carry `// FLOAT:` and a \
+         FLOAT_ALLOWED count pin. Parallel reductions must merge in index order \
+         (ThreadPool::map_indexed already does).",
+    ),
+    (
+        "hot-path-root-missing",
+        "Each declared hot-path root must resolve to at least one function in the \
+         call graph. If a root resolves to nothing (an entry point was renamed or a \
+         file moved), the reachability pass would silently go vacuous over it — so \
+         that is itself a violation, keeping the panic/float rules honest.",
+    ),
+];
+
+/// The `--explain` text for `rule`, if known.
+pub fn explain(rule: &str) -> Option<&'static str> {
+    RULES.iter().find(|(r, _)| *r == rule).map(|(_, why)| *why)
+}
+
+fn rule_names() -> String {
+    RULES
+        .iter()
+        .map(|(r, _)| format!("  {r}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+/// CLI entry; `args` are the process arguments after the binary name.
+/// Scans the current directory as the workspace root and returns the
+/// process exit code (0 clean, 1 violations, 2 usage/I-O).
+pub fn run_cli(args: &[String]) -> i32 {
+    let mut as_json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => as_json = true,
+            "--explain" => {
+                return match it.next() {
+                    Some(rule) => match explain(rule) {
+                        Some(why) => {
+                            println!("{rule}\n\n{why}");
+                            0
+                        }
+                        None => {
+                            eprintln!("omg-lint: unknown rule `{rule}`; rules:\n{}", rule_names());
+                            2
+                        }
+                    },
+                    None => {
+                        eprintln!(
+                            "omg-lint: --explain needs a rule name; rules:\n{}",
+                            rule_names()
+                        );
+                        2
+                    }
+                };
+            }
+            other => {
+                eprintln!("omg-lint: unknown argument `{other}` (try --json or --explain <rule>)");
+                return 2;
+            }
+        }
+    }
     let root = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
     if !root.join("Cargo.toml").exists() {
         eprintln!("omg-lint: run from the workspace root (no Cargo.toml here)");
@@ -560,21 +277,26 @@ pub fn run_cli() -> i32 {
     }
     match scan_workspace(&root) {
         Ok(summary) => {
+            if as_json {
+                println!("{}", json::render(&summary));
+                return if summary.violations.is_empty() { 0 } else { 1 };
+            }
             for v in &summary.violations {
                 println!("{v}");
             }
             if summary.violations.is_empty() {
                 println!(
-                    "omg-lint: clean ({} files; rules: unsafe allowlist, thread facade, \
-                     scoring-path hash ban, Relaxed ledger, IoU confinement)",
-                    summary.files_scanned
+                    "omg-lint: clean ({} files, {} hot-path-reachable fns; lexical rules + \
+                     panic-freedom + float-determinism over the reachable set)",
+                    summary.files_scanned, summary.reachable_fns
                 );
                 0
             } else {
                 println!(
-                    "omg-lint: {} violation(s) in {} files scanned",
+                    "omg-lint: {} violation(s) in {} files scanned ({} reachable fns)",
                     summary.violations.len(),
-                    summary.files_scanned
+                    summary.files_scanned,
+                    summary.reachable_fns
                 );
                 1
             }
@@ -590,30 +312,45 @@ pub fn run_cli() -> i32 {
 mod tests {
     use super::*;
 
+    /// Lexical-rule harness: one file, lexical rules only.
     fn scan_one(file: &str, src: &str) -> Vec<Violation> {
+        let m = FileModel::new(file.to_string(), src.to_string());
         let mut out = Vec::new();
-        scan_source(file, src, &mut out);
+        rules::lexical(&m, &mut out);
         out
     }
 
-    fn rules(v: &[Violation]) -> Vec<&'static str> {
+    /// Full-pipeline harness over an in-memory mini workspace.
+    fn analyze_files(files: &[(&str, &str)]) -> Summary {
+        analyze(
+            files
+                .iter()
+                .map(|(p, s)| SourceFile {
+                    path: p.to_string(),
+                    text: s.to_string(),
+                })
+                .collect(),
+        )
+    }
+
+    fn rules_of(v: &[Violation]) -> Vec<&'static str> {
         v.iter().map(|x| x.rule).collect()
     }
 
     /// Count of violations of one rule (fixture files standing in for
-    /// ledgered paths also trip the count-drift checks, so the single-
-    /// rule tests filter to the rule under test).
+    /// ledgered paths also trip count-drift checks, and mini
+    /// workspaces miss most hot-path roots, so per-rule tests filter).
     fn count_rule(v: &[Violation], rule: &str) -> usize {
         v.iter().filter(|x| x.rule == rule).count()
     }
 
-    // ---- each rule fires on its fixture --------------------------------
+    // ---- lexical rules fire on their fixtures --------------------------
 
     #[test]
     fn unsafe_outside_allowlist_fires() {
         let fixture = "pub fn f(p: *const u8) -> u8 {\n    unsafe { *p }\n}\n";
         let got = scan_one("crates/core/src/monitor.rs", fixture);
-        assert_eq!(rules(&got), vec!["unsafe-outside-allowlist"]);
+        assert_eq!(rules_of(&got), vec!["unsafe-outside-allowlist"]);
         assert_eq!(got[0].line, 2);
     }
 
@@ -621,7 +358,7 @@ mod tests {
     fn allow_unsafe_attr_outside_allowlist_fires() {
         let fixture = "#[allow(unsafe_code)]\nmod m {}\n";
         let got = scan_one("crates/eval/src/lib.rs", fixture);
-        assert_eq!(rules(&got), vec!["unsafe-outside-allowlist"]);
+        assert_eq!(rules_of(&got), vec!["unsafe-outside-allowlist"]);
     }
 
     #[test]
@@ -633,7 +370,8 @@ mod tests {
 
     #[test]
     fn documented_unsafe_in_allowed_file_is_clean() {
-        let fixture = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller keeps p alive.\n    unsafe { *p }\n}\n";
+        let fixture =
+            "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller keeps p alive.\n    unsafe { *p }\n}\n";
         let got = scan_one("crates/core/src/runtime.rs", fixture);
         assert_eq!(count_rule(&got, "undocumented-unsafe"), 0);
         assert_eq!(count_rule(&got, "unsafe-outside-allowlist"), 0);
@@ -653,7 +391,7 @@ mod tests {
         assert_eq!(count_rule(&got, "ad-hoc-thread"), 1);
         let fixture2 = "use std::thread;\n";
         let got2 = scan_one("crates/core/src/stream.rs", fixture2);
-        assert_eq!(rules(&got2), vec!["ad-hoc-thread"]);
+        assert_eq!(rules_of(&got2), vec!["ad-hoc-thread"]);
     }
 
     #[test]
@@ -667,7 +405,7 @@ mod tests {
     fn hash_on_scoring_path_fires() {
         let fixture = "use std::collections::HashMap;\n";
         let got = scan_one("crates/core/src/registry.rs", fixture);
-        assert_eq!(rules(&got), vec!["hash-on-scoring-path"]);
+        assert_eq!(rules_of(&got), vec!["hash-on-scoring-path"]);
         // …but not outside the scoring scope.
         assert!(scan_one("crates/bench/src/lib.rs", fixture).is_empty());
     }
@@ -677,7 +415,7 @@ mod tests {
         // ccmab.rs is audited for exactly 3 mentioning lines; 1 drifts.
         let fixture = "use std::collections::HashMap;\n";
         let got = scan_one("crates/active/src/ccmab.rs", fixture);
-        assert_eq!(rules(&got), vec!["hash-on-scoring-path"]);
+        assert_eq!(rules_of(&got), vec!["hash-on-scoring-path"]);
         assert!(got[0].message.contains("drifted"), "{}", got[0].message);
     }
 
@@ -685,14 +423,14 @@ mod tests {
     fn unaudited_relaxed_fires() {
         let fixture = "fn f(c: &std::sync::atomic::AtomicUsize) -> usize {\n    c.load(std::sync::atomic::Ordering::Relaxed)\n}\n";
         let got = scan_one("crates/core/src/severity.rs", fixture);
-        assert_eq!(rules(&got), vec!["unaudited-relaxed"]);
+        assert_eq!(rules_of(&got), vec!["unaudited-relaxed"]);
     }
 
     #[test]
     fn relaxed_ledger_count_drift_fires() {
         let fixture = "fn f(c: &A) { c.load(Ordering::Relaxed); }\n";
         let got = scan_one("crates/service/src/service.rs", fixture);
-        assert_eq!(rules(&got), vec!["unaudited-relaxed"]);
+        assert_eq!(rules_of(&got), vec!["unaudited-relaxed"]);
         assert!(got[0].message.contains("drifted"), "{}", got[0].message);
     }
 
@@ -700,12 +438,12 @@ mod tests {
     fn pairwise_iou_outside_geom_fires() {
         let fixture = "fn worst(a: &[B], b: &[B]) -> f64 {\n    a[0].bbox.iou(&b[0].bbox)\n}\n";
         let got = scan_one("crates/track/src/tracker.rs", fixture);
-        assert_eq!(rules(&got), vec!["pairwise-iou-outside-geom"]);
+        assert_eq!(rules_of(&got), vec!["pairwise-iou-outside-geom"]);
         assert_eq!(got[0].line, 2);
         // The BEV variant is confined too.
         let bev = "fn f(a: &B3, b: &B3) -> f64 { a.iou_bev_aabb(b) }\n";
         assert_eq!(
-            rules(&scan_one("crates/domains/src/fusion.rs", bev)),
+            rules_of(&scan_one("crates/domains/src/fusion.rs", bev)),
             vec!["pairwise-iou-outside-geom"]
         );
     }
@@ -729,19 +467,23 @@ mod tests {
         let fixture =
             "fn f(a: &B, b: &B) -> f64 {\n    a.bbox.iou(&b.bbox);\n    b.bbox.iou(&a.bbox)\n}\n";
         let got = scan_one("crates/eval/src/detection.rs", fixture);
-        assert_eq!(rules(&got), vec!["pairwise-iou-outside-geom"]);
+        assert_eq!(rules_of(&got), vec!["pairwise-iou-outside-geom"]);
         assert!(got[0].message.contains("drifted"), "{}", got[0].message);
     }
 
-    // ---- the stripper keeps prose and strings from tripping rules ------
+    // ---- the lexer keeps prose, strings, and literals out of rules -----
 
     #[test]
     fn comments_strings_and_tests_do_not_trip_rules() {
         let fixture = concat!(
             "//! Docs may say unsafe and std::thread::spawn and HashMap freely.\n",
             "/* block comments too: Ordering::Relaxed */\n",
+            "/* nested /* block */ comments: unsafe { } */\n",
             "const P: &str = \"std::thread::spawn is banned\";\n",
             "const R: &str = r#\"unsafe { HashMap }\"#;\n",
+            "const B: &[u8] = b\"HashSet // unsafe\";\n",
+            "const C: char = '\"';\n",
+            "const BC: u8 = b'\"';\n",
             "fn lifetimes<'a>(x: &'a u8) -> &'a u8 { x }\n",
             "#[cfg(test)]\n",
             "mod tests {\n",
@@ -758,25 +500,293 @@ mod tests {
         assert!(scan_one("crates/core/src/lib.rs", fixture).is_empty());
     }
 
-    // ---- the real workspace is clean ------------------------------------
+    #[test]
+    fn stripper_blind_spots_are_fixed() {
+        // Each of these desynchronized the old character-level
+        // stripper: a byte literal holding a quote, a char holding a
+        // slash pair, and a raw string with hashes. After any of them,
+        // a real violation must still be seen and a quoted fake must
+        // still be ignored.
+        let cases = [
+            "const Q: u8 = b'\"';\nfn f() { std::thread::spawn(|| {}); }\n",
+            "const S: char = '/';\nconst T: char = '/';\nfn f() { std::thread::spawn(|| {}); }\n",
+            "const R: &str = r##\"text \"# std::thread::spawn \"##;\nfn f() { std::thread::spawn(|| {}); }\n",
+        ];
+        for src in cases {
+            let got = scan_one("crates/core/src/monitor.rs", src);
+            assert_eq!(rules_of(&got), vec!["ad-hoc-thread"], "fixture: {src}");
+        }
+    }
+
+    // ---- panic-freedom over the reachable set --------------------------
+
+    /// A mini workspace whose only root is `score_window` (fixture
+    /// files sit at real rooted paths so resolve_roots anchors there).
+    fn hot(body_of_helper: &str) -> Summary {
+        analyze_files(&[
+            (
+                "crates/scenario/src/toy.rs",
+                "pub fn toy_assertion() { helper(); }\n",
+            ),
+            (
+                "crates/core/src/util.rs",
+                &format!("pub fn helper(v: &[u8]) -> u8 {{ {body_of_helper} }}\n"),
+            ),
+        ])
+    }
+
+    #[test]
+    fn panic_rule_fires_on_reachable_unwrap_expect_and_index() {
+        let s = hot("let a = v.first().unwrap(); let b = v.first().expect(\"x\"); a + b + v[0]");
+        assert_eq!(
+            count_rule(&s.violations, "panic-on-hot-path"),
+            3,
+            "{:?}",
+            s.violations
+        );
+    }
+
+    #[test]
+    fn panic_rule_fires_on_panic_macros() {
+        let s = hot("if v.is_empty() { panic!(\"no\") } else { todo!() }");
+        assert_eq!(count_rule(&s.violations, "panic-on-hot-path"), 2);
+    }
+
+    #[test]
+    fn panic_rule_ignores_unreachable_fns_and_near_misses() {
+        // `island` is never called from a root; `unwrap_or` and
+        // non-index brackets are near-misses.
+        let s = analyze_files(&[
+            (
+                "crates/scenario/src/toy.rs",
+                "pub fn toy_assertion() { helper(); }\n",
+            ),
+            (
+                "crates/core/src/util.rs",
+                concat!(
+                    "pub fn helper(v: &[u8]) -> u8 {\n",
+                    "    let x = v.first().copied().unwrap_or(0);\n",
+                    "    let arr = [0u8; 4];\n",
+                    "    let _t: &[u8] = &arr;\n",
+                    "    let w = vec![1u8];\n",
+                    "    x + w.len() as u8\n",
+                    "}\n",
+                    "pub fn island(v: &[u8]) -> u8 { v[0] }\n",
+                ),
+            ),
+        ]);
+        assert_eq!(
+            count_rule(&s.violations, "panic-on-hot-path"),
+            0,
+            "{:?}",
+            s.violations
+        );
+    }
+
+    #[test]
+    fn panic_rule_sees_through_fn_values_and_method_calls() {
+        // helper is passed as a value, then the target indexes.
+        let s = analyze_files(&[
+            (
+                "crates/scenario/src/toy.rs",
+                "pub fn toy_assertion(v: &[u8]) { let _: Vec<u8> = v.iter().map(pick).collect(); }\nfn pick(x: &u8) -> u8 { TABLE[*x as usize] }\nconst TABLE: [u8; 256] = [0; 256];\n",
+            ),
+        ]);
+        assert_eq!(
+            count_rule(&s.violations, "panic-on-hot-path"),
+            1,
+            "{:?}",
+            s.violations
+        );
+    }
+
+    #[test]
+    fn justified_panic_without_ledger_entry_flags_the_file() {
+        let s = hot("// PANIC: v is non-empty by construction.\n    v.first().unwrap() + 0");
+        // The site itself is justified (no per-line violation), but the
+        // file has no PANIC_ALLOWED pin, which is a file-level finding.
+        let v: Vec<&Violation> = s
+            .violations
+            .iter()
+            .filter(|v| v.rule == "panic-on-hot-path")
+            .collect();
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 0);
+        assert!(v[0].message.contains("PANIC_ALLOWED"), "{}", v[0].message);
+    }
+
+    #[test]
+    fn panic_ledger_drift_fires_in_both_directions() {
+        let mk = |src: &str| {
+            vec![
+                FileModel::new(
+                    "crates/scenario/src/toy.rs".to_string(),
+                    "pub fn toy_assertion() { helper(); }\n".to_string(),
+                ),
+                FileModel::new("crates/core/src/util.rs".to_string(), src.to_string()),
+            ]
+        };
+        // Ledger says 2, source justifies 1 → drift.
+        let files = mk("pub fn helper(v: &[u8]) -> u8 {\n    // PANIC: bounded.\n    v[0]\n}\n");
+        let mut out = Vec::new();
+        rules::graph_pass_with(
+            &files,
+            &[("crates/core/src/util.rs", 2, "test pin")],
+            &[],
+            &mut out,
+        );
+        assert_eq!(count_rule(&out, "panic-on-hot-path"), 1, "{out:?}");
+        assert!(out.iter().any(|v| v.message.contains("drifted")), "{out:?}");
+        // Ledger names a file with zero justified sites → also drift.
+        let files2 = mk("pub fn helper(_v: &[u8]) -> u8 { 0 }\n");
+        let mut out2 = Vec::new();
+        rules::graph_pass_with(
+            &files2,
+            &[("crates/core/src/util.rs", 1, "stale pin")],
+            &[],
+            &mut out2,
+        );
+        assert!(
+            out2.iter()
+                .any(|v| v.rule == "panic-on-hot-path" && v.message.contains("drifted")),
+            "{out2:?}"
+        );
+    }
+
+    // ---- float-determinism over the reachable set ----------------------
+
+    #[test]
+    fn float_rule_fires_on_partial_cmp_fold_max_and_literal_eq() {
+        let s = hot(
+            "let mut xs = vec![0.5f64]; xs.sort_by(|a, b| a.partial_cmp(b).expect(\"cmp\"));\n    let m = xs.iter().copied().fold(0.0f64, f64::max);\n    if m == 0.0 { return 1; }\n    0",
+        );
+        assert_eq!(
+            count_rule(&s.violations, "float-order-on-hot-path"),
+            3,
+            "{:?}",
+            s.violations
+        );
+    }
+
+    #[test]
+    fn float_rule_ignores_blessed_and_near_miss_forms() {
+        let s = hot(
+            "let mut xs = vec![0.5f64]; xs.sort_by(|a, b| a.total_cmp(b));\n    let c = xs[0].max(0.0);\n    let n = v.len(); if n == 0 { return 0; }\n    c as u8\n    // PANIC: xs is non-empty: just built it.\n",
+        );
+        assert_eq!(
+            count_rule(&s.violations, "float-order-on-hot-path"),
+            0,
+            "{:?}",
+            s.violations
+        );
+    }
+
+    #[test]
+    fn float_rule_ignores_unreachable_partial_cmp() {
+        let s = analyze_files(&[
+            ("crates/scenario/src/toy.rs", "pub fn toy_assertion() {}\n"),
+            (
+                "crates/core/src/util.rs",
+                "pub fn island(a: f64, b: f64) -> bool { a.partial_cmp(&b).is_some() }\n",
+            ),
+        ]);
+        assert_eq!(count_rule(&s.violations, "float-order-on-hot-path"), 0);
+    }
+
+    // ---- root integrity ------------------------------------------------
+
+    #[test]
+    fn missing_roots_are_themselves_violations() {
+        // A workspace with no matchers.rs / ThreadPool / factories
+        // must say so rather than silently passing.
+        let s = analyze_files(&[("crates/scenario/src/toy.rs", "pub fn toy_assertion() {}\n")]);
+        assert!(
+            count_rule(&s.violations, "hot-path-root-missing") >= 4,
+            "{:?}",
+            s.violations
+        );
+    }
+
+    #[test]
+    fn every_emittable_rule_is_in_the_catalog() {
+        for rule in [
+            "unsafe-outside-allowlist",
+            "undocumented-unsafe",
+            "ad-hoc-thread",
+            "hash-on-scoring-path",
+            "unaudited-relaxed",
+            "pairwise-iou-outside-geom",
+            "panic-on-hot-path",
+            "float-order-on-hot-path",
+            "hot-path-root-missing",
+        ] {
+            assert!(explain(rule).is_some(), "missing catalog entry for {rule}");
+        }
+        assert_eq!(RULES.len(), 9);
+    }
+
+    // ---- the real workspace is clean and fully covered -----------------
+
+    fn real_root() -> &'static Path {
+        Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root")
+    }
 
     #[test]
     fn workspace_is_clean() {
-        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
-            .parent()
-            .and_then(Path::parent)
-            .expect("workspace root");
-        let summary = scan_workspace(root).expect("scan");
+        let summary = scan_workspace(real_root()).expect("scan");
         assert!(
             summary.files_scanned > 30,
             "scan must cover the workspace, saw {}",
             summary.files_scanned
+        );
+        assert!(
+            summary.reachable_fns >= 200,
+            "the hot-path reachable set collapsed to {} fns — roots or call edges broke",
+            summary.reachable_fns
         );
         let rendered: Vec<String> = summary.violations.iter().map(|v| v.to_string()).collect();
         assert!(
             rendered.is_empty(),
             "workspace violations:\n{}",
             rendered.join("\n")
+        );
+    }
+
+    #[test]
+    fn ledger_files_exist() {
+        // Drift checking in emit_ledgered only judges files the scan
+        // saw, so a renamed or deleted file with a stale ledger entry
+        // must be caught here instead.
+        let summary = scan_workspace(real_root()).expect("scan");
+        for (path, _, _) in rules::PANIC_ALLOWED.iter().chain(rules::FLOAT_ALLOWED) {
+            assert!(
+                summary.files.iter().any(|f| f == path),
+                "ledger entry for `{path}` does not match any scanned file — \
+                 re-audit the PANIC_ALLOWED/FLOAT_ALLOWED ledgers"
+            );
+        }
+    }
+
+    #[test]
+    fn scan_covers_tests_examples_benches_and_bins() {
+        let summary = scan_workspace(real_root()).expect("scan");
+        for needle in [
+            "tests/",
+            "examples/",
+            "crates/bench/benches/",
+            "crates/bench/src/bin/",
+        ] {
+            assert!(
+                summary.files.iter().any(|f| f.starts_with(needle)),
+                "no scanned file under {needle}"
+            );
+        }
+        assert!(
+            !summary.files.iter().any(|f| f.contains("vendor/")),
+            "vendor must stay excluded"
         );
     }
 }

@@ -1,3 +1,4 @@
 fn main() {
-    std::process::exit(omg_lint::run_cli());
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(omg_lint::run_cli(&args));
 }

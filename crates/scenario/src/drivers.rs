@@ -31,6 +31,8 @@ pub fn score_scenario<Sc: Scenario>(
 ) -> (SeverityMatrix, Vec<f64>) {
     let half = scenario.window_half();
     let n = items.len();
+    // PANIC: score_rows_chunked feeds i < n, and lo <= i < hi <= n by
+    // the saturating/clamped arithmetic above each use.
     score_rows_chunked(n, set.len(), pool, |i, row| {
         let lo = i.saturating_sub(half);
         let hi = (i + half + 1).min(n);
@@ -90,11 +92,15 @@ pub fn score_window<Sc: Scenario>(
     let sample = scenario.make_sample(window, center);
     let prep = preparer.prepare(&sample);
     set.check_all_prepared_values(&sample, &prep, values);
+    // PANIC: center < window.len() is this fn's documented contract;
+    // WindowSpans emits only in-range centers.
     scenario.uncertainty(&window[center])
 }
 
 impl<Sc: Scenario> ScenarioStreamScorer<'_, Sc> {
     fn score(&mut self, span: WindowSpan) -> f64 {
+        // PANIC: spans emitted by WindowSpans stay inside the pushed
+        // prefix of this chunk, which `items` fully contains.
         let window = &self.items[self.offset + span.start..self.offset + span.end];
         score_window(
             self.scenario,
@@ -116,12 +122,15 @@ impl<Sc: Scenario> ScenarioStreamScorer<'_, Sc> {
 
 impl<Sc: Scenario> RowStreamScorer for ScenarioStreamScorer<'_, Sc> {
     fn push(&mut self, index: usize) -> Option<f64> {
+        // PANIC: pushing after finish() is a caller contract violation
+        // the StreamScorer protocol documents; fail loudly.
         let spans = self.spans.as_mut().expect("push after flush");
         debug_assert_eq!(index, self.offset + spans.pushed(), "gapless feed");
         spans.push().map(|s| self.score(s))
     }
 
     fn push_skipped(&mut self, index: usize) -> bool {
+        // PANIC: same push-after-flush contract as push().
         let spans = self.spans.as_mut().expect("push after flush");
         debug_assert_eq!(index, self.offset + spans.pushed(), "gapless feed");
         spans.push().is_some()

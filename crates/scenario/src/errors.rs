@@ -44,6 +44,8 @@ pub fn errors_by_assertion<Sc: Scenario>(
         .collect();
     let half = scenario.window_half();
     let n = items.len();
+    // PANIC: lo <= center < hi <= n by the clamped arithmetic, and
+    // aid comes from the set whose names built `out` slot for slot.
     for center in 0..n {
         let lo = center.saturating_sub(half);
         let hi = (center + half + 1).min(n);

@@ -149,7 +149,7 @@ pub fn detection_uncertainty<I: IntoIterator<Item = f64>>(confidences: I) -> f64
     confidences
         .into_iter()
         .map(|c| 1.0 - c)
-        .fold(0.0f64, f64::max)
+        .fold(0.0f64, omg_core::float::fmax)
 }
 
 #[cfg(test)]
@@ -160,5 +160,13 @@ mod tests {
     fn detection_uncertainty_is_least_confidence() {
         assert_eq!(detection_uncertainty([0.9, 0.4, 0.7]), 1.0 - 0.4);
         assert_eq!(detection_uncertainty(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn detection_uncertainty_never_drops_nan() {
+        // A poisoned confidence must poison the uncertainty wherever it
+        // appears (f64::max would silently drop a trailing NaN).
+        assert!(detection_uncertainty([0.9, f64::NAN]).is_nan());
+        assert!(detection_uncertainty([f64::NAN, 0.9]).is_nan());
     }
 }

@@ -69,6 +69,7 @@ impl Scenario for ToyScenario {
             Severity::from_bool(s.0.iter().sum::<i64>() < 0)
         });
         set.add_fn("large-center", |s: &ToySample| {
+            // PANIC: make_sample stores a center < window length.
             Severity::from_bool(s.0[s.1].abs() > 5)
         });
         set
@@ -83,6 +84,7 @@ impl Scenario for ToyScenario {
             |_s: &ToySample, &sum: &i64| Severity::from_bool(sum < 0),
         );
         set.add_fn("large-center", |s: &ToySample| {
+            // PANIC: make_sample stores a center < window length.
             Severity::from_bool(s.0[s.1].abs() > 5)
         });
         set
@@ -127,6 +129,7 @@ impl Scenario for ToyScenario {
         vec![FoundError {
             confidence: 0.5,
             frame: center,
+            // PANIC: item_errors receives a center inside `items`.
             source: items[center].unsigned_abs(),
         }]
     }
@@ -246,6 +249,7 @@ impl Scenario for CloneProbeScenario {
 
     fn make_sample(&self, items: &[CountedItem], center: usize) -> ProbeSample {
         // Reads the borrowed window in place; clones nothing.
+        // PANIC: the drivers pass center < items.len() by contract.
         (items.iter().map(|i| i.value).sum(), items[center].value)
     }
 

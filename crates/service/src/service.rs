@@ -341,6 +341,9 @@ impl<Sc: Scenario> MonitorService<Sc> {
         let preparer = self.preparer.as_ref();
         let retained = self.config.retained_samples;
         let scored: usize = pool
+            // PANIC: i < shards.len() by map_indexed_coarse's contract;
+            // a poisoned shard means a scorer panicked mid-drain, so
+            // the shard state is unusable — propagate.
             .map_indexed_coarse(shards.len(), |i| {
                 let mut shard = shards[i].1.lock().expect("shard poisoned");
                 Self::drain_shard(scenario, set, preparer, retained, &mut shard)
@@ -373,6 +376,7 @@ impl<Sc: Scenario> MonitorService<Sc> {
     /// if the session does not exist.
     pub fn finish(&self, session: SessionId) -> Option<SessionReport> {
         let shard = self.shards.remove(&session)?;
+        // PANIC: poisoning propagation — the drain already panicked.
         let mut shard = shard.lock().expect("shard poisoned");
         let retained = self.config.retained_samples;
         let mut emitted = Self::drain_shard(
@@ -439,6 +443,7 @@ impl<Sc: Scenario> MonitorService<Sc> {
         let cutoff = now.saturating_sub(idle);
         self.shards
             .retain(|_, shard| {
+                // PANIC: poisoning propagation, as in drain/finish.
                 let s = shard.lock().expect("shard poisoned");
                 let drained = s.queue.is_empty() && s.out_severities.is_empty();
                 !(drained && s.last_active < cutoff)

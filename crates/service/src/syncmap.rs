@@ -49,6 +49,9 @@ impl<K: Ord, V: ?Sized> SyncMap<K, V> {
     /// `create` runs exactly once per key — the read-then-write cache
     /// idiom (SNIPPETS.md §3).
     pub fn get_or_init(&self, key: K, create: impl FnOnce() -> Arc<V>) -> Arc<V> {
+        // PANIC: a poisoned RwLock means a writer panicked mid-update;
+        // the map may be half-mutated, so propagating is the only
+        // sound option (same argument for every lock in this file).
         if let Some(v) = self.map.read().expect("syncmap poisoned").get(&key) {
             return Arc::clone(v);
         }
@@ -62,6 +65,7 @@ impl<K: Ord, V: ?Sized> SyncMap<K, V> {
         K: Borrow<Q>,
         Q: Ord + ?Sized,
     {
+        // PANIC: poisoning propagation; see get_or_init.
         self.map
             .read()
             .expect("syncmap poisoned")
@@ -76,11 +80,13 @@ impl<K: Ord, V: ?Sized> SyncMap<K, V> {
         K: Borrow<Q>,
         Q: Ord + ?Sized,
     {
+        // PANIC: poisoning propagation; see get_or_init.
         self.map.write().expect("syncmap poisoned").remove(key)
     }
 
     /// Number of entries.
     pub fn len(&self) -> usize {
+        // PANIC: poisoning propagation; see get_or_init.
         self.map.read().expect("syncmap poisoned").len()
     }
 
@@ -95,6 +101,7 @@ impl<K: Ord + Clone, V: ?Sized> SyncMap<K, V> {
     /// snapshot holds `Arc` handles, so it stays usable while other
     /// threads insert or remove concurrently.
     pub fn entries(&self) -> Vec<(K, Arc<V>)> {
+        // PANIC: poisoning propagation; see get_or_init.
         self.map
             .read()
             .expect("syncmap poisoned")
@@ -107,6 +114,7 @@ impl<K: Ord + Clone, V: ?Sized> SyncMap<K, V> {
     /// the removed entries (in key order). The whole sweep runs under
     /// the exclusive lock, so no insert interleaves with the decision.
     pub fn retain(&self, mut keep: impl FnMut(&K, &Arc<V>) -> bool) -> Vec<(K, Arc<V>)> {
+        // PANIC: poisoning propagation; see get_or_init.
         let mut map = self.map.write().expect("syncmap poisoned");
         let doomed: Vec<K> = map
             .iter()
@@ -116,6 +124,8 @@ impl<K: Ord + Clone, V: ?Sized> SyncMap<K, V> {
         doomed
             .into_iter()
             .map(|k| {
+                // PANIC: doomed keys were read under this same
+                // exclusive lock, so they are still present.
                 let v = map.remove(&k).expect("doomed key present under lock");
                 (k, v)
             })

@@ -106,6 +106,7 @@ impl AvWorld {
     /// Creates a world; scene `i` is fully determined by `(seed, i)`.
     pub fn new(config: AvConfig, seed: u64) -> Self {
         let camera = CameraModel::new(
+            // PANIC: constant intrinsics; the constructor accepts them.
             CameraIntrinsics::centered(1000.0, 1600.0, 900.0).expect("valid intrinsics"),
             Vec3::new(0.0, 0.0, 1.6),
             0.0,
@@ -179,6 +180,8 @@ impl AvWorld {
             let mut gt_2d = Vec::new();
             let mut gt_3d = Vec::new();
             for v in &vehicles {
+                // PANIC: vehicle sizes are sampled from positive ranges,
+                // the only thing BBox3D::new rejects.
                 let box3 = BBox3D::new(v.pos, v.size, 0.0).expect("valid 3d box");
                 gt_3d.push((v.track, box3, v.class));
                 let Some(bbox2) = self.camera.project_box(&box3) else {
@@ -221,6 +224,8 @@ impl AvWorld {
                 let h = clutter_rng.gen_range(25.0..70.0);
                 let x = clutter_rng.gen_range(0.0..1600.0 - w);
                 let y = clutter_rng.gen_range(350.0..900.0 - h);
+                // PANIC: w, h > 0 by the sampled ranges, so the corners
+                // are ordered and BBox2D::new accepts them.
                 let bbox = omg_geom::BBox2D::new(x, y, x + w, y + h).expect("valid clutter");
                 let size_norm = ((bbox.area() / (1600.0 * 900.0)).sqrt()).clamp(0.0, 1.0);
                 let appearance = self
@@ -289,6 +294,7 @@ impl AvWorld {
                 let inflate = det_rng.gen_range(1.6..2.6);
                 size = Vec3::new(size.x * inflate, size.y * inflate, size.z);
             }
+            // PANIC: size scales a valid box's size by positive factors.
             let bbox =
                 BBox3D::new(box3.center() + jitter, size, box3.yaw()).expect("valid lidar box");
             out.push(LidarDetection {
@@ -300,6 +306,7 @@ impl AvWorld {
         // Occasional LIDAR ghosts.
         if rng.gen::<f64>() < self.config.lidar_fp_rate {
             let pos = Vec3::new(rng.gen_range(8.0..50.0), rng.gen_range(-8.0..8.0), 0.8);
+            // PANIC: constant positive ghost dimensions.
             let bbox = BBox3D::new(pos, Vec3::new(3.5, 1.6, 1.6), 0.0).expect("valid ghost");
             out.push(LidarDetection {
                 bbox,

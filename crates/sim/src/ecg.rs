@@ -163,6 +163,7 @@ impl EcgWorld {
         // The noisy class is intrinsically harder: extra feature noise.
         let noise = self.config.noise * if self.state == 3 { 1.5 } else { 1.0 };
         let rho = self.config.noise_correlation;
+        // PANIC: state transitions stay in 0..CLASS_MEANS.len().
         for (ns, mean) in self.noise_state.iter_mut().zip(&CLASS_MEANS[self.state]) {
             // AR(1): persistent artifacts rather than white noise.
             *ns = rho * *ns + (1.0 - rho * rho).sqrt() * normal(&mut self.rng);

@@ -166,6 +166,7 @@ impl NewsWorld {
         for s in 0..n_samples {
             let time = start_time + s as f64 * self.config.sample_period;
             for (slot, &h) in host_indices.iter().enumerate() {
+                // PANIC: host indices are sampled from 0..roster.len().
                 let truth = &self.roster[h];
                 // Transient errors, independent per sample.
                 let identity = if rng.gen::<f64>() < self.config.identity_error_rate {

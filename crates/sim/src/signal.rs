@@ -158,6 +158,8 @@ impl AppearanceModel {
         // subpopulation instead of afflicting every object equally.
         let strength = c.contrast * quality.powf(1.6) * (1.0 - 0.7 * occlusion);
         let mut app = vec![0.0; APP_DIM];
+        // PANIC: fixed feature layout — app has APP_DIM (12) slots and
+        // every subscript below is a constant < 9 or k < NUM_CLASSES (3).
         for (k, bias) in c.channel_bias.iter().enumerate() {
             let proto = if k == class { strength } else { 0.0 };
             app[k] = proto + bias + sample_normal(rng) * c.noise;
@@ -168,6 +170,8 @@ impl AppearanceModel {
         app[6] = speed;
         app[7] = 0.25 + sample_normal(rng).abs() * 0.12;
         let gate = dark_gate(strength, c.brightness);
+        // PANIC: slots 8 and 9 + k with k < NUM_CLASSES stay below
+        // APP_DIM = 9 + NUM_CLASSES.
         app[8] = gate;
         for k in 0..NUM_CLASSES {
             app[9 + k] = gate * app[k];
@@ -186,6 +190,8 @@ impl AppearanceModel {
         // The night channel bias couples into clutter at a fraction of its
         // object strength: reflective background picks up some of the
         // sensor's spectral bias, but much less than metal vehicle bodies.
+        // PANIC: fixed feature layout — constant slots < 9 and
+        // k < NUM_CLASSES all stay below APP_DIM (12).
         for (k, bias) in c.channel_bias.iter().enumerate() {
             app[k] = base + bias * 0.15 + sample_normal(rng) * c.noise;
         }
@@ -194,11 +200,14 @@ impl AppearanceModel {
         // Reflections and shadows have apparent occlusion and motion, so
         // these dims overlap with real objects — the prototype channels
         // must carry the object/clutter separation.
+        // PANIC: constant slots 5..=7 stay below APP_DIM.
         app[5] = rng.gen_range(0.0..0.25);
         app[6] = rng.gen_range(0.0..0.6);
         app[7] = 0.45 + sample_normal(rng).abs() * 0.18;
         // At night, weakly lit clutter lives in the low-light band, where
         // it is confusable with dark vehicles; by day the band stays off.
+        // PANIC: slots 8 and 9 + k with k < NUM_CLASSES stay below
+        // APP_DIM = 9 + NUM_CLASSES.
         let gate = dark_gate(base, c.brightness);
         app[8] = gate;
         for k in 0..NUM_CLASSES {

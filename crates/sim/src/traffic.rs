@@ -142,6 +142,7 @@ impl TrafficWorld {
                 let y = rng.gen_range(0.0..config.height - h);
                 (
                     u64::MAX - i as u64, // clutter ids from the top
+                    // PANIC: w, h > 0 by the sampled ranges above.
                     BBox2D::new(x, y, x + w, y + h).expect("valid clutter box"),
                     rng.gen_range(0.3..0.7),
                 )

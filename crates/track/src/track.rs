@@ -60,6 +60,8 @@ impl Track {
 
     /// Last frame the object was observed in.
     pub fn last_frame(&self) -> usize {
+        // PANIC: Track::new records the first observation, and nothing
+        // ever removes one, so the map is never empty.
         *self
             .observations
             .keys()
@@ -90,6 +92,7 @@ impl Track {
 
     /// The most recent observation.
     pub fn latest(&self) -> &Observation {
+        // PANIC: same non-empty invariant as last_frame.
         self.observations
             .values()
             .next_back()

@@ -65,6 +65,8 @@ impl IouTracker {
             );
         }
         // Retire stale tracks first.
+        // PANIC: every id in `live` is a key of `tracks` (inserted
+        // together below, removed together in retire/remove).
         self.live.retain(|id| {
             let t = &self.tracks[id];
             frame.saturating_sub(t.last_frame()) <= self.max_age
@@ -78,6 +80,7 @@ impl IouTracker {
         let track_boxes: Vec<omg_geom::BBox2D> = self
             .live
             .iter()
+            // PANIC: live ids are always tracked (same invariant).
             .map(|id| self.tracks[id].latest().bbox)
             .collect();
         let det_boxes: Vec<omg_geom::BBox2D> = detections.iter().map(|d| d.bbox).collect();
@@ -86,6 +89,9 @@ impl IouTracker {
 
         let mut track_taken = vec![false; self.live.len()];
         let mut det_assignment: Vec<Option<TrackId>> = vec![None; detections.len()];
+        // PANIC: iou_pairs returns (iou, ti, di) with ti < track_boxes
+        // .len() = live.len() and di < det_boxes.len() = detections
+        // .len(), so every subscript below is in bounds.
         for (_, ti, di) in pairs {
             if track_taken[ti] || det_assignment[di].is_some() {
                 continue;
@@ -95,6 +101,8 @@ impl IouTracker {
         }
 
         let mut out = Vec::with_capacity(detections.len());
+        // PANIC: di < detections.len(); assigned ids are live, and live
+        // ids are always tracked.
         for (di, det) in detections.iter().enumerate() {
             let id = match det_assignment[di] {
                 Some(id) => {
